@@ -1,0 +1,81 @@
+//! Buffer-manager benchmarks: executor throughput under each scheme and
+//! the raw buffer data structures themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sjcm_bench::uniform_tree;
+use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig};
+use sjcm_storage::{BufferManager, LruBuffer, NoBuffer, PageId, PathBuffer};
+use std::hint::black_box;
+
+fn bench_join_under_buffers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_under_buffer");
+    group.sample_size(10);
+    let n = 8_000;
+    let t1 = uniform_tree(n, 0.5, 200);
+    let t2 = uniform_tree(n, 0.5, 201);
+    for (label, policy) in [
+        ("none", BufferPolicy::None),
+        ("path", BufferPolicy::Path),
+        ("lru64", BufferPolicy::Lru(64)),
+        ("lru1024", BufferPolicy::Lru(1024)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            b.iter(|| {
+                black_box(spatial_join_with(
+                    &t1,
+                    &t2,
+                    JoinConfig {
+                        buffer: policy,
+                        collect_pairs: false,
+                        ..JoinConfig::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_access");
+    // A synthetic access trace: cyclic with some locality.
+    let trace: Vec<(PageId, u8)> = (0..10_000u32)
+        .map(|i| (PageId(i % 700), (i % 4) as u8))
+        .collect();
+    group.bench_function("no_buffer", |b| {
+        b.iter(|| {
+            let mut buf = NoBuffer;
+            let mut misses = 0u64;
+            for &(p, l) in &trace {
+                misses += u64::from(buf.access(p, l).is_miss());
+            }
+            black_box(misses)
+        })
+    });
+    group.bench_function("path_buffer", |b| {
+        b.iter(|| {
+            let mut buf = PathBuffer::new();
+            let mut misses = 0u64;
+            for &(p, l) in &trace {
+                misses += u64::from(buf.access(p, l).is_miss());
+            }
+            black_box(misses)
+        })
+    });
+    for cap in [64usize, 512] {
+        group.bench_with_input(BenchmarkId::new("lru", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut buf = LruBuffer::new(cap);
+                let mut misses = 0u64;
+                for &(p, l) in &trace {
+                    misses += u64::from(buf.access(p, l).is_miss());
+                }
+                black_box(misses)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_under_buffers, bench_buffer_primitives);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Reduced-scale regenerations of the paper's figure workloads as
+//! benchmarks: one representative measurement per figure, so `cargo
+//! bench` exercises the exact code paths that `experiments <figure>`
+//! runs at paper scale. (The accuracy numbers themselves come from the
+//! experiments binary; criterion measures the cost of producing them.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sjcm_bench::uniform_tree;
+use sjcm_core::{join, DataProfile, ModelConfig, TreeParams};
+use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig};
+use std::hint::black_box;
+
+fn join_config() -> JoinConfig {
+    JoinConfig {
+        buffer: BufferPolicy::Path,
+        collect_pairs: false,
+        ..JoinConfig::default()
+    }
+}
+
+/// Figure 5 rows (reduced): one small and one asymmetric combo per
+/// dimensionality-2 grid, measured end to end (build excluded).
+fn bench_figure5_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_join_rows");
+    group.sample_size(10);
+    let scale = [(2_000usize, 2_000usize), (2_000, 8_000), (8_000, 8_000)];
+    for &(n1, n2) in &scale {
+        let t1 = uniform_tree(n1, 0.5, 500);
+        let t2 = uniform_tree(n2, 0.5, 501);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n1}x{n2}")),
+            &(n1, n2),
+            |b, _| b.iter(|| black_box(spatial_join_with(&t1, &t2, join_config()))),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 6/7 series: the analytic sweeps (pure model evaluation over
+/// the cardinality grid), which an optimizer would run per candidate
+/// plan.
+fn bench_figure67_series(c: &mut Criterion) {
+    let cfg = ModelConfig::paper(2);
+    let mut group = c.benchmark_group("figure67_analytic_series");
+    group.bench_function("figure6_na_da_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in [20_000u64, 40_000, 60_000, 80_000] {
+                let p = TreeParams::<2>::from_data(DataProfile::new(n, 0.5), &cfg);
+                acc += join::join_cost_na(&p, &p) + join::join_cost_da(&p, &p);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("figure7_da_sweep", |b| {
+        b.iter(|| {
+            let fixed = TreeParams::<2>::from_data(DataProfile::new(20_000, 0.5), &cfg);
+            let mut acc = 0.0;
+            for step in 0..13u64 {
+                let n = 20_000 + step * 5_000;
+                let p = TreeParams::<2>::from_data(DataProfile::new(n, 0.5), &cfg);
+                acc += join::join_cost_da(&p, &fixed) + join::join_cost_da(&fixed, &p);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// §4.2-style workload: the instrumented join over skewed data, the
+/// measurement behind the non-uniform accuracy table.
+fn bench_nonuniform_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nonuniform_join_row");
+    group.sample_size(10);
+    let rects1 = sjcm_datagen::skewed::gaussian_clusters::<2>(
+        sjcm_datagen::skewed::ClusterConfig::new(6_000, 0.4, 502),
+    );
+    let rects2 = sjcm_datagen::skewed::gaussian_clusters::<2>(
+        sjcm_datagen::skewed::ClusterConfig::new(6_000, 0.4, 503),
+    );
+    let build = |rects: &[sjcm_geom::Rect<2>]| {
+        let mut t = sjcm_rtree::RTree::new(sjcm_rtree::RTreeConfig::paper(2));
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, sjcm_rtree::ObjectId(i as u32));
+        }
+        t
+    };
+    let t1 = build(&rects1);
+    let t2 = build(&rects2);
+    group.bench_function("clustered_6k_x_6k", |b| {
+        b.iter(|| black_box(spatial_join_with(&t1, &t2, join_config())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure5_rows,
+    bench_figure67_series,
+    bench_nonuniform_row
+);
+criterion_main!(benches);

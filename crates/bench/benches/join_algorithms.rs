@@ -1,0 +1,93 @@
+//! Join-algorithm benchmarks: the synchronized traversal (SJ) against
+//! the index-nested-loop and brute-force baselines, plus the plane-sweep
+//! CPU optimization of [BKS93] and the parallel variant (§5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sjcm_bench::{uniform_items, uniform_tree};
+use sjcm_join::baselines::{index_nested_loop_join, nested_loop_join};
+use sjcm_join::parallel::parallel_spatial_join;
+use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig, MatchOrder};
+use std::hint::black_box;
+
+fn config() -> JoinConfig {
+    JoinConfig {
+        buffer: BufferPolicy::Path,
+        collect_pairs: false,
+        ..JoinConfig::default()
+    }
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_algorithms");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let t1 = uniform_tree(n, 0.4, 100);
+        let t2 = uniform_tree(n, 0.4, 101);
+        let probes = uniform_items(n, 0.4, 101);
+        group.bench_with_input(BenchmarkId::new("sj_synchronized", n), &n, |b, _| {
+            b.iter(|| black_box(spatial_join_with(&t1, &t2, config())))
+        });
+        group.bench_with_input(BenchmarkId::new("index_nested_loop", n), &n, |b, _| {
+            b.iter(|| black_box(index_nested_loop_join(&t1, &probes)))
+        });
+        if n <= 2_000 {
+            let items1 = uniform_items(n, 0.4, 100);
+            group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+                b.iter(|| black_box(nested_loop_join(&items1, &probes)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_match_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entry_matching");
+    group.sample_size(10);
+    let n = 8_000;
+    let t1 = uniform_tree(n, 0.6, 102);
+    let t2 = uniform_tree(n, 0.6, 103);
+    group.bench_function("nested_loop_order", |b| {
+        b.iter(|| {
+            black_box(spatial_join_with(
+                &t1,
+                &t2,
+                JoinConfig {
+                    order: MatchOrder::NestedLoop,
+                    ..config()
+                },
+            ))
+        })
+    });
+    group.bench_function("plane_sweep_order", |b| {
+        b.iter(|| {
+            black_box(spatial_join_with(
+                &t1,
+                &t2,
+                JoinConfig {
+                    order: MatchOrder::PlaneSweep,
+                    ..config()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_join");
+    group.sample_size(10);
+    let n = 12_000;
+    let t1 = uniform_tree(n, 0.5, 104);
+    let t2 = uniform_tree(n, 0.5, 105);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(parallel_spatial_join(&t1, &t2, config(), threads))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_match_order, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Cost-model evaluation benchmarks — the practical argument for the
+//! paper: an optimizer can afford these formulas. Evaluating Eq 10/12
+//! takes microseconds; *running* the join it prices takes milliseconds
+//! to seconds (see `join_algorithms`). The planner's exhaustive
+//! enumeration is benchmarked too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sjcm_core::nonuniform::join_cost_nonuniform;
+use sjcm_core::{join, range, DataProfile, DensitySurface, ModelConfig, TreeParams};
+use sjcm_geom::Rect;
+use sjcm_optimizer::{Catalog, DatasetStats, JoinQuery, Planner};
+use std::hint::black_box;
+
+fn bench_formulas(c: &mut Criterion) {
+    let cfg = ModelConfig::paper(2);
+    let mut group = c.benchmark_group("model_formulas");
+    group.bench_function("tree_params_from_data", |b| {
+        b.iter(|| {
+            black_box(TreeParams::<2>::from_data(
+                DataProfile::new(black_box(60_000), 0.5),
+                &cfg,
+            ))
+        })
+    });
+    let p1 = TreeParams::<2>::from_data(DataProfile::new(60_000, 0.5), &cfg);
+    let p2 = TreeParams::<2>::from_data(DataProfile::new(20_000, 0.5), &cfg);
+    group.bench_function("join_cost_na", |b| {
+        b.iter(|| black_box(join::join_cost_na(&p1, &p2)))
+    });
+    group.bench_function("join_cost_da", |b| {
+        b.iter(|| black_box(join::join_cost_da(&p1, &p2)))
+    });
+    group.bench_function("range_query_cost", |b| {
+        b.iter(|| black_box(range::range_query_cost(&p1, &[0.05, 0.05])))
+    });
+    group.finish();
+}
+
+fn bench_nonuniform(c: &mut Criterion) {
+    let cfg = ModelConfig::paper(2);
+    let rects = sjcm_datagen::tiger::generate(sjcm_datagen::tiger::TigerConfig::roads(20_000, 400));
+    let prof = DataProfile::new(rects.len() as u64, sjcm_geom::density(rects.iter()));
+    let mut group = c.benchmark_group("nonuniform_model");
+    group.sample_size(20);
+    for grid in [4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("surface_build", grid),
+            &grid,
+            |b, &grid| b.iter(|| black_box(DensitySurface::<2>::from_rects(&rects, grid))),
+        );
+        let surface = DensitySurface::<2>::from_rects(&rects, grid);
+        group.bench_with_input(BenchmarkId::new("join_cost_local", grid), &grid, |b, _| {
+            b.iter(|| black_box(join_cost_nonuniform(prof, &surface, prof, &surface, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut catalog = Catalog::<2>::new();
+    catalog.register("a", DatasetStats::new(60_000, 0.5));
+    catalog.register("b", DatasetStats::new(20_000, 0.4));
+    catalog.register("c", DatasetStats::new(40_000, 0.3));
+    catalog.register("d", DatasetStats::new(10_000, 0.2));
+    let window = Rect::new([0.0, 0.0], [0.3, 0.3]).unwrap();
+    let mut group = c.benchmark_group("planner");
+    group.bench_function("two_way", |b| {
+        let q = JoinQuery::new(["a", "b"]).with_selection("b", window);
+        b.iter(|| black_box(Planner::new(&catalog).best_plan(&q).unwrap().total_cost))
+    });
+    group.bench_function("four_way", |b| {
+        let q = JoinQuery::new(["a", "b", "c", "d"]).with_selection("b", window);
+        b.iter(|| black_box(Planner::new(&catalog).best_plan(&q).unwrap().total_cost))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulas, bench_nonuniform, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Tree-construction benchmarks: R\* vs quadratic insertion, STR vs
+//! Hilbert bulk loading, plus deletion and persistence round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sjcm_bench::uniform_items;
+use sjcm_rtree::{BulkLoad, RTree, RTreeConfig, SplitStrategy};
+use sjcm_storage::InMemoryPageStore;
+use std::hint::black_box;
+
+fn bench_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insertion_build");
+    group.sample_size(10);
+    for &n in &[2_000usize, 10_000] {
+        let items = uniform_items(n, 0.4, 300);
+        group.bench_with_input(BenchmarkId::new("rstar", n), &items, |b, items| {
+            b.iter(|| {
+                let mut tree = RTree::new(RTreeConfig::paper(2));
+                for &(r, id) in items {
+                    tree.insert(r, id);
+                }
+                black_box(tree.node_count())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("quadratic", n), &items, |b, items| {
+            b.iter(|| {
+                let mut tree =
+                    RTree::new(RTreeConfig::paper(2).with_split(SplitStrategy::Quadratic));
+                for &(r, id) in items {
+                    tree.insert(r, id);
+                }
+                black_box(tree.node_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_load");
+    group.sample_size(10);
+    for &n in &[10_000usize, 40_000] {
+        let items = uniform_items(n, 0.4, 301);
+        group.bench_with_input(BenchmarkId::new("str", n), &items, |b, items| {
+            b.iter(|| {
+                black_box(RTree::bulk_load(
+                    RTreeConfig::paper(2),
+                    items.clone(),
+                    BulkLoad::Str,
+                    1.0,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert", n), &items, |b, items| {
+            b.iter(|| {
+                black_box(RTree::bulk_load(
+                    RTreeConfig::paper(2),
+                    items.clone(),
+                    BulkLoad::Hilbert,
+                    1.0,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persistence");
+    group.sample_size(10);
+    let items = uniform_items(20_000, 0.4, 302);
+    let tree = RTree::bulk_load(RTreeConfig::paper(2), items, BulkLoad::Str, 0.8);
+    group.bench_function("save", |b| {
+        b.iter(|| {
+            let mut store = InMemoryPageStore::with_default_page_size();
+            black_box(tree.save(&mut store).unwrap())
+        })
+    });
+    let mut store = InMemoryPageStore::with_default_page_size();
+    let handle = tree.save(&mut store).unwrap();
+    group.bench_function("load", |b| {
+        b.iter(|| black_box(RTree::<2>::load(&store, handle, *tree.config()).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_deletion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deletion");
+    group.sample_size(10);
+    let items = uniform_items(5_000, 0.4, 303);
+    group.bench_function("delete_half", |b| {
+        b.iter_with_setup(
+            || {
+                let mut tree = RTree::new(RTreeConfig::paper(2));
+                for &(r, id) in &items {
+                    tree.insert(r, id);
+                }
+                tree
+            },
+            |mut tree| {
+                for &(r, id) in items.iter().step_by(2) {
+                    assert!(tree.remove(&r, id));
+                }
+                black_box(tree.len())
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insertion,
+    bench_bulk_load,
+    bench_persistence,
+    bench_deletion
+);
+criterion_main!(benches);

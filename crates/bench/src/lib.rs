@@ -1,0 +1,28 @@
+//! Shared fixtures for the criterion benchmarks.
+//!
+//! The benchmark crate has no library API of its own; this module only
+//! hosts the helpers the `benches/` targets share, so they stay
+//! consistent about workload shapes and seeds.
+
+/// Builds a paper-configured R\*-tree over `n` uniform rectangles of
+/// density `d`.
+pub fn uniform_tree(n: usize, d: f64, seed: u64) -> sjcm_rtree::RTree<2> {
+    let mut tree = sjcm_rtree::RTree::new(sjcm_rtree::RTreeConfig::paper(2));
+    for (r, id) in uniform_items(n, d, seed) {
+        tree.insert(r, id);
+    }
+    tree
+}
+
+/// Uniform items `(rect, id)` for construction benches.
+pub fn uniform_items(
+    n: usize,
+    d: f64,
+    seed: u64,
+) -> Vec<(sjcm_geom::Rect<2>, sjcm_rtree::ObjectId)> {
+    sjcm_datagen::uniform::generate::<2>(sjcm_datagen::uniform::UniformConfig::new(n, d, seed))
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, sjcm_rtree::ObjectId(i as u32)))
+        .collect()
+}

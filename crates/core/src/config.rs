@@ -1,0 +1,210 @@
+//! Model inputs: the index configuration and the primitive data
+//! properties.
+
+use serde::{Deserialize, Serialize};
+use sjcm_storage_layout::max_entries;
+
+// The cost model only needs one constant from the storage layer — the
+// page-capacity formula — and pulling the whole crate in for that would
+// invert the dependency layering (core is pure analytics). The formula is
+// three lines; it is duplicated here behind a module with a compile-time
+// cross-check in the tests of this file.
+mod sjcm_storage_layout {
+    /// Maximum entries per node for `page_size` bytes in `n` dimensions:
+    /// an 8-byte header plus (8·n + 4)-byte entries — see
+    /// `sjcm_storage::layout` for the authoritative definition.
+    pub const fn max_entries(page_size: usize, n: usize) -> usize {
+        (page_size - 8) / (8 * n + 4)
+    }
+}
+
+/// How the tree height is predicted from `(N, f = c·M)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeightFormula {
+    /// The paper's Eq 2: `h = 1 + ⌈log_{cM}(N / cM)⌉`. Treats every
+    /// level — including the root — as filled to the average `c·M`.
+    Eq2,
+    /// Root-aware correction: `h = 1 + ⌈log_{cM}(N / M)⌉`. A real root
+    /// fills up to `M`, not `c·M`, so a height-`h` tree holds up to
+    /// `M · (cM)^{h−1}` objects. Eq 2 flips to the taller height one
+    /// fanout-factor too early; near those boundaries (e.g. the paper's
+    /// 2-D 40K–60K workloads) this variant matches built R\*-trees where
+    /// Eq 2 does not — see EXPERIMENTS.md.
+    RootAware,
+}
+
+/// Index-side constants of the model: the maximum node capacity `M` and
+/// the average capacity fraction `c` (the paper uses the "typical"
+/// c = 67%). Together they give the effective fanout `f = c·M`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Maximum entries per node, `M`.
+    pub max_entries: usize,
+    /// Average node capacity as a fraction, `c ∈ (0, 1]`.
+    pub avg_capacity: f64,
+    /// Height prediction variant (the paper's Eq 2 by default).
+    pub height_formula: HeightFormula,
+}
+
+impl ModelConfig {
+    /// The paper's configuration for dimensionality `n`: `M` from 1 KiB
+    /// pages (84 for n = 1, 50 for n = 2) and `c = 0.67`.
+    ///
+    /// ```
+    /// use sjcm_core::ModelConfig;
+    /// assert_eq!(ModelConfig::paper(1).max_entries, 84);
+    /// assert_eq!(ModelConfig::paper(2).max_entries, 50);
+    /// ```
+    pub fn paper(n: usize) -> Self {
+        Self {
+            max_entries: max_entries(1024, n),
+            avg_capacity: 0.67,
+            height_formula: HeightFormula::Eq2,
+        }
+    }
+
+    /// The corrected configuration this reproduction recommends: the
+    /// paper's page geometry, `c = 0.70` (the storage utilization R\*-
+    /// trees actually achieve, per Beckmann et al. and our measurements)
+    /// and the root-aware height formula. On height-boundary workloads
+    /// this cuts the join-cost error from ~30% back into the paper's
+    /// ≤15% band; elsewhere it matches [`ModelConfig::paper`].
+    pub fn paper_corrected(n: usize) -> Self {
+        Self {
+            max_entries: max_entries(1024, n),
+            avg_capacity: 0.70,
+            height_formula: HeightFormula::RootAware,
+        }
+    }
+
+    /// Configuration with an explicit capacity and the paper's `c`.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        Self {
+            max_entries,
+            avg_capacity: 0.67,
+            height_formula: HeightFormula::Eq2,
+        }
+    }
+
+    /// Replaces the average capacity fraction.
+    pub fn with_avg_capacity(mut self, c: f64) -> Self {
+        assert!(c > 0.0 && c <= 1.0, "average capacity must be in (0, 1]");
+        self.avg_capacity = c;
+        self
+    }
+
+    /// Replaces the height formula.
+    pub fn with_height_formula(mut self, formula: HeightFormula) -> Self {
+        self.height_formula = formula;
+        self
+    }
+
+    /// Effective fanout `f = c·M`, the paper's `c·M` denominator in
+    /// Eqs 2, 3 and 5.
+    #[inline]
+    pub fn fanout(&self) -> f64 {
+        self.avg_capacity * self.max_entries as f64
+    }
+
+    /// Predicted tree height for `cardinality` objects under the
+    /// configured formula.
+    pub fn height(&self, cardinality: u64) -> usize {
+        crate::params::predict_height(cardinality, self)
+    }
+}
+
+/// The primitive properties of one data set — everything the model is
+/// allowed to know about it: cardinality `N` and density `D` over the
+/// unit workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataProfile {
+    /// Number of objects, `N`.
+    pub cardinality: u64,
+    /// Density of the object MBRs over the unit workspace, `D ≥ 0`.
+    pub density: f64,
+}
+
+impl DataProfile {
+    /// Creates a profile; density must be finite and non-negative.
+    pub fn new(cardinality: u64, density: f64) -> Self {
+        assert!(
+            density.is_finite() && density >= 0.0,
+            "density must be finite and non-negative, got {density}"
+        );
+        Self {
+            cardinality,
+            density,
+        }
+    }
+
+    /// Average object measure `D / N` (0 for an empty set).
+    pub fn avg_measure(&self) -> f64 {
+        if self.cardinality == 0 {
+            0.0
+        } else {
+            self.density / self.cardinality as f64
+        }
+    }
+
+    /// Average per-dimension object extent under the square-object
+    /// assumption of \[TS96\]: `(D/N)^{1/n}`.
+    pub fn avg_extent(&self, n: usize) -> f64 {
+        self.avg_measure().powf(1.0 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities_match_storage_layout() {
+        // Cross-check the duplicated formula against the storage crate's
+        // published values.
+        assert_eq!(max_entries(1024, 1), 84);
+        assert_eq!(max_entries(1024, 2), 50);
+        assert_eq!(ModelConfig::paper(1).max_entries, 84);
+        assert_eq!(ModelConfig::paper(2).max_entries, 50);
+    }
+
+    #[test]
+    fn fanout_is_c_times_m() {
+        let c = ModelConfig::paper(2);
+        assert!((c.fanout() - 33.5).abs() < 1e-12);
+        let c1 = ModelConfig::paper(1);
+        assert!((c1.fanout() - 56.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_avg_capacity_builder() {
+        let c = ModelConfig::with_capacity(100).with_avg_capacity(0.5);
+        assert_eq!(c.fanout(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "average capacity")]
+    fn rejects_capacity_fraction_above_one() {
+        ModelConfig::with_capacity(10).with_avg_capacity(1.5);
+    }
+
+    #[test]
+    fn profile_averages() {
+        let p = DataProfile::new(20_000, 0.5);
+        assert!((p.avg_measure() - 2.5e-5).abs() < 1e-18);
+        assert!((p.avg_extent(2) - 0.005).abs() < 1e-12);
+        assert!((p.avg_extent(1) - 2.5e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn empty_profile_is_harmless() {
+        let p = DataProfile::new(0, 0.0);
+        assert_eq!(p.avg_measure(), 0.0);
+        assert_eq!(p.avg_extent(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn rejects_nan_density() {
+        DataProfile::new(10, f64::NAN);
+    }
+}

@@ -1,0 +1,424 @@
+//! The spatial-join cost model (Eqs 6–12) — the paper's contribution.
+//!
+//! The SJ algorithm performs a synchronized traversal of both trees; its
+//! I/O cost decomposes per *paired level*. For equal heights the pairing
+//! is the identity (Eqs 7, 10); for different heights the shorter tree is
+//! pinned at its leaf level while the taller one keeps descending
+//! (Eqs 11, 12). [`level_schedule`] materializes that pairing, making the
+//! paper's remark that the equal-height formulas are special cases a
+//! mechanical fact (tested below).
+//!
+//! Per paired level `(j₁, j₂)`:
+//!
+//! * **Eq 6** (no buffer): both trees pay one access per overlapping node
+//!   pair, `NA(Rᵢ) = N_{R1,j₁} · N_{R2,j₂} · Π_k min{1, s_{R1,j₁,k} +
+//!   s_{R2,j₂,k}}`.
+//! * **Eq 8** (path buffer, query tree R2): an R2 node is *fetched* once
+//!   per intersected R1 node of the **parent** level,
+//!   `DA(R2) = N_{R2,j₂} · intsect(N_{R1,j₁+1}, s_{R1,j₁+1}, s_{R2,j₂})`.
+//! * **Eq 9** (path buffer, data tree R1): the inner-loop tree barely
+//!   benefits from the buffer, `DA(R1) ≈ NA(R1)` (the rarely-firing
+//!   consecutive-pair exception is deliberately unmodeled; the join
+//!   executor counts it so the experiments can report how rare it is).
+
+use crate::params::TreeParams;
+use serde::{Deserialize, Serialize};
+
+/// One step of the synchronized traversal: the paired paper levels
+/// `(j₁, j₂)` of trees R1 and R2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelPair {
+    /// Level of R1 (1 = leaf).
+    pub j1: usize,
+    /// Level of R2 (1 = leaf).
+    pub j2: usize,
+}
+
+/// The level pairing of the SJ traversal for trees of heights `h1`, `h2`
+/// (the `j′` mapping of Eqs 11–12): the taller tree runs through its
+/// levels `1 … h−1` while the shorter is pinned at its leaf level once
+/// reached. Returned leaf-level first. Empty when either height is 1 at
+/// equal heights (roots are memory-resident).
+pub fn level_schedule(h1: usize, h2: usize) -> Vec<LevelPair> {
+    assert!(h1 >= 1 && h2 >= 1, "heights must be at least 1");
+    let taller = h1.max(h2);
+    let delta = h1.abs_diff(h2);
+    let mut out = Vec::with_capacity(taller.saturating_sub(1));
+    for j in 1..taller {
+        let (j1, j2) = if h1 >= h2 {
+            (j, j.saturating_sub(delta).max(1))
+        } else {
+            (j.saturating_sub(delta).max(1), j)
+        };
+        out.push(LevelPair { j1, j2 });
+    }
+    out
+}
+
+/// Eq 6 generalized to a level pair: the expected number of overlapping
+/// (R1-node, R2-node) pairs at levels `(j₁, j₂)` — the per-tree node
+/// access count of that traversal step.
+pub fn na_level<const N: usize>(
+    r1: &TreeParams<N>,
+    j1: usize,
+    r2: &TreeParams<N>,
+    j2: usize,
+) -> f64 {
+    let l1 = r1.level(j1);
+    let l2 = r2.level(j2);
+    let mut v = l1.nodes * l2.nodes;
+    for k in 0..N {
+        v *= (l1.extents[k] + l2.extents[k]).min(1.0);
+    }
+    v
+}
+
+/// Eq 8 generalized: disk accesses of the query tree R2 at level `j₂`
+/// when paired with R1 at `j₁` — one fetch per R2 node per intersected R1
+/// node of the parent level `j₁ + 1` (clamped to R1's root).
+pub fn da_level_query_tree<const N: usize>(
+    r1: &TreeParams<N>,
+    j1: usize,
+    r2: &TreeParams<N>,
+    j2: usize,
+) -> f64 {
+    let parent = (j1 + 1).min(r1.height());
+    let lp = r1.level(parent);
+    let l2 = r2.level(j2);
+    let mut v = l2.nodes * lp.nodes;
+    for k in 0..N {
+        v *= (lp.extents[k] + l2.extents[k]).min(1.0);
+    }
+    v
+}
+
+/// Eq 9: disk accesses of the data tree R1 — the path buffer does not
+/// help the inner loop, so `DA(R1) ≈ NA(R1)`.
+pub fn da_level_data_tree<const N: usize>(
+    r1: &TreeParams<N>,
+    j1: usize,
+    r2: &TreeParams<N>,
+    j2: usize,
+) -> f64 {
+    na_level(r1, j1, r2, j2)
+}
+
+/// Total node accesses of the join — Eq 7 for equal heights, Eq 11 in
+/// general. Symmetric in its arguments.
+pub fn join_cost_na<const N: usize>(r1: &TreeParams<N>, r2: &TreeParams<N>) -> f64 {
+    level_schedule(r1.height(), r2.height())
+        .iter()
+        .map(|p| 2.0 * na_level(r1, p.j1, r2, p.j2))
+        .sum()
+}
+
+/// Per-level breakdown of [`join_cost_na`]: for each schedule step, the
+/// pair and the NA contribution *of each tree* (they are equal — Eq 6).
+pub fn join_cost_na_by_level<const N: usize>(
+    r1: &TreeParams<N>,
+    r2: &TreeParams<N>,
+) -> Vec<(LevelPair, f64)> {
+    level_schedule(r1.height(), r2.height())
+        .into_iter()
+        .map(|p| (p, na_level(r1, p.j1, r2, p.j2)))
+        .collect()
+}
+
+/// Total disk accesses of the join under per-tree path buffers — Eq 10
+/// for equal heights, Eq 12 in general. **Not** symmetric: R1 plays the
+/// data (inner-loop) role and R2 the query (outer-loop) role.
+pub fn join_cost_da<const N: usize>(r1: &TreeParams<N>, r2: &TreeParams<N>) -> f64 {
+    join_cost_da_by_level(r1, r2).iter().map(|&(_, c)| c).sum()
+}
+
+/// Per-level breakdown of [`join_cost_da`]: for each schedule step, the
+/// pair and the combined `DA(R1) + DA(R2)` contribution, following the
+/// two branches of Eq 12.
+pub fn join_cost_da_by_level<const N: usize>(
+    r1: &TreeParams<N>,
+    r2: &TreeParams<N>,
+) -> Vec<(LevelPair, f64)> {
+    let h1 = r1.height();
+    let h2 = r2.height();
+    let delta = h1.abs_diff(h2);
+    let mut out = Vec::new();
+    for (step, pair) in level_schedule(h1, h2).into_iter().enumerate() {
+        let j = step + 1; // schedule index in the taller tree's levels
+        let cost = if h1 >= h2 {
+            if j > delta {
+                // Both trees descending in lockstep.
+                da_level_data_tree(r1, pair.j1, r2, pair.j2)
+                    + da_level_query_tree(r1, pair.j1, r2, pair.j2)
+            } else {
+                // R2 pinned at its leaf level: its re-accesses hit the
+                // path buffer, only R1 pays (Eq 12, h1 > h2 branch).
+                da_level_data_tree(r1, pair.j1, r2, pair.j2)
+            }
+        } else if j > delta {
+            da_level_data_tree(r1, pair.j1, r2, pair.j2)
+                + da_level_query_tree(r1, pair.j1, r2, pair.j2)
+        } else {
+            // R1 pinned at its leaf level while the query tree descends:
+            // each propagation of R2 adds equal cost to R1
+            // (Eq 12, h1 < h2 branch).
+            2.0 * da_level_query_tree(r1, pair.j1, r2, pair.j2)
+        };
+        out.push((pair, cost));
+    }
+    out
+}
+
+/// [`join_cost_da`] split into the two trees' shares
+/// `(DA(R1) total, DA(R2) total)` — what §4.1's per-tree accuracy claims
+/// (ii) are stated about. In the `h1 < h2` pinned phase the paper assigns
+/// the query tree's cost to *both* trees ("each propagation of the query
+/// tree … adds equal cost to the data tree"), which is how the factor 2
+/// of Eq 12 splits.
+pub fn join_cost_da_split<const N: usize>(r1: &TreeParams<N>, r2: &TreeParams<N>) -> (f64, f64) {
+    let h1 = r1.height();
+    let h2 = r2.height();
+    let delta = h1.abs_diff(h2);
+    let mut da1 = 0.0;
+    let mut da2 = 0.0;
+    for (step, pair) in level_schedule(h1, h2).into_iter().enumerate() {
+        let j = step + 1;
+        if h1 >= h2 {
+            if j > delta {
+                da1 += da_level_data_tree(r1, pair.j1, r2, pair.j2);
+                da2 += da_level_query_tree(r1, pair.j1, r2, pair.j2);
+            } else {
+                da1 += da_level_data_tree(r1, pair.j1, r2, pair.j2);
+            }
+        } else if j > delta {
+            da1 += da_level_data_tree(r1, pair.j1, r2, pair.j2);
+            da2 += da_level_query_tree(r1, pair.j1, r2, pair.j2);
+        } else {
+            let q = da_level_query_tree(r1, pair.j1, r2, pair.j2);
+            da1 += q;
+            da2 += q;
+        }
+    }
+    (da1, da2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DataProfile, ModelConfig};
+
+    fn p2(n: u64, d: f64) -> TreeParams<2> {
+        TreeParams::from_data(DataProfile::new(n, d), &ModelConfig::paper(2))
+    }
+
+    fn p1d(n: u64, d: f64) -> TreeParams<1> {
+        TreeParams::from_data(DataProfile::new(n, d), &ModelConfig::paper(1))
+    }
+
+    #[test]
+    fn schedule_equal_heights_is_identity() {
+        let s = level_schedule(3, 3);
+        assert_eq!(
+            s,
+            vec![LevelPair { j1: 1, j2: 1 }, LevelPair { j1: 2, j2: 2 }]
+        );
+    }
+
+    #[test]
+    fn schedule_taller_r1_pins_r2_leaf() {
+        // h1 = 5, h2 = 3, Δ = 2: Eq 11's j' = 1 for j ≤ 2, j − 2 after.
+        let s = level_schedule(5, 3);
+        assert_eq!(
+            s,
+            vec![
+                LevelPair { j1: 1, j2: 1 },
+                LevelPair { j1: 2, j2: 1 },
+                LevelPair { j1: 3, j2: 1 },
+                LevelPair { j1: 4, j2: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn schedule_taller_r2_pins_r1_leaf() {
+        let s = level_schedule(3, 5);
+        assert_eq!(
+            s,
+            vec![
+                LevelPair { j1: 1, j2: 1 },
+                LevelPair { j1: 1, j2: 2 },
+                LevelPair { j1: 1, j2: 3 },
+                LevelPair { j1: 2, j2: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn schedule_degenerate_heights() {
+        assert!(level_schedule(1, 1).is_empty());
+        assert_eq!(level_schedule(2, 1), vec![LevelPair { j1: 1, j2: 1 }]);
+        assert_eq!(level_schedule(1, 2), vec![LevelPair { j1: 1, j2: 1 }]);
+    }
+
+    #[test]
+    fn na_level_hand_computed() {
+        use crate::params::LevelParams;
+        let r1 = TreeParams::from_levels(vec![LevelParams::<2> {
+            nodes: 100.0,
+            extents: [0.05, 0.05],
+            density: 0.25,
+        }]);
+        let r2 = TreeParams::from_levels(vec![LevelParams::<2> {
+            nodes: 50.0,
+            extents: [0.1, 0.15],
+            density: 0.75,
+        }]);
+        // 100 · 50 · (0.15) · (0.20) = 150.
+        let v = na_level(&r1, 1, &r2, 1);
+        assert!((v - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn na_is_symmetric_eq7_remark() {
+        let a = p2(60_000, 0.5);
+        let b = p2(20_000, 0.3);
+        let ab = join_cost_na(&a, &b);
+        let ba = join_cost_na(&b, &a);
+        assert!(
+            (ab - ba).abs() < 1e-6 * ab,
+            "Eq 7/11 must be symmetric: {ab} vs {ba}"
+        );
+    }
+
+    #[test]
+    fn da_is_asymmetric_eq10_remark() {
+        // §3.1: "in contrast to Eq. 7, Eq. 10 is sensitive to the two
+        // indexes" — with different cardinalities the two orderings
+        // differ.
+        let a = p2(20_000, 0.5);
+        let b = p2(80_000, 0.5);
+        let ab = join_cost_da(&a, &b);
+        let ba = join_cost_da(&b, &a);
+        assert!(
+            (ab - ba).abs() > 1e-3 * ab.max(ba),
+            "Eq 10/12 should be role-sensitive: {ab} vs {ba}"
+        );
+    }
+
+    #[test]
+    fn da_below_na_for_paper_parameters() {
+        // DA ≤ NA holds for every paper workload combination.
+        for &n1 in &[20_000u64, 40_000, 60_000, 80_000] {
+            for &n2 in &[20_000u64, 40_000, 60_000, 80_000] {
+                for &d in &[0.2, 0.5, 0.8] {
+                    let a = p2(n1, d);
+                    let b = p2(n2, d);
+                    let na = join_cost_na(&a, &b);
+                    let da = join_cost_da(&a, &b);
+                    assert!(
+                        da <= na * (1.0 + 1e-9),
+                        "DA {da} > NA {na} for {n1}/{n2}, D = {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_tree_role_prefers_smaller_index_equal_heights() {
+        // §4.1(iii): for equal heights, the less populated index should
+        // play the query role (R2). DA(data=big, query=small) must beat
+        // DA(data=small, query=big). 20K and 36K both give h = 3 under
+        // the paper's 2-D fanout (boundary at 33.5³ ≈ 37.6K).
+        let big = p2(36_000, 0.5);
+        let small = p2(20_000, 0.5);
+        assert_eq!(big.height(), small.height());
+        let good = join_cost_da(&big, &small);
+        let bad = join_cost_da(&small, &big);
+        assert!(good < bad, "role rule violated: {good} vs {bad}");
+    }
+
+    #[test]
+    fn equal_height_special_case_matches_direct_eq7_eq10() {
+        // Computing Eqs 7/10 directly (no schedule) must agree with the
+        // schedule-based general formulas.
+        let a = p2(60_000, 0.4);
+        let b = p2(80_000, 0.6);
+        assert_eq!(a.height(), b.height());
+        let h = a.height();
+        let mut na_direct = 0.0;
+        let mut da_direct = 0.0;
+        for j in 1..h {
+            na_direct += 2.0 * na_level(&a, j, &b, j);
+            da_direct += na_level(&a, j, &b, j) + da_level_query_tree(&a, j, &b, j);
+        }
+        assert!((join_cost_na(&a, &b) - na_direct).abs() < 1e-9);
+        assert!((join_cost_da(&a, &b) - da_direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn na_monotone_in_cardinality_and_density() {
+        let base = join_cost_na(&p2(40_000, 0.5), &p2(40_000, 0.5));
+        assert!(join_cost_na(&p2(80_000, 0.5), &p2(40_000, 0.5)) > base);
+        assert!(join_cost_na(&p2(40_000, 0.8), &p2(40_000, 0.5)) > base);
+    }
+
+    #[test]
+    fn one_dimensional_join_costs() {
+        // All paper 1-D trees have h = 3, so the plots in Fig 5a are
+        // linear in N; sanity-check the costs are positive and ordered.
+        let c2020 = join_cost_na(&p1d(20_000, 0.5), &p1d(20_000, 0.5));
+        let c8080 = join_cost_na(&p1d(80_000, 0.5), &p1d(80_000, 0.5));
+        assert!(c2020 > 0.0);
+        assert!(c8080 > c2020);
+        let da = join_cost_da(&p1d(80_000, 0.5), &p1d(20_000, 0.5));
+        assert!(da > 0.0);
+    }
+
+    #[test]
+    fn different_height_join_is_finite_and_positive() {
+        let tall = p2(80_000, 0.5); // h = 4
+        let short = p2(20_000, 0.5); // h = 3
+        assert_ne!(tall.height(), short.height());
+        for (a, b) in [(&tall, &short), (&short, &tall)] {
+            let na = join_cost_na(a, b);
+            let da = join_cost_da(a, b);
+            assert!(na.is_finite() && na > 0.0);
+            assert!(da.is_finite() && da > 0.0);
+            assert!(da <= na * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn by_level_breakdowns_sum_to_totals() {
+        let a = p2(60_000, 0.5);
+        let b = p2(20_000, 0.5);
+        let na_sum: f64 = join_cost_na_by_level(&a, &b)
+            .iter()
+            .map(|&(_, c)| 2.0 * c)
+            .sum();
+        assert!((na_sum - join_cost_na(&a, &b)).abs() < 1e-9);
+        let da_sum: f64 = join_cost_da_by_level(&a, &b).iter().map(|&(_, c)| c).sum();
+        assert!((da_sum - join_cost_da(&a, &b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn da_split_sums_to_total() {
+        for (n1, n2) in [(60_000u64, 60_000u64), (80_000, 20_000), (20_000, 80_000)] {
+            let a = p2(n1, 0.5);
+            let b = p2(n2, 0.5);
+            let (d1, d2) = join_cost_da_split(&a, &b);
+            assert!((d1 + d2 - join_cost_da(&a, &b)).abs() < 1e-9, "{n1}/{n2}");
+        }
+    }
+
+    #[test]
+    fn joins_with_height_one_trees() {
+        let tiny = p2(10, 0.001); // h = 1
+        let big = p2(60_000, 0.5);
+        assert_eq!(join_cost_na(&tiny, &tiny), 0.0);
+        // Joining a height-1 tree against a real tree still costs the
+        // taller tree's descents.
+        assert!(join_cost_na(&tiny, &big) > 0.0);
+        assert!(join_cost_da(&big, &tiny) > 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Analytical cost models for R-tree range and join queries — the
+//! primary contribution of *Theodoridis, Stefanakis & Sellis, "Cost
+//! Models for Join Queries in Spatial Databases", ICDE 1998*.
+//!
+//! The models estimate, **from primitive data properties only** (the
+//! cardinality `N` and density `D` of each data set — no inspection of
+//! the built indexes), the I/O cost of spatial queries over R-tree-
+//! indexed data:
+//!
+//! * [`params`] — the R-tree parameter predictions of \[TS96\] the join
+//!   model builds on: height (Eq 2), per-level node counts (Eq 3),
+//!   average node extents (Eq 4) and node-rectangle densities (Eq 5).
+//! * [`range`] — the range-query cost `NA(q)` (Eq 1) and the `intsect`
+//!   primitive both models share.
+//! * [`join`] — the paper's core result: node accesses `NA_total`
+//!   (Eqs 6–7, general heights Eq 11) and disk accesses under per-tree
+//!   path buffers `DA_total` (Eqs 8–10, general heights Eq 12), unified
+//!   through an explicit level-pairing schedule so the equal-height
+//!   formulas fall out as the special case the paper notes.
+//! * [`nonuniform`] — the §4.2 global→local density transformation for
+//!   non-uniform data, via grid density surfaces.
+//! * [`selectivity`] — the §5 (future work) join selectivity estimate,
+//!   implemented as an extension.
+//! * [`operators`] — transformed query windows for spatial operators
+//!   other than `overlap` (§5 / \[PT97\]), including the distance join.
+//!
+//! # Quick example
+//!
+//! ```
+//! use sjcm_core::{DataProfile, ModelConfig, TreeParams, join};
+//!
+//! let config = ModelConfig::paper(2); // 1 KiB pages, M = 50, c = 67%
+//! let r1 = TreeParams::<2>::from_data(DataProfile::new(60_000, 0.5), &config);
+//! let r2 = TreeParams::<2>::from_data(DataProfile::new(20_000, 0.5), &config);
+//! let na = join::join_cost_na(&r1, &r2);
+//! let da = join::join_cost_da(&r1, &r2);
+//! assert!(da <= na);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod join;
+pub mod nonuniform;
+pub mod operators;
+pub mod params;
+pub mod range;
+pub mod selectivity;
+
+pub use config::{DataProfile, HeightFormula, ModelConfig};
+pub use nonuniform::DensitySurface;
+pub use operators::SpatialOperator;
+pub use params::{LevelParams, TreeParams};

@@ -1,0 +1,190 @@
+//! Transformed query windows for spatial operators beyond `overlap` —
+//! the §5(i) extension, following the MBR-transformation idea of
+//! Papadias & Theodoridis \[PT97\].
+//!
+//! The uniform model reduces every predicate to a per-dimension
+//! probability: for an object of average extent `s` and a query window
+//! of extent `q`, uniformly placed in the unit workspace, the probability
+//! that the predicate holds in one dimension is a simple function of
+//! `(s, q)`. `overlap` gives the familiar `min{1, s + q}`; the other
+//! operators reshape that window.
+
+use serde::{Deserialize, Serialize};
+
+/// A spatial predicate between an object MBR and a query window (or, for
+/// joins, a second object MBR).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpatialOperator {
+    /// MBRs share at least one point (the paper's default operator).
+    Overlap,
+    /// The object lies entirely inside the query window.
+    Inside,
+    /// The object entirely contains the query window.
+    Contains,
+    /// The object lies within L∞ distance ε of the window — the
+    /// distance-join predicate via Minkowski enlargement.
+    WithinDistance(
+        /// Distance threshold ε ≥ 0.
+        f64,
+    ),
+}
+
+impl SpatialOperator {
+    /// Per-dimension probability that the predicate holds between a
+    /// uniformly-placed object of extent `s` and a window of extent `q`
+    /// in `[0,1)`. Multiplying over dimensions gives the selectivity
+    /// fraction; multiplying by `N` gives expected qualifying objects.
+    pub fn dim_factor(&self, s: f64, q: f64) -> f64 {
+        match *self {
+            SpatialOperator::Overlap => (s + q).min(1.0),
+            // The object's low corner must fall inside a window shrunk by
+            // the object extent.
+            SpatialOperator::Inside => (q - s).clamp(0.0, 1.0),
+            // Symmetric: the window must fit inside the object.
+            SpatialOperator::Contains => (s - q).clamp(0.0, 1.0),
+            SpatialOperator::WithinDistance(eps) => (s + q + 2.0 * eps).min(1.0),
+        }
+    }
+
+    /// The *traversal* window extent for the R-tree descent: the filter
+    /// step still walks the tree with an overlap test, but against a
+    /// transformed window. `Inside`/`Contains` traverse with the original
+    /// window (candidates must overlap it); `WithinDistance` traverses
+    /// with the ε-enlarged window.
+    pub fn traversal_extent(&self, q: f64) -> f64 {
+        match *self {
+            SpatialOperator::Overlap | SpatialOperator::Inside | SpatialOperator::Contains => q,
+            SpatialOperator::WithinDistance(eps) => (q + 2.0 * eps).min(1.0),
+        }
+    }
+
+    /// Expected number of qualifying objects among `cardinality` objects
+    /// of density `density` for an `N`-dimensional window with extents
+    /// `q`.
+    pub fn selectivity<const N: usize>(&self, cardinality: u64, density: f64, q: &[f64; N]) -> f64 {
+        if cardinality == 0 {
+            return 0.0;
+        }
+        let s = (density / cardinality as f64).powf(1.0 / N as f64);
+        let mut v = cardinality as f64;
+        for qk in q {
+            v *= self.dim_factor(s, *qk);
+        }
+        v
+    }
+
+    /// Node-access cost of a range query under this operator: Eq 1
+    /// evaluated with the operator's *traversal* window (the filter step
+    /// descends the tree with an overlap test against the transformed
+    /// window — the \[PT97\] reduction).
+    pub fn range_cost<const N: usize>(
+        &self,
+        params: &crate::params::TreeParams<N>,
+        q: &[f64; N],
+    ) -> f64 {
+        let mut traversal = [0.0; N];
+        for (k, t) in traversal.iter_mut().enumerate() {
+            *t = self.traversal_extent(q[k]);
+        }
+        crate::range::range_query_cost(params, &traversal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_factor_is_classic() {
+        assert!((SpatialOperator::Overlap.dim_factor(0.1, 0.2) - 0.3).abs() < 1e-12);
+        assert_eq!(SpatialOperator::Overlap.dim_factor(0.8, 0.5), 1.0);
+    }
+
+    #[test]
+    fn inside_requires_window_larger_than_object() {
+        let op = SpatialOperator::Inside;
+        assert_eq!(op.dim_factor(0.3, 0.2), 0.0);
+        assert!((op.dim_factor(0.1, 0.25) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_is_mirror_of_inside() {
+        let a = SpatialOperator::Inside.dim_factor(0.1, 0.4);
+        let b = SpatialOperator::Contains.dim_factor(0.4, 0.1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn within_distance_grows_window() {
+        let op = SpatialOperator::WithinDistance(0.05);
+        assert!((op.dim_factor(0.1, 0.2) - 0.4).abs() < 1e-12);
+        assert!((op.traversal_extent(0.2) - 0.3).abs() < 1e-12);
+        assert_eq!(SpatialOperator::Overlap.traversal_extent(0.2), 0.2);
+    }
+
+    #[test]
+    fn operator_selectivities_are_ordered() {
+        // Inside ⊂ Overlap ⊂ WithinDistance qualifying sets, so the
+        // estimates must be ordered the same way.
+        let q = [0.2, 0.2];
+        let n = 10_000;
+        let d = 0.25;
+        let inside = SpatialOperator::Inside.selectivity(n, d, &q);
+        let overlap = SpatialOperator::Overlap.selectivity(n, d, &q);
+        let within = SpatialOperator::WithinDistance(0.1).selectivity(n, d, &q);
+        assert!(inside <= overlap);
+        assert!(overlap <= within);
+        assert!(inside > 0.0);
+    }
+
+    #[test]
+    fn selectivity_never_exceeds_cardinality() {
+        let q = [0.9, 0.9];
+        for op in [
+            SpatialOperator::Overlap,
+            SpatialOperator::Inside,
+            SpatialOperator::Contains,
+            SpatialOperator::WithinDistance(0.3),
+        ] {
+            let v = op.selectivity(5_000, 0.5, &q);
+            assert!((0.0..=5_000.0).contains(&v), "{op:?} gave {v}");
+        }
+    }
+
+    #[test]
+    fn empty_set_selectivity_is_zero() {
+        assert_eq!(
+            SpatialOperator::Overlap.selectivity::<2>(0, 0.0, &[0.5, 0.5]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn range_cost_matches_eq1_for_overlap() {
+        use crate::config::{DataProfile, ModelConfig};
+        use crate::params::TreeParams;
+        use crate::range::range_query_cost;
+        let p = TreeParams::<2>::from_data(DataProfile::new(40_000, 0.5), &ModelConfig::paper(2));
+        let q = [0.1, 0.15];
+        assert_eq!(
+            SpatialOperator::Overlap.range_cost(&p, &q),
+            range_query_cost(&p, &q)
+        );
+        // Inside/Contains traverse with the original window too.
+        assert_eq!(
+            SpatialOperator::Inside.range_cost(&p, &q),
+            range_query_cost(&p, &q)
+        );
+    }
+
+    #[test]
+    fn distance_operator_costs_more_io() {
+        use crate::config::{DataProfile, ModelConfig};
+        use crate::params::TreeParams;
+        let p = TreeParams::<2>::from_data(DataProfile::new(40_000, 0.5), &ModelConfig::paper(2));
+        let q = [0.1, 0.1];
+        let overlap = SpatialOperator::Overlap.range_cost(&p, &q);
+        let within = SpatialOperator::WithinDistance(0.05).range_cost(&p, &q);
+        assert!(within > overlap, "ε-enlarged traversal visits more nodes");
+    }
+}

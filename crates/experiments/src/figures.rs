@@ -1,0 +1,203 @@
+//! Regeneration of the paper's figures (§4, Figures 5–7).
+
+use crate::common::{build_tree, cardinality_grid, observe_join, profile_of, DEFAULT_DENSITY};
+use crate::report::{int, pct, Report};
+use sjcm_core::{join, DataProfile, ModelConfig, TreeParams};
+use sjcm_datagen::uniform::{generate, UniformConfig};
+use sjcm_rtree::RTree;
+use std::path::Path;
+
+/// Figure 5: experimental vs analytical NA and DA for all N_R1/N_R2
+/// combinations of uniform data. `DIM = 1` regenerates Figure 5(a),
+/// `DIM = 2` Figure 5(b).
+pub fn figure5<const DIM: usize>(out: &Path, scale: f64) {
+    let grid = cardinality_grid(scale);
+    println!(
+        "Figure 5 ({}-D): uniform data, D = {DEFAULT_DENSITY}, N ∈ {grid:?}",
+        DIM
+    );
+    // Two independent data sets per cardinality — one for each join role
+    // — so the N/N diagonal is a join of distinct sets, as in the paper,
+    // not a perfectly correlated self-join. Each tree is built once and
+    // reused across combinations.
+    let datasets1: Vec<Vec<sjcm_geom::Rect<DIM>>> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| generate::<DIM>(UniformConfig::new(n, DEFAULT_DENSITY, 1000 + i as u64)))
+        .collect();
+    let datasets2: Vec<Vec<sjcm_geom::Rect<DIM>>> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| generate::<DIM>(UniformConfig::new(n, DEFAULT_DENSITY, 1500 + i as u64)))
+        .collect();
+    let trees1: Vec<RTree<DIM>> = datasets1.iter().map(|d| build_tree(d)).collect();
+    let trees2: Vec<RTree<DIM>> = datasets2.iter().map(|d| build_tree(d)).collect();
+    let mut report = Report::new(
+        out,
+        &format!("figure5{}", if DIM == 1 { "a" } else { "b" }),
+        &[
+            "combo",
+            "exper_NA",
+            "anal_NA",
+            "err_NA",
+            "exper_DA",
+            "anal_DA",
+            "err_DA",
+            "corr_err_NA",
+            "corr_err_DA",
+            "h1",
+            "h2",
+        ],
+    );
+    let corrected = ModelConfig::paper_corrected(DIM);
+    for (i, t1) in trees1.iter().enumerate() {
+        for (j, t2) in trees2.iter().enumerate() {
+            let prof1 = profile_of(&datasets1[i]);
+            let prof2 = profile_of(&datasets2[j]);
+            let obs = observe_join(t1, t2, prof1, prof2);
+            // The corrected model (root-aware height, c = 0.70) —
+            // see EXPERIMENTS.md on the height-boundary artifact.
+            let c1 = TreeParams::<DIM>::from_data(prof1, &corrected);
+            let c2 = TreeParams::<DIM>::from_data(prof2, &corrected);
+            let corr_na = join::join_cost_na(&c1, &c2);
+            let corr_da = join::join_cost_da(&c1, &c2);
+            let combo = format!("{}K/{}K", grid[i] / 1000, grid[j] / 1000);
+            report.row(&[
+                &combo,
+                &obs.exper_na,
+                &int(obs.anal_na),
+                &pct(obs.err_na()),
+                &obs.exper_da,
+                &int(obs.anal_da),
+                &pct(obs.err_da()),
+                &pct(crate::common::rel_err(corr_na, obs.exper_na as f64)),
+                &pct(crate::common::rel_err(corr_da, obs.exper_da as f64)),
+                &t1.height(),
+                &t2.height(),
+            ]);
+        }
+    }
+    report.finish();
+}
+
+/// Figure 6: NA and DA for equally populated indexes — the plots whose
+/// shape reveals the tree heights (linear while h is constant, jumping
+/// when h grows). Analytical curves plus the experimental check.
+pub fn figure6(out: &Path, scale: f64) {
+    figure6_dim::<1>(out, scale, "figure6a");
+    figure6_dim::<2>(out, scale, "figure6b");
+}
+
+fn figure6_dim<const DIM: usize>(out: &Path, scale: f64, name: &str) {
+    let grid = cardinality_grid(scale);
+    let cfg = ModelConfig::paper(DIM);
+    let mut report = Report::new(
+        out,
+        name,
+        &[
+            "N", "anal_NA", "anal_DA", "exper_NA", "exper_DA", "anal_h", "exper_h",
+        ],
+    );
+    for (i, &n) in grid.iter().enumerate() {
+        let rects1 = generate::<DIM>(UniformConfig::new(n, DEFAULT_DENSITY, 2000 + i as u64));
+        let rects2 = generate::<DIM>(UniformConfig::new(n, DEFAULT_DENSITY, 2500 + i as u64));
+        let t1 = build_tree(&rects1);
+        let t2 = build_tree(&rects2);
+        let prof = profile_of(&rects1);
+        let params = TreeParams::<DIM>::from_data(prof, &cfg);
+        let obs = observe_join(&t1, &t2, prof, profile_of(&rects2));
+        report.row(&[
+            &format!("{}K/{}K", n / 1000, n / 1000),
+            &int(obs.anal_na),
+            &int(obs.anal_da),
+            &obs.exper_na,
+            &obs.exper_da,
+            &params.height(),
+            &t1.height(),
+        ]);
+    }
+    report.finish();
+}
+
+/// Figure 7: purely analytical DA for varying N_R1 or N_R2 with the
+/// other cardinality fixed at 20K / 80K — the asymmetry study of Eq 12.
+/// Also reports where the "smaller index as query tree" rule inverts
+/// (the paper's AREA 2 / AREA 3 exceptions in Figure 7b).
+pub fn figure7(out: &Path, scale: f64) {
+    figure7_dim::<1>(out, scale, "figure7a");
+    figure7_dim::<2>(out, scale, "figure7b");
+}
+
+fn figure7_dim<const DIM: usize>(out: &Path, scale: f64, name: &str) {
+    let cfg = ModelConfig::paper(DIM);
+    let lo = (20_000.0 * scale).round().max(100.0) as u64;
+    let hi = (80_000.0 * scale).round().max(400.0) as u64;
+    let steps = 13usize;
+    let params_of =
+        |n: u64| TreeParams::<DIM>::from_data(DataProfile::new(n, DEFAULT_DENSITY), &cfg);
+    let fixed_lo = params_of(lo);
+    let fixed_hi = params_of(hi);
+    let mut report = Report::new(
+        out,
+        name,
+        &[
+            "N_vary",
+            "DA(R1=x,R2=20K)",
+            "DA(R1=x,R2=80K)",
+            "DA(R1=20K,R2=x)",
+            "DA(R1=80K,R2=x)",
+        ],
+    );
+    let mut rule_violations = Vec::new();
+    for s in 0..steps {
+        let x = lo + (hi - lo) * s as u64 / (steps as u64 - 1);
+        let px = params_of(x);
+        let da = [
+            join::join_cost_da(&px, &fixed_lo),
+            join::join_cost_da(&px, &fixed_hi),
+            join::join_cost_da(&fixed_lo, &px),
+            join::join_cost_da(&fixed_hi, &px),
+        ];
+        report.row(&[
+            &format!("{}K", x / 1000),
+            &int(da[0]),
+            &int(da[1]),
+            &int(da[2]),
+            &int(da[3]),
+        ]);
+        // Role rule check at this x against both fixed cardinalities.
+        for (fixed_n, fixed_p) in [(lo, &fixed_lo), (hi, &fixed_hi)] {
+            if x == fixed_n {
+                continue;
+            }
+            let (big, small) = if x > fixed_n {
+                (&px, fixed_p)
+            } else {
+                (fixed_p, &px)
+            };
+            let rule = join::join_cost_da(big, small);
+            let anti = join::join_cost_da(small, big);
+            if rule > anti {
+                rule_violations.push(format!(
+                    "x={}K fixed={}K (h {} vs {}): query-role rule inverted \
+                     ({:.0} > {:.0})",
+                    x / 1000,
+                    fixed_n / 1000,
+                    big.height(),
+                    small.height(),
+                    rule,
+                    anti
+                ));
+            }
+        }
+    }
+    report.finish();
+    if rule_violations.is_empty() {
+        println!("role rule (smaller index as query tree) holds everywhere");
+    } else {
+        println!("role-rule exceptions (the paper's AREA 2/3 behaviour in Fig 7b):");
+        for v in rule_violations {
+            println!("  {v}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Experiment harness for the ICDE 1998 spatial-join cost-model
+//! reproduction: every table and figure of the paper's §4, plus the
+//! extension studies, regenerable from the command line.
+//!
+//! ```text
+//! experiments <command> [--scale F] [--out DIR]
+//!
+//! commands:
+//!   figure5a        Fig 5(a): exper vs anal NA/DA, all combos, n = 1
+//!   figure5b        Fig 5(b): same, n = 2
+//!   figure6         Fig 6(a,b): equally populated indexes, height jumps
+//!   figure7         Fig 7(a,b): analytic DA sweeps, role-rule exceptions
+//!   errors-uniform  §4.1 claims (i)-(iii): relative-error tables
+//!   density-sweep   §4.1: D ∈ {0.2 … 0.8}
+//!   nonuniform      §4.2: skewed data, global vs local model
+//!   real            §4.2: TIGER-like substitution workloads
+//!   param-source    ablation: analytic (Eqs 2-5) vs measured parameters
+//!   selectivity     §5 extension: join selectivity estimates
+//!   role-choice     §4.1(iii): query/data role assignment rule
+//!   lru-ablation    §5 extension: LRU buffer study
+//!   high-dim        §5 extension: n = 3, 4
+//!   all             everything above
+//!
+//! --scale F   scales the paper's 20K–80K cardinalities by F (default 1.0;
+//!             use e.g. 0.1 for a quick pass)
+//! --out DIR   CSV output directory (default results/)
+//! ```
+
+mod common;
+mod errors;
+mod extensions;
+mod figures;
+mod report;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    scale: f64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    let mut scale = 1.0;
+    let mut out = PathBuf::from("results");
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --scale {v}: {e}"))?;
+                if scale <= 0.0 || scale.is_nan() {
+                    return Err("--scale must be positive".into());
+                }
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        command,
+        scale,
+        out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("usage: experiments <command> [--scale F] [--out DIR]");
+            eprintln!("run with `help` for the command list");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = args.out.as_path();
+    let scale = args.scale;
+    let started = std::time::Instant::now();
+    let run = |cmd: &str| -> bool {
+        match cmd {
+            "figure5a" => figures::figure5::<1>(out, scale),
+            "figure5b" => figures::figure5::<2>(out, scale),
+            "figure6" => figures::figure6(out, scale),
+            "figure7" => figures::figure7(out, scale),
+            "errors-uniform" => errors::errors_uniform(out, scale),
+            "density-sweep" => errors::density_sweep(out, scale),
+            "nonuniform" => errors::nonuniform(out, scale),
+            "real" => errors::real(out, scale),
+            "param-source" => errors::param_source(out, scale),
+            "params-diff" => errors::params_diff(out, scale),
+            "selectivity" => extensions::selectivity(out, scale),
+            "role-choice" => extensions::role_choice(out, scale),
+            "lru-ablation" => extensions::lru_ablation(out, scale),
+            "high-dim" => extensions::high_dim(out, scale),
+            "algo-compare" => extensions::algo_compare(out, scale),
+            _ => return false,
+        }
+        true
+    };
+    match args.command.as_str() {
+        "all" => {
+            for cmd in [
+                "figure5a",
+                "figure5b",
+                "figure6",
+                "figure7",
+                "errors-uniform",
+                "density-sweep",
+                "nonuniform",
+                "real",
+                "param-source",
+                "params-diff",
+                "selectivity",
+                "role-choice",
+                "lru-ablation",
+                "high-dim",
+                "algo-compare",
+            ] {
+                println!("\n#### {cmd} ####");
+                assert!(run(cmd));
+            }
+        }
+        "help" | "--help" | "-h" => {
+            println!("commands: figure5a figure5b figure6 figure7 errors-uniform");
+            println!("          density-sweep nonuniform real param-source selectivity");
+            println!("          role-choice lru-ablation high-dim all");
+            println!("flags:    --scale F (default 1.0), --out DIR (default results/)");
+            return ExitCode::SUCCESS;
+        }
+        cmd => {
+            if !run(cmd) {
+                eprintln!("unknown command {cmd}; try `experiments help`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("\ndone in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

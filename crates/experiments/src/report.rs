@@ -1,0 +1,127 @@
+//! Table and CSV output helpers for the experiment harness.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A simple fixed-width table printer that also mirrors every row into a
+/// CSV file under the output directory, so EXPERIMENTS.md numbers are
+/// regenerable and machine-readable.
+pub struct Report {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    out_dir: PathBuf,
+}
+
+impl Report {
+    /// Starts a report with the given CSV stem and column headers.
+    pub fn new(out_dir: &Path, name: &str, columns: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            out_dir: out_dir.to_path_buf(),
+        }
+    }
+
+    /// Adds one row (stringifying each cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.columns.len(), "column count mismatch");
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Prints the table to stdout and writes `<out>/<name>.csv`.
+    pub fn finish(self) {
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(c.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        println!("\n== {} ==", self.name);
+        println!("{}", line(&self.columns));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for r in &self.rows {
+            println!("{}", line(r));
+        }
+        if let Err(e) = fs::create_dir_all(&self.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(format!("{}.csv", self.name));
+        let mut csv = self.columns.join(",");
+        csv.push('\n');
+        for r in &self.rows {
+            csv.push_str(&r.join(","));
+            csv.push('\n');
+        }
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            println!("[csv] {}", path.display());
+        }
+    }
+}
+
+/// Formats a relative error as a percentage with one decimal.
+pub fn pct(err: f64) -> String {
+    format!("{:.1}%", err * 100.0)
+}
+
+/// Formats a float rounded to integer (the paper's figures report whole
+/// node/disk accesses).
+pub fn int(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.153), "15.3%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(int(1234.4), "1234");
+        assert_eq!(int(1234.6), "1235");
+    }
+
+    #[test]
+    fn report_writes_csv() {
+        let dir = std::env::temp_dir().join(format!("sjcm_report_{}", std::process::id()));
+        let mut r = Report::new(&dir, "unit_test_table", &["a", "b"]);
+        r.row(&[&1, &"x"]);
+        r.row(&[&22, &"yy"]);
+        r.finish();
+        let csv = std::fs::read_to_string(dir.join("unit_test_table.csv")).unwrap();
+        assert_eq!(csv, "a,b\n1,x\n22,yy\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn report_rejects_wrong_arity() {
+        let dir = std::env::temp_dir();
+        let mut r = Report::new(&dir, "bad", &["a", "b"]);
+        r.row(&[&1]);
+    }
+}

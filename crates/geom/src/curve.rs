@@ -1,0 +1,259 @@
+//! Space-filling curves.
+//!
+//! Bulk loading ("packing") of R-trees orders the data along a
+//! space-filling curve before slicing it into full pages. The paper cites
+//! Kamel & Faloutsos, *On Packing R-trees* (CIKM 1993), which found the
+//! Hilbert curve to produce the best-clustered packings; the Morton
+//! (Z-order) curve is the standard cheaper alternative and generalizes
+//! trivially to any dimensionality.
+//!
+//! Both encoders quantize a point in the unit workspace `[0,1)^N` onto a
+//! `2^bits`-cell-per-axis grid and map the cell to a one-dimensional key.
+//! Equal keys for nearby points are fine — the bulk loader only needs a
+//! total order, not an injection.
+
+use crate::Point;
+
+/// Quantizes a unit-space coordinate to a `bits`-bit grid cell index.
+/// Coordinates outside `[0,1)` are clamped, so slightly-out-of-range data
+/// (e.g. MBR centers of objects protruding past the workspace edge) still
+/// sorts sensibly.
+#[inline]
+fn quantize(c: f64, bits: u32) -> u64 {
+    let cells = 1u64 << bits;
+    let scaled = (c.clamp(0.0, 1.0) * cells as f64) as u64;
+    scaled.min(cells - 1)
+}
+
+/// Morton (Z-order) key of a point, interleaving `bits` bits per
+/// dimension. Requires `bits * N <= 64`.
+///
+/// ```
+/// use sjcm_geom::{curve::morton_key, Point};
+/// let a = morton_key(&Point::new([0.1, 0.1]), 16);
+/// let b = morton_key(&Point::new([0.9, 0.9]), 16);
+/// assert!(a < b);
+/// ```
+pub fn morton_key<const N: usize>(p: &Point<N>, bits: u32) -> u64 {
+    assert!(
+        bits as usize * N <= 64,
+        "morton key would overflow u64: {bits} bits x {N} dims"
+    );
+    let mut cells = [0u64; N];
+    for k in 0..N {
+        cells[k] = quantize(p[k], bits);
+    }
+    let mut key = 0u64;
+    // Interleave from the most significant bit down so that the key orders
+    // by the coarsest grid split first.
+    for b in (0..bits).rev() {
+        for cell in cells.iter().take(N) {
+            key = (key << 1) | ((cell >> b) & 1);
+        }
+    }
+    key
+}
+
+/// The largest per-dimension bit width usable for a Morton key in `N`
+/// dimensions (`min(64 / N, 21)`; the cap keeps precision uniform across
+/// small dimensionalities without overflow anywhere).
+pub const fn morton_max_bits(n: usize) -> u32 {
+    let b = 64 / n;
+    if b > 21 {
+        21
+    } else {
+        b as u32
+    }
+}
+
+/// Hilbert-curve key of a 2-D point with `bits` bits per dimension
+/// (`bits <= 31`). Uses the classic Lam–Shapiro rotation loop.
+///
+/// The Hilbert curve preserves locality better than Z-order — consecutive
+/// keys are always adjacent cells — which is why Hilbert-packed R-trees
+/// have the tightest leaf MBRs.
+pub fn hilbert_key_2d(p: &Point<2>, bits: u32) -> u64 {
+    assert!(bits <= 31, "hilbert key would overflow u64");
+    let side = 1u64 << bits;
+    let mut x = quantize(p[0], bits);
+    let mut y = quantize(p[1], bits);
+    let mut rx: u64;
+    let mut ry: u64;
+    let mut d: u64 = 0;
+    let mut s = side / 2;
+    while s > 0 {
+        rx = u64::from(x & s > 0);
+        ry = u64::from(y & s > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate the quadrant (reflection across the full grid side).
+        if ry == 0 {
+            if rx == 1 {
+                x = side - 1 - x;
+                y = side - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Inverse of [`hilbert_key_2d`] on the grid: maps a key to the cell
+/// coordinates it encodes. Used by tests to verify the curve is a
+/// bijection with unit steps.
+pub fn hilbert_cell_2d(key: u64, bits: u32) -> (u64, u64) {
+    let side = 1u64 << bits;
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = key;
+    let mut s = 1u64;
+    while s < side {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Curve choice for bulk loading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveKind {
+    /// Morton / Z-order, any dimensionality.
+    Morton,
+    /// Hilbert curve; only implemented for `N = 2`, falls back to Morton
+    /// for other dimensionalities.
+    Hilbert,
+}
+
+/// Computes the sort key of a point under the requested curve, using the
+/// maximum safe precision for the dimensionality.
+pub fn curve_key<const N: usize>(kind: CurveKind, p: &Point<N>) -> u64 {
+    match kind {
+        CurveKind::Hilbert if N == 2 => {
+            let q = Point::new([p[0], p[1]]);
+            hilbert_key_2d(&q, 16)
+        }
+        _ => morton_key(p, morton_max_bits(N)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_clamps_and_caps() {
+        assert_eq!(quantize(-0.5, 4), 0);
+        assert_eq!(quantize(0.0, 4), 0);
+        assert_eq!(quantize(1.0, 4), 15);
+        assert_eq!(quantize(2.0, 4), 15);
+        assert_eq!(quantize(0.5, 4), 8);
+    }
+
+    #[test]
+    fn morton_orders_quadrants_in_z() {
+        // With 1 bit per dim in 2-D the four quadrants must appear in
+        // Z order: (0,0) (0,1) (1,0) (1,1) by (x-bit, y-bit) interleave.
+        let k00 = morton_key(&Point::new([0.25, 0.25]), 1);
+        let k01 = morton_key(&Point::new([0.25, 0.75]), 1);
+        let k10 = morton_key(&Point::new([0.75, 0.25]), 1);
+        let k11 = morton_key(&Point::new([0.75, 0.75]), 1);
+        assert_eq!(k00, 0);
+        assert_eq!(k10, 2); // x interleaved first
+        assert_eq!(k01, 1);
+        assert_eq!(k11, 3);
+    }
+
+    #[test]
+    fn morton_is_monotone_along_diagonal() {
+        let mut prev = 0u64;
+        for i in 0..100 {
+            let c = i as f64 / 100.0;
+            let k = morton_key(&Point::new([c, c]), 16);
+            assert!(k >= prev, "diagonal must be monotone in z-order");
+            prev = k;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn morton_rejects_overflowing_bits() {
+        morton_key(&Point::new([0.5, 0.5, 0.5]), 22);
+    }
+
+    #[test]
+    fn morton_max_bits_table() {
+        assert_eq!(morton_max_bits(1), 21);
+        assert_eq!(morton_max_bits(2), 21);
+        assert_eq!(morton_max_bits(3), 21);
+        assert_eq!(morton_max_bits(4), 16);
+        assert_eq!(morton_max_bits(8), 8);
+    }
+
+    #[test]
+    fn hilbert_visits_every_cell_exactly_once() {
+        let bits = 4;
+        let side = 1u64 << bits;
+        let mut seen = vec![false; (side * side) as usize];
+        for x in 0..side {
+            for y in 0..side {
+                let p = Point::new([
+                    (x as f64 + 0.5) / side as f64,
+                    (y as f64 + 0.5) / side as f64,
+                ]);
+                let k = hilbert_key_2d(&p, bits) as usize;
+                assert!(!seen[k], "key {k} assigned twice");
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hilbert_consecutive_keys_are_adjacent_cells() {
+        let bits = 5;
+        let side = 1u64 << bits;
+        let mut prev = hilbert_cell_2d(0, bits);
+        for k in 1..side * side {
+            let cur = hilbert_cell_2d(k, bits);
+            let dx = cur.0.abs_diff(prev.0);
+            let dy = cur.1.abs_diff(prev.1);
+            assert_eq!(dx + dy, 1, "step {k} jumps from {prev:?} to {cur:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn hilbert_roundtrip() {
+        let bits = 6;
+        for k in 0..(1u64 << (2 * bits)) {
+            let (x, y) = hilbert_cell_2d(k, bits);
+            let p = Point::new([
+                (x as f64 + 0.5) / (1u64 << bits) as f64,
+                (y as f64 + 0.5) / (1u64 << bits) as f64,
+            ]);
+            assert_eq!(hilbert_key_2d(&p, bits), k);
+        }
+    }
+
+    #[test]
+    fn curve_key_dispatch() {
+        let p2 = Point::new([0.3, 0.7]);
+        assert_eq!(curve_key(CurveKind::Hilbert, &p2), hilbert_key_2d(&p2, 16));
+        let p3 = Point::new([0.3, 0.7, 0.1]);
+        assert_eq!(
+            curve_key(CurveKind::Hilbert, &p3),
+            morton_key(&p3, morton_max_bits(3)),
+            "hilbert falls back to morton for N != 2"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! n-dimensional geometry kernel for the spatial-join cost-model workspace.
+//!
+//! This crate provides the primitives that every other layer of the
+//! reproduction of *"Cost Models for Join Queries in Spatial Databases"*
+//! (Theodoridis, Stefanakis & Sellis, ICDE 1998) is built on:
+//!
+//! * [`Point<N>`](Point) and [`Rect<N>`](Rect) — axis-aligned geometry in
+//!   `N`-dimensional space with the full algebra the cost model needs
+//!   (intersection, union, measure, margin, Minkowski enlargement, …).
+//! * [`curve`] — space-filling curves (generic Morton/Z-order and a 2-D
+//!   Hilbert curve) used by the bulk-loading algorithms of the R-tree
+//!   crate, following Kamel & Faloutsos, *On Packing R-trees* (CIKM 1993).
+//! * [`mod@density`] — the *density* statistic `D` of a rectangle set, the
+//!   primitive data property (together with cardinality `N`) that the
+//!   paper's analytical formulas are functions of.
+//!
+//! The paper works in the unit workspace `WS = [0,1)^n`; helpers for that
+//! convention live in [`density::UnitSpace`].
+//!
+//! Dimensionality is a const generic so that the rectangle loops in the
+//! R-tree and the cost model monomorphize to allocation-free code for each
+//! `n ∈ {1, 2, 3, 4, …}` exercised by the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod density;
+mod point;
+mod rect;
+
+pub use density::{average_extents, density, local_density, UnitSpace};
+pub use point::Point;
+pub use rect::{mbr_of, GeomError, Rect};

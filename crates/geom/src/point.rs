@@ -1,0 +1,239 @@
+//! `N`-dimensional points.
+
+use serde::de::{Error as DeError, SeqAccess, Visitor};
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A point in `N`-dimensional space, with `f64` coordinates.
+///
+/// Points are the corner representation used by [`crate::Rect`] and the
+/// anchor representation used by the data generators (an object is placed
+/// by drawing its center point and extending it by its half-extents).
+///
+/// ```
+/// use sjcm_geom::Point;
+/// let p = Point::new([0.25, 0.75]);
+/// assert_eq!(p[0], 0.25);
+/// assert_eq!(p.dim(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point<const N: usize>(pub [f64; N]);
+
+// serde cannot derive for const-generic arrays, so points serialize as a
+// plain sequence of N coordinates.
+impl<const N: usize> Serialize for Point<N> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(N))?;
+        for c in &self.0 {
+            seq.serialize_element(c)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, const N: usize> Deserialize<'de> for Point<N> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<const N: usize>;
+        impl<'de, const N: usize> Visitor<'de> for V<N> {
+            type Value = Point<N>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a sequence of {N} coordinates")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Point<N>, A::Error> {
+                let mut coords = [0.0; N];
+                for (k, c) in coords.iter_mut().enumerate() {
+                    *c = seq
+                        .next_element()?
+                        .ok_or_else(|| A::Error::invalid_length(k, &self))?;
+                }
+                Ok(Point(coords))
+            }
+        }
+        deserializer.deserialize_seq(V::<N>)
+    }
+}
+
+impl<const N: usize> Point<N> {
+    /// Creates a point from its coordinate array.
+    #[inline]
+    pub const fn new(coords: [f64; N]) -> Self {
+        Self(coords)
+    }
+
+    /// The origin, `(0, …, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Self([0.0; N])
+    }
+
+    /// The dimensionality `N`.
+    #[inline]
+    pub const fn dim(&self) -> usize {
+        N
+    }
+
+    /// Coordinate array by value.
+    #[inline]
+    pub const fn coords(&self) -> [f64; N] {
+        self.0
+    }
+
+    /// Squared Euclidean distance to another point.
+    ///
+    /// The squared form is what the distance-join predicate compares
+    /// against `ε²`; taking the square root would only cost precision.
+    #[inline]
+    pub fn dist2(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for k in 0..N {
+            let d = self.0[k] - other.0[k];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(&self, other: &Self) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn component_min(&self, other: &Self) -> Self {
+        let mut out = [0.0; N];
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.0[k].min(other.0[k]);
+        }
+        Self(out)
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn component_max(&self, other: &Self) -> Self {
+        let mut out = [0.0; N];
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.0[k].max(other.0[k]);
+        }
+        Self(out)
+    }
+
+    /// `true` when every coordinate is finite (not NaN or ±∞).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|c| c.is_finite())
+    }
+
+    /// `true` when the point lies in the unit workspace `[0,1)^N` used by
+    /// the paper's evaluation.
+    #[inline]
+    pub fn in_unit_space(&self) -> bool {
+        self.0.iter().all(|&c| (0.0..1.0).contains(&c))
+    }
+}
+
+impl<const N: usize> Index<usize> for Point<N> {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, k: usize) -> &f64 {
+        &self.0[k]
+    }
+}
+
+impl<const N: usize> IndexMut<usize> for Point<N> {
+    #[inline]
+    fn index_mut(&mut self, k: usize) -> &mut f64 {
+        &mut self.0[k]
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for Point<N> {
+    #[inline]
+    fn from(coords: [f64; N]) -> Self {
+        Self(coords)
+    }
+}
+
+impl<const N: usize> fmt::Debug for Point<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", self.0)
+    }
+}
+
+impl<const N: usize> fmt::Display for Point<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, c) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_all_zero() {
+        let o = Point::<3>::origin();
+        assert_eq!(o.coords(), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dist2_matches_hand_computation() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new([0.1, 0.9, 0.3]);
+        let b = Point::new([0.7, 0.2, 0.8]);
+        assert_eq!(a.dist2(&b), b.dist2(&a));
+    }
+
+    #[test]
+    fn component_min_max() {
+        let a = Point::new([0.1, 0.9]);
+        let b = Point::new([0.7, 0.2]);
+        assert_eq!(a.component_min(&b).coords(), [0.1, 0.2]);
+        assert_eq!(a.component_max(&b).coords(), [0.7, 0.9]);
+    }
+
+    #[test]
+    fn unit_space_membership_is_half_open() {
+        assert!(Point::new([0.0, 0.999]).in_unit_space());
+        assert!(!Point::new([1.0, 0.5]).in_unit_space());
+        assert!(!Point::new([-0.001, 0.5]).in_unit_space());
+    }
+
+    #[test]
+    fn nan_is_not_finite() {
+        assert!(!Point::new([f64::NAN]).is_finite());
+        assert!(!Point::new([f64::INFINITY, 0.0]).is_finite());
+        assert!(Point::new([0.5, 0.5]).is_finite());
+    }
+
+    #[test]
+    fn index_mut_updates_coordinate() {
+        let mut p = Point::new([1.0, 2.0]);
+        p[1] = 5.0;
+        assert_eq!(p.coords(), [1.0, 5.0]);
+    }
+
+    #[test]
+    fn display_formats_tuple() {
+        assert_eq!(Point::new([1.0, 2.5]).to_string(), "(1, 2.5)");
+    }
+}

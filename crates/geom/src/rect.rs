@@ -1,0 +1,567 @@
+//! Axis-aligned `N`-dimensional rectangles (minimum bounding rectangles).
+//!
+//! The rectangle algebra in this module is the computational core of both
+//! the R-tree implementation and the analytical cost model: node extents,
+//! query windows and object MBRs are all [`Rect`]s, and the paper's
+//! formulas are products over per-dimension extents of such rectangles.
+
+use crate::Point;
+use serde::de::Error as DeError;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+/// Errors produced by rectangle constructors and workspace checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// A low corner coordinate exceeded the corresponding high coordinate.
+    InvertedCorners {
+        /// Dimension index at which `lo[k] > hi[k]` was detected.
+        dim: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NotFinite,
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InvertedCorners { dim } => {
+                write!(f, "inverted rectangle corners in dimension {dim}")
+            }
+            GeomError::NotFinite => write!(f, "rectangle coordinates must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+/// An axis-aligned rectangle in `N` dimensions, stored as its low and high
+/// corners. For `N = 1` this is an interval; the paper's 1-D experiments
+/// use exactly that degenerate case.
+///
+/// Invariant: `lo[k] <= hi[k]` for every dimension `k`, and all
+/// coordinates are finite. The checked constructor [`Rect::new`] enforces
+/// this; [`Rect::from_corners`] normalizes instead of failing.
+///
+/// ```
+/// use sjcm_geom::Rect;
+/// let a = Rect::new([0.0, 0.0], [0.5, 0.5]).unwrap();
+/// let b = Rect::new([0.25, 0.25], [1.0, 1.0]).unwrap();
+/// assert!(a.intersects(&b));
+/// assert_eq!(a.measure(), 0.25);
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct Rect<const N: usize> {
+    lo: [f64; N],
+    hi: [f64; N],
+}
+
+// Rectangles serialize as the 2-point sequence [lo, hi]; deserialization
+// re-validates the corner invariant so corrupted input cannot construct an
+// inverted rectangle.
+impl<const N: usize> Serialize for Rect<N> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (Point::new(self.lo), Point::new(self.hi)).serialize(serializer)
+    }
+}
+
+impl<'de, const N: usize> Deserialize<'de> for Rect<N> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (lo, hi): (Point<N>, Point<N>) = Deserialize::deserialize(deserializer)?;
+        Rect::new(lo.coords(), hi.coords()).map_err(D::Error::custom)
+    }
+}
+
+impl<const N: usize> Rect<N> {
+    /// Creates a rectangle, validating that corners are finite and ordered.
+    pub fn new(lo: [f64; N], hi: [f64; N]) -> Result<Self, GeomError> {
+        if !lo.iter().chain(hi.iter()).all(|c| c.is_finite()) {
+            return Err(GeomError::NotFinite);
+        }
+        for k in 0..N {
+            if lo[k] > hi[k] {
+                return Err(GeomError::InvertedCorners { dim: k });
+            }
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Creates a rectangle from two arbitrary corner points, normalizing
+    /// the coordinate order per dimension. Panics on non-finite input in
+    /// debug builds only (the coordinates are then kept as-is).
+    pub fn from_corners(a: Point<N>, b: Point<N>) -> Self {
+        debug_assert!(a.is_finite() && b.is_finite(), "non-finite corner");
+        Self {
+            lo: a.component_min(&b).coords(),
+            hi: a.component_max(&b).coords(),
+        }
+    }
+
+    /// A degenerate rectangle covering exactly one point.
+    #[inline]
+    pub fn from_point(p: Point<N>) -> Self {
+        Self {
+            lo: p.coords(),
+            hi: p.coords(),
+        }
+    }
+
+    /// A rectangle centered at `center` with the given per-dimension
+    /// side lengths (clamped to be non-negative).
+    pub fn centered(center: Point<N>, sides: [f64; N]) -> Self {
+        let mut lo = [0.0; N];
+        let mut hi = [0.0; N];
+        for k in 0..N {
+            let half = sides[k].max(0.0) / 2.0;
+            lo[k] = center[k] - half;
+            hi[k] = center[k] + half;
+        }
+        Self { lo, hi }
+    }
+
+    /// The unit workspace `[0,1]^N` (closed; the half-open convention of
+    /// the paper only matters for point *placement*, not for extents).
+    #[inline]
+    pub fn unit() -> Self {
+        Self {
+            lo: [0.0; N],
+            hi: [1.0; N],
+        }
+    }
+
+    /// Low corner.
+    #[inline]
+    pub fn lo(&self) -> Point<N> {
+        Point::new(self.lo)
+    }
+
+    /// High corner.
+    #[inline]
+    pub fn hi(&self) -> Point<N> {
+        Point::new(self.hi)
+    }
+
+    /// Low coordinate in dimension `k`.
+    #[inline]
+    pub fn lo_k(&self, k: usize) -> f64 {
+        self.lo[k]
+    }
+
+    /// High coordinate in dimension `k`.
+    #[inline]
+    pub fn hi_k(&self, k: usize) -> f64 {
+        self.hi[k]
+    }
+
+    /// Side length in dimension `k` — the paper's `s_k` when applied to a
+    /// node rectangle, or `q_k` when applied to a query window.
+    #[inline]
+    pub fn extent(&self, k: usize) -> f64 {
+        self.hi[k] - self.lo[k]
+    }
+
+    /// All side lengths.
+    #[inline]
+    pub fn extents(&self) -> [f64; N] {
+        let mut out = [0.0; N];
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.hi[k] - self.lo[k];
+        }
+        out
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point<N> {
+        let mut out = [0.0; N];
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = 0.5 * (self.lo[k] + self.hi[k]);
+        }
+        Point::new(out)
+    }
+
+    /// The `N`-dimensional Lebesgue measure (length, area, volume, …).
+    /// This is the quantity the *density* statistic sums over a data set.
+    #[inline]
+    pub fn measure(&self) -> f64 {
+        let mut m = 1.0;
+        for k in 0..N {
+            m *= self.extent(k);
+        }
+        m
+    }
+
+    /// Sum of side lengths — half the perimeter in 2-D. The R*-tree split
+    /// heuristic minimizes this "margin" value.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        let mut m = 0.0;
+        for k in 0..N {
+            m += self.extent(k);
+        }
+        m
+    }
+
+    /// `true` when the two rectangles share at least one point (closed
+    /// intersection — touching boundaries count, matching the `overlap`
+    /// predicate the paper uses for its joins).
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        for k in 0..N {
+            if self.lo[k] > other.hi[k] || other.lo[k] > self.hi[k] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The intersection rectangle, or `None` when disjoint.
+    pub fn intersection(&self, other: &Self) -> Option<Self> {
+        let mut lo = [0.0; N];
+        let mut hi = [0.0; N];
+        for k in 0..N {
+            lo[k] = self.lo[k].max(other.lo[k]);
+            hi[k] = self.hi[k].min(other.hi[k]);
+            if lo[k] > hi[k] {
+                return None;
+            }
+        }
+        Some(Self { lo, hi })
+    }
+
+    /// Measure of the intersection (0 when disjoint). The R*-tree
+    /// ChooseSubtree heuristic minimizes the *increase* of this quantity.
+    #[inline]
+    pub fn intersection_measure(&self, other: &Self) -> f64 {
+        let mut m = 1.0;
+        for k in 0..N {
+            let lo = self.lo[k].max(other.lo[k]);
+            let hi = self.hi[k].min(other.hi[k]);
+            if lo >= hi {
+                return 0.0;
+            }
+            m *= hi - lo;
+        }
+        m
+    }
+
+    /// The smallest rectangle covering both operands (MBR union).
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut lo = [0.0; N];
+        let mut hi = [0.0; N];
+        for k in 0..N {
+            lo[k] = self.lo[k].min(other.lo[k]);
+            hi[k] = self.hi[k].max(other.hi[k]);
+        }
+        Self { lo, hi }
+    }
+
+    /// Grows `self` in place to cover `other`.
+    #[inline]
+    pub fn expand_to(&mut self, other: &Self) {
+        for k in 0..N {
+            self.lo[k] = self.lo[k].min(other.lo[k]);
+            self.hi[k] = self.hi[k].max(other.hi[k]);
+        }
+    }
+
+    /// How much `self.measure()` would grow if enlarged to cover `other`
+    /// (Guttman's insertion criterion).
+    #[inline]
+    pub fn enlargement(&self, other: &Self) -> f64 {
+        self.union(other).measure() - self.measure()
+    }
+
+    /// `true` when `other` lies entirely inside `self` (closed containment).
+    #[inline]
+    pub fn contains_rect(&self, other: &Self) -> bool {
+        for k in 0..N {
+            if other.lo[k] < self.lo[k] || other.hi[k] > self.hi[k] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` when the point lies inside `self` (closed containment).
+    #[inline]
+    pub fn contains_point(&self, p: &Point<N>) -> bool {
+        for k in 0..N {
+            if p[k] < self.lo[k] || p[k] > self.hi[k] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Minkowski enlargement: grows the rectangle by `delta` on *each*
+    /// side in every dimension (total extent growth `2·delta` per
+    /// dimension). This is the transformed-window construction used for
+    /// the distance (ε-)join: `a` is within distance ε of `b` under the
+    /// L∞ metric iff `a.minkowski(ε)` intersects `b`.
+    pub fn minkowski(&self, delta: f64) -> Self {
+        let mut lo = [0.0; N];
+        let mut hi = [0.0; N];
+        for k in 0..N {
+            lo[k] = self.lo[k] - delta;
+            hi[k] = self.hi[k] + delta;
+            if lo[k] > hi[k] {
+                // Negative delta larger than the half-extent collapses the
+                // rectangle to its center in this dimension.
+                let c = 0.5 * (self.lo[k] + self.hi[k]);
+                lo[k] = c;
+                hi[k] = c;
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Minimum squared Euclidean distance between the two rectangles
+    /// (0 when they intersect).
+    pub fn min_dist2(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for k in 0..N {
+            let gap = if other.lo[k] > self.hi[k] {
+                other.lo[k] - self.hi[k]
+            } else if self.lo[k] > other.hi[k] {
+                self.lo[k] - other.hi[k]
+            } else {
+                0.0
+            };
+            acc += gap * gap;
+        }
+        acc
+    }
+
+    /// `true` when the rectangles are within Euclidean distance `eps` of
+    /// each other — the predicate of the distance join.
+    #[inline]
+    pub fn within_distance(&self, other: &Self, eps: f64) -> bool {
+        self.min_dist2(other) <= eps * eps
+    }
+
+    /// Clamps the rectangle to the unit workspace `[0,1]^N`, returning
+    /// `None` when it lies entirely outside.
+    pub fn clamp_to_unit(&self) -> Option<Self> {
+        self.intersection(&Self::unit())
+    }
+
+    /// `true` when the rectangle lies inside the unit workspace.
+    #[inline]
+    pub fn in_unit_space(&self) -> bool {
+        Self::unit().contains_rect(self)
+    }
+
+    /// Validates the internal invariant. Always `true` for rectangles
+    /// produced by this crate's constructors; exposed so the storage layer
+    /// can check deserialized rectangles.
+    pub fn is_valid(&self) -> bool {
+        (0..N).all(|k| self.lo[k] <= self.hi[k] && self.lo[k].is_finite() && self.hi[k].is_finite())
+    }
+}
+
+impl<const N: usize> fmt::Debug for Rect<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rect[{:?} .. {:?}]", self.lo, self.hi)
+    }
+}
+
+/// Computes the minimum bounding rectangle of a non-empty iterator of
+/// rectangles; `None` for an empty iterator.
+pub fn mbr_of<const N: usize>(rects: impl IntoIterator<Item = Rect<N>>) -> Option<Rect<N>> {
+    let mut it = rects.into_iter();
+    let mut acc = it.next()?;
+    for r in it {
+        acc.expand_to(&r);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(lo: [f64; 2], hi: [f64; 2]) -> Rect<2> {
+        Rect::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_inverted_corners() {
+        assert_eq!(
+            Rect::new([1.0, 0.0], [0.0, 1.0]),
+            Err(GeomError::InvertedCorners { dim: 0 })
+        );
+    }
+
+    #[test]
+    fn new_rejects_nan() {
+        assert_eq!(Rect::new([f64::NAN], [1.0]), Err(GeomError::NotFinite));
+        assert_eq!(Rect::new([0.0], [f64::INFINITY]), Err(GeomError::NotFinite));
+    }
+
+    #[test]
+    fn from_corners_normalizes() {
+        let r = Rect::from_corners(Point::new([1.0, 0.0]), Point::new([0.0, 1.0]));
+        assert_eq!(r.lo().coords(), [0.0, 0.0]);
+        assert_eq!(r.hi().coords(), [1.0, 1.0]);
+    }
+
+    #[test]
+    fn centered_constructor() {
+        let r = Rect::centered(Point::new([0.5, 0.5]), [0.2, 0.4]);
+        assert!((r.lo_k(0) - 0.4).abs() < 1e-12);
+        assert!((r.hi_k(1) - 0.7).abs() < 1e-12);
+        assert!((r.measure() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_and_margin() {
+        let r = r2([0.0, 0.0], [2.0, 3.0]);
+        assert_eq!(r.measure(), 6.0);
+        assert_eq!(r.margin(), 5.0);
+    }
+
+    #[test]
+    fn degenerate_interval_has_zero_measure_but_extent_margin() {
+        let r = Rect::<1>::new([0.25], [0.75]).unwrap();
+        assert_eq!(r.measure(), 0.5); // 1-D measure is length
+        let point_rect = Rect::from_point(Point::new([0.5, 0.5]));
+        assert_eq!(point_rect.measure(), 0.0);
+    }
+
+    #[test]
+    fn intersects_includes_touching_boundaries() {
+        let a = r2([0.0, 0.0], [0.5, 0.5]);
+        let b = r2([0.5, 0.0], [1.0, 0.5]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_measure(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_rects_do_not_intersect() {
+        let a = r2([0.0, 0.0], [0.4, 0.4]);
+        let b = r2([0.5, 0.5], [1.0, 1.0]);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection(&b), None);
+        assert_eq!(a.intersection_measure(&b), 0.0);
+    }
+
+    #[test]
+    fn intersection_measure_matches_intersection() {
+        let a = r2([0.0, 0.0], [0.6, 0.6]);
+        let b = r2([0.4, 0.2], [1.0, 0.5]);
+        let i = a.intersection(&b).unwrap();
+        assert!((i.measure() - a.intersection_measure(&b)).abs() < 1e-12);
+        assert!((a.intersection_measure(&b) - 0.2 * 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r2([0.0, 0.1], [0.3, 0.2]);
+        let b = r2([0.5, 0.0], [0.9, 0.4]);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u.lo().coords(), [0.0, 0.0]);
+        assert_eq!(u.hi().coords(), [0.9, 0.4]);
+    }
+
+    #[test]
+    fn enlargement_is_zero_for_contained() {
+        let a = r2([0.0, 0.0], [1.0, 1.0]);
+        let b = r2([0.2, 0.2], [0.4, 0.4]);
+        assert_eq!(a.enlargement(&b), 0.0);
+        assert!(b.enlargement(&a) > 0.0);
+    }
+
+    #[test]
+    fn containment_is_closed() {
+        let a = r2([0.0, 0.0], [1.0, 1.0]);
+        assert!(a.contains_rect(&a));
+        assert!(a.contains_point(&Point::new([1.0, 0.0])));
+        assert!(!a.contains_point(&Point::new([1.0001, 0.0])));
+    }
+
+    #[test]
+    fn minkowski_grows_each_side() {
+        let a = r2([0.4, 0.4], [0.6, 0.6]);
+        let g = a.minkowski(0.1);
+        assert!((g.extent(0) - 0.4).abs() < 1e-12);
+        assert!(g.contains_rect(&a));
+    }
+
+    #[test]
+    fn minkowski_negative_collapses_to_center() {
+        let a = r2([0.4, 0.4], [0.6, 0.6]);
+        let g = a.minkowski(-0.5);
+        assert_eq!(g.lo().coords(), [0.5, 0.5]);
+        assert_eq!(g.hi().coords(), [0.5, 0.5]);
+    }
+
+    #[test]
+    fn min_dist2_zero_when_intersecting() {
+        let a = r2([0.0, 0.0], [0.5, 0.5]);
+        let b = r2([0.25, 0.25], [1.0, 1.0]);
+        assert_eq!(a.min_dist2(&b), 0.0);
+    }
+
+    #[test]
+    fn min_dist2_diagonal_gap() {
+        let a = r2([0.0, 0.0], [0.1, 0.1]);
+        let b = r2([0.4, 0.5], [1.0, 1.0]);
+        // gaps: 0.3 in x, 0.4 in y
+        assert!((a.min_dist2(&b) - 0.25).abs() < 1e-12);
+        assert!(a.within_distance(&b, 0.5 + 1e-9));
+        assert!(!a.within_distance(&b, 0.49));
+    }
+
+    #[test]
+    fn distance_predicate_agrees_with_minkowski_under_linf() {
+        // Under L∞, within_distance(eps) == minkowski(eps).intersects.
+        let a = r2([0.0, 0.0], [0.1, 0.1]);
+        let b = r2([0.25, 0.05], [0.3, 0.6]);
+        let eps = 0.2;
+        // Here the gap is axis-aligned, so L2 and L∞ agree.
+        assert_eq!(a.within_distance(&b, eps), a.minkowski(eps).intersects(&b));
+    }
+
+    #[test]
+    fn clamp_to_unit() {
+        let r = r2([-0.5, 0.5], [0.5, 1.5]);
+        let c = r.clamp_to_unit().unwrap();
+        assert_eq!(c.lo().coords(), [0.0, 0.5]);
+        assert_eq!(c.hi().coords(), [0.5, 1.0]);
+        let outside = r2([1.5, 1.5], [2.0, 2.0]);
+        assert_eq!(outside.clamp_to_unit(), None);
+    }
+
+    #[test]
+    fn mbr_of_iterator() {
+        let rects = vec![
+            r2([0.1, 0.1], [0.2, 0.2]),
+            r2([0.5, 0.0], [0.6, 0.9]),
+            r2([0.0, 0.3], [0.05, 0.4]),
+        ];
+        let m = mbr_of(rects).unwrap();
+        assert_eq!(m.lo().coords(), [0.0, 0.0]);
+        assert_eq!(m.hi().coords(), [0.6, 0.9]);
+        assert_eq!(mbr_of(Vec::<Rect<2>>::new()), None);
+    }
+
+    #[test]
+    fn one_dimensional_interval_algebra() {
+        let a = Rect::<1>::new([0.0], [0.5]).unwrap();
+        let b = Rect::<1>::new([0.4], [0.9]).unwrap();
+        assert!(a.intersects(&b));
+        assert!((a.intersection(&b).unwrap().measure() - 0.1).abs() < 1e-12);
+        assert!((a.union(&b).measure() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_dimensional_measure() {
+        let r = Rect::<4>::new([0.0; 4], [0.5; 4]).unwrap();
+        assert!((r.measure() - 0.0625).abs() < 1e-12);
+        assert_eq!(r.margin(), 2.0);
+    }
+}

@@ -1,0 +1,670 @@
+//! The instrumented SJ executor.
+
+use sjcm_geom::Rect;
+use sjcm_rtree::{Child, Node, NodeId, ObjectId, RTree};
+use sjcm_storage::{AccessStats, BufferManager, LruBuffer, NoBuffer, PageId, PathBuffer};
+
+/// Join predicate between two object MBRs (and, during traversal,
+/// between node rectangles — both predicates below are "downward
+/// closed": if two node rectangles fail it, no contained pair can
+/// satisfy it, so pruning is exact).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JoinPredicate {
+    /// MBR intersection — the paper's `overlap`.
+    Overlap,
+    /// Euclidean distance between MBRs at most ε (distance join).
+    WithinDistance(
+        /// Distance threshold ε ≥ 0.
+        f64,
+    ),
+}
+
+impl JoinPredicate {
+    #[inline]
+    fn holds<const N: usize>(&self, a: &Rect<N>, b: &Rect<N>) -> bool {
+        match *self {
+            JoinPredicate::Overlap => a.intersects(b),
+            JoinPredicate::WithinDistance(eps) => a.within_distance(b, eps),
+        }
+    }
+}
+
+/// Buffer scheme for both trees (each tree gets its own instance — the
+/// paper's path buffer is explicitly per-tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferPolicy {
+    /// No buffering: DA = NA.
+    None,
+    /// Per-tree most-recently-visited-path buffer (§3.1).
+    Path,
+    /// Per-tree LRU buffer of the given page capacity (§5 extension).
+    Lru(usize),
+}
+
+impl BufferPolicy {
+    fn build(self) -> Box<dyn BufferManager> {
+        match self {
+            BufferPolicy::None => Box::new(NoBuffer),
+            BufferPolicy::Path => Box::new(PathBuffer::new()),
+            BufferPolicy::Lru(cap) => Box::new(LruBuffer::new(cap)),
+        }
+    }
+}
+
+/// Order in which entry pairs of a node pair are matched.
+///
+/// The analytical DA model assumes the SJ nested-loop order (R2 outer,
+/// R1 inner); the plane sweep of \[BKS93\] reduces CPU cost but visits
+/// pairs in sweep order, which perturbs path-buffer hit patterns — an
+/// effect the buffer-ablation experiment quantifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchOrder {
+    /// Figure 2's loops: `for Er2 in R2 { for Er1 in R1 { … } }`.
+    #[default]
+    NestedLoop,
+    /// Sort both entry lists by low corner in dimension 0 and sweep.
+    PlaneSweep,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinConfig {
+    /// Buffer scheme (applied to both trees independently).
+    pub buffer: BufferPolicy,
+    /// Join predicate.
+    pub predicate: JoinPredicate,
+    /// Entry-matching order.
+    pub order: MatchOrder,
+    /// When `false`, result pairs are not materialized (the experiments
+    /// only need access counts; 80K×80K joins produce millions of pairs).
+    pub collect_pairs: bool,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        Self {
+            buffer: BufferPolicy::Path,
+            predicate: JoinPredicate::Overlap,
+            order: MatchOrder::NestedLoop,
+            collect_pairs: true,
+        }
+    }
+}
+
+/// Result of one join execution.
+#[derive(Debug, Clone)]
+pub struct JoinResultSet {
+    /// Qualifying `(R1 object, R2 object)` pairs (empty when
+    /// `collect_pairs` was off).
+    pub pairs: Vec<(ObjectId, ObjectId)>,
+    /// Number of qualifying pairs (tracked even when not materialized).
+    pub pair_count: u64,
+    /// Access tallies of tree R1 (levels use the paper convention via
+    /// [`JoinResultSet::na_at_paper_level`]; raw indices are 0-based).
+    pub stats1: AccessStats,
+    /// Access tallies of tree R2.
+    pub stats2: AccessStats,
+}
+
+impl JoinResultSet {
+    /// Total node accesses over both trees — the experimental `NA_total`.
+    pub fn na_total(&self) -> u64 {
+        self.stats1.na_total() + self.stats2.na_total()
+    }
+
+    /// Total disk accesses over both trees — the experimental `DA_total`.
+    pub fn da_total(&self) -> u64 {
+        self.stats1.da_total() + self.stats2.da_total()
+    }
+
+    /// Node accesses of tree `i ∈ {1, 2}` at paper level `j` (1 = leaf).
+    pub fn na_at_paper_level(&self, tree: usize, j: usize) -> u64 {
+        let stats = if tree == 1 {
+            &self.stats1
+        } else {
+            &self.stats2
+        };
+        stats.na_at((j - 1) as u8)
+    }
+
+    /// Disk accesses of tree `i ∈ {1, 2}` at paper level `j` (1 = leaf).
+    pub fn da_at_paper_level(&self, tree: usize, j: usize) -> u64 {
+        let stats = if tree == 1 {
+            &self.stats1
+        } else {
+            &self.stats2
+        };
+        stats.da_at((j - 1) as u8)
+    }
+}
+
+/// Runs the SJ spatial join with the default configuration (path buffer,
+/// overlap predicate, nested-loop order, pairs collected).
+///
+/// ```
+/// use sjcm_rtree::{RTree, RTreeConfig, ObjectId};
+/// use sjcm_geom::Rect;
+/// use sjcm_join::spatial_join;
+///
+/// let mut a = RTree::<2>::new(RTreeConfig::with_capacity(8));
+/// let mut b = RTree::<2>::new(RTreeConfig::with_capacity(8));
+/// a.insert(Rect::new([0.1, 0.1], [0.3, 0.3]).unwrap(), ObjectId(1));
+/// b.insert(Rect::new([0.2, 0.2], [0.4, 0.4]).unwrap(), ObjectId(2));
+/// let result = spatial_join(&a, &b);
+/// assert_eq!(result.pairs, vec![(ObjectId(1), ObjectId(2))]);
+/// ```
+pub fn spatial_join<const N: usize>(r1: &RTree<N>, r2: &RTree<N>) -> JoinResultSet {
+    spatial_join_with(r1, r2, JoinConfig::default())
+}
+
+/// Runs the SJ spatial join with an explicit configuration.
+pub fn spatial_join_with<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+) -> JoinResultSet {
+    let mut exec = Executor {
+        r1,
+        r2,
+        buf1: config.buffer.build(),
+        buf2: config.buffer.build(),
+        stats1: AccessStats::new(),
+        stats2: AccessStats::new(),
+        pairs: Vec::new(),
+        pair_count: 0,
+        config,
+        scratch1: Vec::new(),
+        scratch2: Vec::new(),
+    };
+    // The roots are assumed memory-resident (§3.1) and are not counted.
+    exec.visit(r1.root_id(), r2.root_id());
+    JoinResultSet {
+        pairs: exec.pairs,
+        pair_count: exec.pair_count,
+        stats1: exec.stats1,
+        stats2: exec.stats2,
+    }
+}
+
+struct Executor<'a, const N: usize> {
+    r1: &'a RTree<N>,
+    r2: &'a RTree<N>,
+    buf1: Box<dyn BufferManager>,
+    buf2: Box<dyn BufferManager>,
+    stats1: AccessStats,
+    stats2: AccessStats,
+    pairs: Vec<(ObjectId, ObjectId)>,
+    pair_count: u64,
+    config: JoinConfig,
+    // Reused sort buffers for plane-sweep matching.
+    scratch1: Vec<(Rect<N>, Child)>,
+    scratch2: Vec<(Rect<N>, Child)>,
+}
+
+impl<const N: usize> Executor<'_, N> {
+    fn access1(&mut self, id: NodeId) {
+        let level = self.r1.node(id).level;
+        let kind = self.buf1.access(PageId(id.0), level);
+        self.stats1.record(level, kind);
+    }
+
+    fn access2(&mut self, id: NodeId) {
+        let level = self.r2.node(id).level;
+        let kind = self.buf2.access(PageId(id.0), level);
+        self.stats2.record(level, kind);
+    }
+
+    fn emit(&mut self, o1: ObjectId, o2: ObjectId) {
+        self.pair_count += 1;
+        if self.config.collect_pairs {
+            self.pairs.push((o1, o2));
+        }
+    }
+
+    fn visit(&mut self, n1_id: NodeId, n2_id: NodeId) {
+        let n1 = self.r1.node(n1_id);
+        let n2 = self.r2.node(n2_id);
+        match (n1.is_leaf(), n2.is_leaf()) {
+            (true, true) => self.match_leaves(n1_id, n2_id),
+            (false, false) => self.match_internal(n1_id, n2_id),
+            // Height mismatch: pin the leaf side, keep descending the
+            // other tree. The pinned node is re-accessed per step (its
+            // contents are consulted again), which is what Eq 11 counts.
+            (false, true) => {
+                let n2_mbr = match n2.mbr() {
+                    Some(m) => m,
+                    None => return,
+                };
+                let children: Vec<NodeId> = n1
+                    .entries
+                    .iter()
+                    .filter(|e| self.config.predicate.holds(&e.rect, &n2_mbr))
+                    .map(|e| e.child.node())
+                    .collect();
+                for c1 in children {
+                    self.access1(c1);
+                    self.access2(n2_id);
+                    self.visit(c1, n2_id);
+                }
+            }
+            (true, false) => {
+                let n1_mbr = match n1.mbr() {
+                    Some(m) => m,
+                    None => return,
+                };
+                let children: Vec<NodeId> = n2
+                    .entries
+                    .iter()
+                    .filter(|e| self.config.predicate.holds(&n1_mbr, &e.rect))
+                    .map(|e| e.child.node())
+                    .collect();
+                for c2 in children {
+                    self.access1(n1_id);
+                    self.access2(c2);
+                    self.visit(n1_id, c2);
+                }
+            }
+        }
+    }
+
+    fn match_internal(&mut self, n1_id: NodeId, n2_id: NodeId) {
+        let matched = self.matched_pairs(n1_id, n2_id);
+        for (c1, c2) in matched {
+            let (c1, c2) = (c1.node(), c2.node());
+            self.access1(c1);
+            self.access2(c2);
+            self.visit(c1, c2);
+        }
+    }
+
+    fn match_leaves(&mut self, n1_id: NodeId, n2_id: NodeId) {
+        let matched = self.matched_pairs(n1_id, n2_id);
+        for (c1, c2) in matched {
+            self.emit(c1.object(), c2.object());
+        }
+    }
+
+    /// Entry pairs of the two nodes satisfying the predicate, in the
+    /// configured match order. Pairs are materialized (rather than
+    /// processed in-loop) because the recursion needs `&mut self`.
+    fn matched_pairs(&mut self, n1_id: NodeId, n2_id: NodeId) -> Vec<(Child, Child)> {
+        let n1 = self.r1.node(n1_id);
+        let n2 = self.r2.node(n2_id);
+        match self.config.order {
+            MatchOrder::NestedLoop => {
+                let mut out = Vec::new();
+                // Figure 2: R2's entries drive the outer loop.
+                for e2 in &n2.entries {
+                    for e1 in &n1.entries {
+                        if self.config.predicate.holds(&e1.rect, &e2.rect) {
+                            out.push((e1.child, e2.child));
+                        }
+                    }
+                }
+                out
+            }
+            MatchOrder::PlaneSweep => sweep_pairs(
+                n1,
+                n2,
+                self.config.predicate,
+                &mut self.scratch1,
+                &mut self.scratch2,
+            ),
+        }
+    }
+}
+
+/// Plane-sweep entry matching along dimension 0 (BKS93's CPU
+/// optimization). For the distance predicate the sweep widens the active
+/// window by ε so no qualifying pair is skipped.
+fn sweep_pairs<const N: usize>(
+    n1: &Node<N>,
+    n2: &Node<N>,
+    predicate: JoinPredicate,
+    scratch1: &mut Vec<(Rect<N>, Child)>,
+    scratch2: &mut Vec<(Rect<N>, Child)>,
+) -> Vec<(Child, Child)> {
+    let slack = match predicate {
+        JoinPredicate::Overlap => 0.0,
+        JoinPredicate::WithinDistance(eps) => eps,
+    };
+    scratch1.clear();
+    scratch2.clear();
+    scratch1.extend(n1.entries.iter().map(|e| (e.rect, e.child)));
+    scratch2.extend(n2.entries.iter().map(|e| (e.rect, e.child)));
+    scratch1.sort_by(|a, b| a.0.lo_k(0).total_cmp(&b.0.lo_k(0)));
+    scratch2.sort_by(|a, b| a.0.lo_k(0).total_cmp(&b.0.lo_k(0)));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < scratch1.len() && j < scratch2.len() {
+        if scratch1[i].0.lo_k(0) <= scratch2[j].0.lo_k(0) {
+            let anchor = &scratch1[i];
+            let limit = anchor.0.hi_k(0) + slack;
+            let mut k = j;
+            while k < scratch2.len() && scratch2[k].0.lo_k(0) <= limit {
+                if predicate.holds::<N>(&anchor.0, &scratch2[k].0) {
+                    out.push((anchor.1, scratch2[k].1));
+                }
+                k += 1;
+            }
+            i += 1;
+        } else {
+            let anchor = &scratch2[j];
+            let limit = anchor.0.hi_k(0) + slack;
+            let mut k = i;
+            while k < scratch1.len() && scratch1[k].0.lo_k(0) <= limit {
+                if predicate.holds::<N>(&scratch1[k].0, &anchor.0) {
+                    out.push((scratch1[k].1, anchor.1));
+                }
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sjcm_rtree::RTreeConfig;
+
+    fn random_items(n: usize, side: f64, seed: u64) -> Vec<(Rect<2>, ObjectId)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let cx: f64 = rng.gen_range(0.0..1.0);
+                let cy: f64 = rng.gen_range(0.0..1.0);
+                (
+                    Rect::centered(sjcm_geom::Point::new([cx, cy]), [side, side]),
+                    ObjectId(i as u32),
+                )
+            })
+            .collect()
+    }
+
+    fn build(items: &[(Rect<2>, ObjectId)], cap: usize) -> RTree<2> {
+        let mut tree = RTree::new(RTreeConfig::with_capacity(cap));
+        for &(r, id) in items {
+            tree.insert(r, id);
+        }
+        tree
+    }
+
+    fn brute_force(
+        a: &[(Rect<2>, ObjectId)],
+        b: &[(Rect<2>, ObjectId)],
+        pred: JoinPredicate,
+    ) -> Vec<(ObjectId, ObjectId)> {
+        let mut out = Vec::new();
+        for &(r1, id1) in a {
+            for &(r2, id2) in b {
+                if pred.holds(&r1, &r2) {
+                    out.push((id1, id2));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn join_matches_brute_force() {
+        let a = random_items(400, 0.02, 1);
+        let b = random_items(300, 0.03, 2);
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        let mut got = spatial_join(&ta, &tb).pairs;
+        got.sort();
+        assert_eq!(got, brute_force(&a, &b, JoinPredicate::Overlap));
+    }
+
+    #[test]
+    fn join_matches_brute_force_different_heights() {
+        let a = random_items(2_000, 0.01, 3); // deep tree with cap 8
+        let b = random_items(60, 0.05, 4); // shallow tree
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        assert!(ta.height() > tb.height());
+        let mut got = spatial_join(&ta, &tb).pairs;
+        got.sort();
+        assert_eq!(got, brute_force(&a, &b, JoinPredicate::Overlap));
+        // And with roles swapped (shorter data tree).
+        let mut got = spatial_join(&tb, &ta).pairs;
+        got.sort();
+        assert_eq!(got, brute_force(&b, &a, JoinPredicate::Overlap));
+    }
+
+    #[test]
+    fn plane_sweep_finds_same_pairs() {
+        let a = random_items(500, 0.02, 5);
+        let b = random_items(500, 0.02, 6);
+        let ta = build(&a, 12);
+        let tb = build(&b, 12);
+        let nested = spatial_join_with(
+            &ta,
+            &tb,
+            JoinConfig {
+                order: MatchOrder::NestedLoop,
+                ..JoinConfig::default()
+            },
+        );
+        let sweep = spatial_join_with(
+            &ta,
+            &tb,
+            JoinConfig {
+                order: MatchOrder::PlaneSweep,
+                ..JoinConfig::default()
+            },
+        );
+        // NA is order-independent (same pair visits).
+        assert_eq!(nested.na_total(), sweep.na_total());
+        let mut p1 = nested.pairs;
+        let mut p2 = sweep.pairs;
+        p1.sort();
+        p2.sort();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn distance_join_matches_brute_force() {
+        let a = random_items(200, 0.01, 7);
+        let b = random_items(200, 0.01, 8);
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        let pred = JoinPredicate::WithinDistance(0.05);
+        let mut got = spatial_join_with(
+            &ta,
+            &tb,
+            JoinConfig {
+                predicate: pred,
+                ..JoinConfig::default()
+            },
+        )
+        .pairs;
+        got.sort();
+        assert_eq!(got, brute_force(&a, &b, pred));
+    }
+
+    #[test]
+    fn distance_join_plane_sweep_agrees() {
+        let a = random_items(300, 0.01, 17);
+        let b = random_items(300, 0.01, 18);
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        let pred = JoinPredicate::WithinDistance(0.04);
+        let mut nested = spatial_join_with(
+            &ta,
+            &tb,
+            JoinConfig {
+                predicate: pred,
+                ..JoinConfig::default()
+            },
+        )
+        .pairs;
+        let mut sweep = spatial_join_with(
+            &ta,
+            &tb,
+            JoinConfig {
+                predicate: pred,
+                order: MatchOrder::PlaneSweep,
+                ..JoinConfig::default()
+            },
+        )
+        .pairs;
+        nested.sort();
+        sweep.sort();
+        assert_eq!(nested, sweep);
+    }
+
+    #[test]
+    fn da_bounded_by_na_under_every_policy() {
+        let a = random_items(1_000, 0.015, 9);
+        let b = random_items(1_000, 0.015, 10);
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        let mut last_pairs: Option<u64> = None;
+        for policy in [
+            BufferPolicy::None,
+            BufferPolicy::Path,
+            BufferPolicy::Lru(64),
+        ] {
+            let r = spatial_join_with(
+                &ta,
+                &tb,
+                JoinConfig {
+                    buffer: policy,
+                    collect_pairs: false,
+                    ..JoinConfig::default()
+                },
+            );
+            assert!(r.da_total() <= r.na_total(), "{policy:?}");
+            assert!(r.stats1.da_bounded_by_na());
+            assert!(r.stats2.da_bounded_by_na());
+            // Results are independent of buffering.
+            if let Some(p) = last_pairs {
+                assert_eq!(p, r.pair_count);
+            }
+            last_pairs = Some(r.pair_count);
+        }
+    }
+
+    #[test]
+    fn no_buffer_means_da_equals_na() {
+        let a = random_items(500, 0.02, 11);
+        let b = random_items(500, 0.02, 12);
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        let r = spatial_join_with(
+            &ta,
+            &tb,
+            JoinConfig {
+                buffer: BufferPolicy::None,
+                ..JoinConfig::default()
+            },
+        );
+        assert_eq!(r.na_total(), r.da_total());
+    }
+
+    #[test]
+    fn na_symmetric_between_trees() {
+        // Each pair visit accesses one node of each tree, so the two
+        // trees' NA tallies are identical (the paper's Eq 6 remark).
+        let a = random_items(800, 0.02, 13);
+        let b = random_items(400, 0.02, 14);
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        if ta.height() == tb.height() {
+            let r = spatial_join(&ta, &tb);
+            assert_eq!(r.stats1.na_total(), r.stats2.na_total());
+        }
+    }
+
+    #[test]
+    fn lru_beats_path_beats_none() {
+        let a = random_items(1_500, 0.01, 15);
+        let b = random_items(1_500, 0.01, 16);
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        let run = |policy| {
+            spatial_join_with(
+                &ta,
+                &tb,
+                JoinConfig {
+                    buffer: policy,
+                    collect_pairs: false,
+                    ..JoinConfig::default()
+                },
+            )
+            .da_total()
+        };
+        let none = run(BufferPolicy::None);
+        let path = run(BufferPolicy::Path);
+        let lru = run(BufferPolicy::Lru(512));
+        assert!(path < none, "path {path} vs none {none}");
+        assert!(lru <= path, "lru {lru} vs path {path}");
+    }
+
+    #[test]
+    fn roots_are_not_counted() {
+        // Two small trees of height 1: the join touches only the
+        // (memory-resident) roots, so NA = DA = 0.
+        let a = random_items(5, 0.8, 19);
+        let b = random_items(5, 0.8, 20);
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        assert_eq!(ta.height(), 1);
+        let r = spatial_join(&ta, &tb);
+        assert_eq!(r.na_total(), 0);
+        assert_eq!(r.da_total(), 0);
+        assert!(!r.pairs.is_empty(), "objects do overlap");
+    }
+
+    #[test]
+    fn empty_tree_join_is_empty() {
+        let empty = RTree::<2>::new(RTreeConfig::with_capacity(8));
+        let b = build(&random_items(100, 0.05, 21), 8);
+        let r = spatial_join(&empty, &b);
+        assert_eq!(r.pair_count, 0);
+        assert_eq!(r.na_total(), 0);
+        let r = spatial_join(&b, &empty);
+        assert_eq!(r.pair_count, 0);
+    }
+
+    #[test]
+    fn pair_count_tracked_without_materialization() {
+        let a = random_items(300, 0.03, 22);
+        let b = random_items(300, 0.03, 23);
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        let with = spatial_join(&ta, &tb);
+        let without = spatial_join_with(
+            &ta,
+            &tb,
+            JoinConfig {
+                collect_pairs: false,
+                ..JoinConfig::default()
+            },
+        );
+        assert_eq!(with.pair_count, with.pairs.len() as u64);
+        assert_eq!(with.pair_count, without.pair_count);
+        assert!(without.pairs.is_empty());
+    }
+
+    #[test]
+    fn paper_level_accessors() {
+        let a = random_items(2_000, 0.01, 24);
+        let b = random_items(2_000, 0.01, 25);
+        let ta = build(&a, 8);
+        let tb = build(&b, 8);
+        let r = spatial_join(&ta, &tb);
+        let h = ta.height();
+        // Roots (paper level h) are never accessed.
+        assert_eq!(r.na_at_paper_level(1, h), 0);
+        // Leaf level (paper level 1) accessed plenty.
+        assert!(r.na_at_paper_level(1, 1) > 0);
+        assert!(r.da_at_paper_level(2, 1) <= r.na_at_paper_level(2, 1));
+    }
+}

@@ -1,0 +1,41 @@
+//! Spatial join executors over two R-trees, instrumented for the cost
+//! model's two measures.
+//!
+//! The centerpiece is the **SJ algorithm** of Brinkhoff, Kriegel & Seeger
+//! (SIGMOD 1993), Figure 2 of the paper: a synchronized depth-first
+//! traversal of both trees, with the entries of the current R2 node as
+//! the outer loop and R1's as the inner loop. Every node fetch is routed
+//! through a per-tree [`sjcm_storage::BufferManager`] and tallied in
+//! per-level [`sjcm_storage::AccessStats`], yielding exactly the
+//! quantities the analytical model predicts:
+//!
+//! * **NA** — every logical node access (`BufferPolicy::None`);
+//! * **DA** — buffer misses under per-tree path buffers
+//!   (`BufferPolicy::Path`, the paper's §3.1 setting) or an LRU buffer
+//!   (`BufferPolicy::Lru`, the §5 future-work extension).
+//!
+//! Trees of different heights are handled by pinning the shorter tree's
+//! node once it reaches a leaf while the taller tree keeps descending —
+//! re-accessing the pinned node each step, which is what Eq 11 counts
+//! (under a path buffer those re-accesses hit, which is what Eq 12
+//! exploits).
+//!
+//! [`baselines`] provides the comparison algorithms (index nested loop
+//! as in \[AS94\]'s view of a join as repeated range queries, and the
+//! brute-force nested loop used as the correctness oracle), [`pbsm`]
+//! the Partition Based Spatial-Merge join of \[PD96\] (the paper's
+//! §2.1 "no index" camp), and [`parallel`] a multi-threaded SJ per the
+//! paper's §5 outlook.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod executor;
+pub mod parallel;
+pub mod pbsm;
+
+pub use executor::{
+    spatial_join, spatial_join_with, BufferPolicy, JoinConfig, JoinPredicate, JoinResultSet,
+    MatchOrder,
+};

@@ -1,0 +1,401 @@
+//! Parallel spatial join — the §5 future-work item, after Brinkhoff et
+//! al., *Parallel Processing of Spatial Joins Using R-trees* (ICDE 1996).
+//!
+//! The root-level overlapping entry pairs are distributed round-robin
+//! over worker threads; each worker runs the sequential SJ recursion on
+//! its share with **its own** buffers and counters (a shared buffer
+//! would serialize the workers), and the tallies are merged at the end.
+//!
+//! Consequences the tests pin down:
+//!
+//! * the result pair multiset is identical to the sequential join;
+//! * NA is identical (the same node pairs are visited);
+//! * DA is ≥ the sequential DA — splitting the traversal breaks some of
+//!   the path-buffer locality, exactly the kind of effect the paper says
+//!   a parallel cost model must account for.
+
+use crate::executor::{spatial_join_with, JoinConfig, JoinResultSet};
+use sjcm_geom::Rect;
+use sjcm_rtree::{Child, Entry, Node, NodeId, ObjectId, RTree};
+use sjcm_storage::{AccessStats, BufferManager, PageId};
+
+/// Runs the spatial join with `threads` workers. `threads = 1` falls
+/// back to the sequential executor.
+pub fn parallel_spatial_join<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    threads: usize,
+) -> JoinResultSet {
+    assert!(threads >= 1, "need at least one worker");
+    if threads == 1 {
+        return spatial_join_with(r1, r2, config);
+    }
+    // Collect the root-level work units: overlapping (child1, child2)
+    // pairs, or pinned pairs when heights differ at the root.
+    let units = root_work_units(r1, r2, &config);
+    let mut shards: Vec<Vec<WorkUnit>> = vec![Vec::new(); threads];
+    for (i, u) in units.into_iter().enumerate() {
+        shards[i % threads].push(u);
+    }
+
+    let results: Vec<JoinResultSet> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| scope.spawn(move |_| run_shard(r1, r2, config, shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+
+    let mut pairs = Vec::new();
+    let mut pair_count = 0;
+    let mut stats1 = AccessStats::new();
+    let mut stats2 = AccessStats::new();
+    for r in results {
+        pairs.extend(r.pairs);
+        pair_count += r.pair_count;
+        stats1.merge(&r.stats1);
+        stats2.merge(&r.stats2);
+    }
+    JoinResultSet {
+        pairs,
+        pair_count,
+        stats1,
+        stats2,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum WorkUnit {
+    /// Both root children descend.
+    Pair(Child, Child),
+    /// R2's root is a leaf: object-pair output at the roots (no work to
+    /// parallelize — handled inline by shard 0 via this unit).
+    Emit(ObjectId, ObjectId),
+}
+
+fn root_work_units<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: &JoinConfig,
+) -> Vec<WorkUnit> {
+    let n1 = r1.node(r1.root_id());
+    let n2 = r2.node(r2.root_id());
+    let pred = config.predicate;
+    let mut units = Vec::new();
+    match (n1.is_leaf(), n2.is_leaf()) {
+        (true, true) => {
+            for e2 in &n2.entries {
+                for e1 in &n1.entries {
+                    if predicate_holds(pred, &e1.rect, &e2.rect) {
+                        units.push(WorkUnit::Emit(e1.child.object(), e2.child.object()));
+                    }
+                }
+            }
+        }
+        (false, false) => {
+            for e2 in &n2.entries {
+                for e1 in &n1.entries {
+                    if predicate_holds(pred, &e1.rect, &e2.rect) {
+                        units.push(WorkUnit::Pair(e1.child, e2.child));
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            if let Some(m2) = n2.mbr() {
+                for e1 in &n1.entries {
+                    if predicate_holds(pred, &e1.rect, &m2) {
+                        units.push(WorkUnit::Pair(e1.child, Child::Node(r2.root_id())));
+                    }
+                }
+            }
+        }
+        (true, false) => {
+            if let Some(m1) = n1.mbr() {
+                for e2 in &n2.entries {
+                    if predicate_holds(pred, &m1, &e2.rect) {
+                        units.push(WorkUnit::Pair(Child::Node(r1.root_id()), e2.child));
+                    }
+                }
+            }
+        }
+    }
+    units
+}
+
+fn predicate_holds<const N: usize>(
+    pred: crate::executor::JoinPredicate,
+    a: &Rect<N>,
+    b: &Rect<N>,
+) -> bool {
+    match pred {
+        crate::executor::JoinPredicate::Overlap => a.intersects(b),
+        crate::executor::JoinPredicate::WithinDistance(eps) => a.within_distance(b, eps),
+    }
+}
+
+/// Runs one worker's share: a mini-executor seeded with the assigned
+/// root-level pairs. Re-uses the sequential executor by synthesizing a
+/// "virtual root" pair per unit.
+fn run_shard<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    units: &[WorkUnit],
+) -> JoinResultSet {
+    let mut shard = ShardExecutor {
+        r1,
+        r2,
+        buf1: buffer_of(config),
+        buf2: buffer_of(config),
+        stats1: AccessStats::new(),
+        stats2: AccessStats::new(),
+        pairs: Vec::new(),
+        pair_count: 0,
+        config,
+    };
+    for unit in units {
+        match *unit {
+            WorkUnit::Emit(a, b) => {
+                shard.pair_count += 1;
+                if config.collect_pairs {
+                    shard.pairs.push((a, b));
+                }
+            }
+            WorkUnit::Pair(c1, c2) => {
+                let (id1, id2) = (c1.node(), c2.node());
+                // Root-child reads are charged like in the sequential
+                // executor (unless the unit pins a root itself).
+                if id1 != r1.root_id() {
+                    shard.access1(id1);
+                }
+                if id2 != r2.root_id() {
+                    shard.access2(id2);
+                }
+                shard.visit(id1, id2);
+            }
+        }
+    }
+    JoinResultSet {
+        pairs: shard.pairs,
+        pair_count: shard.pair_count,
+        stats1: shard.stats1,
+        stats2: shard.stats2,
+    }
+}
+
+fn buffer_of(config: JoinConfig) -> Box<dyn BufferManager> {
+    use crate::executor::BufferPolicy;
+    use sjcm_storage::{LruBuffer, NoBuffer, PathBuffer};
+    match config.buffer {
+        BufferPolicy::None => Box::new(NoBuffer),
+        BufferPolicy::Path => Box::new(PathBuffer::new()),
+        BufferPolicy::Lru(cap) => Box::new(LruBuffer::new(cap)),
+    }
+}
+
+/// A reduced copy of the sequential executor's recursion for worker
+/// shards (the sequential `Executor` is private to `executor.rs` and
+/// entangled with its entry point; the traversal logic is small enough
+/// that sharing it through a trait would cost more than it saves).
+struct ShardExecutor<'a, const N: usize> {
+    r1: &'a RTree<N>,
+    r2: &'a RTree<N>,
+    buf1: Box<dyn BufferManager>,
+    buf2: Box<dyn BufferManager>,
+    stats1: AccessStats,
+    stats2: AccessStats,
+    pairs: Vec<(ObjectId, ObjectId)>,
+    pair_count: u64,
+    config: JoinConfig,
+}
+
+impl<const N: usize> ShardExecutor<'_, N> {
+    fn access1(&mut self, id: NodeId) {
+        let level = self.r1.node(id).level;
+        let kind = self.buf1.access(PageId(id.0), level);
+        self.stats1.record(level, kind);
+    }
+
+    fn access2(&mut self, id: NodeId) {
+        let level = self.r2.node(id).level;
+        let kind = self.buf2.access(PageId(id.0), level);
+        self.stats2.record(level, kind);
+    }
+
+    fn visit(&mut self, n1_id: NodeId, n2_id: NodeId) {
+        let n1: &Node<N> = self.r1.node(n1_id);
+        let n2: &Node<N> = self.r2.node(n2_id);
+        let pred = self.config.predicate;
+        match (n1.is_leaf(), n2.is_leaf()) {
+            (true, true) => {
+                for e2 in &n2.entries {
+                    for e1 in &n1.entries {
+                        if predicate_holds(pred, &e1.rect, &e2.rect) {
+                            self.pair_count += 1;
+                            if self.config.collect_pairs {
+                                self.pairs.push((e1.child.object(), e2.child.object()));
+                            }
+                        }
+                    }
+                }
+            }
+            (false, false) => {
+                let matched: Vec<(Entry<N>, Entry<N>)> = n2
+                    .entries
+                    .iter()
+                    .flat_map(|e2| {
+                        n1.entries
+                            .iter()
+                            .filter(|e1| predicate_holds(pred, &e1.rect, &e2.rect))
+                            .map(|e1| (*e1, *e2))
+                    })
+                    .collect();
+                for (e1, e2) in matched {
+                    let (c1, c2) = (e1.child.node(), e2.child.node());
+                    self.access1(c1);
+                    self.access2(c2);
+                    self.visit(c1, c2);
+                }
+            }
+            (false, true) => {
+                let m2 = match n2.mbr() {
+                    Some(m) => m,
+                    None => return,
+                };
+                let children: Vec<NodeId> = n1
+                    .entries
+                    .iter()
+                    .filter(|e| predicate_holds(pred, &e.rect, &m2))
+                    .map(|e| e.child.node())
+                    .collect();
+                for c1 in children {
+                    self.access1(c1);
+                    self.access2(n2_id);
+                    self.visit(c1, n2_id);
+                }
+            }
+            (true, false) => {
+                let m1 = match n1.mbr() {
+                    Some(m) => m,
+                    None => return,
+                };
+                let children: Vec<NodeId> = n2
+                    .entries
+                    .iter()
+                    .filter(|e| predicate_holds(pred, &m1, &e.rect))
+                    .map(|e| e.child.node())
+                    .collect();
+                for c2 in children {
+                    self.access1(n1_id);
+                    self.access2(c2);
+                    self.visit(n1_id, c2);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::spatial_join;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sjcm_rtree::RTreeConfig;
+
+    fn build(n: usize, side: f64, seed: u64) -> RTree<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = RTree::<2>::new(RTreeConfig::with_capacity(8));
+        for i in 0..n {
+            let cx: f64 = rng.gen_range(0.0..1.0);
+            let cy: f64 = rng.gen_range(0.0..1.0);
+            tree.insert(
+                Rect::centered(sjcm_geom::Point::new([cx, cy]), [side, side]),
+                ObjectId(i as u32),
+            );
+        }
+        tree
+    }
+
+    #[test]
+    fn parallel_matches_sequential_pairs() {
+        let a = build(2_000, 0.01, 1);
+        let b = build(2_000, 0.01, 2);
+        let seq = spatial_join(&a, &b);
+        for threads in [2, 4, 7] {
+            let par = parallel_spatial_join(&a, &b, JoinConfig::default(), threads);
+            let mut ps = par.pairs.clone();
+            let mut ss = seq.pairs.clone();
+            ps.sort();
+            ss.sort();
+            assert_eq!(ps, ss, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_na_equals_sequential_na() {
+        let a = build(2_000, 0.01, 3);
+        let b = build(2_000, 0.01, 4);
+        let seq = spatial_join(&a, &b);
+        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 4);
+        assert_eq!(seq.na_total(), par.na_total());
+    }
+
+    #[test]
+    fn parallel_da_at_least_sequential_da() {
+        let a = build(3_000, 0.008, 5);
+        let b = build(3_000, 0.008, 6);
+        let seq = spatial_join(&a, &b);
+        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 4);
+        assert!(
+            par.da_total() >= seq.da_total(),
+            "parallel {} vs sequential {}",
+            par.da_total(),
+            seq.da_total()
+        );
+    }
+
+    #[test]
+    fn single_thread_is_sequential() {
+        let a = build(500, 0.02, 7);
+        let b = build(500, 0.02, 8);
+        let seq = spatial_join(&a, &b);
+        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 1);
+        assert_eq!(seq.pairs, par.pairs);
+        assert_eq!(seq.da_total(), par.da_total());
+    }
+
+    #[test]
+    fn parallel_handles_different_heights() {
+        let a = build(3_000, 0.01, 9);
+        let b = build(40, 0.05, 10);
+        assert!(a.height() > b.height());
+        let seq = spatial_join(&a, &b);
+        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 3);
+        let mut ps = par.pairs.clone();
+        let mut ss = seq.pairs.clone();
+        ps.sort();
+        ss.sort();
+        assert_eq!(ps, ss);
+    }
+
+    #[test]
+    fn parallel_handles_leaf_roots() {
+        let a = build(5, 0.2, 11);
+        let b = build(5, 0.2, 12);
+        assert_eq!(a.height(), 1);
+        let seq = spatial_join(&a, &b);
+        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 2);
+        let mut ps = par.pairs.clone();
+        let mut ss = seq.pairs.clone();
+        ps.sort();
+        ss.sort();
+        assert_eq!(ps, ss);
+    }
+}

@@ -1,0 +1,119 @@
+//! Dataset statistics catalog.
+//!
+//! The optimizer sees each base data set exactly the way the cost model
+//! does: through its primitive properties `(N, D)`, optionally refined
+//! by a density surface for non-uniform data. This mirrors a real
+//! system catalog, where such statistics are maintained by `ANALYZE`-
+//! style sampling rather than read from the index.
+
+use sjcm_core::{DataProfile, DensitySurface};
+use std::collections::BTreeMap;
+
+/// Statistics of one registered data set.
+#[derive(Debug, Clone)]
+pub struct DatasetStats<const N: usize> {
+    /// Cardinality and density — the model's primitive properties.
+    pub profile: DataProfile,
+    /// Whether an R-tree index exists over the data set (base data sets
+    /// normally have one; intermediate results never do).
+    pub indexed: bool,
+    /// Optional local-density refinement for skewed data.
+    pub surface: Option<DensitySurface<N>>,
+}
+
+impl<const N: usize> DatasetStats<N> {
+    /// An indexed data set with the given primitive properties.
+    pub fn new(cardinality: u64, density: f64) -> Self {
+        Self {
+            profile: DataProfile::new(cardinality, density),
+            indexed: true,
+            surface: None,
+        }
+    }
+
+    /// Marks the data set as unindexed.
+    pub fn without_index(mut self) -> Self {
+        self.indexed = false;
+        self
+    }
+
+    /// Attaches a density surface (non-uniform statistics).
+    pub fn with_surface(mut self, surface: DensitySurface<N>) -> Self {
+        self.surface = Some(surface);
+        self
+    }
+}
+
+/// A name → statistics catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog<const N: usize> {
+    datasets: BTreeMap<String, DatasetStats<N>>,
+}
+
+impl<const N: usize> Catalog<N> {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self {
+            datasets: BTreeMap::new(),
+        }
+    }
+
+    /// Registers (or replaces) a data set.
+    pub fn register(&mut self, name: &str, stats: DatasetStats<N>) {
+        self.datasets.insert(name.to_string(), stats);
+    }
+
+    /// Looks up a data set.
+    pub fn get(&self, name: &str) -> Option<&DatasetStats<N>> {
+        self.datasets.get(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.datasets.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered data sets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// `true` when no data sets are registered.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::<2>::new();
+        assert!(c.is_empty());
+        c.register("roads", DatasetStats::new(1000, 0.1));
+        c.register("rivers", DatasetStats::new(2000, 0.2).without_index());
+        assert_eq!(c.len(), 2);
+        assert!(c.get("roads").unwrap().indexed);
+        assert!(!c.get("rivers").unwrap().indexed);
+        assert!(c.get("missing").is_none());
+        assert_eq!(c.names(), vec!["rivers", "roads"]);
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut c = Catalog::<2>::new();
+        c.register("x", DatasetStats::new(10, 0.1));
+        c.register("x", DatasetStats::new(20, 0.2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("x").unwrap().profile.cardinality, 20);
+    }
+
+    #[test]
+    fn surface_attachment() {
+        let surface = DensitySurface::<2>::from_rects(&[], 4);
+        let s = DatasetStats::new(5, 0.0).with_surface(surface);
+        assert!(s.surface.is_some());
+    }
+}

@@ -1,0 +1,223 @@
+//! Query and plan representations.
+
+use sjcm_geom::Rect;
+use std::fmt;
+
+/// A declarative join query: a set of base data sets combined by
+/// pairwise `overlap` joins (the paper's operator), with optional window
+/// selections on individual data sets — the shape of the paper's
+/// motivating example ("rivers that cross countries and lie west of the
+/// 7th meridian").
+#[derive(Debug, Clone)]
+pub struct JoinQuery<const N: usize> {
+    /// Base data sets participating in the join chain (2 or more; a
+    /// single data set with a selection is also allowed).
+    pub datasets: Vec<String>,
+    /// Window selections: `(dataset, window)`.
+    pub selections: Vec<(String, Rect<N>)>,
+}
+
+impl<const N: usize> JoinQuery<N> {
+    /// A pure join over the given data sets.
+    pub fn new<I, S>(datasets: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            datasets: datasets.into_iter().map(Into::into).collect(),
+            selections: Vec::new(),
+        }
+    }
+
+    /// Adds a window selection on one data set.
+    pub fn with_selection(mut self, dataset: &str, window: Rect<N>) -> Self {
+        self.selections.push((dataset.to_string(), window));
+        self
+    }
+
+    /// The selection window on `dataset`, if any.
+    pub fn selection_on(&self, dataset: &str) -> Option<&Rect<N>> {
+        self.selections
+            .iter()
+            .find(|(d, _)| d == dataset)
+            .map(|(_, w)| w)
+    }
+}
+
+/// Physical join algorithm chosen by the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgorithm {
+    /// Synchronized R-tree traversal (SJ) — requires indexes on both
+    /// inputs. Cost via Eq 10/12 (path buffer); role-sensitive.
+    SynchronizedTraversal,
+    /// Index nested loop: window query on the indexed side per object of
+    /// the other side. Cost via Eq 1.
+    IndexNestedLoop,
+    /// Block nested loop over two unindexed inputs.
+    NestedLoop,
+}
+
+impl fmt::Display for JoinAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinAlgorithm::SynchronizedTraversal => write!(f, "SJ"),
+            JoinAlgorithm::IndexNestedLoop => write!(f, "INL"),
+            JoinAlgorithm::NestedLoop => write!(f, "NL"),
+        }
+    }
+}
+
+/// One operator of a physical plan.
+#[derive(Debug, Clone)]
+pub enum PlanNode<const N: usize> {
+    /// Use the base data set's R-tree as-is.
+    IndexScan {
+        /// Data set name.
+        dataset: String,
+    },
+    /// Window selection executed through the base index (Eq 1 cost),
+    /// producing an unindexed intermediate set.
+    IndexRangeSelect {
+        /// Data set name.
+        dataset: String,
+        /// Selection window.
+        window: Rect<N>,
+    },
+    /// Window selection applied on the fly to an intermediate input
+    /// (no additional I/O).
+    Filter {
+        /// Input plan.
+        input: Box<PlanNode<N>>,
+        /// The data set whose column the filter applies to (join outputs
+        /// carry one column per base data set).
+        dataset: String,
+        /// Selection window.
+        window: Rect<N>,
+    },
+    /// A spatial join of two inputs. For the SJ algorithm, `data` plays
+    /// the R1 (inner-loop) role and `query` the R2 (outer-loop) role —
+    /// the role assignment Eq 10/12 is sensitive to.
+    Join {
+        /// The R1 / data-tree side.
+        data: Box<PlanNode<N>>,
+        /// The R2 / query-tree side.
+        query: Box<PlanNode<N>>,
+        /// Chosen algorithm.
+        algorithm: JoinAlgorithm,
+    },
+}
+
+/// Estimated properties of one operator, filled in by the cost module.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimate {
+    /// Expected output cardinality.
+    pub cardinality: f64,
+    /// Expected output density (sum of MBR measures).
+    pub density: f64,
+    /// I/O cost of this operator alone (page accesses).
+    pub cost: f64,
+    /// Whether the output is backed by an R-tree index.
+    pub indexed: bool,
+}
+
+/// A costed physical plan.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan<const N: usize> {
+    /// Root operator.
+    pub root: PlanNode<N>,
+    /// Total estimated I/O cost (sum over operators).
+    pub total_cost: f64,
+    /// Estimated result cardinality.
+    pub cardinality: f64,
+}
+
+impl<const N: usize> PlanNode<N> {
+    fn render(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            PlanNode::IndexScan { dataset } => writeln!(f, "{pad}IndexScan({dataset})"),
+            PlanNode::IndexRangeSelect { dataset, window } => {
+                writeln!(
+                    f,
+                    "{pad}IndexRangeSelect({dataset}, window={:?})",
+                    window.extents()
+                )
+            }
+            PlanNode::Filter {
+                input,
+                dataset,
+                window,
+            } => {
+                writeln!(f, "{pad}Filter({dataset}, window={:?})", window.extents())?;
+                input.render(f, indent + 1)
+            }
+            PlanNode::Join {
+                data,
+                query,
+                algorithm,
+            } => {
+                writeln!(f, "{pad}Join[{algorithm}]")?;
+                writeln!(f, "{pad}  data(R1):")?;
+                data.render(f, indent + 2)?;
+                writeln!(f, "{pad}  query(R2):")?;
+                query.render(f, indent + 2)
+            }
+        }
+    }
+}
+
+impl<const N: usize> fmt::Display for PhysicalPlan<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan (est. cost {:.0} page accesses, est. cardinality {:.0}):",
+            self.total_cost, self.cardinality
+        )?;
+        self.root.render(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_builder() {
+        let q = JoinQuery::<2>::new(["a", "b"])
+            .with_selection("a", Rect::new([0.0, 0.0], [0.5, 1.0]).unwrap());
+        assert_eq!(q.datasets, vec!["a", "b"]);
+        assert!(q.selection_on("a").is_some());
+        assert!(q.selection_on("b").is_none());
+    }
+
+    #[test]
+    fn plan_renders_tree() {
+        let plan = PhysicalPlan {
+            root: PlanNode::<2>::Join {
+                data: Box::new(PlanNode::IndexScan {
+                    dataset: "rivers".into(),
+                }),
+                query: Box::new(PlanNode::IndexRangeSelect {
+                    dataset: "countries".into(),
+                    window: Rect::unit(),
+                }),
+                algorithm: JoinAlgorithm::IndexNestedLoop,
+            },
+            total_cost: 123.0,
+            cardinality: 45.0,
+        };
+        let text = plan.to_string();
+        assert!(text.contains("Join[INL]"));
+        assert!(text.contains("IndexScan(rivers)"));
+        assert!(text.contains("IndexRangeSelect(countries"));
+        assert!(text.contains("est. cost 123"));
+    }
+
+    #[test]
+    fn algorithm_labels() {
+        assert_eq!(JoinAlgorithm::SynchronizedTraversal.to_string(), "SJ");
+        assert_eq!(JoinAlgorithm::IndexNestedLoop.to_string(), "INL");
+        assert_eq!(JoinAlgorithm::NestedLoop.to_string(), "NL");
+    }
+}

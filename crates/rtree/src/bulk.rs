@@ -1,0 +1,368 @@
+//! Bulk loading ("packing") of R-trees.
+//!
+//! Two packers are provided:
+//!
+//! * **STR** (Sort-Tile-Recursive, Leutenegger et al.): recursively sorts
+//!   and tiles the data into vertical slabs, dimension by dimension.
+//!   Works for any `N`.
+//! * **Hilbert packing** (Kamel & Faloutsos, CIKM 1993 — reference
+//!   \[KF93\] of the paper): sorts by the Hilbert value of the MBR center
+//!   and fills pages in that order. Falls back to a Morton sort for
+//!   `N ≠ 2`.
+//!
+//! Packed trees have near-100% fill by default; a `fill` factor below
+//! 1.0 reproduces insertion-like utilization (the paper's c = 67%) for
+//! experiments that want packed construction speed with insertion-like
+//! node geometry.
+
+use crate::config::RTreeConfig;
+use crate::node::{Entry, Node, NodeId, ObjectId};
+use crate::tree::RTree;
+use sjcm_geom::curve::{curve_key, CurveKind};
+use sjcm_geom::Rect;
+
+/// Bulk-loading algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulkLoad {
+    /// Sort-Tile-Recursive.
+    Str,
+    /// Space-filling-curve packing (Hilbert for `N = 2`, Morton
+    /// otherwise).
+    Hilbert,
+}
+
+impl<const N: usize> RTree<N> {
+    /// Builds a tree from `(rect, id)` pairs using the given packer and
+    /// fill factor (fraction of `M` used per node, clamped to
+    /// `[2m/M, 1]`).
+    ///
+    /// ```
+    /// use sjcm_rtree::{RTree, RTreeConfig, ObjectId, BulkLoad};
+    /// use sjcm_geom::Rect;
+    /// let items: Vec<_> = (0..1000u32)
+    ///     .map(|i| {
+    ///         let x = (i % 100) as f64 / 100.0;
+    ///         let y = (i / 100) as f64 / 10.0;
+    ///         (Rect::new([x, y], [x + 0.005, y + 0.005]).unwrap(), ObjectId(i))
+    ///     })
+    ///     .collect();
+    /// let tree = RTree::<2>::bulk_load(
+    ///     RTreeConfig::paper(2), items, BulkLoad::Str, 1.0);
+    /// assert_eq!(tree.len(), 1000);
+    /// ```
+    pub fn bulk_load(
+        mut config: RTreeConfig,
+        items: Vec<(Rect<N>, ObjectId)>,
+        algorithm: BulkLoad,
+        fill: f64,
+    ) -> Self {
+        config.validate().expect("invalid R-tree configuration");
+        let cap_f = (config.max_entries as f64 * fill).floor() as usize;
+        let cap = cap_f.clamp(2, config.max_entries);
+        // The last-two-chunk balancing in `pack_level` needs cap ≥ 2m. A
+        // fill target below 2m/M is legitimate for a packed tree, so the
+        // tree's own minimum fill is relaxed to match instead of raising
+        // the cap.
+        if cap < 2 * config.min_entries {
+            config.min_entries = (cap / 2).max(1);
+        }
+        let mut tree = RTree::new(config);
+        if items.is_empty() {
+            return tree;
+        }
+        tree.set_len(items.len());
+
+        // Build leaf level.
+        let mut leaf_entries: Vec<Entry<N>> = items
+            .into_iter()
+            .map(|(rect, id)| Entry::leaf(rect, id))
+            .collect();
+        order_entries(&mut leaf_entries, algorithm);
+        let mut level_nodes: Vec<NodeId> =
+            pack_level(&mut tree, leaf_entries, 0, cap, config.min_entries);
+
+        // Build upper levels until a single node remains.
+        let mut level: u8 = 0;
+        while level_nodes.len() > 1 {
+            level += 1;
+            let mut entries: Vec<Entry<N>> = level_nodes
+                .iter()
+                .map(|&id| {
+                    let mbr = tree.node(id).mbr().expect("packed nodes are non-empty");
+                    Entry::internal(mbr, id)
+                })
+                .collect();
+            order_entries(&mut entries, algorithm);
+            level_nodes = pack_level(&mut tree, entries, level, cap, config.min_entries);
+        }
+        let root = level_nodes[0];
+        let placeholder = tree.root_id();
+        tree.set_root(root);
+        if placeholder != root {
+            tree.release(placeholder);
+        }
+        tree
+    }
+}
+
+/// Orders entries along the packer's curve. STR performs its recursive
+/// sort-and-tile; the curve packers sort by center key.
+fn order_entries<const N: usize>(entries: &mut [Entry<N>], algorithm: BulkLoad) {
+    match algorithm {
+        BulkLoad::Hilbert => {
+            let kind = CurveKind::Hilbert;
+            entries.sort_by_cached_key(|e| curve_key(kind, &e.rect.center()));
+        }
+        BulkLoad::Str => {
+            // Slab count is decided against the *page* capacity; the
+            // exact cap only affects the final chunking.
+            str_order(entries, 0);
+        }
+    }
+}
+
+/// Recursive STR ordering: sort by the center of dimension `dim`, cut
+/// into `S` slabs, recurse on each slab with the next dimension.
+fn str_order<const N: usize>(entries: &mut [Entry<N>], dim: usize) {
+    if entries.len() <= 1 {
+        return;
+    }
+    entries.sort_by(|a, b| {
+        a.rect.center()[dim]
+            .total_cmp(&b.rect.center()[dim])
+            .then_with(|| a.rect.lo_k(dim).total_cmp(&b.rect.lo_k(dim)))
+    });
+    if dim + 1 >= N {
+        return;
+    }
+    let remaining_dims = (N - dim) as f64;
+    // Standard STR: with P pages in an n-D tile, use P^(1/n) slabs per
+    // dimension. Here we only need the *ordering*, so the slab count uses
+    // the entry count directly.
+    let slabs = (entries.len() as f64)
+        .powf(1.0 / remaining_dims)
+        .ceil()
+        .max(1.0) as usize;
+    let slab_len = entries.len().div_ceil(slabs);
+    for chunk in entries.chunks_mut(slab_len) {
+        str_order(chunk, dim + 1);
+    }
+}
+
+/// Chunks ordered entries into nodes of `cap` entries, balancing the last
+/// two chunks so no node falls below the minimum fill.
+fn pack_level<const N: usize>(
+    tree: &mut RTree<N>,
+    entries: Vec<Entry<N>>,
+    level: u8,
+    cap: usize,
+    min_entries: usize,
+) -> Vec<NodeId> {
+    let total = entries.len();
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut remaining = total;
+    while remaining > 0 {
+        if remaining > cap {
+            // If taking a full chunk would leave an underfull remainder
+            // that a single next chunk must absorb, shrink this chunk.
+            let after = remaining - cap;
+            if after < min_entries && after > 0 && total > cap {
+                let take = remaining - min_entries;
+                let take = take.clamp(min_entries, cap);
+                sizes.push(take);
+                remaining -= take;
+            } else {
+                sizes.push(cap);
+                remaining -= cap;
+            }
+        } else {
+            sizes.push(remaining);
+            remaining = 0;
+        }
+    }
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut it = entries.into_iter();
+    for size in sizes {
+        let chunk: Vec<Entry<N>> = it.by_ref().take(size).collect();
+        let node = Node {
+            level,
+            entries: chunk,
+        };
+        out.push(tree.alloc(node));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sjcm_geom::Point;
+
+    fn random_items(n: usize, seed: u64) -> Vec<(Rect<2>, ObjectId)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = Point::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+                (Rect::centered(c, [0.01, 0.01]), ObjectId(i as u32))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn str_load_is_valid_and_queryable() {
+        let items = random_items(3000, 1);
+        let tree = RTree::<2>::bulk_load(
+            RTreeConfig::with_capacity(16),
+            items.clone(),
+            BulkLoad::Str,
+            1.0,
+        );
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), 3000);
+        let q = Rect::new([0.2, 0.2], [0.4, 0.4]).unwrap();
+        let mut got = tree.query_window(&q);
+        got.sort();
+        let mut want: Vec<ObjectId> = items
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|&(_, id)| id)
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn hilbert_load_is_valid_and_queryable() {
+        let items = random_items(3000, 2);
+        let tree = RTree::<2>::bulk_load(
+            RTreeConfig::with_capacity(16),
+            items.clone(),
+            BulkLoad::Hilbert,
+            1.0,
+        );
+        tree.check_invariants().unwrap();
+        let q = Rect::new([0.6, 0.1], [0.9, 0.5]).unwrap();
+        let mut got = tree.query_window(&q);
+        got.sort();
+        let mut want: Vec<ObjectId> = items
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|&(_, id)| id)
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn full_fill_produces_fewer_nodes_than_insertion() {
+        let items = random_items(2000, 3);
+        let packed = RTree::<2>::bulk_load(
+            RTreeConfig::with_capacity(16),
+            items.clone(),
+            BulkLoad::Hilbert,
+            1.0,
+        );
+        let mut inserted = RTree::<2>::new(RTreeConfig::with_capacity(16));
+        for (r, id) in items {
+            inserted.insert(r, id);
+        }
+        assert!(
+            packed.node_count() < inserted.node_count(),
+            "packed {} vs inserted {}",
+            packed.node_count(),
+            inserted.node_count()
+        );
+    }
+
+    #[test]
+    fn partial_fill_matches_target() {
+        let items = random_items(4000, 4);
+        let tree =
+            RTree::<2>::bulk_load(RTreeConfig::with_capacity(20), items, BulkLoad::Str, 0.67);
+        tree.check_invariants().unwrap();
+        let s = tree.stats();
+        // Leaf fanout ≈ floor(20 · 0.67) = 13.
+        let leaf = s.level(1).unwrap();
+        assert!(
+            (12.0..=14.0).contains(&leaf.avg_fanout),
+            "fanout {}",
+            leaf.avg_fanout
+        );
+    }
+
+    #[test]
+    fn bulk_load_empty_and_tiny() {
+        let empty =
+            RTree::<2>::bulk_load(RTreeConfig::with_capacity(8), vec![], BulkLoad::Str, 1.0);
+        assert!(empty.is_empty());
+        empty.check_invariants().unwrap();
+
+        let one = RTree::<2>::bulk_load(
+            RTreeConfig::with_capacity(8),
+            vec![(Rect::unit(), ObjectId(1))],
+            BulkLoad::Hilbert,
+            1.0,
+        );
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.height(), 1);
+        one.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_exact_page_boundary() {
+        // Exactly cap² items: two perfectly full levels.
+        let items = random_items(64, 5);
+        let tree = RTree::<2>::bulk_load(RTreeConfig::with_capacity(8), items, BulkLoad::Str, 1.0);
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.height(), 2);
+        assert_eq!(tree.stats().level(1).unwrap().node_count, 8);
+    }
+
+    #[test]
+    fn hilbert_packing_clusters_better_than_random_order() {
+        // The Hilbert-sorted leaves should have smaller total perimeter
+        // than leaves packed in insertion (id) order.
+        let items = random_items(2000, 6);
+        let hilbert = RTree::<2>::bulk_load(
+            RTreeConfig::with_capacity(16),
+            items.clone(),
+            BulkLoad::Hilbert,
+            1.0,
+        );
+        // "Random order" packer: abuse STR with dim ordering suppressed by
+        // packing the id-sorted list directly through a fresh tree.
+        let mut tree = RTree::<2>::new(RTreeConfig::with_capacity(16));
+        tree.set_len(items.len());
+        let entries: Vec<Entry<2>> = items.iter().map(|&(r, id)| Entry::leaf(r, id)).collect();
+        let ids = pack_level(&mut tree, entries, 0, 16, 6);
+        let random_margin: f64 = ids
+            .iter()
+            .map(|&id| tree.node(id).mbr().unwrap().margin())
+            .sum();
+        let hilbert_margin: f64 = hilbert
+            .node_ids_at_level(0)
+            .iter()
+            .map(|&id| hilbert.node(id).mbr().unwrap().margin())
+            .sum();
+        assert!(
+            hilbert_margin < random_margin * 0.5,
+            "hilbert {hilbert_margin} vs random {random_margin}"
+        );
+    }
+
+    #[test]
+    fn one_dimensional_bulk_load() {
+        let items: Vec<(Rect<1>, ObjectId)> = (0..500u32)
+            .map(|i| {
+                let lo = f64::from(i) / 500.0;
+                (Rect::new([lo], [lo + 0.001]).unwrap(), ObjectId(i))
+            })
+            .collect();
+        let tree = RTree::<1>::bulk_load(RTreeConfig::with_capacity(10), items, BulkLoad::Str, 1.0);
+        tree.check_invariants().unwrap();
+        let hits = tree.query_window(&Rect::new([0.0], [0.1]).unwrap());
+        assert_eq!(hits.len(), 51); // i = 0..=50 start at ≤ 0.1
+    }
+}

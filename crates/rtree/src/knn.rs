@@ -1,0 +1,270 @@
+//! k-nearest-neighbour search.
+//!
+//! Not part of the paper's evaluation, but a capability any adopter of
+//! an R-tree library expects, and the natural companion of the distance
+//! join: best-first (MINDIST-ordered) traversal after Hjaltason &
+//! Samet's incremental nearest-neighbour algorithm. Distances are
+//! point-to-MBR minimum Euclidean distances.
+
+use crate::node::{Child, NodeId, ObjectId};
+use crate::tree::RTree;
+use sjcm_geom::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One kNN result: the object, its MBR and the squared distance from
+/// the query point to that MBR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor<const N: usize> {
+    /// The stored object.
+    pub id: ObjectId,
+    /// Its bounding rectangle.
+    pub rect: Rect<N>,
+    /// Squared minimum distance from the query point to `rect`.
+    pub dist2: f64,
+}
+
+/// Min-heap entry: either a node to expand or an object candidate.
+enum HeapItem<const N: usize> {
+    Node(NodeId, f64),
+    Object(ObjectId, Rect<N>, f64),
+}
+
+impl<const N: usize> HeapItem<N> {
+    fn dist2(&self) -> f64 {
+        match self {
+            HeapItem::Node(_, d) | HeapItem::Object(_, _, d) => *d,
+        }
+    }
+}
+
+impl<const N: usize> PartialEq for HeapItem<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2() == other.dist2()
+    }
+}
+
+impl<const N: usize> Eq for HeapItem<N> {}
+
+impl<const N: usize> PartialOrd for HeapItem<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const N: usize> Ord for HeapItem<N> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the closest first.
+        other
+            .dist2()
+            .total_cmp(&self.dist2())
+            // Tie-break objects before nodes so equal-distance answers
+            // pop without needless expansion.
+            .then_with(|| {
+                let rank = |i: &HeapItem<N>| match i {
+                    HeapItem::Object(..) => 0,
+                    HeapItem::Node(..) => 1,
+                };
+                rank(other).cmp(&rank(self))
+            })
+    }
+}
+
+fn min_dist2_point<const N: usize>(p: &Point<N>, r: &Rect<N>) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..N {
+        let c = p[k];
+        let gap = if c < r.lo_k(k) {
+            r.lo_k(k) - c
+        } else if c > r.hi_k(k) {
+            c - r.hi_k(k)
+        } else {
+            0.0
+        };
+        acc += gap * gap;
+    }
+    acc
+}
+
+impl<const N: usize> RTree<N> {
+    /// The `k` stored objects whose MBRs are nearest to `query`
+    /// (Euclidean, MBR minimum distance), closest first. Returns fewer
+    /// than `k` when the tree is smaller.
+    pub fn nearest_neighbors(&self, query: &Point<N>, k: usize) -> Vec<Neighbor<N>> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        let mut heap: BinaryHeap<HeapItem<N>> = BinaryHeap::new();
+        heap.push(HeapItem::Node(self.root_id(), 0.0));
+        while let Some(item) = heap.pop() {
+            match item {
+                HeapItem::Object(id, rect, dist2) => {
+                    out.push(Neighbor { id, rect, dist2 });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                HeapItem::Node(node_id, _) => {
+                    let node = self.node(node_id);
+                    for e in &node.entries {
+                        let d = min_dist2_point(query, &e.rect);
+                        match e.child {
+                            Child::Object(id) => {
+                                heap.push(HeapItem::Object(id, e.rect, d));
+                            }
+                            Child::Node(child) => heap.push(HeapItem::Node(child, d)),
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All objects within Euclidean distance `radius` of `query`,
+    /// closest first.
+    pub fn within_radius(&self, query: &Point<N>, radius: f64) -> Vec<Neighbor<N>> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let r2 = radius * radius;
+        let mut out = Vec::new();
+        let mut heap: BinaryHeap<HeapItem<N>> = BinaryHeap::new();
+        heap.push(HeapItem::Node(self.root_id(), 0.0));
+        while let Some(item) = heap.pop() {
+            if item.dist2() > r2 {
+                break; // everything left is farther
+            }
+            match item {
+                HeapItem::Object(id, rect, dist2) => out.push(Neighbor { id, rect, dist2 }),
+                HeapItem::Node(node_id, _) => {
+                    let node = self.node(node_id);
+                    for e in &node.entries {
+                        let d = min_dist2_point(query, &e.rect);
+                        if d > r2 {
+                            continue;
+                        }
+                        match e.child {
+                            Child::Object(id) => {
+                                heap.push(HeapItem::Object(id, e.rect, d));
+                            }
+                            Child::Node(child) => heap.push(HeapItem::Node(child, d)),
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_tree(n: usize, seed: u64) -> (RTree<2>, Vec<(Rect<2>, ObjectId)>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = RTree::new(RTreeConfig::with_capacity(8));
+        let mut items = Vec::new();
+        for i in 0..n {
+            let c = Point::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+            let r = Rect::centered(c, [0.01, 0.01]);
+            tree.insert(r, ObjectId(i as u32));
+            items.push((r, ObjectId(i as u32)));
+        }
+        (tree, items)
+    }
+
+    fn brute_knn(items: &[(Rect<2>, ObjectId)], q: &Point<2>, k: usize) -> Vec<(f64, ObjectId)> {
+        let mut v: Vec<(f64, ObjectId)> = items
+            .iter()
+            .map(|&(r, id)| (min_dist2_point(q, &r), id))
+            .collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (tree, items) = sample_tree(500, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let q = Point::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+            let got = tree.nearest_neighbors(&q, 10);
+            let want = brute_knn(&items, &q, 10);
+            assert_eq!(got.len(), 10);
+            for (g, w) in got.iter().zip(&want) {
+                // Distances must agree exactly; ids may differ on ties.
+                assert!(
+                    (g.dist2 - w.0).abs() < 1e-12,
+                    "distance mismatch {} vs {}",
+                    g.dist2,
+                    w.0
+                );
+            }
+            // Closest first.
+            for pair in got.windows(2) {
+                assert!(pair[0].dist2 <= pair[1].dist2);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_tree() {
+        let (tree, _) = sample_tree(5, 3);
+        let q = Point::new([0.5, 0.5]);
+        assert_eq!(tree.nearest_neighbors(&q, 100).len(), 5);
+        assert!(tree.nearest_neighbors(&q, 0).is_empty());
+    }
+
+    #[test]
+    fn knn_on_empty_tree() {
+        let tree = RTree::<2>::new(RTreeConfig::with_capacity(8));
+        assert!(tree
+            .nearest_neighbors(&Point::new([0.5, 0.5]), 3)
+            .is_empty());
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let (tree, items) = sample_tree(500, 4);
+        let q = Point::new([0.3, 0.7]);
+        for radius in [0.0, 0.05, 0.2] {
+            let got = tree.within_radius(&q, radius);
+            let want: Vec<ObjectId> = items
+                .iter()
+                .filter(|&&(r, _)| min_dist2_point(&q, &r) <= radius * radius)
+                .map(|&(_, id)| id)
+                .collect();
+            assert_eq!(got.len(), want.len(), "radius {radius}");
+            let mut ids: Vec<ObjectId> = got.iter().map(|n| n.id).collect();
+            ids.sort();
+            let mut want = want;
+            want.sort();
+            assert_eq!(ids, want);
+            for pair in got.windows(2) {
+                assert!(pair[0].dist2 <= pair[1].dist2);
+            }
+        }
+    }
+
+    #[test]
+    fn point_inside_an_object_has_distance_zero() {
+        let mut tree = RTree::<2>::new(RTreeConfig::with_capacity(8));
+        let r = Rect::new([0.4, 0.4], [0.6, 0.6]).unwrap();
+        tree.insert(r, ObjectId(9));
+        let nn = tree.nearest_neighbors(&Point::new([0.5, 0.5]), 1);
+        assert_eq!(nn[0].id, ObjectId(9));
+        assert_eq!(nn[0].dist2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_rejected() {
+        let (tree, _) = sample_tree(10, 5);
+        tree.within_radius(&Point::new([0.5, 0.5]), -1.0);
+    }
+}

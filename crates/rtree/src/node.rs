@@ -1,0 +1,185 @@
+//! In-memory node representation and the node arena.
+//!
+//! Nodes live in a dense arena (`Vec<Node<N>>`) indexed by [`NodeId`].
+//! The id doubles as the simulated page id for buffer management in the
+//! join crate: two different trees never share a buffer, so ids only need
+//! to be unique within one tree.
+
+use serde::{Deserialize, Serialize};
+use sjcm_geom::{mbr_of, Rect};
+use std::fmt;
+
+/// Identifier of a node within one tree's arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a stored spatial object (the tuple id the leaf entries
+/// point at). 32-bit to match the paper's 4-byte leaf pointers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// What a node entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Child {
+    /// Internal entry: a child node one level down.
+    Node(NodeId),
+    /// Leaf entry: a stored object.
+    Object(ObjectId),
+}
+
+impl Child {
+    /// The child node id; panics on leaf entries (programming error).
+    #[inline]
+    pub fn node(self) -> NodeId {
+        match self {
+            Child::Node(id) => id,
+            Child::Object(o) => panic!("expected node child, found object {o:?}"),
+        }
+    }
+
+    /// The object id; panics on internal entries (programming error).
+    #[inline]
+    pub fn object(self) -> ObjectId {
+        match self {
+            Child::Object(id) => id,
+            Child::Node(n) => panic!("expected object child, found node {n:?}"),
+        }
+    }
+}
+
+/// One slot of a node: a bounding rectangle plus what it bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Entry<const N: usize> {
+    /// MBR of the child subtree or of the stored object.
+    pub rect: Rect<N>,
+    /// Child node or object.
+    pub child: Child,
+}
+
+impl<const N: usize> Entry<N> {
+    /// Leaf entry constructor.
+    #[inline]
+    pub fn leaf(rect: Rect<N>, id: ObjectId) -> Self {
+        Self {
+            rect,
+            child: Child::Object(id),
+        }
+    }
+
+    /// Internal entry constructor.
+    #[inline]
+    pub fn internal(rect: Rect<N>, id: NodeId) -> Self {
+        Self {
+            rect,
+            child: Child::Node(id),
+        }
+    }
+}
+
+/// An R-tree node: its level (0 = leaf) and its entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node<const N: usize> {
+    /// 0 for leaves, increasing toward the root. (The paper's formulas
+    /// number leaves as level 1; the cost-model crate shifts explicitly.)
+    pub level: u8,
+    /// Entries; capacity bounds are enforced by the tree, not the node.
+    pub entries: Vec<Entry<N>>,
+}
+
+impl<const N: usize> Node<N> {
+    /// New empty node at `level`.
+    pub fn new(level: u8) -> Self {
+        Self {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// `true` when this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the node has no entries (only valid for an empty
+    /// tree's root).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// MBR of all entries; `None` for an empty node.
+    pub fn mbr(&self) -> Option<Rect<N>> {
+        mbr_of(self.entries.iter().map(|e| e.rect))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_internal_entries() {
+        let r = Rect::<2>::unit();
+        let leaf = Entry::leaf(r, ObjectId(5));
+        assert_eq!(leaf.child.object(), ObjectId(5));
+        let internal = Entry::internal(r, NodeId(3));
+        assert_eq!(internal.child.node(), NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected node child")]
+    fn object_child_as_node_panics() {
+        Child::Object(ObjectId(1)).node();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected object child")]
+    fn node_child_as_object_panics() {
+        Child::Node(NodeId(1)).object();
+    }
+
+    #[test]
+    fn node_mbr_covers_entries() {
+        let mut node = Node::<2>::new(0);
+        assert!(node.is_leaf());
+        assert_eq!(node.mbr(), None);
+        node.entries.push(Entry::leaf(
+            Rect::new([0.1, 0.1], [0.2, 0.2]).unwrap(),
+            ObjectId(1),
+        ));
+        node.entries.push(Entry::leaf(
+            Rect::new([0.5, 0.4], [0.9, 0.6]).unwrap(),
+            ObjectId(2),
+        ));
+        let mbr = node.mbr().unwrap();
+        assert_eq!(mbr.lo().coords(), [0.1, 0.1]);
+        assert_eq!(mbr.hi().coords(), [0.9, 0.6]);
+        assert_eq!(node.len(), 2);
+        assert!(!node.is_empty());
+    }
+}

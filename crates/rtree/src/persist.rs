@@ -1,0 +1,235 @@
+//! Paged persistence: writing a tree to a [`PageStore`] in the paper's
+//! 1 KiB node layout and loading it back.
+//!
+//! Persisted coordinates are `f32` with outward rounding (see
+//! [`sjcm_storage::layout`]), so a reloaded tree's node rectangles may
+//! exceed the in-memory originals by an ulp — queries stay correct (no
+//! false negatives), and the invariant checker accepts the widened MBRs
+//! under an `f32` tolerance.
+
+use crate::config::RTreeConfig;
+use crate::node::{Child, Entry, Node, NodeId, ObjectId};
+use crate::tree::RTree;
+use sjcm_storage::{DiskEntry, DiskNode, PageId, PageStore, StorageError};
+use std::collections::HashMap;
+
+/// Handle to a persisted tree: everything needed to load it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistedTree {
+    /// Page of the root node.
+    pub root: PageId,
+    /// Number of stored objects.
+    pub len: usize,
+    /// Number of pages written.
+    pub pages: usize,
+}
+
+impl<const N: usize> RTree<N> {
+    /// Writes the tree to `store`, one node per page, returning the root
+    /// page handle.
+    pub fn save(&self, store: &mut dyn PageStore) -> Result<PersistedTree, StorageError> {
+        // Allocate ids first so children can be referenced before being
+        // written.
+        let mut page_of: HashMap<NodeId, PageId> = HashMap::new();
+        let live: Vec<NodeId> = self.iter_nodes().map(|(id, _)| id).collect();
+        for &id in &live {
+            page_of.insert(id, store.allocate()?);
+        }
+        for &id in &live {
+            let node = self.node(id);
+            let entries = node
+                .entries
+                .iter()
+                .map(|e| {
+                    let child = match e.child {
+                        Child::Object(ObjectId(o)) => o,
+                        Child::Node(n) => page_of[&n].index(),
+                    };
+                    DiskEntry {
+                        rect: e.rect,
+                        child,
+                    }
+                })
+                .collect();
+            let disk = DiskNode::<N> {
+                level: node.level,
+                entries,
+            };
+            let bytes = disk.encode(store.page_size())?;
+            store.write(page_of[&id], &bytes)?;
+        }
+        Ok(PersistedTree {
+            root: page_of[&self.root_id()],
+            len: self.len(),
+            pages: live.len(),
+        })
+    }
+
+    /// Loads a tree from `store`, starting at the persisted root page.
+    pub fn load(
+        store: &dyn PageStore,
+        handle: PersistedTree,
+        config: RTreeConfig,
+    ) -> Result<Self, StorageError> {
+        let mut tree = RTree::new(config);
+        let mut loaded: HashMap<PageId, NodeId> = HashMap::new();
+        let root = load_node(store, handle.root, &mut tree, &mut loaded)?;
+        let old_root = tree.root_id();
+        tree.set_root(root);
+        // Drop the placeholder empty root `RTree::new` created, unless it
+        // happens to be the loaded root itself.
+        if old_root != root {
+            tree.release(old_root);
+        }
+        tree.set_len(handle.len);
+        Ok(tree)
+    }
+}
+
+fn load_node<const N: usize>(
+    store: &dyn PageStore,
+    page: PageId,
+    tree: &mut RTree<N>,
+    loaded: &mut HashMap<PageId, NodeId>,
+) -> Result<NodeId, StorageError> {
+    if let Some(&id) = loaded.get(&page) {
+        // A page reachable twice means the on-disk structure is not a
+        // tree.
+        return Err(StorageError::MalformedNode(format!(
+            "page {page} reachable through two parents (cycle or DAG); already node {id:?}"
+        )));
+    }
+    let disk = DiskNode::<N>::decode(&store.read(page)?)?;
+    let mut node = Node::new(disk.level);
+    for e in &disk.entries {
+        let child = if disk.level == 0 {
+            Child::Object(ObjectId(e.child))
+        } else {
+            let child_page = PageId(e.child);
+            let child_id = load_node(store, child_page, tree, loaded)?;
+            let child_level = tree.node(child_id).level;
+            if child_level + 1 != disk.level {
+                return Err(StorageError::MalformedNode(format!(
+                    "page {child_page} at level {child_level} under parent level {}",
+                    disk.level
+                )));
+            }
+            Child::Node(child_id)
+        };
+        node.entries.push(Entry {
+            rect: e.rect,
+            child,
+        });
+    }
+    let id = tree.alloc(node);
+    loaded.insert(page, id);
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::BulkLoad;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sjcm_geom::{Point, Rect};
+    use sjcm_storage::InMemoryPageStore;
+
+    fn sample_tree(n: usize, seed: u64) -> RTree<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<(Rect<2>, ObjectId)> = (0..n)
+            .map(|i| {
+                let c = Point::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+                (Rect::centered(c, [0.01, 0.02]), ObjectId(i as u32))
+            })
+            .collect();
+        RTree::bulk_load(RTreeConfig::paper(2), items, BulkLoad::Str, 0.8)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_answers() {
+        let tree = sample_tree(2000, 1);
+        let mut store = InMemoryPageStore::with_default_page_size();
+        let handle = tree.save(&mut store).unwrap();
+        assert_eq!(handle.pages, tree.node_count());
+        let loaded = RTree::<2>::load(&store, handle, *tree.config()).unwrap();
+        assert_eq!(loaded.len(), tree.len());
+        assert_eq!(loaded.height(), tree.height());
+        assert_eq!(loaded.node_count(), tree.node_count());
+        loaded.check_invariants_with_tolerance(1e-5).unwrap();
+        // Every original object must still be found (f32 widening can
+        // only add candidates, never lose them).
+        let q = Rect::new([0.1, 0.3], [0.5, 0.6]).unwrap();
+        let mut orig = tree.query_window(&q);
+        orig.sort();
+        let got = loaded.query_window(&q);
+        for id in &orig {
+            assert!(got.contains(id), "lost {id:?} across persistence");
+        }
+    }
+
+    #[test]
+    fn roundtrip_insertion_built_tree() {
+        let mut tree = RTree::<2>::new(RTreeConfig::with_capacity(8));
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..500u32 {
+            let c = Point::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+            tree.insert(Rect::centered(c, [0.02, 0.02]), ObjectId(i));
+        }
+        let mut store = InMemoryPageStore::with_default_page_size();
+        let handle = tree.save(&mut store).unwrap();
+        let loaded = RTree::<2>::load(&store, handle, *tree.config()).unwrap();
+        loaded.check_invariants_with_tolerance(1e-5).unwrap();
+        assert_eq!(loaded.query_window(&Rect::unit()).len(), 500);
+    }
+
+    #[test]
+    fn empty_tree_roundtrip() {
+        let tree = RTree::<2>::new(RTreeConfig::paper(2));
+        let mut store = InMemoryPageStore::with_default_page_size();
+        let handle = tree.save(&mut store).unwrap();
+        assert_eq!(handle.pages, 1);
+        let loaded = RTree::<2>::load(&store, handle, *tree.config()).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.height(), 1);
+    }
+
+    #[test]
+    fn load_detects_corruption() {
+        let tree = sample_tree(200, 3);
+        let mut store = InMemoryPageStore::with_default_page_size();
+        let handle = tree.save(&mut store).unwrap();
+        store.corrupt_for_test(handle.root).unwrap();
+        let err = RTree::<2>::load(&store, handle, *tree.config()).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::Corrupt(_) | StorageError::MalformedNode(_)
+        ));
+    }
+
+    #[test]
+    fn load_rejects_wrong_dimensionality() {
+        let tree = sample_tree(100, 4);
+        let mut store = InMemoryPageStore::with_default_page_size();
+        let handle = tree.save(&mut store).unwrap();
+        let err = RTree::<3>::load(&store, handle, RTreeConfig::paper(3)).unwrap_err();
+        assert!(matches!(err, StorageError::MalformedNode(_)));
+    }
+
+    #[test]
+    fn one_kib_pages_fit_paper_capacity() {
+        // A full paper-config node (M = 50 in 2-D) must encode into one
+        // 1 KiB page.
+        let items: Vec<(Rect<2>, ObjectId)> = (0..50u32)
+            .map(|i| {
+                let x = f64::from(i) / 50.0;
+                (Rect::new([x, 0.0], [x + 0.01, 0.01]).unwrap(), ObjectId(i))
+            })
+            .collect();
+        let tree = RTree::<2>::bulk_load(RTreeConfig::paper(2), items, BulkLoad::Str, 1.0);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.node(tree.root_id()).len(), 50);
+        let mut store = InMemoryPageStore::with_default_page_size();
+        tree.save(&mut store).unwrap();
+    }
+}

@@ -1,0 +1,338 @@
+//! Node split algorithms.
+//!
+//! Both splitters take the `M + 1` entries of an overflowing node and
+//! partition them into two groups, each holding at least `m` entries:
+//!
+//! * [`quadratic_split`] — Guttman's original heuristic (SIGMOD 1984):
+//!   seed the groups with the pair wasting the most area, then greedily
+//!   assign the entry whose group preference is strongest.
+//! * [`rstar_split`] — the R\*-tree topological split (SIGMOD 1990):
+//!   choose the split *axis* by the minimum sum of group margins over all
+//!   candidate distributions, then the *distribution* on that axis by
+//!   minimum group overlap (ties: minimum combined area).
+
+use crate::node::Entry;
+use sjcm_geom::{mbr_of, Rect};
+
+/// Result of a split: the two entry groups. Order is not meaningful.
+pub type SplitResult<const N: usize> = (Vec<Entry<N>>, Vec<Entry<N>>);
+
+fn group_mbr<const N: usize>(entries: &[Entry<N>]) -> Rect<N> {
+    mbr_of(entries.iter().map(|e| e.rect)).expect("split groups are never empty")
+}
+
+/// Guttman's quadratic split.
+///
+/// Panics when `entries.len() < 2` or when `min_entries` makes a legal
+/// split impossible — both are internal invariant violations, not user
+/// errors, so they are defended with assertions rather than `Result`.
+pub fn quadratic_split<const N: usize>(
+    mut entries: Vec<Entry<N>>,
+    min_entries: usize,
+) -> SplitResult<N> {
+    let total = entries.len();
+    assert!(total >= 2, "cannot split {total} entries");
+    assert!(
+        2 * min_entries <= total,
+        "min fill {min_entries} impossible for {total} entries"
+    );
+
+    // PickSeeds: the pair (i, j) maximizing the dead space of their union.
+    let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..total {
+        for j in (i + 1)..total {
+            let d = entries[i].rect.union(&entries[j].rect).measure()
+                - entries[i].rect.measure()
+                - entries[j].rect.measure();
+            if d > worst {
+                worst = d;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    // Remove the higher index first so the lower one stays valid.
+    let eb = entries.swap_remove(seed_b);
+    let ea = entries.swap_remove(seed_a);
+    let mut group_a = vec![ea];
+    let mut group_b = vec![eb];
+    let mut mbr_a = group_a[0].rect;
+    let mut mbr_b = group_b[0].rect;
+
+    while !entries.is_empty() {
+        // Force-assign when one group must take everything left to
+        // reach the minimum fill.
+        let remaining = entries.len();
+        if group_a.len() + remaining == min_entries {
+            for e in entries.drain(..) {
+                mbr_a.expand_to(&e.rect);
+                group_a.push(e);
+            }
+            break;
+        }
+        if group_b.len() + remaining == min_entries {
+            for e in entries.drain(..) {
+                mbr_b.expand_to(&e.rect);
+                group_b.push(e);
+            }
+            break;
+        }
+        // PickNext: the entry with the greatest difference of enlargement
+        // between the two groups.
+        let (mut pick, mut best_diff) = (0usize, f64::NEG_INFINITY);
+        for (i, e) in entries.iter().enumerate() {
+            let d_a = mbr_a.enlargement(&e.rect);
+            let d_b = mbr_b.enlargement(&e.rect);
+            let diff = (d_a - d_b).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                pick = i;
+            }
+        }
+        let e = entries.swap_remove(pick);
+        let d_a = mbr_a.enlargement(&e.rect);
+        let d_b = mbr_b.enlargement(&e.rect);
+        // Prefer smaller enlargement; tie-break on area, then count.
+        let to_a = match d_a.partial_cmp(&d_b).expect("finite enlargements") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                if mbr_a.measure() != mbr_b.measure() {
+                    mbr_a.measure() < mbr_b.measure()
+                } else {
+                    group_a.len() <= group_b.len()
+                }
+            }
+        };
+        if to_a {
+            mbr_a.expand_to(&e.rect);
+            group_a.push(e);
+        } else {
+            mbr_b.expand_to(&e.rect);
+            group_b.push(e);
+        }
+    }
+    (group_a, group_b)
+}
+
+/// The R\*-tree topological split.
+///
+/// For every axis `k`, the entries are sorted once by lower and once by
+/// upper rectangle value; each sort induces `M − 2m + 2` candidate
+/// distributions (first `m + i` entries vs the rest). The axis with the
+/// minimum *margin sum* over its candidates is chosen, then the candidate
+/// with minimum group overlap (ties: minimum combined area).
+pub fn rstar_split<const N: usize>(entries: Vec<Entry<N>>, min_entries: usize) -> SplitResult<N> {
+    let total = entries.len();
+    assert!(total >= 2, "cannot split {total} entries");
+    assert!(
+        2 * min_entries <= total,
+        "min fill {min_entries} impossible for {total} entries"
+    );
+    let m = min_entries.max(1);
+
+    // ChooseSplitAxis: minimize the total margin over all distributions
+    // of both sorts of each axis.
+    let mut best_axis = 0usize;
+    let mut best_axis_margin = f64::INFINITY;
+    let mut sorted_per_axis: Vec<[Vec<Entry<N>>; 2]> = Vec::with_capacity(N);
+    for k in 0..N {
+        let mut by_lower = entries.clone();
+        by_lower.sort_by(|a, b| {
+            a.rect
+                .lo_k(k)
+                .total_cmp(&b.rect.lo_k(k))
+                .then(a.rect.hi_k(k).total_cmp(&b.rect.hi_k(k)))
+        });
+        let mut by_upper = entries.clone();
+        by_upper.sort_by(|a, b| {
+            a.rect
+                .hi_k(k)
+                .total_cmp(&b.rect.hi_k(k))
+                .then(a.rect.lo_k(k).total_cmp(&b.rect.lo_k(k)))
+        });
+        let mut margin_sum = 0.0;
+        for sorted in [&by_lower, &by_upper] {
+            for split_at in m..=(total - m) {
+                let (g1, g2) = sorted.split_at(split_at);
+                margin_sum += group_mbr(g1).margin() + group_mbr(g2).margin();
+            }
+        }
+        if margin_sum < best_axis_margin {
+            best_axis_margin = margin_sum;
+            best_axis = k;
+        }
+        sorted_per_axis.push([by_lower, by_upper]);
+    }
+
+    // ChooseSplitIndex on the winning axis.
+    let mut best: Option<(usize, usize, f64, f64)> = None; // (sort, split, overlap, area)
+    for (sort_idx, sorted) in sorted_per_axis[best_axis].iter().enumerate() {
+        for split_at in m..=(total - m) {
+            let (g1, g2) = sorted.split_at(split_at);
+            let r1 = group_mbr(g1);
+            let r2 = group_mbr(g2);
+            let overlap = r1.intersection_measure(&r2);
+            let area = r1.measure() + r2.measure();
+            let better = match best {
+                None => true,
+                Some((_, _, o, a)) => overlap < o || (overlap == o && area < a),
+            };
+            if better {
+                best = Some((sort_idx, split_at, overlap, area));
+            }
+        }
+    }
+    let (sort_idx, split_at, _, _) = best.expect("at least one distribution exists");
+    let sorted = &sorted_per_axis[best_axis][sort_idx];
+    let g1 = sorted[..split_at].to_vec();
+    let g2 = sorted[split_at..].to_vec();
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ObjectId;
+
+    fn entry(lo: [f64; 2], hi: [f64; 2], id: u32) -> Entry<2> {
+        Entry::leaf(Rect::new(lo, hi).unwrap(), ObjectId(id))
+    }
+
+    fn two_clusters() -> Vec<Entry<2>> {
+        // Five entries near the origin, five near (1,1).
+        let mut v = Vec::new();
+        for i in 0..5 {
+            let o = i as f64 * 0.02;
+            v.push(entry([o, o], [o + 0.05, o + 0.05], i));
+            v.push(entry([0.9 - o, 0.9 - o], [0.95 - o, 0.95 - o], 100 + i));
+        }
+        v
+    }
+
+    fn assert_split_separates_clusters(g1: &[Entry<2>], g2: &[Entry<2>]) {
+        let ids = |g: &[Entry<2>]| {
+            let mut low = 0;
+            let mut high = 0;
+            for e in g {
+                match e.child {
+                    crate::node::Child::Object(ObjectId(id)) if id < 100 => low += 1,
+                    _ => high += 1,
+                }
+            }
+            (low, high)
+        };
+        let (l1, h1) = ids(g1);
+        let (l2, h2) = ids(g2);
+        // One group should be all-low, the other all-high.
+        assert!(
+            (l1 == 5 && h1 == 0 && l2 == 0 && h2 == 5)
+                || (l1 == 0 && h1 == 5 && l2 == 5 && h2 == 0),
+            "clusters mixed: ({l1},{h1}) / ({l2},{h2})"
+        );
+    }
+
+    #[test]
+    fn quadratic_separates_obvious_clusters() {
+        let (g1, g2) = quadratic_split(two_clusters(), 2);
+        assert_eq!(g1.len() + g2.len(), 10);
+        assert!(g1.len() >= 2 && g2.len() >= 2);
+        assert_split_separates_clusters(&g1, &g2);
+    }
+
+    #[test]
+    fn rstar_separates_obvious_clusters() {
+        let (g1, g2) = rstar_split(two_clusters(), 2);
+        assert_eq!(g1.len() + g2.len(), 10);
+        assert!(g1.len() >= 2 && g2.len() >= 2);
+        assert_split_separates_clusters(&g1, &g2);
+    }
+
+    #[test]
+    fn rstar_groups_do_not_overlap_on_separable_input() {
+        let (g1, g2) = rstar_split(two_clusters(), 2);
+        let r1 = group_mbr(&g1);
+        let r2 = group_mbr(&g2);
+        assert_eq!(r1.intersection_measure(&r2), 0.0);
+    }
+
+    #[test]
+    fn quadratic_respects_min_fill_under_adversarial_seeds() {
+        // One far outlier forces the force-assignment path.
+        let mut v = vec![entry([0.9, 0.9], [1.0, 1.0], 99)];
+        for i in 0..7 {
+            let o = i as f64 * 0.001;
+            v.push(entry([o, o], [o + 0.001, o + 0.001], i));
+        }
+        let (g1, g2) = quadratic_split(v, 3);
+        assert!(g1.len() >= 3, "group sizes {} / {}", g1.len(), g2.len());
+        assert!(g2.len() >= 3);
+    }
+
+    #[test]
+    fn rstar_respects_min_fill() {
+        let mut v = vec![entry([0.9, 0.9], [1.0, 1.0], 99)];
+        for i in 0..7 {
+            let o = i as f64 * 0.001;
+            v.push(entry([o, o], [o + 0.001, o + 0.001], i));
+        }
+        let (g1, g2) = rstar_split(v, 3);
+        assert!(g1.len() >= 3 && g2.len() >= 3);
+    }
+
+    #[test]
+    fn splits_preserve_entry_multiset() {
+        let input = two_clusters();
+        for split in [quadratic_split::<2>, rstar_split::<2>] {
+            let (g1, g2) = split(input.clone(), 2);
+            let mut got: Vec<u32> = g1
+                .iter()
+                .chain(&g2)
+                .map(|e| match e.child {
+                    crate::node::Child::Object(ObjectId(id)) => id,
+                    _ => unreachable!(),
+                })
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = (0..5).chain(100..105).collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn split_of_single_entry_panics() {
+        quadratic_split::<2>(vec![entry([0.0, 0.0], [0.1, 0.1], 1)], 1);
+    }
+
+    #[test]
+    fn split_identical_rects_is_balanced_enough() {
+        // Degenerate input: all rectangles identical. Both algorithms
+        // must still produce two legal groups.
+        let v: Vec<Entry<2>> = (0..9).map(|i| entry([0.4, 0.4], [0.6, 0.6], i)).collect();
+        let (q1, q2) = quadratic_split(v.clone(), 3);
+        assert!(q1.len() >= 3 && q2.len() >= 3);
+        let (r1, r2) = rstar_split(v, 3);
+        assert!(r1.len() >= 3 && r2.len() >= 3);
+    }
+
+    #[test]
+    fn one_dimensional_split() {
+        let v: Vec<Entry<1>> = (0..8)
+            .map(|i| {
+                let o = i as f64 / 10.0;
+                Entry::leaf(Rect::new([o], [o + 0.05]).unwrap(), ObjectId(i))
+            })
+            .collect();
+        let (g1, g2) = rstar_split(v, 2);
+        assert_eq!(g1.len() + g2.len(), 8);
+        // 1-D split should cut the sorted order: groups must not
+        // interleave.
+        let max1 = g1.iter().map(|e| e.rect.lo_k(0)).fold(f64::MIN, f64::max);
+        let min2 = g2.iter().map(|e| e.rect.lo_k(0)).fold(f64::MAX, f64::min);
+        let max2 = g2.iter().map(|e| e.rect.lo_k(0)).fold(f64::MIN, f64::max);
+        let min1 = g1.iter().map(|e| e.rect.lo_k(0)).fold(f64::MAX, f64::min);
+        assert!(max1 <= min2 || max2 <= min1);
+    }
+}

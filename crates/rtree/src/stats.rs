@@ -1,0 +1,208 @@
+//! Measured per-level tree statistics.
+//!
+//! The analytical model predicts, for each level `j`, the node count
+//! `N_j` (Eq 3), the average node extent `s_{j,k}` (Eq 4) and the node-
+//! rectangle density `D_j` (Eq 5) from data properties alone. This module
+//! *measures* the same quantities from a built tree, which serves two
+//! purposes: validating Eqs 2–5 directly, and the "measured parameters"
+//! ablation that isolates parameter-prediction error from traversal-model
+//! error.
+
+use crate::tree::RTree;
+use serde::{Deserialize, Serialize};
+use sjcm_geom::density;
+
+/// Statistics of one tree level, using the **paper's** level numbering:
+/// leaves are level `j = 1`, the root is level `j = h`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Paper level `j` (1 = leaf).
+    pub level: usize,
+    /// Number of nodes at this level — the measured `N_j`.
+    pub node_count: usize,
+    /// Average node-rectangle extent per dimension — the measured
+    /// `s_{j,k}`.
+    pub avg_extents: Vec<f64>,
+    /// Density of the node rectangles over the unit workspace — the
+    /// measured `D_j`.
+    pub density: f64,
+    /// Average entries per node at this level.
+    pub avg_fanout: f64,
+}
+
+/// Whole-tree statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Height `h` in the paper's convention (leaf level 1 … root level h).
+    pub height: usize,
+    /// Number of stored objects `N`.
+    pub num_objects: usize,
+    /// Density `D` of the stored object MBRs.
+    pub data_density: f64,
+    /// Per-level statistics for `j = 1 … h` (index 0 ↦ level 1).
+    pub levels: Vec<LevelStats>,
+    /// Average node capacity utilization over all nodes — the measured
+    /// counterpart of the paper's `c` (typically ≈ 0.67).
+    pub avg_utilization: f64,
+}
+
+impl TreeStats {
+    /// Statistics for paper level `j` (1-based), if the tree is tall
+    /// enough.
+    pub fn level(&self, j: usize) -> Option<&LevelStats> {
+        if j == 0 {
+            return None;
+        }
+        self.levels.get(j - 1)
+    }
+}
+
+impl<const N: usize> RTree<N> {
+    /// Measures the per-level statistics of this tree.
+    pub fn stats(&self) -> TreeStats {
+        let height = self.height();
+        let max_entries = self.config().max_entries;
+        let mut levels = Vec::with_capacity(height);
+        let mut total_entries = 0usize;
+        let mut total_nodes = 0usize;
+        for crate_level in 0..height {
+            let ids = self.node_ids_at_level(crate_level as u8);
+            let rects: Vec<_> = ids.iter().filter_map(|&id| self.node(id).mbr()).collect();
+            let node_count = ids.len();
+            let entries: usize = ids.iter().map(|&id| self.node(id).len()).sum();
+            total_entries += entries;
+            total_nodes += node_count;
+            let mut avg = vec![0.0; N];
+            for r in &rects {
+                for (k, a) in avg.iter_mut().enumerate() {
+                    *a += r.extent(k);
+                }
+            }
+            if !rects.is_empty() {
+                for a in avg.iter_mut() {
+                    *a /= rects.len() as f64;
+                }
+            }
+            levels.push(LevelStats {
+                level: crate_level + 1,
+                node_count,
+                avg_extents: avg,
+                density: density(rects.iter()),
+                avg_fanout: if node_count == 0 {
+                    0.0
+                } else {
+                    entries as f64 / node_count as f64
+                },
+            });
+        }
+        let data_density = density(self.objects().iter().map(|(r, _)| r).collect::<Vec<_>>());
+        TreeStats {
+            height,
+            num_objects: self.len(),
+            data_density,
+            levels,
+            avg_utilization: if total_nodes == 0 {
+                0.0
+            } else {
+                total_entries as f64 / (total_nodes * max_entries) as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+    use crate::node::ObjectId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sjcm_geom::{Point, Rect};
+
+    fn build_uniform(n: usize, side: f64, seed: u64) -> RTree<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = RTree::<2>::new(RTreeConfig::with_capacity(16));
+        for i in 0..n {
+            let c = Point::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+            tree.insert(Rect::centered(c, [side, side]), ObjectId(i as u32));
+        }
+        tree
+    }
+
+    #[test]
+    fn stats_shape_matches_height() {
+        let tree = build_uniform(500, 0.01, 1);
+        let s = tree.stats();
+        assert_eq!(s.height, tree.height());
+        assert_eq!(s.levels.len(), s.height);
+        assert_eq!(s.num_objects, 500);
+        // Root level has exactly one node.
+        assert_eq!(s.levels.last().unwrap().node_count, 1);
+        // Leaf level has the most nodes.
+        assert!(s.levels[0].node_count >= s.levels.last().unwrap().node_count);
+    }
+
+    #[test]
+    fn level_accessor_is_one_based() {
+        let tree = build_uniform(300, 0.01, 2);
+        let s = tree.stats();
+        assert!(s.level(0).is_none());
+        assert_eq!(s.level(1).unwrap().level, 1);
+        assert_eq!(s.level(s.height).unwrap().node_count, 1);
+        assert!(s.level(s.height + 1).is_none());
+    }
+
+    #[test]
+    fn data_density_matches_construction() {
+        // 400 squares of side 0.02 → density ≈ 400 · 4e-4 = 0.16 (squares
+        // protruding past the workspace edge still count fully, matching
+        // the D = N·avg_area convention).
+        let tree = build_uniform(400, 0.02, 3);
+        let s = tree.stats();
+        assert!(
+            (s.data_density - 0.16).abs() < 0.01,
+            "density {}",
+            s.data_density
+        );
+    }
+
+    #[test]
+    fn node_density_grows_toward_root() {
+        // Node rectangles higher in the tree cover more space, so D_j
+        // increases with j (Eq 5's behaviour).
+        let tree = build_uniform(2000, 0.005, 4);
+        let s = tree.stats();
+        assert!(s.height >= 3);
+        for w in s.levels.windows(2) {
+            // Tolerate small non-monotonicity at the root (single node).
+            if w[1].node_count > 1 {
+                assert!(
+                    w[1].density > w[0].density * 0.8,
+                    "density should grow with level: {} -> {}",
+                    w[0].density,
+                    w[1].density
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avg_utilization_reasonable() {
+        let tree = build_uniform(2000, 0.005, 5);
+        let s = tree.stats();
+        assert!(
+            (0.5..=1.0).contains(&s.avg_utilization),
+            "utilization {}",
+            s.avg_utilization
+        );
+    }
+
+    #[test]
+    fn leaf_fanout_counts_objects() {
+        let tree = build_uniform(100, 0.01, 6);
+        let s = tree.stats();
+        let leaf = s.level(1).unwrap();
+        let total = leaf.avg_fanout * leaf.node_count as f64;
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,761 @@
+//! The R-tree proper: insertion (Guttman / R\* with forced reinsertion),
+//! deletion with tree condensation, and window queries.
+
+use crate::config::{RTreeConfig, SplitStrategy};
+use crate::node::{Child, Entry, Node, NodeId, ObjectId};
+use crate::split::{quadratic_split, rstar_split};
+use sjcm_geom::Rect;
+
+/// An R-tree over `N`-dimensional rectangles.
+///
+/// Nodes live in an arena owned by the tree; [`NodeId`]s double as
+/// simulated page ids for the join crate's buffer managers. The tree is
+/// never empty structurally — an empty tree has a leaf root with zero
+/// entries.
+#[derive(Debug, Clone)]
+pub struct RTree<const N: usize> {
+    config: RTreeConfig,
+    nodes: Vec<Option<Node<N>>>,
+    free: Vec<NodeId>,
+    root: NodeId,
+    len: usize,
+}
+
+impl<const N: usize> RTree<N> {
+    /// Creates an empty tree.
+    pub fn new(config: RTreeConfig) -> Self {
+        config.validate().expect("invalid R-tree configuration");
+        Self {
+            config,
+            nodes: vec![Some(Node::new(0))],
+            free: Vec::new(),
+            root: NodeId(0),
+            len: 0,
+        }
+    }
+
+    /// The tree's configuration.
+    #[inline]
+    pub fn config(&self) -> &RTreeConfig {
+        &self.config
+    }
+
+    /// Number of stored objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no objects are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree: the number of levels, so a leaf-only tree has
+    /// height 1. This matches the paper's `h` (root at level `h`, leaves
+    /// at level 1) up to the crate's 0-based level convention.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.node(self.root).level as usize + 1
+    }
+
+    /// Root node id.
+    #[inline]
+    pub fn root_id(&self) -> NodeId {
+        self.root
+    }
+
+    /// Borrow a node by id. Panics on a dangling id — the join executor
+    /// only holds ids handed out by this tree, so a failure here is an
+    /// internal bug, not an I/O condition.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node<N> {
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("dangling node id")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node<N> {
+        self.nodes[id.0 as usize]
+            .as_mut()
+            .expect("dangling node id")
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node<N>) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id.0 as usize] = Some(node);
+            id
+        } else {
+            let id = NodeId(self.nodes.len() as u32);
+            self.nodes.push(Some(node));
+            id
+        }
+    }
+
+    pub(crate) fn release(&mut self, id: NodeId) {
+        self.nodes[id.0 as usize] = None;
+        self.free.push(id);
+    }
+
+    pub(crate) fn set_root(&mut self, id: NodeId) {
+        self.root = id;
+    }
+
+    pub(crate) fn set_len(&mut self, len: usize) {
+        self.len = len;
+    }
+
+    /// MBR of the whole data set, `None` when empty.
+    pub fn mbr(&self) -> Option<Rect<N>> {
+        self.node(self.root).mbr()
+    }
+
+    /// Number of live nodes (the tree's size in simulated pages).
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Ids of all live nodes at `level` (0 = leaf).
+    pub fn node_ids_at_level(&self, level: u8) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n {
+                Some(node) if node.level == level => Some(NodeId(i as u32)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Iterates over all live nodes with their ids.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &Node<N>)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|node| (NodeId(i as u32), node)))
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Inserts an object with the given MBR.
+    pub fn insert(&mut self, rect: Rect<N>, id: ObjectId) {
+        debug_assert!(rect.is_valid(), "invalid rectangle {rect:?}");
+        self.insert_entry_at(Entry::leaf(rect, id), 0);
+        self.len += 1;
+    }
+
+    /// Inserts an entry so that it ends up in a node at `target_level`.
+    /// Used by insertion (level 0), forced reinsertion and deletion's
+    /// orphan handling (any level).
+    fn insert_entry_at(&mut self, entry: Entry<N>, target_level: u8) {
+        // `overflow_done[l]` records whether forced reinsertion already
+        // ran at level `l` during this logical insertion (R* runs it at
+        // most once per level per insertion, then splits).
+        let mut overflow_done = vec![false; self.height().max(16)];
+        let mut queue: Vec<(Entry<N>, u8)> = vec![(entry, target_level)];
+        while let Some((e, lvl)) = queue.pop() {
+            debug_assert!(
+                (lvl as usize) < self.height(),
+                "reinsertion level {lvl} at height {}",
+                self.height()
+            );
+            if let Some(sibling) =
+                self.insert_desc(self.root, e, lvl, &mut overflow_done, &mut queue)
+            {
+                self.grow_root(sibling);
+                if overflow_done.len() < self.height() {
+                    overflow_done.resize(self.height(), false);
+                }
+            }
+        }
+    }
+
+    /// Recursive descent. Returns a new sibling entry when this node was
+    /// split and the parent must absorb the second half.
+    fn insert_desc(
+        &mut self,
+        node_id: NodeId,
+        entry: Entry<N>,
+        target_level: u8,
+        overflow_done: &mut [bool],
+        reinsert_queue: &mut Vec<(Entry<N>, u8)>,
+    ) -> Option<Entry<N>> {
+        let node_level = self.node(node_id).level;
+        if node_level == target_level {
+            self.node_mut(node_id).entries.push(entry);
+        } else {
+            let idx = self.choose_subtree(node_id, &entry.rect, target_level);
+            let child_id = self.node(node_id).entries[idx].child.node();
+            let sibling =
+                self.insert_desc(child_id, entry, target_level, overflow_done, reinsert_queue);
+            // Refresh the child MBR unconditionally: the child may have
+            // grown (insert), shrunk (forced reinsertion) or split.
+            let child_mbr = self
+                .node(child_id)
+                .mbr()
+                .expect("child node cannot be empty after insert");
+            self.node_mut(node_id).entries[idx].rect = child_mbr;
+            if let Some(sib) = sibling {
+                self.node_mut(node_id).entries.push(sib);
+            }
+        }
+
+        if self.node(node_id).len() <= self.config.max_entries {
+            return None;
+        }
+        self.overflow_treatment(node_id, overflow_done, reinsert_queue)
+    }
+
+    /// R\* OverflowTreatment: forced reinsertion on the first overflow of
+    /// a level (non-root), split otherwise.
+    fn overflow_treatment(
+        &mut self,
+        node_id: NodeId,
+        overflow_done: &mut [bool],
+        reinsert_queue: &mut Vec<(Entry<N>, u8)>,
+    ) -> Option<Entry<N>> {
+        let level = self.node(node_id).level as usize;
+        let use_reinsert = self.config.split == SplitStrategy::RStar
+            && node_id != self.root
+            && level < overflow_done.len()
+            && !overflow_done[level];
+        if use_reinsert {
+            overflow_done[level] = true;
+            self.forced_reinsert(node_id, reinsert_queue);
+            None
+        } else {
+            Some(self.split_node(node_id))
+        }
+    }
+
+    /// Removes the `p` entries whose centers lie farthest from the node
+    /// MBR center and queues them for reinsertion at this node's level
+    /// ("close reinsert": nearest-first reinsertion order, per BKSS90).
+    fn forced_reinsert(&mut self, node_id: NodeId, reinsert_queue: &mut Vec<(Entry<N>, u8)>) {
+        let p = self.config.reinsert_count;
+        let node = self.node(node_id);
+        let level = node.level;
+        let center = node.mbr().expect("overflowing node is non-empty").center();
+        let mut by_dist: Vec<(f64, usize)> = node
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.rect.center().dist2(&center), i))
+            .collect();
+        // Farthest first.
+        by_dist.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let evict_indices: Vec<usize> = by_dist.iter().take(p).map(|&(_, i)| i).collect();
+        let mut sorted_desc = evict_indices.clone();
+        sorted_desc.sort_unstable_by(|a, b| b.cmp(a));
+        let node = self.node_mut(node_id);
+        let mut evicted: Vec<Entry<N>> = Vec::with_capacity(p);
+        for idx in sorted_desc {
+            evicted.push(node.entries.swap_remove(idx));
+        }
+        // `evicted` order is arbitrary after swap_remove; sort by distance
+        // descending so that popping from the queue reinserts the nearest
+        // entries first (close reinsert).
+        evicted.sort_by(|a, b| {
+            b.rect
+                .center()
+                .dist2(&center)
+                .total_cmp(&a.rect.center().dist2(&center))
+        });
+        for e in evicted {
+            reinsert_queue.push((e, level));
+        }
+    }
+
+    fn split_node(&mut self, node_id: NodeId) -> Entry<N> {
+        let level = self.node(node_id).level;
+        let entries = std::mem::take(&mut self.node_mut(node_id).entries);
+        let (g1, g2) = match self.config.split {
+            SplitStrategy::Quadratic => quadratic_split(entries, self.config.min_entries),
+            SplitStrategy::RStar => rstar_split(entries, self.config.min_entries),
+        };
+        self.node_mut(node_id).entries = g1;
+        let new_node = Node { level, entries: g2 };
+        let new_mbr = new_node.mbr().expect("split group non-empty");
+        let new_id = self.alloc(new_node);
+        Entry::internal(new_mbr, new_id)
+    }
+
+    fn grow_root(&mut self, sibling: Entry<N>) {
+        let old_root = self.root;
+        let old_mbr = self.node(old_root).mbr().expect("split root is non-empty");
+        let new_level = self.node(old_root).level + 1;
+        let mut new_root = Node::new(new_level);
+        new_root.entries.push(Entry::internal(old_mbr, old_root));
+        new_root.entries.push(sibling);
+        self.root = self.alloc(new_root);
+    }
+
+    /// ChooseSubtree (R\*): minimum overlap enlargement when the children
+    /// are leaves, minimum area enlargement otherwise. Guttman trees use
+    /// minimum area enlargement at every level.
+    fn choose_subtree(&self, node_id: NodeId, rect: &Rect<N>, target_level: u8) -> usize {
+        let node = self.node(node_id);
+        debug_assert!(node.level > target_level);
+        let children_are_target = node.level == target_level + 1;
+        let leaf_children = node.level == 1;
+        let use_overlap =
+            self.config.split == SplitStrategy::RStar && leaf_children && children_are_target;
+        if use_overlap {
+            self.choose_min_overlap(node, rect)
+        } else {
+            Self::choose_min_enlargement(node, rect)
+        }
+    }
+
+    fn choose_min_enlargement(node: &Node<N>, rect: &Rect<N>) -> usize {
+        let mut best = 0usize;
+        let mut best_enl = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for (i, e) in node.entries.iter().enumerate() {
+            let enl = e.rect.enlargement(rect);
+            let area = e.rect.measure();
+            if enl < best_enl || (enl == best_enl && area < best_area) {
+                best = i;
+                best_enl = enl;
+                best_area = area;
+            }
+        }
+        best
+    }
+
+    fn choose_min_overlap(&self, node: &Node<N>, rect: &Rect<N>) -> usize {
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, e) in node.entries.iter().enumerate() {
+            let grown = e.rect.union(rect);
+            let mut overlap_delta = 0.0;
+            for (j, other) in node.entries.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                overlap_delta += grown.intersection_measure(&other.rect)
+                    - e.rect.intersection_measure(&other.rect);
+            }
+            let key = (overlap_delta, e.rect.enlargement(rect), e.rect.measure());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Removes one object identified by its exact MBR and id. Returns
+    /// `true` when found.
+    pub fn remove(&mut self, rect: &Rect<N>, id: ObjectId) -> bool {
+        let mut orphans: Vec<(Entry<N>, u8)> = Vec::new();
+        let found = self.remove_desc(self.root, rect, id, &mut orphans);
+        if !found {
+            debug_assert!(orphans.is_empty());
+            return false;
+        }
+        self.len -= 1;
+        // Reinsert orphaned entries at their original levels, deepest
+        // (lowest level) first so upper-level orphans see a stable tree.
+        orphans.sort_by_key(|&(_, lvl)| std::cmp::Reverse(lvl));
+        while let Some((entry, lvl)) = orphans.pop() {
+            self.insert_entry_at(entry, lvl);
+        }
+        self.shrink_root();
+        true
+    }
+
+    fn remove_desc(
+        &mut self,
+        node_id: NodeId,
+        rect: &Rect<N>,
+        id: ObjectId,
+        orphans: &mut Vec<(Entry<N>, u8)>,
+    ) -> bool {
+        if self.node(node_id).is_leaf() {
+            let node = self.node_mut(node_id);
+            if let Some(pos) = node
+                .entries
+                .iter()
+                .position(|e| e.child == Child::Object(id) && e.rect == *rect)
+            {
+                node.entries.remove(pos);
+                return true;
+            }
+            return false;
+        }
+        let candidates: Vec<(usize, NodeId)> = self
+            .node(node_id)
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.rect.contains_rect(rect))
+            .map(|(i, e)| (i, e.child.node()))
+            .collect();
+        for (idx, child_id) in candidates {
+            if self.remove_desc(child_id, rect, id, orphans) {
+                let child = self.node(child_id);
+                if child.len() < self.config.min_entries {
+                    // Condense: orphan the child's entries, drop the node.
+                    let level = child.level;
+                    let entries = std::mem::take(&mut self.node_mut(child_id).entries);
+                    for e in entries {
+                        orphans.push((e, level));
+                    }
+                    self.node_mut(node_id).entries.remove(idx);
+                    self.release(child_id);
+                } else if let Some(mbr) = self.node(child_id).mbr() {
+                    self.node_mut(node_id).entries[idx].rect = mbr;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn shrink_root(&mut self) {
+        loop {
+            let root = self.node(self.root);
+            if root.is_leaf() {
+                return;
+            }
+            if root.len() == 1 {
+                let child = root.entries[0].child.node();
+                let old = self.root;
+                self.root = child;
+                self.release(old);
+            } else if root.is_empty() {
+                // All data deleted through condensation: reset to an
+                // empty leaf root.
+                let old = self.root;
+                self.root = self.alloc(Node::new(0));
+                self.release(old);
+                return;
+            } else {
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// All objects whose MBR intersects the query window, in no
+    /// particular order.
+    pub fn query_window(&self, window: &Rect<N>) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        self.query_desc(self.root, window, &mut out, &mut |_| {});
+        out
+    }
+
+    /// Window query that also reports the number of node accesses per
+    /// level (index = crate level, 0 = leaf). Following the paper, the
+    /// root is assumed memory-resident: the returned counts *include* the
+    /// root visit at index `height-1`, and the cost-model comparison drops
+    /// that top slot.
+    pub fn query_window_counting(&self, window: &Rect<N>) -> (Vec<ObjectId>, Vec<u64>) {
+        let mut out = Vec::new();
+        let mut visits = vec![0u64; self.height()];
+        self.query_desc(self.root, window, &mut out, &mut |level| {
+            visits[level as usize] += 1;
+        });
+        (out, visits)
+    }
+
+    fn query_desc(
+        &self,
+        node_id: NodeId,
+        window: &Rect<N>,
+        out: &mut Vec<ObjectId>,
+        on_visit: &mut impl FnMut(u8),
+    ) {
+        let node = self.node(node_id);
+        on_visit(node.level);
+        for e in &node.entries {
+            if !e.rect.intersects(window) {
+                continue;
+            }
+            match e.child {
+                Child::Object(id) => out.push(id),
+                Child::Node(child) => self.query_desc(child, window, out, on_visit),
+            }
+        }
+    }
+
+    /// All `(rect, id)` pairs stored in the tree, by leaf scan.
+    pub fn objects(&self) -> Vec<(Rect<N>, ObjectId)> {
+        let mut out = Vec::with_capacity(self.len);
+        for (_, node) in self.iter_nodes() {
+            if node.is_leaf() {
+                for e in &node.entries {
+                    out.push((e.rect, e.child.object()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config() -> RTreeConfig {
+        RTreeConfig::with_capacity(8)
+    }
+
+    fn random_rects(n: usize, seed: u64) -> Vec<(Rect<2>, ObjectId)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let cx: f64 = rng.gen_range(0.0..1.0);
+                let cy: f64 = rng.gen_range(0.0..1.0);
+                let w: f64 = rng.gen_range(0.001..0.05);
+                let h: f64 = rng.gen_range(0.001..0.05);
+                (
+                    Rect::centered(sjcm_geom::Point::new([cx, cy]), [w, h]),
+                    ObjectId(i as u32),
+                )
+            })
+            .collect()
+    }
+
+    fn brute_force_query(data: &[(Rect<2>, ObjectId)], q: &Rect<2>) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = data
+            .iter()
+            .filter(|(r, _)| r.intersects(q))
+            .map(|&(_, id)| id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn empty_tree_basics() {
+        let tree = RTree::<2>::new(small_config());
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.mbr(), None);
+        assert!(tree.query_window(&Rect::unit()).is_empty());
+    }
+
+    #[test]
+    fn insert_and_query_single() {
+        let mut tree = RTree::<2>::new(small_config());
+        let r = Rect::new([0.2, 0.2], [0.3, 0.3]).unwrap();
+        tree.insert(r, ObjectId(7));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.query_window(&Rect::unit()), vec![ObjectId(7)]);
+        assert!(tree
+            .query_window(&Rect::new([0.5, 0.5], [0.6, 0.6]).unwrap())
+            .is_empty());
+    }
+
+    #[test]
+    fn tree_grows_in_height() {
+        let mut tree = RTree::<2>::new(small_config());
+        for (r, id) in random_rects(200, 1) {
+            tree.insert(r, id);
+        }
+        assert!(tree.height() >= 2, "200 objects with M=8 must split");
+        assert_eq!(tree.len(), 200);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn query_matches_brute_force_rstar() {
+        let data = random_rects(500, 2);
+        let mut tree = RTree::<2>::new(small_config());
+        for &(r, id) in &data {
+            tree.insert(r, id);
+        }
+        tree.check_invariants().unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let cx: f64 = rng.gen_range(0.0..1.0);
+            let cy: f64 = rng.gen_range(0.0..1.0);
+            let q = Rect::centered(sjcm_geom::Point::new([cx, cy]), [0.2, 0.15]);
+            let mut got = tree.query_window(&q);
+            got.sort();
+            assert_eq!(got, brute_force_query(&data, &q));
+        }
+    }
+
+    #[test]
+    fn query_matches_brute_force_quadratic() {
+        let data = random_rects(300, 3);
+        let mut tree = RTree::<2>::new(small_config().with_split(SplitStrategy::Quadratic));
+        for &(r, id) in &data {
+            tree.insert(r, id);
+        }
+        tree.check_invariants().unwrap();
+        let q = Rect::new([0.25, 0.25], [0.75, 0.5]).unwrap();
+        let mut got = tree.query_window(&q);
+        got.sort();
+        assert_eq!(got, brute_force_query(&data, &q));
+    }
+
+    #[test]
+    fn counting_query_counts_root() {
+        let mut tree = RTree::<2>::new(small_config());
+        for (r, id) in random_rects(100, 4) {
+            tree.insert(r, id);
+        }
+        let (_, visits) = tree.query_window_counting(&Rect::unit());
+        // Whole-space query visits every node once.
+        assert_eq!(visits.iter().sum::<u64>() as usize, tree.node_count());
+        assert_eq!(visits[tree.height() - 1], 1, "root visited exactly once");
+    }
+
+    #[test]
+    fn remove_existing_object() {
+        let data = random_rects(300, 5);
+        let mut tree = RTree::<2>::new(small_config());
+        for &(r, id) in &data {
+            tree.insert(r, id);
+        }
+        let (victim_rect, victim_id) = data[137];
+        assert!(tree.remove(&victim_rect, victim_id));
+        assert_eq!(tree.len(), 299);
+        tree.check_invariants().unwrap();
+        let hits = tree.query_window(&victim_rect);
+        assert!(!hits.contains(&victim_id));
+        // Everything else still findable.
+        let mut got = tree.query_window(&Rect::unit());
+        got.sort();
+        assert_eq!(got.len(), 299);
+    }
+
+    #[test]
+    fn remove_missing_object_returns_false() {
+        let mut tree = RTree::<2>::new(small_config());
+        let r = Rect::new([0.1, 0.1], [0.2, 0.2]).unwrap();
+        tree.insert(r, ObjectId(1));
+        assert!(!tree.remove(&r, ObjectId(2)));
+        let other = Rect::new([0.1, 0.1], [0.21, 0.2]).unwrap();
+        assert!(!tree.remove(&other, ObjectId(1)), "rect must match exactly");
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn remove_all_objects_empties_tree() {
+        let data = random_rects(150, 6);
+        let mut tree = RTree::<2>::new(small_config());
+        for &(r, id) in &data {
+            tree.insert(r, id);
+        }
+        for &(r, id) in &data {
+            assert!(tree.remove(&r, id), "failed to remove {id:?}");
+            tree.check_invariants().unwrap();
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        assert!(tree.query_window(&Rect::unit()).is_empty());
+    }
+
+    #[test]
+    fn interleaved_insert_delete_keeps_invariants() {
+        let mut tree = RTree::<2>::new(small_config());
+        let mut live: Vec<(Rect<2>, ObjectId)> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut next_id = 0u32;
+        for step in 0..600 {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let cx: f64 = rng.gen_range(0.0..1.0);
+                let cy: f64 = rng.gen_range(0.0..1.0);
+                let r = Rect::centered(sjcm_geom::Point::new([cx, cy]), [0.03, 0.03]);
+                tree.insert(r, ObjectId(next_id));
+                live.push((r, ObjectId(next_id)));
+                next_id += 1;
+            } else {
+                let k = rng.gen_range(0..live.len());
+                let (r, id) = live.swap_remove(k);
+                assert!(tree.remove(&r, id));
+            }
+            if step % 50 == 0 {
+                tree.check_invariants().unwrap();
+            }
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), live.len());
+        let mut got = tree.query_window(&Rect::unit());
+        got.sort();
+        let mut want: Vec<ObjectId> = live.iter().map(|&(_, id)| id).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_rects_are_supported() {
+        let mut tree = RTree::<2>::new(small_config());
+        let r = Rect::new([0.4, 0.4], [0.5, 0.5]).unwrap();
+        for i in 0..50 {
+            tree.insert(r, ObjectId(i));
+        }
+        assert_eq!(tree.query_window(&r).len(), 50);
+        assert!(tree.remove(&r, ObjectId(25)));
+        assert_eq!(tree.query_window(&r).len(), 49);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn one_dimensional_tree() {
+        let mut tree = RTree::<1>::new(small_config());
+        for i in 0..100 {
+            let lo = i as f64 / 100.0;
+            tree.insert(Rect::new([lo], [lo + 0.005]).unwrap(), ObjectId(i));
+        }
+        tree.check_invariants().unwrap();
+        let hits = tree.query_window(&Rect::new([0.25], [0.35]).unwrap());
+        // Intervals starting in [0.245, 0.35]: i = 25..=35 (i=24 ends at
+        // 0.245 < 0.25; i=25 starts 0.25).
+        assert!(hits.len() >= 10 && hits.len() <= 12, "{}", hits.len());
+    }
+
+    #[test]
+    fn paper_config_fill_factor_near_67_percent() {
+        // The paper sets c = 67% as the typical average node capacity;
+        // an insertion-built R*-tree should land in that neighbourhood.
+        let data = random_rects(5000, 11);
+        let mut tree = RTree::<2>::new(RTreeConfig::paper(2));
+        for &(r, id) in &data {
+            tree.insert(r, id);
+        }
+        tree.check_invariants().unwrap();
+        let total_entries: usize = tree.iter_nodes().map(|(_, n)| n.len()).sum();
+        let capacity = tree.node_count() * tree.config().max_entries;
+        let fill = total_entries as f64 / capacity as f64;
+        assert!(
+            (0.55..0.95).contains(&fill),
+            "average fill {fill:.2} far from the paper's c = 0.67"
+        );
+    }
+
+    #[test]
+    fn objects_returns_all_pairs() {
+        let data = random_rects(80, 12);
+        let mut tree = RTree::<2>::new(small_config());
+        for &(r, id) in &data {
+            tree.insert(r, id);
+        }
+        let mut got = tree.objects();
+        got.sort_by_key(|&(_, id)| id);
+        let mut want = data.clone();
+        want.sort_by_key(|&(_, id)| id);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.1, w.1);
+            assert_eq!(g.0, w.0);
+        }
+    }
+}

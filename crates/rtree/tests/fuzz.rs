@@ -1,0 +1,166 @@
+//! Oracle-based property tests: the R-tree against a flat-list oracle
+//! under randomized operation sequences — the standard way to fuzz an
+//! index structure.
+
+use proptest::prelude::*;
+use sjcm_geom::{Point, Rect};
+use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig, SplitStrategy};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { cx: f64, cy: f64, w: f64, h: f64 },
+    Remove { victim: usize },
+    Query { cx: f64, cy: f64, w: f64, h: f64 },
+    Knn { cx: f64, cy: f64, k: usize },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0.0f64..1.0, 0.0f64..1.0, 0.001f64..0.1, 0.001f64..0.1)
+            .prop_map(|(cx, cy, w, h)| Op::Insert { cx, cy, w, h }),
+        2 => (0usize..usize::MAX).prop_map(|victim| Op::Remove { victim }),
+        2 => (0.0f64..1.0, 0.0f64..1.0, 0.01f64..0.5, 0.01f64..0.5)
+            .prop_map(|(cx, cy, w, h)| Op::Query { cx, cy, w, h }),
+        1 => (0.0f64..1.0, 0.0f64..1.0, 1usize..8)
+            .prop_map(|(cx, cy, k)| Op::Knn { cx, cy, k }),
+    ]
+}
+
+fn run_ops(ops: Vec<Op>, config: RTreeConfig) -> Result<(), TestCaseError> {
+    let mut tree = RTree::<2>::new(config);
+    let mut oracle: Vec<(Rect<2>, ObjectId)> = Vec::new();
+    let mut next_id = 0u32;
+    for op in ops {
+        match op {
+            Op::Insert { cx, cy, w, h } => {
+                let r = Rect::centered(Point::new([cx, cy]), [w, h]);
+                tree.insert(r, ObjectId(next_id));
+                oracle.push((r, ObjectId(next_id)));
+                next_id += 1;
+            }
+            Op::Remove { victim } => {
+                if oracle.is_empty() {
+                    continue;
+                }
+                let (r, id) = oracle.swap_remove(victim % oracle.len());
+                prop_assert!(tree.remove(&r, id), "oracle says {id:?} exists");
+            }
+            Op::Query { cx, cy, w, h } => {
+                let q = Rect::centered(Point::new([cx, cy]), [w, h]);
+                let mut got = tree.query_window(&q);
+                got.sort();
+                let mut want: Vec<ObjectId> = oracle
+                    .iter()
+                    .filter(|(r, _)| r.intersects(&q))
+                    .map(|&(_, id)| id)
+                    .collect();
+                want.sort();
+                prop_assert_eq!(got, want);
+            }
+            Op::Knn { cx, cy, k } => {
+                let q = Point::new([cx, cy]);
+                let got = tree.nearest_neighbors(&q, k);
+                prop_assert_eq!(got.len(), k.min(oracle.len()));
+                // Distances must be the k smallest among the oracle's.
+                let mut dists: Vec<f64> = oracle
+                    .iter()
+                    .map(|(r, _)| {
+                        let clamped = Point::new([
+                            q[0].clamp(r.lo_k(0), r.hi_k(0)),
+                            q[1].clamp(r.lo_k(1), r.hi_k(1)),
+                        ]);
+                        q.dist2(&clamped)
+                    })
+                    .collect();
+                dists.sort_by(f64::total_cmp);
+                for (g, want) in got.iter().zip(dists.iter()) {
+                    prop_assert!((g.dist2 - want).abs() < 1e-12);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), oracle.len());
+    }
+    tree.check_invariants()
+        .map_err(|e| TestCaseError::fail(format!("invariant violated: {e}")))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rstar_survives_random_operation_sequences(ops in prop::collection::vec(op(), 1..120)) {
+        run_ops(ops, RTreeConfig::with_capacity(6))?;
+    }
+
+    #[test]
+    fn quadratic_survives_random_operation_sequences(ops in prop::collection::vec(op(), 1..120)) {
+        run_ops(ops, RTreeConfig::with_capacity(6).with_split(SplitStrategy::Quadratic))?;
+    }
+
+    #[test]
+    fn bulk_loaded_tree_answers_like_oracle(
+        n in 1usize..400,
+        seed in 0u64..1000,
+        fill in 0.4f64..1.0,
+        hilbert in any::<bool>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<(Rect<2>, ObjectId)> = (0..n)
+            .map(|i| {
+                let c = Point::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+                (
+                    Rect::centered(c, [rng.gen_range(0.001..0.05); 2]),
+                    ObjectId(i as u32),
+                )
+            })
+            .collect();
+        let algo = if hilbert { BulkLoad::Hilbert } else { BulkLoad::Str };
+        let tree = RTree::bulk_load(RTreeConfig::with_capacity(8), items.clone(), algo, fill);
+        tree.check_invariants()
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(tree.len(), n);
+        let q = Rect::new([0.25, 0.25], [0.75, 0.6]).unwrap();
+        let mut got = tree.query_window(&q);
+        got.sort();
+        let mut want: Vec<ObjectId> = items
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|&(_, id)| id)
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn persistence_fuzz(n in 1usize..200, seed in 0u64..1000) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use sjcm_storage::InMemoryPageStore;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = RTree::<2>::new(RTreeConfig::with_capacity(8));
+        for i in 0..n {
+            let c = Point::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+            tree.insert(Rect::centered(c, [0.01, 0.02]), ObjectId(i as u32));
+        }
+        let mut store = InMemoryPageStore::with_default_page_size();
+        let handle = tree.save(&mut store).unwrap();
+        let loaded = RTree::<2>::load(&store, handle, *tree.config()).unwrap();
+        loaded
+            .check_invariants_with_tolerance(1e-5)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(loaded.len(), n);
+        // No object may be lost under any window.
+        let q = Rect::centered(
+            Point::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]),
+            [0.4, 0.4],
+        );
+        let orig = tree.query_window(&q);
+        let got = loaded.query_window(&q);
+        for id in orig {
+            prop_assert!(got.contains(&id));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-level access statistics.
+//!
+//! The analytical model predicts NA and DA *per tree and per level*
+//! (Eqs 6, 8, 9); the experiments compare those predictions against the
+//! per-level tallies collected here during actual SJ runs.
+
+use crate::buffer::AccessKind;
+use serde::{Deserialize, Serialize};
+
+/// Node/disk access counts for one tree, broken down by level
+/// (0 = leaf, following the crate convention; the cost-model crate maps
+/// to the paper's 1-based levels).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessStats {
+    na_by_level: Vec<u64>,
+    da_by_level: Vec<u64>,
+}
+
+impl AccessStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one page access at `level` with the buffer outcome `kind`.
+    pub fn record(&mut self, level: u8, kind: AccessKind) {
+        let idx = level as usize;
+        if self.na_by_level.len() <= idx {
+            self.na_by_level.resize(idx + 1, 0);
+            self.da_by_level.resize(idx + 1, 0);
+        }
+        self.na_by_level[idx] += 1;
+        if kind.is_miss() {
+            self.da_by_level[idx] += 1;
+        }
+    }
+
+    /// Total node accesses (every `ReadPage`).
+    pub fn na_total(&self) -> u64 {
+        self.na_by_level.iter().sum()
+    }
+
+    /// Total disk accesses (buffer misses).
+    pub fn da_total(&self) -> u64 {
+        self.da_by_level.iter().sum()
+    }
+
+    /// Node accesses at `level`, 0 when never touched.
+    pub fn na_at(&self, level: u8) -> u64 {
+        self.na_by_level.get(level as usize).copied().unwrap_or(0)
+    }
+
+    /// Disk accesses at `level`, 0 when never touched.
+    pub fn da_at(&self, level: u8) -> u64 {
+        self.da_by_level.get(level as usize).copied().unwrap_or(0)
+    }
+
+    /// Highest level that saw any access, or `None` when empty.
+    pub fn max_level(&self) -> Option<u8> {
+        self.na_by_level
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|l| l as u8)
+    }
+
+    /// Adds another tally into this one (used to combine the per-thread
+    /// statistics of the parallel join).
+    pub fn merge(&mut self, other: &AccessStats) {
+        if self.na_by_level.len() < other.na_by_level.len() {
+            self.na_by_level.resize(other.na_by_level.len(), 0);
+            self.da_by_level.resize(other.da_by_level.len(), 0);
+        }
+        for (i, &c) in other.na_by_level.iter().enumerate() {
+            self.na_by_level[i] += c;
+        }
+        for (i, &c) in other.da_by_level.iter().enumerate() {
+            self.da_by_level[i] += c;
+        }
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        self.na_by_level.clear();
+        self.da_by_level.clear();
+    }
+
+    /// The structural invariant `DA ≤ NA`, level by level. Always true
+    /// for tallies produced through [`AccessStats::record`]; asserted by
+    /// tests after every experiment.
+    pub fn da_bounded_by_na(&self) -> bool {
+        self.na_by_level
+            .iter()
+            .zip(&self.da_by_level)
+            .all(|(na, da)| da <= na)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tallies_na_and_da() {
+        let mut s = AccessStats::new();
+        s.record(0, AccessKind::Miss);
+        s.record(0, AccessKind::Hit);
+        s.record(2, AccessKind::Miss);
+        assert_eq!(s.na_total(), 3);
+        assert_eq!(s.da_total(), 2);
+        assert_eq!(s.na_at(0), 2);
+        assert_eq!(s.da_at(0), 1);
+        assert_eq!(s.na_at(1), 0);
+        assert_eq!(s.na_at(2), 1);
+        assert_eq!(s.max_level(), Some(2));
+        assert!(s.da_bounded_by_na());
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = AccessStats::new();
+        assert_eq!(s.na_total(), 0);
+        assert_eq!(s.da_total(), 0);
+        assert_eq!(s.max_level(), None);
+        assert!(s.da_bounded_by_na());
+    }
+
+    #[test]
+    fn merge_adds_levelwise() {
+        let mut a = AccessStats::new();
+        a.record(0, AccessKind::Miss);
+        let mut b = AccessStats::new();
+        b.record(0, AccessKind::Hit);
+        b.record(3, AccessKind::Miss);
+        a.merge(&b);
+        assert_eq!(a.na_at(0), 2);
+        assert_eq!(a.da_at(0), 1);
+        assert_eq!(a.na_at(3), 1);
+        assert_eq!(a.max_level(), Some(3));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = AccessStats::new();
+        s.record(1, AccessKind::Miss);
+        s.clear();
+        assert_eq!(s.na_total(), 0);
+        assert_eq!(s.max_level(), None);
+    }
+
+    #[test]
+    fn hits_do_not_count_as_disk_accesses() {
+        let mut s = AccessStats::new();
+        for _ in 0..10 {
+            s.record(0, AccessKind::Hit);
+        }
+        assert_eq!(s.na_total(), 10);
+        assert_eq!(s.da_total(), 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! On-page binary layout of R-tree nodes.
+//!
+//! The paper's node capacities — M = 84 for n = 1 and M = 50 for n = 2 on
+//! 1 KiB pages — correspond to an entry of `2·n` single-precision
+//! coordinates plus a 4-byte child pointer (8·n + 4 bytes) under an
+//! 8-byte page header: `(1024 − 8) / 12 = 84`, `(1024 − 8) / 20 = 50`.
+//! [`max_entries`] computes exactly that, and the encoder refuses to
+//! build nodes that would not fit their page.
+//!
+//! In memory the tree keeps `f64` rectangles; on the page they are
+//! quantized to `f32` with **outward rounding** (low corners toward −∞,
+//! high corners toward +∞) so that a persisted node's rectangle always
+//! *covers* the exact one. A bounding rectangle that shrank under
+//! rounding could make range queries miss answers; growing by at most one
+//! ulp only costs the occasional extra node visit.
+
+use crate::page::{PageId, StorageError};
+use bytes::{Buf, BufMut};
+use sjcm_geom::Rect;
+
+/// Size of the node header in bytes: magic, level, entry count, dims,
+/// three reserved bytes.
+pub const HEADER_SIZE: usize = 8;
+
+/// Bytes per entry for dimensionality `n`: `2·n` `f32` coordinates plus a
+/// `u32` child pointer / object id.
+pub const fn entry_size(n: usize) -> usize {
+    8 * n + 4
+}
+
+/// Maximum number of entries an R-tree node can hold on a page of
+/// `page_size` bytes in `n` dimensions — the paper's `M`.
+///
+/// ```
+/// use sjcm_storage::max_entries;
+/// assert_eq!(max_entries(1024, 1), 84); // paper, n = 1
+/// assert_eq!(max_entries(1024, 2), 50); // paper, n = 2
+/// ```
+pub const fn max_entries(page_size: usize, n: usize) -> usize {
+    (page_size - HEADER_SIZE) / entry_size(n)
+}
+
+const MAGIC: u8 = 0x52; // 'R'
+
+/// One serialized node entry: a bounding rectangle and either a child
+/// page id (internal nodes) or an object id (leaf nodes). The paper's
+/// layout gives both the same 4-byte representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskEntry<const N: usize> {
+    /// Bounding rectangle (outward-rounded on disk).
+    pub rect: Rect<N>,
+    /// Child page id or object id, depending on `level`.
+    pub child: u32,
+}
+
+/// A node in its serialized form: its level (0 = leaf) and entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskNode<const N: usize> {
+    /// Level of the node; leaves are level 0. (The paper numbers leaves
+    /// as level 1 in the formulas; the crate-internal convention is
+    /// 0-based and the cost-model crate does the shifting explicitly.)
+    pub level: u8,
+    /// Node entries, at most [`max_entries`] for the page size in use.
+    pub entries: Vec<DiskEntry<N>>,
+}
+
+/// Largest `f32` not exceeding `x` (rounding toward −∞).
+fn f32_down(x: f64) -> f32 {
+    let f = x as f32;
+    if f64::from(f) > x {
+        f32_prev(f)
+    } else {
+        f
+    }
+}
+
+/// Smallest `f32` not below `x` (rounding toward +∞).
+fn f32_up(x: f64) -> f32 {
+    let f = x as f32;
+    if f64::from(f) < x {
+        f32_next(f)
+    } else {
+        f
+    }
+}
+
+fn f32_prev(f: f32) -> f32 {
+    if f.is_nan() || (f.is_infinite() && f < 0.0) {
+        return f;
+    }
+    if f > 0.0 {
+        f32::from_bits(f.to_bits() - 1)
+    } else if f == 0.0 {
+        // Covers +0.0 and -0.0: the next value toward −∞ is the smallest
+        // negative subnormal.
+        -f32::from_bits(1)
+    } else {
+        f32::from_bits(f.to_bits() + 1)
+    }
+}
+
+fn f32_next(f: f32) -> f32 {
+    -f32_prev(-f)
+}
+
+impl<const N: usize> DiskNode<N> {
+    /// Serializes the node for a page of `page_size` bytes.
+    ///
+    /// Fails with [`StorageError::MalformedNode`] when the node holds more
+    /// entries than the page can fit, keeping over-full nodes impossible
+    /// to persist by construction.
+    pub fn encode(&self, page_size: usize) -> Result<Vec<u8>, StorageError> {
+        let cap = max_entries(page_size, N);
+        if self.entries.len() > cap {
+            return Err(StorageError::MalformedNode(format!(
+                "{} entries exceed page capacity {} (n = {N})",
+                self.entries.len(),
+                cap
+            )));
+        }
+        let mut buf = Vec::with_capacity(HEADER_SIZE + self.entries.len() * entry_size(N));
+        buf.put_u8(MAGIC);
+        buf.put_u8(self.level);
+        buf.put_u16_le(self.entries.len() as u16);
+        buf.put_u8(N as u8);
+        buf.put_bytes(0, 3);
+        for e in &self.entries {
+            for k in 0..N {
+                buf.put_f32_le(f32_down(e.rect.lo_k(k)));
+                buf.put_f32_le(f32_up(e.rect.hi_k(k)));
+            }
+            buf.put_u32_le(e.child);
+        }
+        Ok(buf)
+    }
+
+    /// Deserializes a node, validating magic, dimensionality, entry count
+    /// and rectangle well-formedness.
+    pub fn decode(mut data: &[u8]) -> Result<Self, StorageError> {
+        if data.len() < HEADER_SIZE {
+            return Err(StorageError::MalformedNode(format!(
+                "page too short: {} bytes",
+                data.len()
+            )));
+        }
+        let magic = data.get_u8();
+        if magic != MAGIC {
+            return Err(StorageError::MalformedNode(format!(
+                "bad magic byte 0x{magic:02x}"
+            )));
+        }
+        let level = data.get_u8();
+        let count = data.get_u16_le() as usize;
+        let dims = data.get_u8() as usize;
+        if dims != N {
+            return Err(StorageError::MalformedNode(format!(
+                "dimensionality mismatch: page has {dims}, expected {N}"
+            )));
+        }
+        data.advance(3);
+        if data.len() < count * entry_size(N) {
+            return Err(StorageError::MalformedNode(format!(
+                "entry area truncated: {} bytes for {count} entries",
+                data.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut lo = [0.0f64; N];
+            let mut hi = [0.0f64; N];
+            for k in 0..N {
+                lo[k] = f64::from(data.get_f32_le());
+                hi[k] = f64::from(data.get_f32_le());
+            }
+            let child = data.get_u32_le();
+            let rect = Rect::new(lo, hi)
+                .map_err(|e| StorageError::MalformedNode(format!("bad rectangle: {e}")))?;
+            entries.push(DiskEntry { rect, child });
+        }
+        Ok(Self { level, entries })
+    }
+
+    /// Convenience: interpret a child field as a page id (internal nodes).
+    pub fn child_page(&self, idx: usize) -> PageId {
+        PageId(self.entries[idx].child)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjcm_geom::Rect;
+
+    fn sample_node() -> DiskNode<2> {
+        DiskNode {
+            level: 1,
+            entries: vec![
+                DiskEntry {
+                    rect: Rect::new([0.1, 0.2], [0.3, 0.4]).unwrap(),
+                    child: 7,
+                },
+                DiskEntry {
+                    rect: Rect::new([0.5, 0.0], [0.9, 1.0]).unwrap(),
+                    child: 42,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn paper_capacities() {
+        assert_eq!(max_entries(1024, 1), 84);
+        assert_eq!(max_entries(1024, 2), 50);
+        assert_eq!(max_entries(1024, 3), 36);
+        assert_eq!(max_entries(1024, 4), 28);
+        assert_eq!(max_entries(4096, 2), 204);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let node = sample_node();
+        let bytes = node.encode(1024).unwrap();
+        assert_eq!(bytes.len(), HEADER_SIZE + 2 * entry_size(2));
+        let back = DiskNode::<2>::decode(&bytes).unwrap();
+        assert_eq!(back.level, 1);
+        assert_eq!(back.entries.len(), 2);
+        assert_eq!(back.entries[0].child, 7);
+        assert_eq!(back.child_page(1), PageId(42));
+    }
+
+    #[test]
+    fn roundtrip_rects_cover_originals() {
+        let node = sample_node();
+        let back = DiskNode::<2>::decode(&node.encode(1024).unwrap()).unwrap();
+        for (orig, dec) in node.entries.iter().zip(&back.entries) {
+            assert!(
+                dec.rect.contains_rect(&orig.rect),
+                "decoded {dec:?} must cover original {orig:?}"
+            );
+            // ...and by no more than a couple of f32 ulps per side.
+            for k in 0..2 {
+                assert!((dec.rect.extent(k) - orig.rect.extent(k)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn outward_rounding_never_shrinks() {
+        for &x in &[0.0, 0.1, -0.1, 1.0 / 3.0, 0.999_999_9, 1e-300, -1e-300] {
+            assert!(f64::from(f32_down(x)) <= x, "down({x})");
+            assert!(f64::from(f32_up(x)) >= x, "up({x})");
+        }
+    }
+
+    #[test]
+    fn f32_neighbors() {
+        assert!(f32_prev(1.0) < 1.0);
+        assert!(f32_next(1.0) > 1.0);
+        assert!(f32_prev(0.0) < 0.0);
+        assert!(f32_next(0.0) > 0.0);
+        assert!(f32_prev(-1.0) < -1.0);
+        assert_eq!(f32_prev(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn encode_rejects_overfull_node() {
+        let entry = DiskEntry {
+            rect: Rect::<2>::unit(),
+            child: 0,
+        };
+        let node = DiskNode {
+            level: 0,
+            entries: vec![entry; 51],
+        };
+        assert!(matches!(
+            node.encode(1024),
+            Err(StorageError::MalformedNode(_))
+        ));
+        let ok = DiskNode {
+            level: 0,
+            entries: vec![entry; 50],
+        };
+        assert!(ok.encode(1024).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut bytes = sample_node().encode(1024).unwrap();
+        bytes[0] = 0x00;
+        assert!(matches!(
+            DiskNode::<2>::decode(&bytes),
+            Err(StorageError::MalformedNode(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_dimensionality() {
+        let bytes = sample_node().encode(1024).unwrap();
+        assert!(matches!(
+            DiskNode::<3>::decode(&bytes),
+            Err(StorageError::MalformedNode(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_entries() {
+        let bytes = sample_node().encode(1024).unwrap();
+        assert!(matches!(
+            DiskNode::<2>::decode(&bytes[..bytes.len() - 1]),
+            Err(StorageError::MalformedNode(_))
+        ));
+        assert!(matches!(
+            DiskNode::<2>::decode(&bytes[..4]),
+            Err(StorageError::MalformedNode(_))
+        ));
+    }
+
+    #[test]
+    fn empty_node_roundtrip() {
+        let node = DiskNode::<1> {
+            level: 3,
+            entries: vec![],
+        };
+        let back = DiskNode::<1>::decode(&node.encode(1024).unwrap()).unwrap();
+        assert_eq!(back.level, 3);
+        assert!(back.entries.is_empty());
+    }
+
+    #[test]
+    fn one_dimensional_roundtrip() {
+        let node = DiskNode::<1> {
+            level: 0,
+            entries: vec![DiskEntry {
+                rect: Rect::new([0.123_456_789], [0.987_654_321]).unwrap(),
+                child: 99,
+            }],
+        };
+        let back = DiskNode::<1>::decode(&node.encode(1024).unwrap()).unwrap();
+        assert!(back.entries[0].rect.contains_rect(&node.entries[0].rect));
+    }
+}

@@ -1,0 +1,37 @@
+//! Paged storage simulator for the spatial-join cost-model workspace.
+//!
+//! The paper measures join cost in **node accesses** (`NA`, every
+//! `ReadPage` call of the SJ algorithm) and **disk accesses** (`DA`, the
+//! `ReadPage` calls that miss the buffer), on 1 KiB pages with maximum
+//! node capacities M = 84 (n = 1) and M = 50 (n = 2). This crate provides
+//! the substrate that makes those numbers *measurable* rather than
+//! estimated:
+//!
+//! * [`page`] — page identifiers and an in-memory [`page::PageStore`]
+//!   with checksummed pages.
+//! * [`layout`] — the on-page binary layout of an R-tree node. The layout
+//!   (8-byte header + (8·n+4)-byte entries with `f32` coordinates and
+//!   `u32` child pointers) reproduces the paper's capacities exactly; see
+//!   [`layout::max_entries`].
+//! * [`buffer`] — pluggable buffer managers: [`buffer::NoBuffer`] (every
+//!   access is a disk access ⇒ DA = NA), [`buffer::PathBuffer`] (the
+//!   paper's per-tree most-recently-visited-path buffer behind Eqs 8–12),
+//!   and [`buffer::LruBuffer`] (the future-work extension of §5).
+//! * [`counters`] — per-level NA/DA tallies ([`counters::AccessStats`])
+//!   that the join executor fills in and the experiments compare against
+//!   the analytical model level by level.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod counters;
+pub mod file_store;
+pub mod layout;
+pub mod page;
+
+pub use buffer::{AccessKind, BufferManager, LruBuffer, NoBuffer, PathBuffer};
+pub use counters::AccessStats;
+pub use file_store::FilePageStore;
+pub use layout::{max_entries, DiskEntry, DiskNode};
+pub use page::{InMemoryPageStore, PageId, PageStore, StorageError, DEFAULT_PAGE_SIZE};

@@ -1,0 +1,79 @@
+//! Quickstart: predict a spatial join's I/O cost from data properties
+//! alone, then build the indexes, run the join, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sjcm::model::join::{join_cost_da, join_cost_na};
+use sjcm::prelude::*;
+
+fn main() {
+    // ── 1. Two synthetic data sets, exactly as the paper's §4 builds
+    //       them: N rectangles of target density D in the unit space.
+    let n1 = 30_000;
+    let n2 = 10_000;
+    let d = 0.5;
+    let set1 = sjcm::datagen::uniform::generate::<2>(sjcm::datagen::uniform::UniformConfig::new(
+        n1, d, 42,
+    ));
+    let set2 = sjcm::datagen::uniform::generate::<2>(sjcm::datagen::uniform::UniformConfig::new(
+        n2, d, 43,
+    ));
+
+    // ── 2. The model sees ONLY the primitive properties (N, D).
+    let cfg = ModelConfig::paper(2); // 1 KiB pages ⇒ M = 50, c = 67%
+    let p1 = TreeParams::<2>::from_data(DataProfile::new(n1 as u64, d), &cfg);
+    let p2 = TreeParams::from_data(DataProfile::new(n2 as u64, d), &cfg);
+    let predicted_na = join_cost_na(&p1, &p2); // Eq 7/11
+    let predicted_da = join_cost_da(&p1, &p2); // Eq 10/12
+    println!("predicted (from N and D only):");
+    println!("  node accesses NA ≈ {predicted_na:.0}");
+    println!("  disk accesses DA ≈ {predicted_da:.0}   (path buffer)");
+
+    // ── 3. Build the R*-trees the way the paper did (insertion).
+    let mut t1 = RTree::<2>::new(RTreeConfig::paper(2));
+    for (r, id) in sjcm::datagen::with_ids(set1) {
+        t1.insert(r, ObjectId(id));
+    }
+    let mut t2 = RTree::<2>::new(RTreeConfig::paper(2));
+    for (r, id) in sjcm::datagen::with_ids(set2) {
+        t2.insert(r, ObjectId(id));
+    }
+    println!(
+        "\nbuilt R*-trees: h1 = {}, h2 = {}",
+        t1.height(),
+        t2.height()
+    );
+
+    // ── 4. Run the instrumented SJ join and compare.
+    let result = spatial_join_with(
+        &t1,
+        &t2,
+        JoinConfig {
+            buffer: BufferPolicy::Path,
+            collect_pairs: false,
+            ..JoinConfig::default()
+        },
+    );
+    let err = |est: f64, got: u64| 100.0 * (est - got as f64).abs() / got as f64;
+    println!("\nmeasured by the executor:");
+    println!(
+        "  NA = {}   (model error {:.1}%)",
+        result.na_total(),
+        err(predicted_na, result.na_total())
+    );
+    println!(
+        "  DA = {}   (model error {:.1}%)",
+        result.da_total(),
+        err(predicted_da, result.da_total())
+    );
+    println!("  qualifying pairs = {}", result.pair_count);
+    println!(
+        "\nselectivity model predicted ≈ {:.0} pairs",
+        sjcm::model::selectivity::join_selectivity::<2>(
+            DataProfile::new(n1 as u64, d),
+            DataProfile::new(n2 as u64, d),
+        )
+    );
+}

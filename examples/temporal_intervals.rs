@@ -1,0 +1,126 @@
+//! The 1-D case as a temporal-database story: interval overlap joins.
+//!
+//! Half of the paper's evaluation runs in one dimension (Figures 5a, 6a,
+//! 7a: M = 84, all trees of height 3) — which is exactly the shape of a
+//! *temporal* join: "find all pairs of bookings and maintenance windows
+//! that overlap in time". This example reruns the paper's 1-D setup
+//! under that interpretation.
+//!
+//! ```text
+//! cargo run --release --example temporal_intervals
+//! ```
+
+use sjcm::model::join::{join_cost_da, join_cost_na};
+use sjcm::model::selectivity::join_selectivity;
+use sjcm::prelude::*;
+
+fn main() {
+    // Two interval sets over a [0,1) time axis (say, one year):
+    // "bookings" and "maintenance windows", as in the paper's 1-D
+    // workloads: N ∈ [20K, 80K], D = 0.5 (an interval covers ~D/N of
+    // the axis).
+    let n_bookings = 40_000;
+    let n_windows = 20_000;
+    let d = 0.5;
+    let bookings = sjcm::datagen::uniform::generate::<1>(
+        sjcm::datagen::uniform::UniformConfig::new(n_bookings, d, 51),
+    );
+    let windows = sjcm::datagen::uniform::generate::<1>(
+        sjcm::datagen::uniform::UniformConfig::new(n_windows, d, 52),
+    );
+    println!(
+        "bookings: {} intervals of ~{:.1} min each (on a year axis)",
+        n_bookings,
+        d / n_bookings as f64 * 365.25 * 24.0 * 60.0
+    );
+
+    // 1-D R*-trees: M = 84 on 1 KiB pages, exactly the paper's setup.
+    let cfg = RTreeConfig::paper(1);
+    assert_eq!(cfg.max_entries, 84);
+    let mut t_bookings = RTree::<1>::new(cfg);
+    for (r, id) in sjcm::datagen::with_ids(bookings) {
+        t_bookings.insert(r, ObjectId(id));
+    }
+    let mut t_windows = RTree::<1>::new(cfg);
+    for (r, id) in sjcm::datagen::with_ids(windows) {
+        t_windows.insert(r, ObjectId(id));
+    }
+    println!(
+        "interval R*-trees built: h = {} and {} (the paper: all 1-D trees have h = 3)",
+        t_bookings.height(),
+        t_windows.height()
+    );
+
+    // Model first…
+    let mcfg = ModelConfig::paper(1);
+    let p1 = TreeParams::<1>::from_data(DataProfile::new(n_bookings as u64, d), &mcfg);
+    let p2 = TreeParams::<1>::from_data(DataProfile::new(n_windows as u64, d), &mcfg);
+    let na_est = join_cost_na(&p1, &p2);
+    let da_est = join_cost_da(&p1, &p2);
+    let pairs_est = join_selectivity::<1>(
+        DataProfile::new(n_bookings as u64, d),
+        DataProfile::new(n_windows as u64, d),
+    );
+
+    // …then reality.
+    let result = spatial_join_with(
+        &t_bookings,
+        &t_windows,
+        JoinConfig {
+            buffer: BufferPolicy::Path,
+            collect_pairs: false,
+            ..JoinConfig::default()
+        },
+    );
+    let err = |est: f64, got: u64| 100.0 * (est - got as f64).abs() / got as f64;
+    println!("\n                        predicted   measured   error");
+    println!(
+        "node accesses NA        {na_est:>9.0}   {:>8}   {:>4.1}%",
+        result.na_total(),
+        err(na_est, result.na_total())
+    );
+    println!(
+        "disk accesses DA        {da_est:>9.0}   {:>8}   {:>4.1}%",
+        result.da_total(),
+        err(da_est, result.da_total())
+    );
+    println!(
+        "overlapping pairs       {pairs_est:>9.0}   {:>8}   {:>4.1}%",
+        result.pair_count,
+        err(pairs_est, result.pair_count)
+    );
+
+    // Role choice matters even in 1-D (Eq 10 asymmetry): try both.
+    let swapped = spatial_join_with(
+        &t_windows,
+        &t_bookings,
+        JoinConfig {
+            buffer: BufferPolicy::Path,
+            collect_pairs: false,
+            ..JoinConfig::default()
+        },
+    );
+    println!(
+        "\nrole check (§4.1(iii)): DA(data=bookings, query=windows) = {} vs \
+         swapped = {} → keep the smaller set as the query tree: {}",
+        result.da_total(),
+        swapped.da_total(),
+        result.da_total() <= swapped.da_total()
+    );
+
+    // Temporal ε-join: pairs within 1 hour of each other.
+    let one_hour = 1.0 / (365.25 * 24.0);
+    let near = spatial_join_with(
+        &t_bookings,
+        &t_windows,
+        JoinConfig {
+            predicate: sjcm::join::JoinPredicate::WithinDistance(one_hour),
+            collect_pairs: false,
+            ..JoinConfig::default()
+        },
+    );
+    println!(
+        "\nwithin-1-hour join: {} pairs (overlap join had {})",
+        near.pair_count, result.pair_count
+    );
+}

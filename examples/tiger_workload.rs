@@ -1,0 +1,90 @@
+//! Non-uniform (TIGER-like) workload: shows why the global-uniform model
+//! drifts on real geography and how the §4.2 density-surface
+//! transformation repairs it.
+//!
+//! ```text
+//! cargo run --release --example tiger_workload
+//! ```
+
+use sjcm::model::join::{join_cost_da, join_cost_na};
+use sjcm::model::nonuniform::join_cost_nonuniform;
+use sjcm::prelude::*;
+
+fn main() {
+    // A synthetic state: a road network and a hydrography layer (the
+    // substitution for the paper's TIGER census files — see DESIGN.md).
+    let roads =
+        sjcm::datagen::tiger::generate(sjcm::datagen::tiger::TigerConfig::roads(40_000, 11));
+    let hydro =
+        sjcm::datagen::tiger::generate(sjcm::datagen::tiger::TigerConfig::hydro(20_000, 12));
+    let prof_roads = DataProfile::new(roads.len() as u64, sjcm::geom::density(roads.iter()));
+    let prof_hydro = DataProfile::new(hydro.len() as u64, sjcm::geom::density(hydro.iter()));
+    println!(
+        "roads: N = {}, D = {:.4}   hydro: N = {}, D = {:.4}",
+        prof_roads.cardinality, prof_roads.density, prof_hydro.cardinality, prof_hydro.density
+    );
+
+    // Density surfaces: the §4.2 "local densities by sampling".
+    let s_roads = DensitySurface::<2>::from_rects(&roads, 8);
+    let s_hydro = DensitySurface::<2>::from_rects(&hydro, 8);
+    println!(
+        "skew (coefficient of variation of cell counts): roads {:.2}, hydro {:.2}",
+        s_roads.count_cv(),
+        s_hydro.count_cv()
+    );
+
+    // Build, run, measure.
+    let mut t_roads = RTree::<2>::new(RTreeConfig::paper(2));
+    for (r, id) in sjcm::datagen::with_ids(roads) {
+        t_roads.insert(r, ObjectId(id));
+    }
+    let mut t_hydro = RTree::<2>::new(RTreeConfig::paper(2));
+    for (r, id) in sjcm::datagen::with_ids(hydro) {
+        t_hydro.insert(r, ObjectId(id));
+    }
+    let result = spatial_join_with(
+        &t_roads,
+        &t_hydro,
+        JoinConfig {
+            buffer: BufferPolicy::Path,
+            collect_pairs: false,
+            ..JoinConfig::default()
+        },
+    );
+    println!(
+        "\nmeasured: NA = {}, DA = {}, crossing pairs = {}",
+        result.na_total(),
+        result.da_total(),
+        result.pair_count
+    );
+
+    // Model A: global uniformity assumption.
+    let cfg = ModelConfig::paper(2);
+    let p1 = TreeParams::<2>::from_data(prof_roads, &cfg);
+    let p2 = TreeParams::from_data(prof_hydro, &cfg);
+    let (na_u, da_u) = (join_cost_na(&p1, &p2), join_cost_da(&p1, &p2));
+
+    // Model B: per-cell local densities (§4.2).
+    let (na_l, da_l) = join_cost_nonuniform(prof_roads, &s_roads, prof_hydro, &s_hydro, &cfg);
+
+    let err = |est: f64, got: u64| 100.0 * (est - got as f64).abs() / got as f64;
+    println!("\n                      NA estimate (err)        DA estimate (err)");
+    println!(
+        "global uniform model  {:>10.0} ({:>5.1}%)   {:>10.0} ({:>5.1}%)",
+        na_u,
+        err(na_u, result.na_total()),
+        da_u,
+        err(da_u, result.da_total())
+    );
+    println!(
+        "local density model   {:>10.0} ({:>5.1}%)   {:>10.0} ({:>5.1}%)",
+        na_l,
+        err(na_l, result.na_total()),
+        da_l,
+        err(da_l, result.da_total())
+    );
+    println!(
+        "\nthe paper's §4.2 reports ~10–20% for the transformed model on \
+         skewed data and <15% on TIGER data."
+    );
+}

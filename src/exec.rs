@@ -1,0 +1,278 @@
+//! Physical-plan execution: run the optimizer's chosen strategy against
+//! real R-trees and count the actual page accesses.
+//!
+//! The optimizer crate deliberately stays pure (catalog statistics in,
+//! costed plans out). This module closes the loop inside the facade
+//! crate, where all the substrates meet: bind each base data set to a
+//! built [`RTree`] plus its object table, walk the [`PlanNode`] tree,
+//! and execute each operator with the same instrumentation the
+//! experiments use — so a plan's *estimated* cost can be checked against
+//! its *measured* cost (see `tests/plan_execution.rs`).
+//!
+//! Supported plan shapes: everything the planner emits for one- and
+//! two-dataset queries (scans, index range selects, one join of any
+//! algorithm, and filters above them). Deeper join chains return
+//! [`ExecError::UnsupportedShape`] — the estimator prices them, but
+//! executing them would need multi-column intermediate semantics this
+//! reproduction does not model.
+
+use crate::join::baselines::index_nested_loop_join;
+use crate::optimizer::{JoinAlgorithm, PhysicalPlan, PlanNode};
+use crate::prelude::*;
+use sjcm_geom::Rect;
+use std::collections::HashMap;
+
+/// One base data set bound for execution: its index and its object
+/// table, indexed by dense `ObjectId` (as produced by
+/// [`crate::datagen::with_ids`]).
+pub struct BoundDataset<'a, const N: usize> {
+    /// The R-tree over the data set.
+    pub tree: &'a RTree<N>,
+    /// Object MBRs, position `i` holding the rect of `ObjectId(i)`.
+    pub objects: &'a [Rect<N>],
+}
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A plan referenced a data set that was never bound.
+    UnboundDataset(String),
+    /// The plan shape exceeds what the executor models.
+    UnsupportedShape(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnboundDataset(d) => write!(f, "dataset {d} not bound"),
+            ExecError::UnsupportedShape(s) => write!(f, "unsupported plan shape: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A materialized result: one column per participating base data set.
+#[derive(Debug, Clone)]
+pub struct ExecOutput<const N: usize> {
+    /// Column names (base data set names), in row order.
+    pub columns: Vec<String>,
+    /// Result rows; each row has one `(rect, id)` per column.
+    pub rows: Vec<Vec<(Rect<N>, ObjectId)>>,
+    /// Page accesses actually performed (DA for SJ joins under path
+    /// buffers, node accesses for index probes).
+    pub io_cost: u64,
+}
+
+/// Executes physical plans against bound data sets.
+pub struct PlanExecutor<'a, const N: usize> {
+    bindings: HashMap<String, BoundDataset<'a, N>>,
+}
+
+impl<'a, const N: usize> PlanExecutor<'a, N> {
+    /// Creates an executor with no bindings.
+    pub fn new() -> Self {
+        Self {
+            bindings: HashMap::new(),
+        }
+    }
+
+    /// Binds a base data set by name.
+    pub fn bind(mut self, name: &str, tree: &'a RTree<N>, objects: &'a [Rect<N>]) -> Self {
+        self.bindings
+            .insert(name.to_string(), BoundDataset { tree, objects });
+        self
+    }
+
+    /// Executes a costed plan.
+    pub fn run(&self, plan: &PhysicalPlan<N>) -> Result<ExecOutput<N>, ExecError> {
+        self.run_node(&plan.root)
+    }
+
+    fn bound(&self, name: &str) -> Result<&BoundDataset<'a, N>, ExecError> {
+        self.bindings
+            .get(name)
+            .ok_or_else(|| ExecError::UnboundDataset(name.to_string()))
+    }
+
+    fn run_node(&self, node: &PlanNode<N>) -> Result<ExecOutput<N>, ExecError> {
+        match node {
+            PlanNode::IndexScan { dataset } => {
+                let b = self.bound(dataset)?;
+                let rows = b
+                    .objects
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| vec![(*r, ObjectId(i as u32))])
+                    .collect();
+                Ok(ExecOutput {
+                    columns: vec![dataset.clone()],
+                    rows,
+                    io_cost: 0,
+                })
+            }
+            PlanNode::IndexRangeSelect { dataset, window } => {
+                let b = self.bound(dataset)?;
+                let (hits, visits) = b.tree.query_window_counting(window);
+                let rows = hits
+                    .into_iter()
+                    .map(|id| vec![(b.objects[id.0 as usize], id)])
+                    .collect();
+                Ok(ExecOutput {
+                    columns: vec![dataset.clone()],
+                    rows,
+                    io_cost: visits.iter().sum(),
+                })
+            }
+            PlanNode::Filter {
+                input,
+                dataset,
+                window,
+            } => {
+                let mut out = self.run_node(input)?;
+                let col = out
+                    .columns
+                    .iter()
+                    .position(|c| c == dataset)
+                    .ok_or_else(|| {
+                        ExecError::UnsupportedShape(format!(
+                            "filter on {dataset} but columns are {:?}",
+                            out.columns
+                        ))
+                    })?;
+                out.rows.retain(|row| row[col].0.intersects(window));
+                Ok(out)
+            }
+            PlanNode::Join {
+                data,
+                query,
+                algorithm,
+            } => self.run_join(data, query, *algorithm),
+        }
+    }
+
+    fn run_join(
+        &self,
+        data: &PlanNode<N>,
+        query: &PlanNode<N>,
+        algorithm: JoinAlgorithm,
+    ) -> Result<ExecOutput<N>, ExecError> {
+        match algorithm {
+            JoinAlgorithm::SynchronizedTraversal => {
+                let (d_name, q_name) = match (data, query) {
+                    (PlanNode::IndexScan { dataset: d }, PlanNode::IndexScan { dataset: q }) => {
+                        (d, q)
+                    }
+                    _ => {
+                        return Err(ExecError::UnsupportedShape(
+                            "SJ requires two base index scans".into(),
+                        ))
+                    }
+                };
+                let db = self.bound(d_name)?;
+                let qb = self.bound(q_name)?;
+                let result = spatial_join_with(
+                    db.tree,
+                    qb.tree,
+                    JoinConfig {
+                        buffer: BufferPolicy::Path,
+                        ..JoinConfig::default()
+                    },
+                );
+                let rows = result
+                    .pairs
+                    .iter()
+                    .map(|&(a, b)| {
+                        vec![(db.objects[a.0 as usize], a), (qb.objects[b.0 as usize], b)]
+                    })
+                    .collect();
+                Ok(ExecOutput {
+                    columns: vec![d_name.clone(), q_name.clone()],
+                    rows,
+                    io_cost: result.da_total(),
+                })
+            }
+            JoinAlgorithm::IndexNestedLoop => {
+                // One side must be a base scan; the other is any
+                // single-column subplan.
+                let (scan_side, probe_side, scan_first) = match (data, query) {
+                    (PlanNode::IndexScan { dataset }, other) => (dataset, other, true),
+                    (other, PlanNode::IndexScan { dataset }) => (dataset, other, false),
+                    _ => {
+                        return Err(ExecError::UnsupportedShape(
+                            "INL requires one base index scan".into(),
+                        ))
+                    }
+                };
+                let sb = self.bound(scan_side)?;
+                let probe = self.run_node(probe_side)?;
+                if probe.columns.len() != 1 {
+                    return Err(ExecError::UnsupportedShape(
+                        "INL probe side must be single-column".into(),
+                    ));
+                }
+                let probes: Vec<(Rect<N>, ObjectId)> =
+                    probe.rows.iter().map(|row| row[0]).collect();
+                let rect_of: HashMap<ObjectId, Rect<N>> =
+                    probes.iter().map(|&(r, id)| (id, r)).collect();
+                let inl = index_nested_loop_join(sb.tree, &probes);
+                let rows = inl
+                    .pairs
+                    .iter()
+                    .map(|&(indexed, probe_id)| {
+                        let indexed_cell = (sb.objects[indexed.0 as usize], indexed);
+                        let probe_cell = (rect_of[&probe_id], probe_id);
+                        if scan_first {
+                            vec![indexed_cell, probe_cell]
+                        } else {
+                            vec![probe_cell, indexed_cell]
+                        }
+                    })
+                    .collect();
+                let columns = if scan_first {
+                    vec![scan_side.clone(), probe.columns[0].clone()]
+                } else {
+                    vec![probe.columns[0].clone(), scan_side.clone()]
+                };
+                Ok(ExecOutput {
+                    columns,
+                    rows,
+                    io_cost: probe.io_cost + inl.node_accesses,
+                })
+            }
+            JoinAlgorithm::NestedLoop => {
+                let left = self.run_node(data)?;
+                let right = self.run_node(query)?;
+                if left.columns.len() != 1 || right.columns.len() != 1 {
+                    return Err(ExecError::UnsupportedShape(
+                        "NL inputs must be single-column".into(),
+                    ));
+                }
+                // Block-nested-loop page cost over the materialized
+                // inputs (pages at the paper's average fill).
+                let fanout = ModelConfig::paper(N).fanout();
+                let pages = |rows: usize| (rows as f64 / fanout).ceil().max(1.0) as u64;
+                let io = pages(left.rows.len()) + pages(left.rows.len()) * pages(right.rows.len());
+                let mut rows = Vec::new();
+                for l in &left.rows {
+                    for r in &right.rows {
+                        if l[0].0.intersects(&r[0].0) {
+                            rows.push(vec![l[0], r[0]]);
+                        }
+                    }
+                }
+                Ok(ExecOutput {
+                    columns: vec![left.columns[0].clone(), right.columns[0].clone()],
+                    rows,
+                    io_cost: left.io_cost + right.io_cost + io,
+                })
+            }
+        }
+    }
+}
+
+impl<const N: usize> Default for PlanExecutor<'_, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,158 @@
+//! Black-box tests of the `sjcm` CLI binary: the full gen → build →
+//! stats → join → estimate → explain tour, driven through the real
+//! executable.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sjcm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sjcm"))
+        .args(args)
+        .output()
+        .expect("failed to spawn sjcm")
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "sjcm failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+struct TempFiles(Vec<PathBuf>);
+
+impl TempFiles {
+    fn path(&mut self, name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sjcm_cli_{}_{name}", std::process::id()));
+        self.0.push(p.clone());
+        p.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempFiles {
+    fn drop(&mut self) {
+        for p in &self.0 {
+            let _ = std::fs::remove_file(p);
+            let mut meta = p.as_os_str().to_owned();
+            meta.push(".meta");
+            let _ = std::fs::remove_file(PathBuf::from(meta));
+        }
+    }
+}
+
+#[test]
+fn full_cli_tour() {
+    let mut tmp = TempFiles(Vec::new());
+    let data_a = tmp.path("a.json");
+    let data_b = tmp.path("b.json");
+    let tree_a = tmp.path("a.pages");
+    let tree_b = tmp.path("b.pages");
+
+    // gen
+    let out = stdout(&sjcm(&[
+        "gen",
+        "--kind",
+        "uniform",
+        "--n",
+        "2000",
+        "--density",
+        "0.4",
+        "--seed",
+        "5",
+        "--out",
+        &data_a,
+    ]));
+    assert!(out.contains("wrote 2000 rectangles"), "{out}");
+    let out = stdout(&sjcm(&[
+        "gen",
+        "--kind",
+        "clusters",
+        "--n",
+        "1500",
+        "--density",
+        "0.3",
+        "--seed",
+        "6",
+        "--out",
+        &data_b,
+    ]));
+    assert!(out.contains("wrote 1500 rectangles"));
+
+    // build
+    let out = stdout(&sjcm(&["build", "--data", &data_a, "--out", &tree_a]));
+    assert!(out.contains("built R*-tree over 2000 objects"), "{out}");
+    stdout(&sjcm(&["build", "--data", &data_b, "--out", &tree_b]));
+
+    // stats
+    let out = stdout(&sjcm(&["stats", "--tree", &tree_a]));
+    assert!(out.contains("objects N = 2000"), "{out}");
+    assert!(out.contains("level"), "{out}");
+
+    // join (loads the persisted trees)
+    let out = stdout(&sjcm(&[
+        "join", "--tree1", &tree_a, "--tree2", &tree_b, "--buffer", "path",
+    ]));
+    assert!(out.contains("node accesses NA ="), "{out}");
+    assert!(out.contains("qualifying pairs ="), "{out}");
+    // DA ≤ NA even through the CLI.
+    let grab = |label: &str| -> u64 {
+        out.lines()
+            .find(|l| l.contains(label))
+            .and_then(|l| l.split('=').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("missing {label} in {out}"))
+    };
+    assert!(grab("disk accesses DA") <= grab("node accesses NA"));
+
+    // join with an LRU buffer
+    let lru = stdout(&sjcm(&[
+        "join", "--tree1", &tree_a, "--tree2", &tree_b, "--buffer", "lru:256",
+    ]));
+    assert!(lru.contains("Lru(256)"), "{lru}");
+
+    // estimate
+    let out = stdout(&sjcm(&[
+        "estimate", "--n1", "60000", "--d1", "0.5", "--n2", "20000", "--d2", "0.5",
+    ]));
+    assert!(out.contains("join NA"), "{out}");
+    assert!(out.contains("selectivity"), "{out}");
+
+    // explain
+    let out = stdout(&sjcm(&[
+        "explain",
+        "--datasets",
+        "rivers:60000:0.2,countries:20000:0.4",
+        "--select",
+        "rivers:0,0,0.45,1",
+    ]));
+    assert!(out.contains("candidate plans"), "{out}");
+    assert!(out.contains("Join["), "{out}");
+}
+
+#[test]
+fn cli_errors_are_clean() {
+    let out = sjcm(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = sjcm(&["gen", "--kind", "uniform"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --n"));
+
+    let out = sjcm(&["estimate", "--n1", "ten"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --n1"));
+
+    let out = sjcm(&["stats", "--tree", "/nonexistent/path.pages"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cli_help_lists_commands() {
+    let out = stdout(&sjcm(&["help"]));
+    assert!(out.contains("gen|build|stats|estimate|join|explain"));
+}

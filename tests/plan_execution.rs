@@ -1,0 +1,190 @@
+//! End-to-end optimizer → executor loop: the planner's chosen strategy
+//! is executed for real, its result checked against brute force, and
+//! its estimated cost checked against the measured page accesses.
+
+use sjcm::exec::{ExecError, PlanExecutor};
+use sjcm::geom::{density, Rect};
+use sjcm::optimizer::{Catalog, DatasetStats, JoinQuery, PhysicalPlan, Planner};
+use sjcm::prelude::*;
+
+struct World {
+    rivers: Vec<Rect<2>>,
+    countries: Vec<Rect<2>>,
+    t_rivers: RTree<2>,
+    t_countries: RTree<2>,
+    catalog: Catalog<2>,
+}
+
+fn world() -> World {
+    let rivers = sjcm::datagen::uniform::generate::<2>(sjcm::datagen::uniform::UniformConfig::new(
+        6_000, 0.3, 171,
+    ));
+    let countries = sjcm::datagen::uniform::generate::<2>(
+        sjcm::datagen::uniform::UniformConfig::new(2_000, 0.4, 172).with_aspect_jitter(0.5),
+    );
+    let build = |rects: &[Rect<2>]| {
+        let mut t = RTree::new(RTreeConfig::paper(2));
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, ObjectId(i as u32));
+        }
+        t
+    };
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "rivers",
+        DatasetStats::new(rivers.len() as u64, density(rivers.iter())),
+    );
+    catalog.register(
+        "countries",
+        DatasetStats::new(countries.len() as u64, density(countries.iter())),
+    );
+    World {
+        t_rivers: build(&rivers),
+        t_countries: build(&countries),
+        rivers,
+        countries,
+        catalog,
+    }
+}
+
+fn executor(w: &World) -> PlanExecutor<'_, 2> {
+    PlanExecutor::new()
+        .bind("rivers", &w.t_rivers, &w.rivers)
+        .bind("countries", &w.t_countries, &w.countries)
+}
+
+fn brute_pairs(w: &World, window: Option<&Rect<2>>) -> usize {
+    let mut count = 0;
+    for (i, r) in w.rivers.iter().enumerate() {
+        if let Some(win) = window {
+            if !r.intersects(win) {
+                continue;
+            }
+        }
+        let _ = i;
+        for c in &w.countries {
+            if r.intersects(c) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[test]
+fn executed_best_plan_matches_brute_force() {
+    let w = world();
+    let plan = Planner::new(&w.catalog)
+        .best_plan(&JoinQuery::new(["rivers", "countries"]))
+        .unwrap();
+    let out = executor(&w).run(&plan).unwrap();
+    assert_eq!(out.rows.len(), brute_pairs(&w, None));
+    assert_eq!(out.columns.len(), 2);
+    assert!(out.columns.contains(&"rivers".to_string()));
+    assert!(out.io_cost > 0);
+}
+
+#[test]
+fn executed_plan_with_selection_matches_brute_force() {
+    let w = world();
+    let west = Rect::new([0.0, 0.0], [0.4, 1.0]).unwrap();
+    let q = JoinQuery::new(["rivers", "countries"]).with_selection("rivers", west);
+    for plan in Planner::new(&w.catalog).enumerate(&q).unwrap() {
+        let out = executor(&w).run(&plan).unwrap();
+        assert_eq!(
+            out.rows.len(),
+            brute_pairs(&w, Some(&west)),
+            "plan disagreed with brute force:\n{plan}"
+        );
+    }
+}
+
+#[test]
+fn every_enumerated_plan_returns_the_same_result() {
+    let w = world();
+    let q = JoinQuery::new(["rivers", "countries"]);
+    let plans = Planner::new(&w.catalog).enumerate(&q).unwrap();
+    assert!(plans.len() >= 2);
+    let expected = brute_pairs(&w, None);
+    for plan in &plans {
+        let out = executor(&w).run(plan).unwrap();
+        assert_eq!(out.rows.len(), expected, "{plan}");
+    }
+}
+
+#[test]
+fn estimated_cost_ranks_strategies_like_measured_cost() {
+    // The headline promise of a cost model: its ranking of strategies
+    // should agree with reality. Compare the cheapest and the most
+    // expensive enumerated plan.
+    let w = world();
+    let tiny = Rect::new([0.0, 0.0], [0.08, 0.08]).unwrap();
+    let q = JoinQuery::new(["rivers", "countries"]).with_selection("countries", tiny);
+    let plans = Planner::new(&w.catalog).enumerate(&q).unwrap();
+    let best = &plans[0];
+    let worst = plans.last().unwrap();
+    assert!(best.total_cost < worst.total_cost);
+    let exec = executor(&w);
+    let best_io = exec.run(best).unwrap().io_cost;
+    let worst_io = exec.run(worst).unwrap().io_cost;
+    assert!(
+        best_io <= worst_io,
+        "estimates best {} < worst {} but measured {} > {}\nbest:\n{best}\nworst:\n{worst}",
+        best.total_cost,
+        worst.total_cost,
+        best_io,
+        worst_io
+    );
+}
+
+#[test]
+fn estimated_io_within_factor_two_of_measured_for_sj_plan() {
+    let w = world();
+    let plan = Planner::new(&w.catalog)
+        .best_plan(&JoinQuery::new(["rivers", "countries"]))
+        .unwrap();
+    let out = executor(&w).run(&plan).unwrap();
+    let ratio = plan.total_cost / out.io_cost as f64;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "estimated {} vs measured {} (ratio {ratio:.2})",
+        plan.total_cost,
+        out.io_cost
+    );
+}
+
+#[test]
+fn unbound_dataset_is_reported() {
+    let w = world();
+    let plan = Planner::new(&w.catalog)
+        .best_plan(&JoinQuery::new(["rivers", "countries"]))
+        .unwrap();
+    let exec = PlanExecutor::new().bind("rivers", &w.t_rivers, &w.rivers);
+    assert_eq!(
+        exec.run(&plan).unwrap_err(),
+        ExecError::UnboundDataset("countries".into())
+    );
+}
+
+#[test]
+fn three_way_plans_are_priced_but_not_executed() {
+    let mut catalog = Catalog::<2>::new();
+    for name in ["a", "b", "c"] {
+        catalog.register(name, DatasetStats::new(5_000, 0.3));
+    }
+    let plan: PhysicalPlan<2> = Planner::new(&catalog)
+        .best_plan(&JoinQuery::new(["a", "b", "c"]))
+        .unwrap();
+    assert!(plan.total_cost > 0.0);
+    // Execution of multi-join chains is an explicit non-goal.
+    let dummy_rects: Vec<Rect<2>> = vec![];
+    let dummy_tree = RTree::<2>::new(RTreeConfig::paper(2));
+    let exec = PlanExecutor::new()
+        .bind("a", &dummy_tree, &dummy_rects)
+        .bind("b", &dummy_tree, &dummy_rects)
+        .bind("c", &dummy_tree, &dummy_rects);
+    assert!(matches!(
+        exec.run(&plan),
+        Err(ExecError::UnsupportedShape(_))
+    ));
+}

@@ -1,0 +1,116 @@
+//! The range-query model (Eq 1 of the paper, from [TS96]) against
+//! measured window queries — the base the join model stands on — plus
+//! the range selectivity estimate.
+
+use sjcm::model::range::{range_query_cost, range_selectivity};
+use sjcm::prelude::*;
+
+fn setup(n: usize, d: f64, seed: u64) -> (RTree<2>, DataProfile) {
+    let rects = sjcm::datagen::uniform::generate::<2>(sjcm::datagen::uniform::UniformConfig::new(
+        n, d, seed,
+    ));
+    let prof = DataProfile::new(n as u64, d);
+    let mut tree = RTree::new(RTreeConfig::paper(2));
+    for (r, id) in sjcm::datagen::with_ids(rects) {
+        tree.insert(r, ObjectId(id));
+    }
+    (tree, prof)
+}
+
+#[test]
+fn eq1_matches_average_measured_node_accesses() {
+    let (tree, prof) = setup(8_000, 0.5, 81);
+    let cfg = ModelConfig::paper(2);
+    let params = TreeParams::<2>::from_data(prof, &cfg);
+    for extent in [0.02, 0.1, 0.3] {
+        let windows = sjcm::datagen::query_windows::<2>(300, [extent, extent], 82);
+        let mut total_visits = 0u64;
+        for w in &windows {
+            let (_, visits) = tree.query_window_counting(w);
+            // Exclude the memory-resident root, as Eq 1 does.
+            total_visits += visits[..tree.height() - 1].iter().sum::<u64>();
+        }
+        let measured = total_visits as f64 / windows.len() as f64;
+        let predicted = range_query_cost(&params, &[extent, extent]);
+        let err = (predicted - measured).abs() / measured;
+        assert!(
+            err < 0.30,
+            "extent {extent}: predicted {predicted:.1} vs measured {measured:.1} \
+             ({:.0}%)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn range_selectivity_matches_average_result_size() {
+    let (tree, prof) = setup(8_000, 0.5, 83);
+    for extent in [0.05, 0.2] {
+        let windows = sjcm::datagen::query_windows::<2>(200, [extent, extent], 84);
+        let total: usize = windows.iter().map(|w| tree.query_window(w).len()).sum();
+        let measured = total as f64 / windows.len() as f64;
+        let predicted = range_selectivity::<2>(prof.cardinality, prof.density, &[extent, extent]);
+        let err = (predicted - measured).abs() / measured;
+        assert!(
+            err < 0.15,
+            "extent {extent}: predicted {predicted:.1} vs measured {measured:.1}"
+        );
+    }
+}
+
+#[test]
+fn eq1_cost_ordering_matches_reality_across_densities() {
+    // Higher density ⇒ more node accesses for the same window, in both
+    // the model and the measurement.
+    let cfg = ModelConfig::paper(2);
+    let window = [0.1, 0.1];
+    let mut last_measured = 0.0;
+    let mut last_predicted = 0.0;
+    for (i, d) in [0.2, 0.5, 0.8].into_iter().enumerate() {
+        let (tree, prof) = setup(6_000, d, 85 + i as u64);
+        let params = TreeParams::<2>::from_data(prof, &cfg);
+        let windows = sjcm::datagen::query_windows::<2>(150, window, 90);
+        let total: u64 = windows
+            .iter()
+            .map(|w| {
+                let (_, v) = tree.query_window_counting(w);
+                v[..tree.height() - 1].iter().sum::<u64>()
+            })
+            .sum();
+        let measured = total as f64 / windows.len() as f64;
+        let predicted = range_query_cost(&params, &window);
+        assert!(measured > last_measured, "measured ordering at D = {d}");
+        assert!(predicted > last_predicted, "predicted ordering at D = {d}");
+        last_measured = measured;
+        last_predicted = predicted;
+    }
+}
+
+#[test]
+fn join_as_range_queries_view_is_consistent() {
+    // [AS94]'s view: a join is a set of range queries with the other
+    // set's objects as windows. The INL baseline implements exactly
+    // that; Eq 1 summed over probe objects should track its cost.
+    let (tree, prof) = setup(6_000, 0.4, 91);
+    let probes = sjcm::datagen::uniform::generate::<2>(sjcm::datagen::uniform::UniformConfig::new(
+        1_500, 0.4, 92,
+    ));
+    let probe_items: Vec<(sjcm::geom::Rect<2>, ObjectId)> = sjcm::datagen::with_ids(probes)
+        .into_iter()
+        .map(|(r, id)| (r, ObjectId(id)))
+        .collect();
+    let inl = sjcm::join::baselines::index_nested_loop_join(&tree, &probe_items);
+    let cfg = ModelConfig::paper(2);
+    let params = TreeParams::<2>::from_data(prof, &cfg);
+    let probe_extent = DataProfile::new(1_500, 0.4).avg_extent(2);
+    // Eq 1 excludes the root; the INL counter includes it (one root
+    // visit per probe).
+    let predicted = 1_500.0 * (range_query_cost(&params, &[probe_extent, probe_extent]) + 1.0);
+    let err = (predicted - inl.node_accesses as f64).abs() / inl.node_accesses as f64;
+    assert!(
+        err < 0.25,
+        "predicted {predicted:.0} vs measured {} ({:.0}%)",
+        inl.node_accesses,
+        err * 100.0
+    );
+}

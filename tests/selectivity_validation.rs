@@ -1,0 +1,164 @@
+//! The §5 selectivity extension against exact pair counts, and the
+//! non-uniform (§4.2) machinery end to end.
+
+use sjcm::model::nonuniform::join_cost_nonuniform;
+use sjcm::model::selectivity::{distance_join_selectivity, join_selectivity};
+use sjcm::prelude::*;
+
+fn build(rects: &[sjcm::geom::Rect<2>]) -> RTree<2> {
+    let mut tree = RTree::new(RTreeConfig::paper(2));
+    for (i, r) in rects.iter().enumerate() {
+        tree.insert(*r, ObjectId(i as u32));
+    }
+    tree
+}
+
+fn count_pairs(t1: &RTree<2>, t2: &RTree<2>) -> u64 {
+    spatial_join_with(
+        t1,
+        t2,
+        JoinConfig {
+            collect_pairs: false,
+            ..JoinConfig::default()
+        },
+    )
+    .pair_count
+}
+
+#[test]
+fn join_selectivity_tight_on_uniform_data() {
+    let n = 6_000;
+    for d in [0.2, 0.5] {
+        let a = sjcm::datagen::uniform::generate::<2>(sjcm::datagen::uniform::UniformConfig::new(
+            n, d, 61,
+        ));
+        let b = sjcm::datagen::uniform::generate::<2>(sjcm::datagen::uniform::UniformConfig::new(
+            n, d, 62,
+        ));
+        let exact = count_pairs(&build(&a), &build(&b));
+        let prof = DataProfile::new(n as u64, d);
+        let est = join_selectivity::<2>(prof, prof);
+        let err = (est - exact as f64).abs() / exact as f64;
+        assert!(
+            err < 0.10,
+            "D = {d}: estimated {est:.0} vs exact {exact} ({:.0}%)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn distance_join_selectivity_brackets_reality() {
+    // L∞-based estimate is an upper bound for the L2 executor at equal ε
+    // and should still be close for small ε.
+    let n = 4_000;
+    let d = 0.3;
+    let a =
+        sjcm::datagen::uniform::generate::<2>(sjcm::datagen::uniform::UniformConfig::new(n, d, 63));
+    let b =
+        sjcm::datagen::uniform::generate::<2>(sjcm::datagen::uniform::UniformConfig::new(n, d, 64));
+    let ta = build(&a);
+    let tb = build(&b);
+    let prof = DataProfile::new(n as u64, d);
+    for eps in [0.002, 0.01] {
+        let exact = spatial_join_with(
+            &ta,
+            &tb,
+            JoinConfig {
+                predicate: sjcm::join::JoinPredicate::WithinDistance(eps),
+                collect_pairs: false,
+                ..JoinConfig::default()
+            },
+        )
+        .pair_count;
+        let est = distance_join_selectivity::<2>(prof, prof, eps);
+        assert!(
+            est >= exact as f64 * 0.95,
+            "ε = {eps}: estimate {est:.0} should not undershoot {exact}"
+        );
+        assert!(
+            est <= exact as f64 * 1.35,
+            "ε = {eps}: estimate {est:.0} too far above {exact}"
+        );
+    }
+}
+
+#[test]
+fn uniform_estimate_underestimates_clustered_joins() {
+    // The reason §5 lists non-uniform selectivity as future work.
+    let n = 6_000;
+    let a = sjcm::datagen::skewed::gaussian_clusters::<2>(
+        sjcm::datagen::skewed::ClusterConfig::new(n, 0.3, 65)
+            .with_clusters(4)
+            .with_sigma(0.03),
+    );
+    let b = sjcm::datagen::skewed::gaussian_clusters::<2>(
+        sjcm::datagen::skewed::ClusterConfig::new(n, 0.3, 66)
+            .with_clusters(4)
+            .with_sigma(0.03),
+    );
+    let exact = count_pairs(&build(&a), &build(&b));
+    let est = join_selectivity::<2>(
+        DataProfile::new(n as u64, sjcm::geom::density(a.iter())),
+        DataProfile::new(n as u64, sjcm::geom::density(b.iter())),
+    );
+    assert!(
+        est < exact as f64,
+        "uniform estimate {est:.0} should undershoot clustered exact {exact}"
+    );
+}
+
+#[test]
+fn local_model_beats_global_on_clustered_na() {
+    let n = 8_000;
+    let a = sjcm::datagen::skewed::gaussian_clusters::<2>(
+        sjcm::datagen::skewed::ClusterConfig::new(n, 0.3, 67),
+    );
+    let b = sjcm::datagen::skewed::gaussian_clusters::<2>(
+        sjcm::datagen::skewed::ClusterConfig::new(n, 0.3, 68),
+    );
+    let ta = build(&a);
+    let tb = build(&b);
+    let result = spatial_join_with(
+        &ta,
+        &tb,
+        JoinConfig {
+            buffer: BufferPolicy::Path,
+            collect_pairs: false,
+            ..JoinConfig::default()
+        },
+    );
+    let cfg = ModelConfig::paper(2);
+    let prof_a = DataProfile::new(n as u64, sjcm::geom::density(a.iter()));
+    let prof_b = DataProfile::new(n as u64, sjcm::geom::density(b.iter()));
+    let pa = TreeParams::<2>::from_data(prof_a, &cfg);
+    let pb = TreeParams::<2>::from_data(prof_b, &cfg);
+    let global_na = sjcm::model::join::join_cost_na(&pa, &pb);
+    let sa = DensitySurface::<2>::from_rects(&a, 8);
+    let sb = DensitySurface::<2>::from_rects(&b, 8);
+    let (local_na, _) = join_cost_nonuniform(prof_a, &sa, prof_b, &sb, &cfg);
+    let measured = result.na_total() as f64;
+    let global_err = (global_na - measured).abs() / measured;
+    let local_err = (local_na - measured).abs() / measured;
+    assert!(
+        local_err < global_err,
+        "local {local_na:.0} ({local_err:.2}) should beat global \
+         {global_na:.0} ({global_err:.2}) against measured {measured:.0}"
+    );
+}
+
+#[test]
+fn surface_statistics_survive_the_catalog_roundtrip() {
+    // DensitySurface is Clone + used by the optimizer catalog; verify
+    // the global invariants survive.
+    let rects = sjcm::datagen::tiger::generate(sjcm::datagen::tiger::TigerConfig::roads(5_000, 69));
+    let surface = DensitySurface::<2>::from_rects(&rects, 8);
+    let stats =
+        sjcm::optimizer::DatasetStats::new(rects.len() as u64, sjcm::geom::density(rects.iter()))
+            .with_surface(surface.clone());
+    let mut catalog = sjcm::optimizer::Catalog::<2>::new();
+    catalog.register("roads", stats);
+    let back = catalog.get("roads").unwrap().surface.as_ref().unwrap();
+    assert_eq!(back.cell_count(), surface.cell_count());
+    assert!((back.global_density() - surface.global_density()).abs() < 1e-12);
+}
