@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sjcm_bench::{uniform_items, uniform_tree};
 use sjcm_join::baselines::{index_nested_loop_join, nested_loop_join};
-use sjcm_join::parallel::parallel_spatial_join;
+use sjcm_join::parallel::{parallel_spatial_join_with, ScheduleMode};
 use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig, MatchOrder};
 use std::hint::black_box;
 
@@ -80,13 +80,50 @@ fn bench_parallel(c: &mut Criterion) {
     let t1 = uniform_tree(n, 0.5, 104);
     let t2 = uniform_tree(n, 0.5, 105);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| b.iter(|| black_box(parallel_spatial_join(&t1, &t2, config(), threads))),
-        );
+        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+            let label = match mode {
+                ScheduleMode::RoundRobin => "round_robin",
+                ScheduleMode::CostGuided => "cost_guided",
+            };
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    black_box(parallel_spatial_join_with(
+                        &t1,
+                        &t2,
+                        config(),
+                        threads,
+                        mode,
+                    ))
+                })
+            });
+        }
     }
     group.finish();
+    if std::env::args().any(|a| a == "--test") {
+        return; // smoke mode: timing and tallies both skipped
+    }
+    // The schedule quality itself, in the BENCH JSON convention: the
+    // planned per-worker NA split is deterministic per mode, so one run
+    // per (mode, threads) suffices.
+    for threads in [2usize, 4, 8] {
+        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+            let label = match mode {
+                ScheduleMode::RoundRobin => "round_robin",
+                ScheduleMode::CostGuided => "cost_guided",
+            };
+            let result = parallel_spatial_join_with(&t1, &t2, config(), threads, mode);
+            let worker_na: Vec<String> = result.workers.iter().map(|w| w.na.to_string()).collect();
+            println!(
+                "{{\"group\":\"parallel_join\",\"bench\":\"imbalance/{label}/{threads}\",\
+                 \"na_imbalance\":{:.4},\"na_total\":{},\"da_total\":{},\
+                 \"worker_na\":[{}]}}",
+                result.na_imbalance(),
+                result.na_total(),
+                result.da_total(),
+                worker_na.join(",")
+            );
+        }
+    }
 }
 
 criterion_group!(benches, bench_algorithms, bench_match_order, bench_parallel);

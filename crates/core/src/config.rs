@@ -1,7 +1,6 @@
 //! Model inputs: the index configuration and the primitive data
 //! properties.
 
-use serde::{Deserialize, Serialize};
 use sjcm_storage_layout::max_entries;
 
 // The cost model only needs one constant from the storage layer — the
@@ -19,7 +18,7 @@ mod sjcm_storage_layout {
 }
 
 /// How the tree height is predicted from `(N, f = c·M)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HeightFormula {
     /// The paper's Eq 2: `h = 1 + ⌈log_{cM}(N / cM)⌉`. Treats every
     /// level — including the root — as filled to the average `c·M`.
@@ -36,7 +35,7 @@ pub enum HeightFormula {
 /// Index-side constants of the model: the maximum node capacity `M` and
 /// the average capacity fraction `c` (the paper uses the "typical"
 /// c = 67%). Together they give the effective fanout `f = c·M`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelConfig {
     /// Maximum entries per node, `M`.
     pub max_entries: usize,
@@ -116,7 +115,7 @@ impl ModelConfig {
 /// The primitive properties of one data set — everything the model is
 /// allowed to know about it: cardinality `N` and density `D` over the
 /// unit workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataProfile {
     /// Number of objects, `N`.
     pub cardinality: u64,

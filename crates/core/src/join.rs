@@ -22,11 +22,10 @@
 //!   executor counts it so the experiments can report how rare it is).
 
 use crate::params::TreeParams;
-use serde::{Deserialize, Serialize};
 
 /// One step of the synchronized traversal: the paired paper levels
 /// `(j₁, j₂)` of trees R1 and R2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LevelPair {
     /// Level of R1 (1 = leaf).
     pub j1: usize,
@@ -112,6 +111,22 @@ pub fn join_cost_na<const N: usize>(r1: &TreeParams<N>, r2: &TreeParams<N>) -> f
         .sum()
 }
 
+/// Eq-6 cost of one parallel-join work unit: a pair of (sub)trees whose
+/// roots the scheduler has already matched. The unit's cost is the two
+/// root accesses themselves plus the expected traversal below them
+/// ([`join_cost_na`] over the subtrees' parameters — typically
+/// `TreeParams::from_levels` of *measured* subtree statistics, so the
+/// estimate reflects the actual shape of each unit rather than a global
+/// average).
+///
+/// This is how the execution layer consumes the paper's model: not to
+/// predict a query's total I/O, but to rank work units for LPT seeding
+/// and steal-order decisions. Only relative magnitudes matter there, so
+/// the formula's small-scale bias (see EXPERIMENTS.md) is harmless.
+pub fn unit_cost_na<const N: usize>(r1: &TreeParams<N>, r2: &TreeParams<N>) -> f64 {
+    2.0 + join_cost_na(r1, r2)
+}
+
 /// Per-level breakdown of [`join_cost_na`]: for each schedule step, the
 /// pair and the NA contribution *of each tree* (they are equal — Eq 6).
 pub fn join_cost_na_by_level<const N: usize>(
@@ -131,6 +146,51 @@ pub fn join_cost_da<const N: usize>(r1: &TreeParams<N>, r2: &TreeParams<N>) -> f
     join_cost_da_by_level(r1, r2).iter().map(|&(_, c)| c).sum()
 }
 
+/// The Eq-12 branch logic in one place: for each schedule step, the level
+/// pair and the per-tree shares `(DA(R1), DA(R2))` of its disk-access
+/// contribution. Every other DA entry point ([`join_cost_da`],
+/// [`join_cost_da_by_level`], [`join_cost_da_split`]) is a fold over this
+/// breakdown, so the three branches of Eq 12 exist exactly once.
+///
+/// Branches, following §3.2:
+/// * lockstep (`j > Δ`, or equal heights): the data tree R1 pays Eq 9 and
+///   the query tree R2 pays Eq 8;
+/// * `h1 > h2` pinned phase: R2 sits at its leaf level and its
+///   re-accesses hit the path buffer — only R1 pays (Eq 9);
+/// * `h1 < h2` pinned phase: R1 sits at its leaf level while R2 still
+///   descends; "each propagation of the query tree … adds equal cost to
+///   the data tree", so R2's Eq-8 cost is charged to both trees — that is
+///   how the factor 2 of Eq 12 splits.
+pub fn join_cost_da_shares_by_level<const N: usize>(
+    r1: &TreeParams<N>,
+    r2: &TreeParams<N>,
+) -> Vec<(LevelPair, (f64, f64))> {
+    let h1 = r1.height();
+    let h2 = r2.height();
+    let delta = h1.abs_diff(h2);
+    level_schedule(h1, h2)
+        .into_iter()
+        .enumerate()
+        .map(|(step, pair)| {
+            // Schedule index in the taller tree's levels; the pinned
+            // phase is the first Δ steps.
+            let lockstep = step + 1 > delta;
+            let shares = if lockstep {
+                (
+                    da_level_data_tree(r1, pair.j1, r2, pair.j2),
+                    da_level_query_tree(r1, pair.j1, r2, pair.j2),
+                )
+            } else if h1 > h2 {
+                (da_level_data_tree(r1, pair.j1, r2, pair.j2), 0.0)
+            } else {
+                let q = da_level_query_tree(r1, pair.j1, r2, pair.j2);
+                (q, q)
+            };
+            (pair, shares)
+        })
+        .collect()
+}
+
 /// Per-level breakdown of [`join_cost_da`]: for each schedule step, the
 /// pair and the combined `DA(R1) + DA(R2)` contribution, following the
 /// two branches of Eq 12.
@@ -138,67 +198,20 @@ pub fn join_cost_da_by_level<const N: usize>(
     r1: &TreeParams<N>,
     r2: &TreeParams<N>,
 ) -> Vec<(LevelPair, f64)> {
-    let h1 = r1.height();
-    let h2 = r2.height();
-    let delta = h1.abs_diff(h2);
-    let mut out = Vec::new();
-    for (step, pair) in level_schedule(h1, h2).into_iter().enumerate() {
-        let j = step + 1; // schedule index in the taller tree's levels
-        let cost = if h1 >= h2 {
-            if j > delta {
-                // Both trees descending in lockstep.
-                da_level_data_tree(r1, pair.j1, r2, pair.j2)
-                    + da_level_query_tree(r1, pair.j1, r2, pair.j2)
-            } else {
-                // R2 pinned at its leaf level: its re-accesses hit the
-                // path buffer, only R1 pays (Eq 12, h1 > h2 branch).
-                da_level_data_tree(r1, pair.j1, r2, pair.j2)
-            }
-        } else if j > delta {
-            da_level_data_tree(r1, pair.j1, r2, pair.j2)
-                + da_level_query_tree(r1, pair.j1, r2, pair.j2)
-        } else {
-            // R1 pinned at its leaf level while the query tree descends:
-            // each propagation of R2 adds equal cost to R1
-            // (Eq 12, h1 < h2 branch).
-            2.0 * da_level_query_tree(r1, pair.j1, r2, pair.j2)
-        };
-        out.push((pair, cost));
-    }
-    out
+    join_cost_da_shares_by_level(r1, r2)
+        .into_iter()
+        .map(|(pair, (da1, da2))| (pair, da1 + da2))
+        .collect()
 }
 
 /// [`join_cost_da`] split into the two trees' shares
 /// `(DA(R1) total, DA(R2) total)` — what §4.1's per-tree accuracy claims
-/// (ii) are stated about. In the `h1 < h2` pinned phase the paper assigns
-/// the query tree's cost to *both* trees ("each propagation of the query
-/// tree … adds equal cost to the data tree"), which is how the factor 2
-/// of Eq 12 splits.
+/// (ii) are stated about. See [`join_cost_da_shares_by_level`] for how
+/// the `h1 < h2` pinned phase splits.
 pub fn join_cost_da_split<const N: usize>(r1: &TreeParams<N>, r2: &TreeParams<N>) -> (f64, f64) {
-    let h1 = r1.height();
-    let h2 = r2.height();
-    let delta = h1.abs_diff(h2);
-    let mut da1 = 0.0;
-    let mut da2 = 0.0;
-    for (step, pair) in level_schedule(h1, h2).into_iter().enumerate() {
-        let j = step + 1;
-        if h1 >= h2 {
-            if j > delta {
-                da1 += da_level_data_tree(r1, pair.j1, r2, pair.j2);
-                da2 += da_level_query_tree(r1, pair.j1, r2, pair.j2);
-            } else {
-                da1 += da_level_data_tree(r1, pair.j1, r2, pair.j2);
-            }
-        } else if j > delta {
-            da1 += da_level_data_tree(r1, pair.j1, r2, pair.j2);
-            da2 += da_level_query_tree(r1, pair.j1, r2, pair.j2);
-        } else {
-            let q = da_level_query_tree(r1, pair.j1, r2, pair.j2);
-            da1 += q;
-            da2 += q;
-        }
-    }
-    (da1, da2)
+    join_cost_da_shares_by_level(r1, r2)
+        .into_iter()
+        .fold((0.0, 0.0), |(a1, a2), (_, (da1, da2))| (a1 + da1, a2 + da2))
 }
 
 #[cfg(test)]

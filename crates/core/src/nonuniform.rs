@@ -14,11 +14,10 @@
 use crate::config::{DataProfile, ModelConfig};
 use crate::join::level_schedule;
 use crate::params::predict_height;
-use serde::{Deserialize, Serialize};
 use sjcm_geom::Rect;
 
 /// Local statistics of one grid cell.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CellStats {
     /// Objects assigned to the cell (fractional: each object contributes
     /// to a cell proportionally to its overlap with it).
@@ -29,7 +28,7 @@ pub struct CellStats {
 
 /// A grid histogram of local cardinality and density — the "density
 /// surface" of \[TS96\] §4.2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DensitySurface<const N: usize> {
     grid: usize,
     cells: Vec<CellStats>,

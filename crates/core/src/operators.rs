@@ -9,11 +9,9 @@
 //! `(s, q)`. `overlap` gives the familiar `min{1, s + q}`; the other
 //! operators reshape that window.
 
-use serde::{Deserialize, Serialize};
-
 /// A spatial predicate between an object MBR and a query window (or, for
 /// joins, a second object MBR).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SpatialOperator {
     /// MBRs share at least one point (the paper's default operator).
     Overlap,

@@ -44,8 +44,14 @@ pub struct ClusterConfig {
     pub clusters: usize,
     /// Standard deviation of each cluster, in workspace units.
     pub sigma: f64,
-    /// RNG seed.
+    /// RNG seed for the object draws.
     pub seed: u64,
+    /// RNG seed for the cluster-center placement (defaults to `seed`).
+    /// Two datasets generated with the same `center_seed` but different
+    /// `seed`s share a cluster layout while drawing disjoint objects —
+    /// the "co-located hot spots" scenario that makes clustered joins
+    /// produce far more pairs than a uniform model predicts.
+    pub center_seed: u64,
 }
 
 impl ClusterConfig {
@@ -57,6 +63,7 @@ impl ClusterConfig {
             clusters: 10,
             sigma: 0.05,
             seed,
+            center_seed: seed,
         }
     }
 
@@ -73,10 +80,19 @@ impl ClusterConfig {
         self.sigma = sigma;
         self
     }
+
+    /// Overrides the cluster-center seed (see [`ClusterConfig::center_seed`]).
+    pub fn with_center_seed(mut self, center_seed: u64) -> Self {
+        self.center_seed = center_seed;
+        self
+    }
 }
 
 /// Generates a Gaussian cluster field.
 pub fn gaussian_clusters<const N: usize>(config: ClusterConfig) -> Vec<Rect<N>> {
+    // Centers and objects use independent streams so that `center_seed`
+    // alone determines the cluster layout.
+    let mut center_rng = StdRng::seed_from_u64(config.center_seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut rng = StdRng::seed_from_u64(config.seed);
     if config.cardinality == 0 {
         return Vec::new();
@@ -86,7 +102,7 @@ pub fn gaussian_clusters<const N: usize>(config: ClusterConfig) -> Vec<Rect<N>> 
         .map(|_| {
             let mut c = [0.0; N];
             for ck in c.iter_mut() {
-                *ck = rng.gen_range(0.1..0.9);
+                *ck = center_rng.gen_range(0.1..0.9);
             }
             c
         })
@@ -191,6 +207,38 @@ mod tests {
             .filter(|r| r.center()[0] < 0.25 && r.center()[1] < 0.25)
             .count();
         assert!((400..900).contains(&near_origin), "{near_origin}");
+    }
+
+    #[test]
+    fn shared_center_seed_colocates_clusters() {
+        let base = ClusterConfig::new(2_000, 0.1, 70)
+            .with_clusters(3)
+            .with_sigma(0.02);
+        let a = gaussian_clusters::<2>(base);
+        let b = gaussian_clusters::<2>(ClusterConfig { seed: 71, ..base });
+        assert_ne!(a, b, "different object seeds must draw different objects");
+        // Same layout: the occupied coarse-grid cells largely coincide.
+        let cells = |rects: &[Rect<2>]| {
+            rects
+                .iter()
+                .map(|r| {
+                    let c = r.center();
+                    (
+                        (c[0] * 10.0).min(9.0) as usize,
+                        (c[1] * 10.0).min(9.0) as usize,
+                    )
+                })
+                .collect::<std::collections::HashSet<_>>()
+        };
+        let (ca, cb) = (cells(&a), cells(&b));
+        let shared = ca.intersection(&cb).count();
+        assert!(
+            2 * shared >= ca.len().max(cb.len()),
+            "layouts diverge: {} shared of {}/{}",
+            shared,
+            ca.len(),
+            cb.len()
+        );
     }
 
     #[test]

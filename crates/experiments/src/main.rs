@@ -19,11 +19,13 @@
 //!   role-choice     §4.1(iii): query/data role assignment rule
 //!   lru-ablation    §5 extension: LRU buffer study
 //!   high-dim        §5 extension: n = 3, 4
+//!   parallel        §5 outlook: cost-guided parallel SJ vs round-robin
 //!   all             everything above
 //!
-//! --scale F   scales the paper's 20K–80K cardinalities by F (default 1.0;
-//!             use e.g. 0.1 for a quick pass)
-//! --out DIR   CSV output directory (default results/)
+//! --scale F    scales the paper's 20K–80K cardinalities by F (default
+//!              1.0; use e.g. 0.1 for a quick pass)
+//! --out DIR    CSV output directory (default results/)
+//! --threads T  worker threads for the parallel command (default 4)
 //! ```
 
 mod common;
@@ -39,6 +41,7 @@ struct Args {
     command: String,
     scale: f64,
     out: PathBuf,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
     let command = args.next().ok_or("missing command")?;
     let mut scale = 1.0;
     let mut out = PathBuf::from("results");
+    let mut threads = 4;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -60,6 +64,15 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --threads {v}: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -67,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         command,
         scale,
         out,
+        threads,
     })
 }
 
@@ -100,6 +114,7 @@ fn main() -> ExitCode {
             "lru-ablation" => extensions::lru_ablation(out, scale),
             "high-dim" => extensions::high_dim(out, scale),
             "algo-compare" => extensions::algo_compare(out, scale),
+            "parallel" => extensions::parallel_join(out, scale, args.threads),
             _ => return false,
         }
         true
@@ -122,6 +137,7 @@ fn main() -> ExitCode {
                 "lru-ablation",
                 "high-dim",
                 "algo-compare",
+                "parallel",
             ] {
                 println!("\n#### {cmd} ####");
                 assert!(run(cmd));
@@ -130,8 +146,9 @@ fn main() -> ExitCode {
         "help" | "--help" | "-h" => {
             println!("commands: figure5a figure5b figure6 figure7 errors-uniform");
             println!("          density-sweep nonuniform real param-source selectivity");
-            println!("          role-choice lru-ablation high-dim all");
-            println!("flags:    --scale F (default 1.0), --out DIR (default results/)");
+            println!("          role-choice lru-ablation high-dim algo-compare parallel all");
+            println!("flags:    --scale F (default 1.0), --out DIR (default results/),");
+            println!("          --threads T (parallel command only, default 4)");
             return ExitCode::SUCCESS;
         }
         cmd => {

@@ -1,8 +1,5 @@
 //! `N`-dimensional points.
 
-use serde::de::{Error as DeError, SeqAccess, Visitor};
-use serde::ser::SerializeSeq;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -20,42 +17,6 @@ use std::ops::{Index, IndexMut};
 /// ```
 #[derive(Clone, Copy, PartialEq)]
 pub struct Point<const N: usize>(pub [f64; N]);
-
-// serde cannot derive for const-generic arrays, so points serialize as a
-// plain sequence of N coordinates.
-impl<const N: usize> Serialize for Point<N> {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut seq = serializer.serialize_seq(Some(N))?;
-        for c in &self.0 {
-            seq.serialize_element(c)?;
-        }
-        seq.end()
-    }
-}
-
-impl<'de, const N: usize> Deserialize<'de> for Point<N> {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        struct V<const N: usize>;
-        impl<'de, const N: usize> Visitor<'de> for V<N> {
-            type Value = Point<N>;
-
-            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                write!(f, "a sequence of {N} coordinates")
-            }
-
-            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Point<N>, A::Error> {
-                let mut coords = [0.0; N];
-                for (k, c) in coords.iter_mut().enumerate() {
-                    *c = seq
-                        .next_element()?
-                        .ok_or_else(|| A::Error::invalid_length(k, &self))?;
-                }
-                Ok(Point(coords))
-            }
-        }
-        deserializer.deserialize_seq(V::<N>)
-    }
-}
 
 impl<const N: usize> Point<N> {
     /// Creates a point from its coordinate array.

@@ -6,8 +6,6 @@
 //! formulas are products over per-dimension extents of such rectangles.
 
 use crate::Point;
-use serde::de::Error as DeError;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 
 /// Errors produced by rectangle constructors and workspace checks.
@@ -54,22 +52,6 @@ impl std::error::Error for GeomError {}
 pub struct Rect<const N: usize> {
     lo: [f64; N],
     hi: [f64; N],
-}
-
-// Rectangles serialize as the 2-point sequence [lo, hi]; deserialization
-// re-validates the corner invariant so corrupted input cannot construct an
-// inverted rectangle.
-impl<const N: usize> Serialize for Rect<N> {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        (Point::new(self.lo), Point::new(self.hi)).serialize(serializer)
-    }
-}
-
-impl<'de, const N: usize> Deserialize<'de> for Rect<N> {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let (lo, hi): (Point<N>, Point<N>) = Deserialize::deserialize(deserializer)?;
-        Rect::new(lo.coords(), hi.coords()).map_err(D::Error::custom)
-    }
 }
 
 impl<const N: usize> Rect<N> {

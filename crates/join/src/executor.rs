@@ -21,7 +21,7 @@ pub enum JoinPredicate {
 
 impl JoinPredicate {
     #[inline]
-    fn holds<const N: usize>(&self, a: &Rect<N>, b: &Rect<N>) -> bool {
+    pub(crate) fn holds<const N: usize>(&self, a: &Rect<N>, b: &Rect<N>) -> bool {
         match *self {
             JoinPredicate::Overlap => a.intersects(b),
             JoinPredicate::WithinDistance(eps) => a.within_distance(b, eps),
@@ -42,7 +42,7 @@ pub enum BufferPolicy {
 }
 
 impl BufferPolicy {
-    fn build(self) -> Box<dyn BufferManager> {
+    pub(crate) fn build(self) -> Box<dyn BufferManager> {
         match self {
             BufferPolicy::None => Box::new(NoBuffer),
             BufferPolicy::Path => Box::new(PathBuffer::new()),
@@ -91,6 +91,24 @@ impl Default for JoinConfig {
     }
 }
 
+/// Per-worker tallies of a parallel join execution (empty for the
+/// sequential executor). Units are attributed to the worker they were
+/// *scheduled on* (LPT seeding or round-robin deal), not to whichever
+/// thread executed them after stealing, so the tallies are
+/// deterministic and measure schedule quality — see the
+/// `parallel` module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerTally {
+    /// Work units scheduled onto this worker.
+    pub units: u64,
+    /// Node accesses charged by this worker's units (both trees).
+    pub na: u64,
+    /// Disk accesses charged by this worker's units (both trees).
+    pub da: u64,
+    /// Result pairs emitted by this worker's units.
+    pub pair_count: u64,
+}
+
 /// Result of one join execution.
 #[derive(Debug, Clone)]
 pub struct JoinResultSet {
@@ -104,12 +122,33 @@ pub struct JoinResultSet {
     pub stats1: AccessStats,
     /// Access tallies of tree R2.
     pub stats2: AccessStats,
+    /// Per-worker tallies when the join ran in parallel; empty for the
+    /// sequential executor (and the `threads = 1` parallel fallback).
+    pub workers: Vec<WorkerTally>,
 }
 
 impl JoinResultSet {
     /// Total node accesses over both trees — the experimental `NA_total`.
     pub fn na_total(&self) -> u64 {
         self.stats1.na_total() + self.stats2.na_total()
+    }
+
+    /// Load-balance quality of a parallel run: `max_worker_na /
+    /// mean_worker_na`. A perfectly balanced schedule scores 1.0; a
+    /// schedule that starves all but one worker of `k` scores `k`.
+    /// Returns 1.0 when no per-worker tallies were recorded.
+    pub fn na_imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 1.0;
+        }
+        let max = self.workers.iter().map(|w| w.na).max().unwrap_or(0) as f64;
+        let mean =
+            self.workers.iter().map(|w| w.na).sum::<u64>() as f64 / self.workers.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
     }
 
     /// Total disk accesses over both trees — the experimental `DA_total`.
@@ -183,6 +222,7 @@ pub fn spatial_join_with<const N: usize>(
         pair_count: exec.pair_count,
         stats1: exec.stats1,
         stats2: exec.stats2,
+        workers: Vec::new(),
     }
 }
 
@@ -288,29 +328,41 @@ impl<const N: usize> Executor<'_, N> {
     /// configured match order. Pairs are materialized (rather than
     /// processed in-loop) because the recursion needs `&mut self`.
     fn matched_pairs(&mut self, n1_id: NodeId, n2_id: NodeId) -> Vec<(Child, Child)> {
-        let n1 = self.r1.node(n1_id);
-        let n2 = self.r2.node(n2_id);
-        match self.config.order {
-            MatchOrder::NestedLoop => {
-                let mut out = Vec::new();
-                // Figure 2: R2's entries drive the outer loop.
-                for e2 in &n2.entries {
-                    for e1 in &n1.entries {
-                        if self.config.predicate.holds(&e1.rect, &e2.rect) {
-                            out.push((e1.child, e2.child));
-                        }
+        matched_children(
+            self.r1.node(n1_id),
+            self.r2.node(n2_id),
+            &self.config,
+            &mut self.scratch1,
+            &mut self.scratch2,
+        )
+    }
+}
+
+/// Entry pairs of two nodes satisfying the configured predicate, in the
+/// configured match order. Shared between the sequential executor and
+/// the parallel coordinator/workers so both traversals match entries in
+/// exactly the same order (which the DA comparisons rely on).
+pub(crate) fn matched_children<const N: usize>(
+    n1: &Node<N>,
+    n2: &Node<N>,
+    config: &JoinConfig,
+    scratch1: &mut Vec<(Rect<N>, Child)>,
+    scratch2: &mut Vec<(Rect<N>, Child)>,
+) -> Vec<(Child, Child)> {
+    match config.order {
+        MatchOrder::NestedLoop => {
+            let mut out = Vec::new();
+            // Figure 2: R2's entries drive the outer loop.
+            for e2 in &n2.entries {
+                for e1 in &n1.entries {
+                    if config.predicate.holds(&e1.rect, &e2.rect) {
+                        out.push((e1.child, e2.child));
                     }
                 }
-                out
             }
-            MatchOrder::PlaneSweep => sweep_pairs(
-                n1,
-                n2,
-                self.config.predicate,
-                &mut self.scratch1,
-                &mut self.scratch2,
-            ),
+            out
         }
+        MatchOrder::PlaneSweep => sweep_pairs(n1, n2, config.predicate, scratch1, scratch2),
     }
 }
 

@@ -37,5 +37,6 @@ pub mod pbsm;
 
 pub use executor::{
     spatial_join, spatial_join_with, BufferPolicy, JoinConfig, JoinPredicate, JoinResultSet,
-    MatchOrder,
+    MatchOrder, WorkerTally,
 };
+pub use parallel::{parallel_spatial_join, parallel_spatial_join_with, ScheduleMode};

@@ -1,61 +1,405 @@
 //! Parallel spatial join — the §5 future-work item, after Brinkhoff et
-//! al., *Parallel Processing of Spatial Joins Using R-trees* (ICDE 1996).
+//! al., *Parallel Processing of Spatial Joins Using R-trees* (ICDE 1996)
+//! — scheduled by the paper's **own cost model**.
 //!
-//! The root-level overlapping entry pairs are distributed round-robin
-//! over worker threads; each worker runs the sequential SJ recursion on
-//! its share with **its own** buffers and counters (a shared buffer
-//! would serialize the workers), and the tallies are merged at the end.
+//! # Scheduling
 //!
-//! Consequences the tests pin down:
+//! Two schedulers are provided (see [`ScheduleMode`]):
 //!
-//! * the result pair multiset is identical to the sequential join;
-//! * NA is identical (the same node pairs are visited);
-//! * DA is ≥ the sequential DA — splitting the traversal breaks some of
-//!   the path-buffer locality, exactly the kind of effect the paper says
-//!   a parallel cost model must account for.
+//! * [`ScheduleMode::RoundRobin`] — the legacy static scheme: the
+//!   root-level overlapping entry pairs are dealt round-robin over the
+//!   workers, no redistribution. Kept as the baseline the cost-guided
+//!   scheduler is measured against.
+//! * [`ScheduleMode::CostGuided`] (the default) — a coordinator descends
+//!   the synchronized traversal level by level until it holds at least
+//!   `threads × 4` overlapping node pairs (*work units*), prices each
+//!   unit with the Eq-6 `NA` formula on the unit's **measured** subtree
+//!   parameters ([`sjcm_core::join::unit_cost_na`] over
+//!   [`sjcm_rtree::RTree::subtree_stats`]) scaled by the subtree MBRs'
+//!   overlap fraction (see `unit_costs` below), seeds one deque per
+//!   worker in LPT (longest-processing-time-first) order, and lets idle
+//!   workers steal from the deque with the most estimated work left.
+//!
+//! # Invariants the tests pin down
+//!
+//! For **both** schedulers and any thread count:
+//!
+//! * the result pair multiset is identical to the sequential join (and
+//!   `pairs` is additionally sorted — see below);
+//! * NA is identical (the same node pairs are visited, and each access
+//!   is charged exactly once, by the coordinator above the frontier and
+//!   by exactly one worker below it).
+//!
+//! For the **cost-guided** scheduler additionally DA ≥ the sequential
+//! DA — splitting the traversal breaks some of the path-buffer
+//! locality, exactly the kind of effect the paper says a parallel cost
+//! model must account for. (The legacy round-robin scheduler carries
+//! buffers across a shard's units, and two units adjacent in a shard
+//! can recreate locality that an intervening unit destroyed in the
+//! sequential order, so round-robin DA can — rarely — dip *below*
+//! sequential. The property tests check the bound only for the
+//! cost-guided scheduler.)
+//!
+//! The cost-guided scheduler's DA is furthermore **deterministic**, even
+//! though stealing makes the unit→worker assignment timing-dependent:
+//! workers reset their buffers at every unit boundary, so each unit's
+//! miss count is independent of which worker runs it and of what ran
+//! before. (The coordinator expands the frontier in the sequential
+//! traversal's own per-level order, so under a path buffer the accesses
+//! *above* the frontier miss exactly as often as in the sequential
+//! join; the per-unit cold starts below the frontier are the only
+//! source of extra misses.)
+//!
+//! Per-worker tallies ([`crate::executor::WorkerTally`]) are attributed
+//! to the worker each unit was **scheduled on** — the LPT seeding for
+//! the cost-guided mode, the static deal for round-robin — not to
+//! whichever thread happened to execute it after stealing. Per-unit
+//! NA/DA/pair counts are deterministic (previous paragraph), so the
+//! tallies and the derived imbalance ratio
+//! ([`JoinResultSet::na_imbalance`]) are bit-for-bit reproducible on
+//! any machine and measure exactly what the scheduler controls: how
+//! well Eq-6 pricing split the work. Which thread *executes* a stolen
+//! unit is a wall-clock concern the tallies deliberately ignore — on a
+//! machine with fewer cores than workers, the realized split is OS
+//! time-slice noise.
+//!
+//! `pairs` is sorted by `(R1 object, R2 object)` before returning, so
+//! parallel output is deterministic and reproducible regardless of
+//! scheduling — the sequential executor's emission order is a traversal
+//! order no parallel schedule can reproduce cheaply.
 
-use crate::executor::{spatial_join_with, JoinConfig, JoinResultSet};
+use crate::executor::{
+    matched_children, spatial_join_with, JoinConfig, JoinResultSet, WorkerTally,
+};
+use sjcm_core::join::unit_cost_na;
+use sjcm_core::{LevelParams, TreeParams};
 use sjcm_geom::Rect;
-use sjcm_rtree::{Child, Entry, Node, NodeId, ObjectId, RTree};
+use sjcm_rtree::{Child, NodeId, ObjectId, RTree};
 use sjcm_storage::{AccessStats, BufferManager, PageId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 
-/// Runs the spatial join with `threads` workers. `threads = 1` falls
-/// back to the sequential executor.
+/// How parallel work units are assigned to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleMode {
+    /// Static: root-level pairs dealt `i mod threads`, no
+    /// redistribution. The pre-cost-model baseline.
+    RoundRobin,
+    /// Cost-guided: frontier work units priced with Eq 6 on measured
+    /// subtree parameters (overlap-scaled), LPT-seeded deques, idle
+    /// workers steal from the busiest deque.
+    #[default]
+    CostGuided,
+}
+
+/// Target number of work units per worker for the cost-guided
+/// scheduler. More units mean finer-grained stealing but more frontier
+/// expansion done serially by the coordinator.
+const UNITS_PER_WORKER: usize = 4;
+
+/// Runs the spatial join with `threads` workers under the default
+/// cost-guided scheduler. `threads = 1` falls back to the sequential
+/// executor (its `pairs` are still sorted — see the module docs).
 pub fn parallel_spatial_join<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
     threads: usize,
 ) -> JoinResultSet {
+    parallel_spatial_join_with(r1, r2, config, threads, ScheduleMode::default())
+}
+
+/// Runs the spatial join with `threads` workers and an explicit
+/// [`ScheduleMode`].
+pub fn parallel_spatial_join_with<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    threads: usize,
+    mode: ScheduleMode,
+) -> JoinResultSet {
     assert!(threads >= 1, "need at least one worker");
     if threads == 1 {
-        return spatial_join_with(r1, r2, config);
+        let mut result = spatial_join_with(r1, r2, config);
+        result.pairs.sort_unstable();
+        return result;
     }
-    // Collect the root-level work units: overlapping (child1, child2)
-    // pairs, or pinned pairs when heights differ at the root.
+    let mut result = match mode {
+        ScheduleMode::RoundRobin => round_robin_join(r1, r2, config, threads),
+        ScheduleMode::CostGuided => cost_guided_join(r1, r2, config, threads),
+    };
+    result.pairs.sort_unstable();
+    result
+}
+
+// ---------------------------------------------------------------------
+// Cost-guided scheduler.
+// ---------------------------------------------------------------------
+
+fn cost_guided_join<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    threads: usize,
+) -> JoinResultSet {
+    // 1. The coordinator descends until it holds enough units, charging
+    //    the intermediate accesses itself (in sequential per-level
+    //    order).
+    let mut coord = UnitExecutor::new(r1, r2, config);
+    let units = coord.collect_frontier(threads * UNITS_PER_WORKER, threads);
+
+    // 2. Price each unit with Eq 6 on its measured subtree parameters.
+    let costs = unit_costs(r1, r2, &units);
+
+    // 3. LPT seeding: hand units out in descending cost order, each to
+    //    the currently least-loaded deque. Ties broken by unit index so
+    //    the seeding is deterministic. `plan[i]` remembers the worker
+    //    unit `i` was seeded to — per-worker tallies are attributed by
+    //    this plan (see the module docs).
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_unstable_by(|&i, &j| costs[j].cmp(&costs[i]).then(i.cmp(&j)));
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); threads];
+    let mut loads = vec![0u64; threads];
+    let mut plan = vec![0usize; units.len()];
+    for i in order {
+        let w = (0..threads).min_by_key(|&w| (loads[w], w)).unwrap();
+        plan[i] = w;
+        queues[w].push_back(i);
+        loads[w] += costs[i];
+    }
+    let deques: Vec<Deque> = queues
+        .into_iter()
+        .zip(loads)
+        .map(|(queue, load)| Deque {
+            queue: Mutex::new(queue),
+            remaining: AtomicU64::new(load),
+        })
+        .collect();
+
+    // 4. Workers drain their own deque front-first (largest unit first,
+    //    thanks to LPT order) and steal from the deque with the most
+    //    estimated work left once idle. Each worker records a per-unit
+    //    tally so the coordinator can attribute units to their *planned*
+    //    worker afterwards.
+    // Workers start together: without the barrier, on small inputs the
+    // first-spawned worker can steal every deque dry before the others
+    // even begin, serializing the execution.
+    let start = Barrier::new(threads);
+    let worker_outputs: Vec<(Vec<(usize, WorkerTally)>, JoinResultSet)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let deques = &deques;
+                    let units = &units;
+                    let costs = &costs;
+                    let start = &start;
+                    scope.spawn(move || {
+                        let mut exec = UnitExecutor::new(r1, r2, config);
+                        let mut per_unit: Vec<(usize, WorkerTally)> = Vec::new();
+                        start.wait();
+                        while let Some(i) = next_unit(deques, costs, w) {
+                            let (a, b) = units[i];
+                            // Fresh buffers per unit: see the module docs.
+                            exec.buf1.clear();
+                            exec.buf2.clear();
+                            let na0 = exec.stats1.na_total() + exec.stats2.na_total();
+                            let da0 = exec.stats1.da_total() + exec.stats2.da_total();
+                            let pc0 = exec.pair_count;
+                            exec.visit(a, b);
+                            per_unit.push((
+                                i,
+                                WorkerTally {
+                                    units: 1,
+                                    na: exec.stats1.na_total() + exec.stats2.na_total() - na0,
+                                    da: exec.stats1.da_total() + exec.stats2.da_total() - da0,
+                                    pair_count: exec.pair_count - pc0,
+                                },
+                            ));
+                        }
+                        (
+                            per_unit,
+                            JoinResultSet {
+                                pairs: exec.pairs,
+                                pair_count: exec.pair_count,
+                                stats1: exec.stats1,
+                                stats2: exec.stats2,
+                                workers: Vec::new(),
+                            },
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+    let mut workers = vec![WorkerTally::default(); threads];
+    for (per_unit, r) in worker_outputs {
+        for (i, t) in per_unit {
+            let tally = &mut workers[plan[i]];
+            tally.units += t.units;
+            tally.na += t.na;
+            tally.da += t.da;
+            tally.pair_count += t.pair_count;
+        }
+        coord.pairs.extend(r.pairs);
+        coord.pair_count += r.pair_count;
+        coord.stats1.merge(&r.stats1);
+        coord.stats2.merge(&r.stats2);
+    }
+    JoinResultSet {
+        pairs: coord.pairs,
+        pair_count: coord.pair_count,
+        stats1: coord.stats1,
+        stats2: coord.stats2,
+        workers,
+    }
+}
+
+/// One worker's deque plus the estimated cost of what is still queued
+/// (the steal-victim selection key).
+struct Deque {
+    queue: Mutex<VecDeque<usize>>,
+    remaining: AtomicU64,
+}
+
+fn pop_front(deque: &Deque, costs: &[u64]) -> Option<usize> {
+    let mut q = deque.queue.lock().expect("deque poisoned");
+    let i = q.pop_front()?;
+    deque.remaining.fetch_sub(costs[i], Ordering::Relaxed);
+    Some(i)
+}
+
+/// Next unit for worker `own`: its own deque first, then a steal from
+/// the deque with the most estimated work remaining. Returns `None`
+/// only when every deque is empty (units are never re-queued, so that
+/// means the join is drained).
+fn next_unit(deques: &[Deque], costs: &[u64], own: usize) -> Option<usize> {
+    if let Some(i) = pop_front(&deques[own], costs) {
+        return Some(i);
+    }
+    loop {
+        let victim = deques
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.remaining.load(Ordering::Relaxed) > 0)
+            .max_by_key(|(_, d)| d.remaining.load(Ordering::Relaxed))
+            .map(|(w, _)| w)?;
+        if let Some(i) = pop_front(&deques[victim], costs) {
+            return Some(i);
+        }
+        // Lost the race for that deque; rescan.
+    }
+}
+
+/// Eq-6 price of every unit, on measured subtree parameters. Subtree
+/// statistics are cached per node id — at a given frontier depth each
+/// subtree appears in many units. Costs are scaled to integers for the
+/// atomic bookkeeping; only relative magnitudes matter.
+///
+/// Eq 6 assumes both node populations spread over the *whole*
+/// workspace, but a unit joins two localized subtrees whose MBRs may
+/// overlap anywhere from a sliver to fully — the dominant factor in the
+/// unit's actual NA. In the spirit of the paper's §4.2 global→local
+/// transformation, the Eq-6 price is therefore scaled per dimension by
+/// the fraction of the smaller subtree's extent that lies in the MBR
+/// intersection.
+fn unit_costs<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    units: &[(NodeId, NodeId)],
+) -> Vec<u64> {
+    let mut cache1: HashMap<NodeId, TreeParams<N>> = HashMap::new();
+    let mut cache2: HashMap<NodeId, TreeParams<N>> = HashMap::new();
+    units
+        .iter()
+        .map(|&(a, b)| {
+            let p1 = cache1.entry(a).or_insert_with(|| subtree_params(r1, a));
+            let p2 = cache2.entry(b).or_insert_with(|| subtree_params(r2, b));
+            let cost = unit_cost_na(p1, p2) * overlap_fraction(r1, r2, a, b);
+            ((cost * 16.0).round() as u64).max(1)
+        })
+        .collect()
+}
+
+/// Per-dimension fraction of the smaller of the two subtree MBR extents
+/// covered by their intersection, multiplied over dimensions. 1.0 for
+/// nested/co-located subtrees, → 0 for sliver overlaps.
+fn overlap_fraction<const N: usize>(r1: &RTree<N>, r2: &RTree<N>, a: NodeId, b: NodeId) -> f64 {
+    let (m1, m2) = match (r1.node(a).mbr(), r2.node(b).mbr()) {
+        (Some(m1), Some(m2)) => (m1, m2),
+        _ => return 1.0,
+    };
+    let mut factor = 1.0;
+    for k in 0..N {
+        let inter = (m1.hi_k(k).min(m2.hi_k(k)) - m1.lo_k(k).max(m2.lo_k(k))).max(0.0);
+        let narrow = m1.extent(k).min(m2.extent(k));
+        if narrow > 0.0 {
+            factor *= (inter / narrow).min(1.0);
+        }
+    }
+    factor
+}
+
+fn subtree_params<const N: usize>(tree: &RTree<N>, id: NodeId) -> TreeParams<N> {
+    let stats = tree.subtree_stats(id);
+    TreeParams::from_levels(
+        stats
+            .levels
+            .iter()
+            .map(|l| LevelParams {
+                nodes: l.node_count as f64,
+                extents: std::array::from_fn(|k| l.avg_extents[k]),
+                density: l.density,
+            })
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Legacy round-robin scheduler.
+// ---------------------------------------------------------------------
+
+fn round_robin_join<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    threads: usize,
+) -> JoinResultSet {
+    // Root-level work units: overlapping (child1, child2) pairs, or
+    // pinned pairs when heights differ at the root.
     let units = root_work_units(r1, r2, &config);
     let mut shards: Vec<Vec<WorkUnit>> = vec![Vec::new(); threads];
     for (i, u) in units.into_iter().enumerate() {
         shards[i % threads].push(u);
     }
 
-    let results: Vec<JoinResultSet> = crossbeam::thread::scope(|scope| {
+    let results: Vec<JoinResultSet> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
-            .map(|shard| scope.spawn(move |_| run_shard(r1, r2, config, shard)))
+            .map(|shard| scope.spawn(move || run_shard(r1, r2, config, shard)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("thread scope failed");
+    });
 
     let mut pairs = Vec::new();
     let mut pair_count = 0;
     let mut stats1 = AccessStats::new();
     let mut stats2 = AccessStats::new();
-    for r in results {
+    let mut workers = Vec::with_capacity(threads);
+    for (shard, r) in shards.iter().zip(results) {
+        workers.push(WorkerTally {
+            units: shard.len() as u64,
+            na: r.na_total(),
+            da: r.da_total(),
+            pair_count: r.pair_count,
+        });
         pairs.extend(r.pairs);
         pair_count += r.pair_count;
         stats1.merge(&r.stats1);
@@ -66,6 +410,7 @@ pub fn parallel_spatial_join<const N: usize>(
         pair_count,
         stats1,
         stats2,
+        workers,
     }
 }
 
@@ -73,8 +418,8 @@ pub fn parallel_spatial_join<const N: usize>(
 enum WorkUnit {
     /// Both root children descend.
     Pair(Child, Child),
-    /// R2's root is a leaf: object-pair output at the roots (no work to
-    /// parallelize — handled inline by shard 0 via this unit).
+    /// Both roots are leaves: object-pair output at the roots (no work
+    /// to parallelize — emitted by whichever shard holds this unit).
     Emit(ObjectId, ObjectId),
 }
 
@@ -91,7 +436,7 @@ fn root_work_units<const N: usize>(
         (true, true) => {
             for e2 in &n2.entries {
                 for e1 in &n1.entries {
-                    if predicate_holds(pred, &e1.rect, &e2.rect) {
+                    if pred.holds(&e1.rect, &e2.rect) {
                         units.push(WorkUnit::Emit(e1.child.object(), e2.child.object()));
                     }
                 }
@@ -100,7 +445,7 @@ fn root_work_units<const N: usize>(
         (false, false) => {
             for e2 in &n2.entries {
                 for e1 in &n1.entries {
-                    if predicate_holds(pred, &e1.rect, &e2.rect) {
+                    if pred.holds(&e1.rect, &e2.rect) {
                         units.push(WorkUnit::Pair(e1.child, e2.child));
                     }
                 }
@@ -109,7 +454,7 @@ fn root_work_units<const N: usize>(
         (false, true) => {
             if let Some(m2) = n2.mbr() {
                 for e1 in &n1.entries {
-                    if predicate_holds(pred, &e1.rect, &m2) {
+                    if pred.holds(&e1.rect, &m2) {
                         units.push(WorkUnit::Pair(e1.child, Child::Node(r2.root_id())));
                     }
                 }
@@ -118,7 +463,7 @@ fn root_work_units<const N: usize>(
         (true, false) => {
             if let Some(m1) = n1.mbr() {
                 for e2 in &n2.entries {
-                    if predicate_holds(pred, &m1, &e2.rect) {
+                    if pred.holds(&m1, &e2.rect) {
                         units.push(WorkUnit::Pair(Child::Node(r1.root_id()), e2.child));
                     }
                 }
@@ -128,37 +473,17 @@ fn root_work_units<const N: usize>(
     units
 }
 
-fn predicate_holds<const N: usize>(
-    pred: crate::executor::JoinPredicate,
-    a: &Rect<N>,
-    b: &Rect<N>,
-) -> bool {
-    match pred {
-        crate::executor::JoinPredicate::Overlap => a.intersects(b),
-        crate::executor::JoinPredicate::WithinDistance(eps) => a.within_distance(b, eps),
-    }
-}
-
-/// Runs one worker's share: a mini-executor seeded with the assigned
-/// root-level pairs. Re-uses the sequential executor by synthesizing a
-/// "virtual root" pair per unit.
+/// Runs one legacy shard: the assigned root-level pairs through a
+/// worker executor whose buffers persist across units (the legacy
+/// behaviour, kept bit-for-bit so `RoundRobin` stays an honest
+/// baseline).
 fn run_shard<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
     units: &[WorkUnit],
 ) -> JoinResultSet {
-    let mut shard = ShardExecutor {
-        r1,
-        r2,
-        buf1: buffer_of(config),
-        buf2: buffer_of(config),
-        stats1: AccessStats::new(),
-        stats2: AccessStats::new(),
-        pairs: Vec::new(),
-        pair_count: 0,
-        config,
-    };
+    let mut shard = UnitExecutor::new(r1, r2, config);
     for unit in units {
         match *unit {
             WorkUnit::Emit(a, b) => {
@@ -186,24 +511,21 @@ fn run_shard<const N: usize>(
         pair_count: shard.pair_count,
         stats1: shard.stats1,
         stats2: shard.stats2,
+        workers: Vec::new(),
     }
 }
 
-fn buffer_of(config: JoinConfig) -> Box<dyn BufferManager> {
-    use crate::executor::BufferPolicy;
-    use sjcm_storage::{LruBuffer, NoBuffer, PathBuffer};
-    match config.buffer {
-        BufferPolicy::None => Box::new(NoBuffer),
-        BufferPolicy::Path => Box::new(PathBuffer::new()),
-        BufferPolicy::Lru(cap) => Box::new(LruBuffer::new(cap)),
-    }
-}
+// ---------------------------------------------------------------------
+// The traversal engine shared by the coordinator and the workers.
+// ---------------------------------------------------------------------
 
-/// A reduced copy of the sequential executor's recursion for worker
-/// shards (the sequential `Executor` is private to `executor.rs` and
-/// entangled with its entry point; the traversal logic is small enough
-/// that sharing it through a trait would cost more than it saves).
-struct ShardExecutor<'a, const N: usize> {
+/// A reduced copy of the sequential executor's recursion (the
+/// sequential `Executor` is private to `executor.rs` and entangled with
+/// its entry point; the traversal logic is small enough that sharing it
+/// through a trait would cost more than it saves). Entry matching goes
+/// through [`matched_children`], so the match order — and therefore the
+/// access order the buffers see — is the sequential executor's.
+struct UnitExecutor<'a, const N: usize> {
     r1: &'a RTree<N>,
     r2: &'a RTree<N>,
     buf1: Box<dyn BufferManager>,
@@ -213,9 +535,27 @@ struct ShardExecutor<'a, const N: usize> {
     pairs: Vec<(ObjectId, ObjectId)>,
     pair_count: u64,
     config: JoinConfig,
+    scratch1: Vec<(Rect<N>, Child)>,
+    scratch2: Vec<(Rect<N>, Child)>,
 }
 
-impl<const N: usize> ShardExecutor<'_, N> {
+impl<'a, const N: usize> UnitExecutor<'a, N> {
+    fn new(r1: &'a RTree<N>, r2: &'a RTree<N>, config: JoinConfig) -> Self {
+        Self {
+            r1,
+            r2,
+            buf1: config.buffer.build(),
+            buf2: config.buffer.build(),
+            stats1: AccessStats::new(),
+            stats2: AccessStats::new(),
+            pairs: Vec::new(),
+            pair_count: 0,
+            config,
+            scratch1: Vec::new(),
+            scratch2: Vec::new(),
+        }
+    }
+
     fn access1(&mut self, id: NodeId) {
         let level = self.r1.node(id).level;
         let kind = self.buf1.access(PageId(id.0), level);
@@ -228,50 +568,150 @@ impl<const N: usize> ShardExecutor<'_, N> {
         self.stats2.record(level, kind);
     }
 
-    fn visit(&mut self, n1_id: NodeId, n2_id: NodeId) {
-        let n1: &Node<N> = self.r1.node(n1_id);
-        let n2: &Node<N> = self.r2.node(n2_id);
-        let pred = self.config.predicate;
-        match (n1.is_leaf(), n2.is_leaf()) {
-            (true, true) => {
-                for e2 in &n2.entries {
-                    for e1 in &n1.entries {
-                        if predicate_holds(pred, &e1.rect, &e2.rect) {
-                            self.pair_count += 1;
-                            if self.config.collect_pairs {
-                                self.pairs.push((e1.child.object(), e2.child.object()));
-                            }
+    fn matched(&mut self, n1_id: NodeId, n2_id: NodeId) -> Vec<(Child, Child)> {
+        matched_children(
+            self.r1.node(n1_id),
+            self.r2.node(n2_id),
+            &self.config,
+            &mut self.scratch1,
+            &mut self.scratch2,
+        )
+    }
+
+    /// Expands the synchronized traversal breadth-first, one level per
+    /// round, until the frontier holds at least `target` node pairs or
+    /// nothing is expandable (every pair is leaf–leaf). Every access a
+    /// sequential join would charge *above* the returned frontier is
+    /// charged here, against this executor's buffers; every pair in the
+    /// returned frontier has already been charged (or is the uncounted
+    /// root pair), so workers must not charge unit entries again.
+    ///
+    /// One more round always expands *every* expandable pair, so on a
+    /// shallow tree a single round can overshoot `target` straight into
+    /// leaf–leaf pairs — units with no node accesses left in them, the
+    /// coordinator having absorbed the whole traversal. To keep the
+    /// units worth scheduling, expansion also stops early when the next
+    /// round would produce only leaf–leaf pairs, provided at least
+    /// `min_units` pairs are already on hand.
+    ///
+    /// Within a round, pairs expand in frontier order and children
+    /// append in match order, so the per-level access sequence is the
+    /// sequential DFS's per-level access sequence — under a path buffer
+    /// (one frame per level) the intermediate-level DA is therefore
+    /// *exactly* sequential.
+    fn collect_frontier(&mut self, target: usize, min_units: usize) -> Vec<(NodeId, NodeId)> {
+        let mut frontier = vec![(self.r1.root_id(), self.r2.root_id())];
+        loop {
+            if frontier.len() >= target {
+                return frontier;
+            }
+            // All pairs in a round sit at the same level pair, so one
+            // probe decides whether another round would only produce
+            // I/O-free leaf–leaf units.
+            if frontier.len() >= min_units
+                && frontier
+                    .iter()
+                    .all(|&(a, b)| self.r1.node(a).level <= 1 && self.r2.node(b).level <= 1)
+            {
+                return frontier;
+            }
+            let mut next = Vec::new();
+            let mut expanded = false;
+            for &(a, b) in &frontier {
+                let leaf1 = self.r1.node(a).is_leaf();
+                let leaf2 = self.r2.node(b).is_leaf();
+                match (leaf1, leaf2) {
+                    (true, true) => next.push((a, b)),
+                    (false, false) => {
+                        expanded = true;
+                        for (c1, c2) in self.matched(a, b) {
+                            let (c1, c2) = (c1.node(), c2.node());
+                            self.access1(c1);
+                            self.access2(c2);
+                            next.push((c1, c2));
+                        }
+                    }
+                    (false, true) => {
+                        expanded = true;
+                        let m2 = match self.r2.node(b).mbr() {
+                            Some(m) => m,
+                            None => continue,
+                        };
+                        let children: Vec<NodeId> = self
+                            .r1
+                            .node(a)
+                            .entries
+                            .iter()
+                            .filter(|e| self.config.predicate.holds(&e.rect, &m2))
+                            .map(|e| e.child.node())
+                            .collect();
+                        for c1 in children {
+                            self.access1(c1);
+                            self.access2(b);
+                            next.push((c1, b));
+                        }
+                    }
+                    (true, false) => {
+                        expanded = true;
+                        let m1 = match self.r1.node(a).mbr() {
+                            Some(m) => m,
+                            None => continue,
+                        };
+                        let children: Vec<NodeId> = self
+                            .r2
+                            .node(b)
+                            .entries
+                            .iter()
+                            .filter(|e| self.config.predicate.holds(&m1, &e.rect))
+                            .map(|e| e.child.node())
+                            .collect();
+                        for c2 in children {
+                            self.access1(a);
+                            self.access2(c2);
+                            next.push((a, c2));
                         }
                     }
                 }
             }
+            frontier = next;
+            if !expanded {
+                return frontier;
+            }
+        }
+    }
+
+    fn visit(&mut self, n1_id: NodeId, n2_id: NodeId) {
+        let leaf1 = self.r1.node(n1_id).is_leaf();
+        let leaf2 = self.r2.node(n2_id).is_leaf();
+        let pred = self.config.predicate;
+        match (leaf1, leaf2) {
+            (true, true) => {
+                for (c1, c2) in self.matched(n1_id, n2_id) {
+                    self.pair_count += 1;
+                    if self.config.collect_pairs {
+                        self.pairs.push((c1.object(), c2.object()));
+                    }
+                }
+            }
             (false, false) => {
-                let matched: Vec<(Entry<N>, Entry<N>)> = n2
-                    .entries
-                    .iter()
-                    .flat_map(|e2| {
-                        n1.entries
-                            .iter()
-                            .filter(|e1| predicate_holds(pred, &e1.rect, &e2.rect))
-                            .map(|e1| (*e1, *e2))
-                    })
-                    .collect();
-                for (e1, e2) in matched {
-                    let (c1, c2) = (e1.child.node(), e2.child.node());
+                for (c1, c2) in self.matched(n1_id, n2_id) {
+                    let (c1, c2) = (c1.node(), c2.node());
                     self.access1(c1);
                     self.access2(c2);
                     self.visit(c1, c2);
                 }
             }
             (false, true) => {
-                let m2 = match n2.mbr() {
+                let m2 = match self.r2.node(n2_id).mbr() {
                     Some(m) => m,
                     None => return,
                 };
-                let children: Vec<NodeId> = n1
+                let children: Vec<NodeId> = self
+                    .r1
+                    .node(n1_id)
                     .entries
                     .iter()
-                    .filter(|e| predicate_holds(pred, &e.rect, &m2))
+                    .filter(|e| pred.holds(&e.rect, &m2))
                     .map(|e| e.child.node())
                     .collect();
                 for c1 in children {
@@ -281,14 +721,16 @@ impl<const N: usize> ShardExecutor<'_, N> {
                 }
             }
             (true, false) => {
-                let m1 = match n1.mbr() {
+                let m1 = match self.r1.node(n1_id).mbr() {
                     Some(m) => m,
                     None => return,
                 };
-                let children: Vec<NodeId> = n2
+                let children: Vec<NodeId> = self
+                    .r2
+                    .node(n2_id)
                     .entries
                     .iter()
-                    .filter(|e| predicate_holds(pred, &m1, &e.rect))
+                    .filter(|e| pred.holds(&m1, &e.rect))
                     .map(|e| e.child.node())
                     .collect();
                 for c2 in children {
@@ -323,18 +765,21 @@ mod tests {
         tree
     }
 
+    fn sorted(mut pairs: Vec<(ObjectId, ObjectId)>) -> Vec<(ObjectId, ObjectId)> {
+        pairs.sort_unstable();
+        pairs
+    }
+
     #[test]
     fn parallel_matches_sequential_pairs() {
         let a = build(2_000, 0.01, 1);
         let b = build(2_000, 0.01, 2);
-        let seq = spatial_join(&a, &b);
-        for threads in [2, 4, 7] {
-            let par = parallel_spatial_join(&a, &b, JoinConfig::default(), threads);
-            let mut ps = par.pairs.clone();
-            let mut ss = seq.pairs.clone();
-            ps.sort();
-            ss.sort();
-            assert_eq!(ps, ss, "{threads} threads");
+        let seq = sorted(spatial_join(&a, &b).pairs);
+        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+            for threads in [2, 4, 7] {
+                let par = parallel_spatial_join_with(&a, &b, JoinConfig::default(), threads, mode);
+                assert_eq!(par.pairs, seq, "{mode:?} with {threads} threads");
+            }
         }
     }
 
@@ -343,16 +788,23 @@ mod tests {
         let a = build(2_000, 0.01, 3);
         let b = build(2_000, 0.01, 4);
         let seq = spatial_join(&a, &b);
-        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 4);
-        assert_eq!(seq.na_total(), par.na_total());
+        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+            let par = parallel_spatial_join_with(&a, &b, JoinConfig::default(), 4, mode);
+            assert_eq!(seq.na_total(), par.na_total(), "{mode:?}");
+            assert_eq!(seq.pair_count, par.pair_count, "{mode:?}");
+        }
     }
 
     #[test]
     fn parallel_da_at_least_sequential_da() {
+        // Cost-guided only: the bound is a design property of the
+        // per-unit buffer resets (see the module docs); the legacy
+        // round-robin scheduler does not guarantee it.
         let a = build(3_000, 0.008, 5);
         let b = build(3_000, 0.008, 6);
         let seq = spatial_join(&a, &b);
-        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 4);
+        let par =
+            parallel_spatial_join_with(&a, &b, JoinConfig::default(), 4, ScheduleMode::CostGuided);
         assert!(
             par.da_total() >= seq.da_total(),
             "parallel {} vs sequential {}",
@@ -362,13 +814,50 @@ mod tests {
     }
 
     #[test]
+    fn cost_guided_da_is_deterministic() {
+        // Stealing redistributes units at runtime, but per-unit buffer
+        // resets make the global DA independent of the assignment.
+        let a = build(2_500, 0.01, 13);
+        let b = build(2_500, 0.01, 14);
+        let first = parallel_spatial_join(&a, &b, JoinConfig::default(), 4);
+        for _ in 0..3 {
+            let again = parallel_spatial_join(&a, &b, JoinConfig::default(), 4);
+            assert_eq!(first.da_total(), again.da_total());
+            assert_eq!(first.na_total(), again.na_total());
+            assert_eq!(first.pairs, again.pairs);
+            // Tallies attribute units to their planned worker, so they
+            // are deterministic too, stealing notwithstanding.
+            assert_eq!(first.workers, again.workers);
+        }
+    }
+
+    #[test]
+    fn worker_tallies_cover_the_work() {
+        let a = build(2_000, 0.01, 15);
+        let b = build(2_000, 0.01, 16);
+        let seq = spatial_join(&a, &b);
+        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 3);
+        assert_eq!(par.workers.len(), 3);
+        let worker_pairs: u64 = par.workers.iter().map(|w| w.pair_count).sum();
+        assert_eq!(worker_pairs, seq.pair_count);
+        let worker_na: u64 = par.workers.iter().map(|w| w.na).sum();
+        // Workers charge everything below the frontier; the coordinator
+        // charges the rest.
+        assert!(worker_na <= par.na_total());
+        assert!(par.workers.iter().map(|w| w.units).sum::<u64>() >= 3 * 4 / 2);
+        assert!(par.na_imbalance() >= 1.0);
+    }
+
+    #[test]
     fn single_thread_is_sequential() {
         let a = build(500, 0.02, 7);
         let b = build(500, 0.02, 8);
         let seq = spatial_join(&a, &b);
         let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 1);
-        assert_eq!(seq.pairs, par.pairs);
+        assert_eq!(sorted(seq.pairs.clone()), par.pairs);
         assert_eq!(seq.da_total(), par.da_total());
+        assert!(par.workers.is_empty());
+        assert_eq!(par.na_imbalance(), 1.0);
     }
 
     #[test]
@@ -377,12 +866,16 @@ mod tests {
         let b = build(40, 0.05, 10);
         assert!(a.height() > b.height());
         let seq = spatial_join(&a, &b);
-        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 3);
-        let mut ps = par.pairs.clone();
-        let mut ss = seq.pairs.clone();
-        ps.sort();
-        ss.sort();
-        assert_eq!(ps, ss);
+        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+            let par = parallel_spatial_join_with(&a, &b, JoinConfig::default(), 3, mode);
+            assert_eq!(par.pairs, sorted(seq.pairs.clone()), "{mode:?}");
+            assert_eq!(par.na_total(), seq.na_total(), "{mode:?}");
+            // Role-swapped as well (pinned tree on the other side).
+            let swapped = parallel_spatial_join_with(&b, &a, JoinConfig::default(), 3, mode);
+            let seq_swapped = spatial_join(&b, &a);
+            assert_eq!(swapped.pairs, sorted(seq_swapped.pairs.clone()), "{mode:?}");
+            assert_eq!(swapped.na_total(), seq_swapped.na_total(), "{mode:?}");
+        }
     }
 
     #[test]
@@ -391,11 +884,23 @@ mod tests {
         let b = build(5, 0.2, 12);
         assert_eq!(a.height(), 1);
         let seq = spatial_join(&a, &b);
-        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 2);
-        let mut ps = par.pairs.clone();
-        let mut ss = seq.pairs.clone();
-        ps.sort();
-        ss.sort();
-        assert_eq!(ps, ss);
+        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+            let par = parallel_spatial_join_with(&a, &b, JoinConfig::default(), 2, mode);
+            assert_eq!(par.pairs, sorted(seq.pairs.clone()), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn frontier_descends_past_the_root() {
+        // With 8 threads the unit target (32) exceeds the root fan-out
+        // squared of these small trees, so the coordinator must descend
+        // at least one extra level and still preserve all invariants.
+        let a = build(4_000, 0.008, 17);
+        let b = build(4_000, 0.008, 18);
+        let seq = spatial_join(&a, &b);
+        let par = parallel_spatial_join(&a, &b, JoinConfig::default(), 8);
+        assert_eq!(par.pairs, sorted(seq.pairs.clone()));
+        assert_eq!(par.na_total(), seq.na_total());
+        assert!(par.da_total() >= seq.da_total());
     }
 }

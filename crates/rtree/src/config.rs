@@ -1,10 +1,9 @@
 //! Tree configuration.
 
-use serde::{Deserialize, Serialize};
 use sjcm_storage::{max_entries, DEFAULT_PAGE_SIZE};
 
 /// Which split algorithm the tree uses on node overflow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SplitStrategy {
     /// Guttman's quadratic split (SIGMOD 1984).
     Quadratic,
@@ -20,7 +19,7 @@ pub enum SplitStrategy {
 /// from the dimensionality via the node layout), minimum fill `m = 40%·M`
 /// (the R\*-tree recommendation) and forced reinsertion of `30%·M`
 /// entries on first overflow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RTreeConfig {
     /// Page size in bytes; determines the maximum node capacity.
     pub page_size: usize,

@@ -5,12 +5,11 @@
 //! join crate: two different trees never share a buffer, so ids only need
 //! to be unique within one tree.
 
-use serde::{Deserialize, Serialize};
 use sjcm_geom::{mbr_of, Rect};
 use std::fmt;
 
 /// Identifier of a node within one tree's arena.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl fmt::Debug for NodeId {
@@ -21,7 +20,7 @@ impl fmt::Debug for NodeId {
 
 /// Identifier of a stored spatial object (the tuple id the leaf entries
 /// point at). 32-bit to match the paper's 4-byte leaf pointers.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectId(pub u32);
 
 impl fmt::Debug for ObjectId {
@@ -37,7 +36,7 @@ impl fmt::Display for ObjectId {
 }
 
 /// What a node entry points at.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Child {
     /// Internal entry: a child node one level down.
     Node(NodeId),
@@ -66,7 +65,7 @@ impl Child {
 }
 
 /// One slot of a node: a bounding rectangle plus what it bounds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Entry<const N: usize> {
     /// MBR of the child subtree or of the stored object.
     pub rect: Rect<N>,
@@ -95,7 +94,7 @@ impl<const N: usize> Entry<N> {
 }
 
 /// An R-tree node: its level (0 = leaf) and its entries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node<const N: usize> {
     /// 0 for leaves, increasing toward the root. (The paper's formulas
     /// number leaves as level 1; the cost-model crate shifts explicitly.)

@@ -9,12 +9,11 @@
 //! error.
 
 use crate::tree::RTree;
-use serde::{Deserialize, Serialize};
 use sjcm_geom::density;
 
 /// Statistics of one tree level, using the **paper's** level numbering:
 /// leaves are level `j = 1`, the root is level `j = h`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LevelStats {
     /// Paper level `j` (1 = leaf).
     pub level: usize,
@@ -31,7 +30,7 @@ pub struct LevelStats {
 }
 
 /// Whole-tree statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeStats {
     /// Height `h` in the paper's convention (leaf level 1 … root level h).
     pub height: usize,
@@ -100,6 +99,78 @@ impl<const N: usize> RTree<N> {
             height,
             num_objects: self.len(),
             data_density,
+            levels,
+            avg_utilization: if total_nodes == 0 {
+                0.0
+            } else {
+                total_entries as f64 / (total_nodes * max_entries) as f64
+            },
+        }
+    }
+
+    /// Measures the statistics of the subtree rooted at `root` — the same
+    /// quantities as [`RTree::stats`] restricted to that subtree, with
+    /// levels renumbered so the subtree's leaves are paper level 1 and
+    /// `root` itself is level `height`.
+    ///
+    /// The parallel join scheduler uses these to price a work unit with
+    /// the Eq-6 cost formula on the unit's *measured* shape instead of a
+    /// whole-tree average.
+    pub fn subtree_stats(&self, root: crate::node::NodeId) -> TreeStats {
+        let max_entries = self.config().max_entries;
+        let height = self.node(root).level as usize + 1;
+        // Group the subtree's nodes by crate level (0 = leaf).
+        let mut by_level: Vec<Vec<crate::node::NodeId>> = vec![Vec::new(); height];
+        let mut frontier = vec![root];
+        while let Some(id) = frontier.pop() {
+            let node = self.node(id);
+            by_level[node.level as usize].push(id);
+            if !node.is_leaf() {
+                frontier.extend(node.entries.iter().map(|e| e.child.node()));
+            }
+        }
+        let mut levels = Vec::with_capacity(height);
+        let mut total_entries = 0usize;
+        let mut total_nodes = 0usize;
+        let mut object_rects = Vec::new();
+        for (crate_level, ids) in by_level.iter().enumerate() {
+            let rects: Vec<_> = ids.iter().filter_map(|&id| self.node(id).mbr()).collect();
+            let node_count = ids.len();
+            let entries: usize = ids.iter().map(|&id| self.node(id).len()).sum();
+            total_entries += entries;
+            total_nodes += node_count;
+            if crate_level == 0 {
+                for &id in ids {
+                    object_rects.extend(self.node(id).entries.iter().map(|e| e.rect));
+                }
+            }
+            let mut avg = vec![0.0; N];
+            for r in &rects {
+                for (k, a) in avg.iter_mut().enumerate() {
+                    *a += r.extent(k);
+                }
+            }
+            if !rects.is_empty() {
+                for a in avg.iter_mut() {
+                    *a /= rects.len() as f64;
+                }
+            }
+            levels.push(LevelStats {
+                level: crate_level + 1,
+                node_count,
+                avg_extents: avg,
+                density: density(rects.iter()),
+                avg_fanout: if node_count == 0 {
+                    0.0
+                } else {
+                    entries as f64 / node_count as f64
+                },
+            });
+        }
+        TreeStats {
+            height,
+            num_objects: object_rects.len(),
+            data_density: density(object_rects.iter()),
             levels,
             avg_utilization: if total_nodes == 0 {
                 0.0
@@ -195,6 +266,46 @@ mod tests {
             "utilization {}",
             s.avg_utilization
         );
+    }
+
+    #[test]
+    fn subtree_stats_of_root_match_whole_tree() {
+        let tree = build_uniform(1200, 0.008, 7);
+        let whole = tree.stats();
+        let sub = tree.subtree_stats(tree.root_id());
+        assert_eq!(sub.height, whole.height);
+        assert_eq!(sub.num_objects, whole.num_objects);
+        assert_eq!(sub.levels.len(), whole.levels.len());
+        for (s, w) in sub.levels.iter().zip(&whole.levels) {
+            assert_eq!(s.level, w.level);
+            assert_eq!(s.node_count, w.node_count);
+            // The two walks visit nodes in different orders, so float
+            // sums agree only up to rounding.
+            for (a, b) in s.avg_extents.iter().zip(&w.avg_extents) {
+                assert!((a - b).abs() < 1e-9);
+            }
+            assert!((s.density - w.density).abs() < 1e-9);
+            assert!((s.avg_fanout - w.avg_fanout).abs() < 1e-12);
+        }
+        assert!((sub.data_density - whole.data_density).abs() < 1e-9);
+        assert!((sub.avg_utilization - whole.avg_utilization).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtree_stats_partition_the_objects() {
+        let tree = build_uniform(1500, 0.008, 8);
+        assert!(tree.height() >= 2);
+        let root = tree.node(tree.root_id());
+        let mut total = 0usize;
+        for entry in &root.entries {
+            let sub = tree.subtree_stats(entry.child.node());
+            assert_eq!(sub.height, tree.height() - 1);
+            assert_eq!(sub.levels.len(), sub.height);
+            assert_eq!(sub.levels.last().unwrap().node_count, 1);
+            assert!(sub.num_objects > 0);
+            total += sub.num_objects;
+        }
+        assert_eq!(total, 1500, "children's subtrees must partition the data");
     }
 
     #[test]

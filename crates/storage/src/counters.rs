@@ -5,12 +5,11 @@
 //! per-level tallies collected here during actual SJ runs.
 
 use crate::buffer::AccessKind;
-use serde::{Deserialize, Serialize};
 
 /// Node/disk access counts for one tree, broken down by level
 /// (0 = leaf, following the crate convention; the cost-model crate maps
 /// to the paper's 1-based levels).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccessStats {
     na_by_level: Vec<u64>,
     da_by_level: Vec<u64>,

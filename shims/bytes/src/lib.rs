@@ -1,0 +1,222 @@
+//! Workspace-local stand-in for the subset of the crates.io `bytes` API
+//! this repository's storage layer uses: a cheaply clonable immutable
+//! byte container ([`Bytes`]) and little-endian cursor traits
+//! ([`Buf`] over `&[u8]`, [`BufMut`] over `Vec<u8>`). The build
+//! environment is offline, so the real crate cannot be fetched.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable byte buffer (reference-counted slice).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Little-endian read cursor. Implemented for `&[u8]`: reads consume the
+/// front of the slice. All getters panic when the buffer is too short,
+/// matching the real crate's contract.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+macro_rules! take_bytes {
+    ($self:ident, $n:literal) => {{
+        let (head, tail) = $self.split_at($n);
+        let mut arr = [0u8; $n];
+        arr.copy_from_slice(head);
+        *$self = tail;
+        arr
+    }};
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        *self = &self[1..];
+        b
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(take_bytes!(self, 2))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(take_bytes!(self, 4))
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(take_bytes!(self, 4))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(take_bytes!(self, 8))
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(take_bytes!(self, 8))
+    }
+}
+
+/// Little-endian write cursor. Implemented for `Vec<u8>`: writes append.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+    /// Appends `count` copies of `val`.
+    fn put_bytes(&mut self, val: u8, count: usize);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_bytes(&mut self, val: u8, count: usize) {
+        self.resize(self.len() + count, val);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_f32_le(1.5);
+        out.put_u64_le(0x0102_0304_0506_0708);
+        out.put_f64_le(-2.25);
+        out.put_bytes(0, 3);
+        let mut cur: &[u8] = &out;
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u16_le(), 0x1234);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_f32_le(), 1.5);
+        assert_eq!(cur.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(cur.get_f64_le(), -2.25);
+        assert_eq!(cur.remaining(), 3);
+        cur.advance(3);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_container_semantics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::copy_from_slice(&[9]).as_ref(), &[9]);
+    }
+}

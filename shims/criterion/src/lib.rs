@@ -1,0 +1,243 @@
+//! Workspace-local stand-in for the subset of the crates.io `criterion`
+//! API this repository's benches use. The build environment is offline,
+//! so the real crate cannot be fetched.
+//!
+//! Instead of criterion's statistical engine, each benchmark runs
+//! `sample_size` timed samples (after one warm-up), and reports min /
+//! median / max wall-clock time both as a human line and as a JSON line
+//! (`{"group":…,"bench":…,"median_ns":…}`) so tooling can scrape bench
+//! output — the workspace's BENCH JSON convention.
+//!
+//! `cargo bench -- --test` (criterion's smoke mode, used by CI) runs a
+//! single iteration per benchmark and skips timing output.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level bench context.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` forwards `--test`: smoke mode.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Self { smoke }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            smoke: self.smoke,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let smoke = self.smoke;
+        run_bench("ungrouped", id, 10, smoke, f);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    smoke: bool,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&self.name, &id.0, self.sample_size, self.smoke, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&self.name, &id.0, self.sample_size, self.smoke, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (separator line in the output).
+    pub fn finish(self) {
+        if !self.smoke {
+            println!();
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iterations {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` product, excluding setup time.
+    pub fn iter_with_setup<S, I, O, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    smoke: bool,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iterations: if smoke { 1 } else { sample_size },
+    };
+    f(&mut b);
+    if smoke {
+        println!("{group}/{id}: ok (smoke)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = *b.samples.last().unwrap();
+    println!(
+        "{group}/{id:<40} median {:>12?}  (min {:?}, max {:?}, n={})",
+        median,
+        min,
+        max,
+        b.samples.len()
+    );
+    println!(
+        "{{\"group\":\"{group}\",\"bench\":\"{id}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+        median.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+        b.samples.len()
+    );
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { smoke: true };
+        let mut group = c.benchmark_group("unit");
+        let mut ran = 0;
+        group.sample_size(3).bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iterations: 2,
+        };
+        b.iter_with_setup(|| vec![1, 2, 3], |v| v.len());
+        assert_eq!(b.samples.len(), 2);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("algo", 42).0, "algo/42");
+        assert_eq!(BenchmarkId::from_parameter("lru").0, "lru");
+    }
+}

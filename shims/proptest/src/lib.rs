@@ -1,0 +1,439 @@
+//! Workspace-local stand-in for the subset of the crates.io `proptest`
+//! API this repository uses. The build environment is offline, so the
+//! real crate cannot be fetched.
+//!
+//! Differences from real proptest, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug`)
+//!   and the case index, but is not minimized.
+//! * **Deterministic seeding.** Each `proptest!` test derives its RNG
+//!   seed from the test's name, so failures reproduce exactly on rerun.
+//!   Set `PROPTEST_SEED_OFFSET` to explore different streams.
+//! * **Strategies sample directly** — a [`Strategy`] is just a sampler,
+//!   not a value tree.
+//!
+//! The macro grammar supported is the one the workspace's tests use:
+//! optional `#![proptest_config(...)]`, `#[test] fn name(pat in strategy,
+//! ...) { body }`, `prop_assert!`/`prop_assert_eq!`, `prop_oneof!` with
+//! optional weights, `prop::collection::vec`, tuples of strategies,
+//! ranges as strategies, `any::<T>()`, and `Strategy::prop_map`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng, Standard};
+use std::fmt;
+
+/// Failure raised by `prop_assert!` family; also usable directly.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Alias of [`TestCaseError::fail`] kept for API compatibility.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the workspace's debug
+        // test runs quick while still exercising varied inputs.
+        Self { cases: 64 }
+    }
+}
+
+/// A sampler of random values of one type.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T: SampleUniform + 'static> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + 'static> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Constant strategy (`Just(v)` always yields clones of `v`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-domain strategy for `T`, as `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy over the full domain of `T`.
+pub fn any<T: Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen::<T>()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Weighted union of boxed strategies — the engine of [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs positive total weight");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum checked in constructor")
+    }
+}
+
+/// Collection strategies under the `prop::` path of the real crate.
+pub mod prop {
+    /// `prop::collection` — sized containers of sampled elements.
+    pub mod collection {
+        use super::super::Strategy;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        /// Vector of `element` samples with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+                use rand::Rng;
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Derives the deterministic RNG for one test from its name.
+pub fn test_rng(test_name: &str) -> StdRng {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    let offset: u64 = std::env::var("PROPTEST_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    StdRng::seed_from_u64(h.finish().wrapping_add(offset))
+}
+
+/// Defines property tests; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( #[test] $(#[$meta:meta])* fn $name:ident
+        ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)*),
+                        $(&$arg),*
+                    );
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\ninputs: {}",
+                            stringify!($name), __case + 1, __config.cases, e, __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// directly) so the harness can report the inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Weighted choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {
+        $crate::Union::new_weighted(vec![
+            $( ($weight, ::std::boxed::Box::new($strat) as $crate::BoxedStrategy<_>) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::Union::new_weighted(vec![
+            $( (1u32, ::std::boxed::Box::new($strat) as $crate::BoxedStrategy<_>) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let s = prop_oneof![9 => 0usize..1, 1 => 1usize..2];
+        let mut rng = crate::test_rng("union_respects_weights_roughly");
+        let ones = (0..1000)
+            .filter(|_| Strategy::sample(&s, &mut rng) == 1usize)
+            .count();
+        assert!((50..200).contains(&ones), "ones {ones}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 0.0f64..1.0, n in 5usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((5..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_length(v in prop::collection::vec(0u32..100, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn map_and_tuple_compose(p in (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..2.0).contains(&p));
+        }
+
+        #[test]
+        fn any_bool_varies(bits in prop::collection::vec(any::<bool>(), 64..65)) {
+            // 64 fair coin flips virtually never agree unanimously.
+            prop_assert!(bits.iter().any(|&b| b) || bits.iter().any(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn question_mark_propagates_as_failure() {
+        fn inner() -> Result<(), TestCaseError> {
+            Err(TestCaseError::fail("boom"))
+        }
+        let r: Result<(), TestCaseError> = (|| {
+            inner()?;
+            Ok(())
+        })();
+        assert!(r.is_err());
+    }
+}

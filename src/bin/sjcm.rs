@@ -16,6 +16,7 @@
 //! (`<file>.meta`).
 
 use sjcm::geom::{density, Rect};
+use sjcm::json;
 use sjcm::model::join::{join_cost_da, join_cost_na};
 use sjcm::model::selectivity::join_selectivity;
 use sjcm::optimizer::{Catalog, DatasetStats, JoinQuery, Planner};
@@ -137,7 +138,7 @@ fn cmd_gen(flags: &HashMap<String, String>) -> CliResult {
         }
     };
     let out = PathBuf::from(get(flags, "out")?);
-    let json = serde_json::to_string(&rects).map_err(|e| e.to_string())?;
+    let json = rects_to_json(&rects).to_string();
     std::fs::write(&out, json).map_err(|e| format!("write {out:?}: {e}"))?;
     println!(
         "wrote {} rectangles (D = {:.4}) to {}",
@@ -148,9 +149,55 @@ fn cmd_gen(flags: &HashMap<String, String>) -> CliResult {
     Ok(())
 }
 
+// Rectangle datasets are stored as `[[[lo…],[hi…]], …]` — the same wire
+// format the previous serde-based implementation produced.
+
+fn rects_to_json(rects: &[Rect<2>]) -> json::Value {
+    json::Value::Arr(
+        rects
+            .iter()
+            .map(|r| {
+                let corner = |p: [f64; 2]| {
+                    json::Value::Arr(p.iter().map(|c| json::Value::Num(*c)).collect())
+                };
+                json::Value::Arr(vec![corner(r.lo().coords()), corner(r.hi().coords())])
+            })
+            .collect(),
+    )
+}
+
+fn rects_from_json(v: &json::Value) -> Result<Vec<Rect<2>>, String> {
+    let corner = |v: &json::Value| -> Result<[f64; 2], String> {
+        let arr = v
+            .as_arr()
+            .filter(|a| a.len() == 2)
+            .ok_or("corner must be [x, y]")?;
+        Ok([
+            arr[0]
+                .as_f64()
+                .ok_or("corner coordinate must be a number")?,
+            arr[1]
+                .as_f64()
+                .ok_or("corner coordinate must be a number")?,
+        ])
+    };
+    v.as_arr()
+        .ok_or("dataset must be a JSON array".to_string())?
+        .iter()
+        .map(|entry| {
+            let pair = entry
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or("rectangle must be [lo, hi]")?;
+            Rect::new(corner(&pair[0])?, corner(&pair[1])?).map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
 fn load_rects(path: &Path) -> Result<Vec<Rect<2>>, String> {
-    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
-    serde_json::from_str(&json).map_err(|e| format!("parse {path:?}: {e}"))
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let v = json::parse(&text).map_err(|e| format!("parse {path:?}: {e}"))?;
+    rects_from_json(&v).map_err(|e| format!("parse {path:?}: {e}"))
 }
 
 // -------------------------------------------------------------- build
@@ -185,25 +232,34 @@ fn meta_path(store: &Path) -> PathBuf {
 }
 
 fn write_meta(store: &Path, handle: PersistedTree) -> CliResult {
-    let meta = serde_json::json!({
-        "root": handle.root.index(),
-        "len": handle.len,
-        "pages": handle.pages,
-        "page_size": 1024,
-        "dims": 2,
-    });
+    let meta = json::Value::Obj(vec![
+        ("root".into(), json::Value::Num(handle.root.index() as f64)),
+        ("len".into(), json::Value::Num(handle.len as f64)),
+        ("pages".into(), json::Value::Num(handle.pages as f64)),
+        ("page_size".into(), json::Value::Num(1024.0)),
+        ("dims".into(), json::Value::Num(2.0)),
+    ]);
     std::fs::write(meta_path(store), meta.to_string()).map_err(|e| format!("write meta: {e}"))
 }
 
 fn load_tree(store_path: &Path) -> Result<RTree<2>, String> {
     let meta_text =
         std::fs::read_to_string(meta_path(store_path)).map_err(|e| format!("read meta: {e}"))?;
-    let meta: serde_json::Value =
-        serde_json::from_str(&meta_text).map_err(|e| format!("parse meta: {e}"))?;
+    let meta = json::parse(&meta_text).map_err(|e| format!("parse meta: {e}"))?;
     let handle = PersistedTree {
-        root: PageId(meta["root"].as_u64().ok_or("meta: bad root")? as u32),
-        len: meta["len"].as_u64().ok_or("meta: bad len")? as usize,
-        pages: meta["pages"].as_u64().ok_or("meta: bad pages")? as usize,
+        root: PageId(
+            meta.get("root")
+                .and_then(json::Value::as_u64)
+                .ok_or("meta: bad root")? as u32,
+        ),
+        len: meta
+            .get("len")
+            .and_then(json::Value::as_u64)
+            .ok_or("meta: bad len")? as usize,
+        pages: meta
+            .get("pages")
+            .and_then(json::Value::as_u64)
+            .ok_or("meta: bad pages")? as usize,
     };
     let store = FilePageStore::open(store_path, 1024).map_err(|e| format!("open: {e}"))?;
     RTree::<2>::load(&store, handle, RTreeConfig::paper(2)).map_err(|e| format!("load: {e}"))

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod json;
 
 pub use sjcm_core as model;
 pub use sjcm_datagen as datagen;

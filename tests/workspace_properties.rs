@@ -147,6 +147,46 @@ proptest! {
     }
 
     #[test]
+    fn parallel_join_agrees_with_sequential(w in workload()) {
+        use sjcm::join::parallel::{parallel_spatial_join_with, ScheduleMode};
+        let (_, t1) = build(w.n1, w.d1, w.seed);
+        let (_, t2) = build(w.n2, w.d2, w.seed.wrapping_add(1));
+        // Path buffers: the per-unit cold starts of the parallel
+        // executor guarantee DA ≥ sequential there (see the parallel
+        // module docs); LRU interleaves levels and voids that argument.
+        let config = JoinConfig {
+            buffer: BufferPolicy::Path,
+            ..JoinConfig::default()
+        };
+        let seq = spatial_join_with(&t1, &t2, config);
+        let mut seq_pairs = seq.pairs.clone();
+        seq_pairs.sort();
+        for threads in [1usize, 2, 3, 8] {
+            for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+                let par = parallel_spatial_join_with(&t1, &t2, config, threads, mode);
+                // Same pair multiset (parallel output is pre-sorted).
+                prop_assert_eq!(&par.pairs, &seq_pairs, "{:?}/{}", mode, threads);
+                prop_assert_eq!(par.pair_count, seq.pair_count, "{:?}/{}", mode, threads);
+                // Same node accesses.
+                prop_assert_eq!(par.na_total(), seq.na_total(), "{:?}/{}", mode, threads);
+                // Never fewer disk accesses — guaranteed by the
+                // cost-guided scheduler's per-unit buffer resets. The
+                // legacy round-robin scheduler carries buffers across a
+                // shard's units, which can accidentally *recreate*
+                // locality the sequential order lacked, so it carries
+                // no such bound.
+                if matches!(mode, ScheduleMode::CostGuided) {
+                    prop_assert!(
+                        par.da_total() >= seq.da_total(),
+                        "{:?}/{} threads: parallel DA {} < sequential {}",
+                        mode, threads, par.da_total(), seq.da_total()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn deletion_shrinks_to_consistent_state(w in workload()) {
         let (items, mut tree) = build(w.n1.min(300), w.d1, w.seed);
         // Delete a deterministic half.
