@@ -44,7 +44,7 @@ fn bench_buffer_primitives(c: &mut Criterion) {
         .collect();
     group.bench_function("no_buffer", |b| {
         b.iter(|| {
-            let mut buf = NoBuffer;
+            let mut buf = NoBuffer::new();
             let mut misses = 0u64;
             for &(p, l) in &trace {
                 misses += u64::from(buf.access(p, l).is_miss());

@@ -5,9 +5,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sjcm_bench::{uniform_items, uniform_tree};
 use sjcm_join::baselines::{index_nested_loop_join, nested_loop_join};
-use sjcm_join::parallel::{parallel_spatial_join_with, ScheduleMode};
+use sjcm_join::parallel::{
+    parallel_spatial_join_observed, parallel_spatial_join_with, JoinObs, ScheduleMode,
+};
 use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig, MatchOrder};
+use sjcm_obs::{DriftMonitor, Tracer};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn config() -> JoinConfig {
     JoinConfig {
@@ -104,27 +108,120 @@ fn bench_parallel(c: &mut Criterion) {
     }
     // The schedule quality itself, in the BENCH JSON convention: the
     // planned per-worker NA split is deterministic per mode, so one run
-    // per (mode, threads) suffices.
+    // per (mode, threads) suffices. Each run carries an enabled tracer
+    // so the line also reports where the time went (span totals).
     for threads in [2usize, 4, 8] {
         for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
             let label = match mode {
                 ScheduleMode::RoundRobin => "round_robin",
                 ScheduleMode::CostGuided => "cost_guided",
             };
-            let result = parallel_spatial_join_with(&t1, &t2, config(), threads, mode);
+            let tracer = Tracer::enabled();
+            let obs = JoinObs {
+                tracer: tracer.clone(),
+                drift: None,
+            };
+            let result = parallel_spatial_join_observed(&t1, &t2, config(), threads, mode, &obs);
             let worker_na: Vec<String> = result.workers.iter().map(|w| w.na.to_string()).collect();
+            let span_totals: Vec<String> = tracer
+                .totals_by_name()
+                .iter()
+                .map(|(name, count, us)| format!("\"{name}\":{{\"count\":{count},\"us\":{us}}}"))
+                .collect();
             println!(
                 "{{\"group\":\"parallel_join\",\"bench\":\"imbalance/{label}/{threads}\",\
                  \"na_imbalance\":{:.4},\"na_total\":{},\"da_total\":{},\
-                 \"worker_na\":[{}]}}",
+                 \"worker_na\":[{}],\"span_totals\":{{{}}}}}",
                 result.na_imbalance(),
                 result.na_total(),
                 result.da_total(),
-                worker_na.join(",")
+                worker_na.join(","),
+                span_totals.join(",")
             );
         }
     }
 }
 
-criterion_group!(benches, bench_algorithms, bench_match_order, bench_parallel);
+/// The observability overhead guard: the same fixed-seed cost-guided
+/// join with observability disabled (the production default) and fully
+/// enabled (tracer + in-flight drift checks), reported as a BENCH JSON
+/// line. The disabled path must be indistinguishable from the
+/// pre-observability code (a single `Option` check per hook); enabled
+/// tracing targets < 3% overhead.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let _ = c; // manual timing: one JSON line, not a criterion group
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let n = 12_000;
+    let t1 = uniform_tree(n, 0.5, 104);
+    let t2 = uniform_tree(n, 0.5, 105);
+    let threads = 4;
+    // Prime caches and learn the exact totals so the enabled runs can
+    // exercise the drift monitor with realistic registered predictions.
+    let warm = parallel_spatial_join_with(&t1, &t2, config(), threads, ScheduleMode::CostGuided);
+    let run_disabled = || {
+        let start = Instant::now();
+        let r = black_box(parallel_spatial_join_with(
+            &t1,
+            &t2,
+            config(),
+            threads,
+            ScheduleMode::CostGuided,
+        ));
+        assert_eq!(r.na_total(), warm.na_total());
+        start.elapsed()
+    };
+    let run_enabled = || {
+        // Fresh tracer and monitor per iteration, as a real observed
+        // run would have — span buffers must not accumulate.
+        let drift = DriftMonitor::default();
+        drift.predict(sjcm_obs::NA_TOTAL, warm.na_total() as f64);
+        drift.predict(sjcm_obs::DA_TOTAL, warm.da_total() as f64);
+        let obs = JoinObs {
+            tracer: Tracer::enabled(),
+            drift: Some(&drift),
+        };
+        let start = Instant::now();
+        let r = black_box(parallel_spatial_join_observed(
+            &t1,
+            &t2,
+            config(),
+            threads,
+            ScheduleMode::CostGuided,
+            &obs,
+        ));
+        let elapsed = start.elapsed();
+        assert_eq!(r.na_total(), warm.na_total());
+        elapsed
+    };
+    let _ = (run_disabled(), run_enabled()); // warm-up
+                                             // Interleave the two variants so both see the same machine
+                                             // conditions, and compare minima (noise on a 6 ms parallel join is
+                                             // strictly additive).
+    let reps = 15;
+    let mut disabled = std::time::Duration::MAX;
+    let mut enabled = std::time::Duration::MAX;
+    for _ in 0..reps {
+        disabled = disabled.min(run_disabled());
+        enabled = enabled.min(run_enabled());
+    }
+    let overhead_pct =
+        (enabled.as_secs_f64() - disabled.as_secs_f64()) / disabled.as_secs_f64() * 100.0;
+    println!(
+        "{{\"group\":\"join_algorithms\",\"bench\":\"obs_overhead/{n}/{threads}\",\
+         \"disabled_us\":{},\"enabled_us\":{},\"overhead_pct\":{:.2}}}",
+        disabled.as_micros(),
+        enabled.as_micros(),
+        overhead_pct
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_match_order,
+    bench_parallel,
+    bench_obs_overhead
+);
 criterion_main!(benches);

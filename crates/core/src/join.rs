@@ -214,6 +214,65 @@ pub fn join_cost_da_split<const N: usize>(r1: &TreeParams<N>, r2: &TreeParams<N>
         .fold((0.0, 0.0), |(a1, a2), (_, (da1, da2))| (a1 + da1, a2 + da2))
 }
 
+/// Drift-monitor target name for tree `tree ∈ {1, 2}`'s node accesses
+/// at paper level `j` (1 = leaf): `na.r<tree>.l<j>`.
+pub fn na_target(tree: usize, j: usize) -> String {
+    format!("na.r{tree}.l{j}")
+}
+
+/// Drift-monitor target name for tree `tree ∈ {1, 2}`'s disk accesses
+/// at paper level `j` (1 = leaf): `da.r<tree>.l<j>`.
+pub fn da_target(tree: usize, j: usize) -> String {
+    format!("da.r{tree}.l{j}")
+}
+
+/// The full set of named predictions a drift monitor should register
+/// before a join of trees with these parameters runs: per tree and
+/// paper level the Eq-6 NA and the Eq-8/9/12 DA share (steps of the
+/// pinned phase that revisit a level are summed into it, matching how
+/// the executor tallies accesses *per level*, not per schedule step),
+/// plus the `na.total` / `da.total` grand totals of Eqs 10–12.
+///
+/// The names follow [`na_target`] / [`da_target`]; the execution layer
+/// produces observations under the same names (see
+/// `JoinResultSet::drift_observations` in `sjcm-join`), so prediction
+/// and measurement meet in the monitor without either layer depending
+/// on the other.
+pub fn join_prediction_targets<const N: usize>(
+    r1: &TreeParams<N>,
+    r2: &TreeParams<N>,
+) -> Vec<(String, f64)> {
+    use std::collections::BTreeMap;
+    let mut na1: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut na2: BTreeMap<usize, f64> = BTreeMap::new();
+    for (pair, na) in join_cost_na_by_level(r1, r2) {
+        *na1.entry(pair.j1).or_insert(0.0) += na;
+        *na2.entry(pair.j2).or_insert(0.0) += na;
+    }
+    let mut da1: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut da2: BTreeMap<usize, f64> = BTreeMap::new();
+    for (pair, (d1, d2)) in join_cost_da_shares_by_level(r1, r2) {
+        *da1.entry(pair.j1).or_insert(0.0) += d1;
+        *da2.entry(pair.j2).or_insert(0.0) += d2;
+    }
+    let mut out = Vec::new();
+    for (&j, &v) in &na1 {
+        out.push((na_target(1, j), v));
+    }
+    for (&j, &v) in &na2 {
+        out.push((na_target(2, j), v));
+    }
+    for (&j, &v) in &da1 {
+        out.push((da_target(1, j), v));
+    }
+    for (&j, &v) in &da2 {
+        out.push((da_target(2, j), v));
+    }
+    out.push(("na.total".to_string(), join_cost_na(r1, r2)));
+    out.push(("da.total".to_string(), join_cost_da(r1, r2)));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +481,39 @@ mod tests {
             let (d1, d2) = join_cost_da_split(&a, &b);
             assert!((d1 + d2 - join_cost_da(&a, &b)).abs() < 1e-9, "{n1}/{n2}");
         }
+    }
+
+    #[test]
+    fn prediction_targets_cover_levels_and_sum_to_totals() {
+        let a = p2(80_000, 0.5); // h = 4
+        let b = p2(20_000, 0.5); // h = 3 — exercises the pinned phase
+        let targets = join_prediction_targets(&a, &b);
+        let get = |name: &str| {
+            targets
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing target {name}"))
+        };
+        // Per-level NA sums (×2, both trees pay) to the total.
+        let na_levels: f64 = targets
+            .iter()
+            .filter(|(n, _)| n.starts_with("na.r"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert!((na_levels - get("na.total")).abs() < 1e-9);
+        let da_levels: f64 = targets
+            .iter()
+            .filter(|(n, _)| n.starts_with("da.r"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert!((da_levels - get("da.total")).abs() < 1e-9);
+        // The pinned phase folds its repeated leaf-level visits into one
+        // target: R2 (h = 3) exposes levels 1..=2 only.
+        assert!(targets.iter().any(|(n, _)| n == "na.r2.l2"));
+        assert!(!targets.iter().any(|(n, _)| n == "na.r2.l3"));
+        assert_eq!(na_target(1, 2), "na.r1.l2");
+        assert_eq!(da_target(2, 1), "da.r2.l1");
     }
 
     #[test]

@@ -359,7 +359,24 @@ pub fn parallel_join(out: &Path, scale: f64, threads: usize) {
     let mut workers = Report::new(
         out,
         "parallel_workers",
-        &["N", "mode", "worker", "units", "na", "da", "pairs"],
+        &[
+            "N",
+            "mode",
+            "worker",
+            "units",
+            "na",
+            "da",
+            "pairs",
+            "units_executed",
+            "units_stolen",
+            "steal_attempts",
+        ],
+    );
+    workers.comment(
+        "units/na/da/pairs are attributed to the *planned* worker and are \
+         deterministic; units_executed/units_stolen/steal_attempts are \
+         per-executing-thread steal tallies and are timing-dependent \
+         (they vary run to run, only their totals are invariant)",
     );
     for n in cardinality_grid(scale) {
         let r1 = uniform::<2>(UniformConfig::new(n, DEFAULT_DENSITY, 9500));
@@ -391,7 +408,19 @@ pub fn parallel_join(out: &Path, scale: f64, threads: usize) {
         ]);
         for (mode, result) in [("round_robin", &rr), ("cost_guided", &cg)] {
             for (w, t) in result.workers.iter().enumerate() {
-                workers.row(&[&n, &mode, &w, &t.units, &t.na, &t.da, &t.pair_count]);
+                let steal = result.steals.get(w).cloned().unwrap_or_default();
+                workers.row(&[
+                    &n,
+                    &mode,
+                    &w,
+                    &t.units,
+                    &t.na,
+                    &t.da,
+                    &t.pair_count,
+                    &steal.units_executed,
+                    &steal.units_stolen,
+                    &steal.steal_attempts,
+                ]);
             }
         }
     }

@@ -20,18 +20,23 @@
 //!   lru-ablation    §5 extension: LRU buffer study
 //!   high-dim        §5 extension: n = 3, 4
 //!   parallel        §5 outlook: cost-guided parallel SJ vs round-robin
-//!   all             everything above
+//!   join            one fully observed join: spans, metrics, live drift
+//!   validate-obs    check --trace/--metrics JSONL artifacts
+//!   all             everything above (except validate-obs)
 //!
 //! --scale F    scales the paper's 20K–80K cardinalities by F (default
 //!              1.0; use e.g. 0.1 for a quick pass)
 //! --out DIR    CSV output directory (default results/)
-//! --threads T  worker threads for the parallel command (default 4)
+//! --threads T  worker threads for parallel/join commands (default 4)
+//! --trace P    join: write span JSONL to P; validate-obs: read it
+//! --metrics P  join: write metrics JSONL to P; validate-obs: read it
 //! ```
 
 mod common;
 mod errors;
 mod extensions;
 mod figures;
+mod observability;
 mod report;
 
 use std::path::PathBuf;
@@ -42,6 +47,8 @@ struct Args {
     scale: f64,
     out: PathBuf,
     threads: usize,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 1.0;
     let mut out = PathBuf::from("results");
     let mut threads = 4;
+    let mut trace = None;
+    let mut metrics = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -73,6 +82,12 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads must be at least 1".into());
                 }
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
+            }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(args.next().ok_or("--metrics needs a value")?));
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -81,6 +96,8 @@ fn parse_args() -> Result<Args, String> {
         scale,
         out,
         threads,
+        trace,
+        metrics,
     })
 }
 
@@ -115,6 +132,17 @@ fn main() -> ExitCode {
             "high-dim" => extensions::high_dim(out, scale),
             "algo-compare" => extensions::algo_compare(out, scale),
             "parallel" => extensions::parallel_join(out, scale, args.threads),
+            "join" => {
+                if !observability::join_observed(
+                    out,
+                    scale,
+                    args.threads,
+                    args.trace.as_deref(),
+                    args.metrics.as_deref(),
+                ) {
+                    eprintln!("warning: drift breached the envelope (see above)");
+                }
+            }
             _ => return false,
         }
         true
@@ -138,17 +166,27 @@ fn main() -> ExitCode {
                 "high-dim",
                 "algo-compare",
                 "parallel",
+                "join",
             ] {
                 println!("\n#### {cmd} ####");
                 assert!(run(cmd));
             }
         }
+        "validate-obs" => {
+            if !observability::validate_obs(args.trace.as_deref(), args.metrics.as_deref()) {
+                return ExitCode::FAILURE;
+            }
+            return ExitCode::SUCCESS;
+        }
         "help" | "--help" | "-h" => {
             println!("commands: figure5a figure5b figure6 figure7 errors-uniform");
             println!("          density-sweep nonuniform real param-source selectivity");
-            println!("          role-choice lru-ablation high-dim algo-compare parallel all");
+            println!("          role-choice lru-ablation high-dim algo-compare parallel");
+            println!("          join validate-obs all");
             println!("flags:    --scale F (default 1.0), --out DIR (default results/),");
-            println!("          --threads T (parallel command only, default 4)");
+            println!("          --threads T (parallel/join commands, default 4),");
+            println!("          --trace P, --metrics P (join writes JSONL there;");
+            println!("          validate-obs reads and checks those artifacts)");
             return ExitCode::SUCCESS;
         }
         cmd => {

@@ -11,6 +11,7 @@ pub struct Report {
     name: String,
     columns: Vec<String>,
     rows: Vec<Vec<String>>,
+    comments: Vec<String>,
     out_dir: PathBuf,
 }
 
@@ -21,8 +22,16 @@ impl Report {
             name: name.to_string(),
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            comments: Vec::new(),
             out_dir: out_dir.to_path_buf(),
         }
+    }
+
+    /// Adds a `# `-prefixed comment line above the CSV header (also
+    /// printed with the table) — for caveats that must travel with the
+    /// artifact, like timing-dependent columns.
+    pub fn comment(&mut self, text: &str) {
+        self.comments.push(text.to_string());
     }
 
     /// Adds one row (stringifying each cell).
@@ -55,6 +64,9 @@ impl Report {
             s.trim_end().to_string()
         };
         println!("\n== {} ==", self.name);
+        for c in &self.comments {
+            println!("# {c}");
+        }
         println!("{}", line(&self.columns));
         println!(
             "{}",
@@ -68,7 +80,11 @@ impl Report {
             return;
         }
         let path = self.out_dir.join(format!("{}.csv", self.name));
-        let mut csv = self.columns.join(",");
+        let mut csv = String::new();
+        for c in &self.comments {
+            csv.push_str(&format!("# {c}\n"));
+        }
+        csv.push_str(&self.columns.join(","));
         csv.push('\n');
         for r in &self.rows {
             csv.push_str(&r.join(","));
@@ -114,6 +130,18 @@ mod tests {
         r.finish();
         let csv = std::fs::read_to_string(dir.join("unit_test_table.csv")).unwrap();
         assert_eq!(csv, "a,b\n1,x\n22,yy\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_comments_precede_header() {
+        let dir = std::env::temp_dir().join(format!("sjcm_report_c_{}", std::process::id()));
+        let mut r = Report::new(&dir, "commented", &["a"]);
+        r.comment("caveat lector");
+        r.row(&[&7]);
+        r.finish();
+        let csv = std::fs::read_to_string(dir.join("commented.csv")).unwrap();
+        assert_eq!(csv, "# caveat lector\na\n7\n");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

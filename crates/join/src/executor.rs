@@ -2,7 +2,9 @@
 
 use sjcm_geom::Rect;
 use sjcm_rtree::{Child, Node, NodeId, ObjectId, RTree};
-use sjcm_storage::{AccessStats, BufferManager, LruBuffer, NoBuffer, PageId, PathBuffer};
+use sjcm_storage::{
+    AccessStats, BufferCounters, BufferManager, LruBuffer, NoBuffer, PageId, PathBuffer,
+};
 
 /// Join predicate between two object MBRs (and, during traversal,
 /// between node rectangles — both predicates below are "downward
@@ -44,7 +46,7 @@ pub enum BufferPolicy {
 impl BufferPolicy {
     pub(crate) fn build(self) -> Box<dyn BufferManager> {
         match self {
-            BufferPolicy::None => Box::new(NoBuffer),
+            BufferPolicy::None => Box::new(NoBuffer::new()),
             BufferPolicy::Path => Box::new(PathBuffer::new()),
             BufferPolicy::Lru(cap) => Box::new(LruBuffer::new(cap)),
         }
@@ -109,8 +111,28 @@ pub struct WorkerTally {
     pub pair_count: u64,
 }
 
+/// Steal statistics of one *executing* thread of the cost-guided
+/// parallel scheduler. Unlike [`WorkerTally`] (attributed to the
+/// *planned* worker, deterministic), these describe what actually
+/// happened at runtime and are **timing-dependent**: which thread
+/// steals which unit is decided by the OS scheduler, so two runs of the
+/// same join can report different steal tallies (their sums over all
+/// threads still cover the same units).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StealTally {
+    /// Units this thread executed (own deque plus stolen).
+    pub units_executed: u64,
+    /// Units this thread obtained by stealing from another deque.
+    pub units_stolen: u64,
+    /// Steal attempts (victim scans), including ones lost to races.
+    pub steal_attempts: u64,
+    /// Queue depth of the victim deque observed at each successful
+    /// steal (after removing the stolen unit).
+    pub steal_queue_depths: Vec<u64>,
+}
+
 /// Result of one join execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct JoinResultSet {
     /// Qualifying `(R1 object, R2 object)` pairs (empty when
     /// `collect_pairs` was off).
@@ -125,6 +147,14 @@ pub struct JoinResultSet {
     /// Per-worker tallies when the join ran in parallel; empty for the
     /// sequential executor (and the `threads = 1` parallel fallback).
     pub workers: Vec<WorkerTally>,
+    /// Buffer hit/miss/eviction counters of tree R1's buffer(s), merged
+    /// over all executors that touched the tree.
+    pub buffers1: BufferCounters,
+    /// Buffer counters of tree R2's buffer(s).
+    pub buffers2: BufferCounters,
+    /// Per-executing-thread steal statistics of a cost-guided parallel
+    /// run; empty otherwise. Timing-dependent — see [`StealTally`].
+    pub steals: Vec<StealTally>,
 }
 
 impl JoinResultSet {
@@ -175,6 +205,28 @@ impl JoinResultSet {
         };
         stats.da_at((j - 1) as u8)
     }
+
+    /// The measured counterparts of
+    /// [`sjcm_core::join::join_prediction_targets`], under the same
+    /// names: per tree and accessed paper level the NA and DA tallies,
+    /// plus the `na.total` / `da.total` grand totals. Feed these to a
+    /// `DriftMonitor` to evaluate the paper's ~15% accuracy claim on
+    /// this very run.
+    pub fn drift_observations(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (tree, stats) in [(1, &self.stats1), (2, &self.stats2)] {
+            if let Some(top) = stats.max_level() {
+                for idx in 0..=top {
+                    let j = idx as usize + 1;
+                    out.push((sjcm_core::join::na_target(tree, j), stats.na_at(idx) as f64));
+                    out.push((sjcm_core::join::da_target(tree, j), stats.da_at(idx) as f64));
+                }
+            }
+        }
+        out.push(("na.total".to_string(), self.na_total() as f64));
+        out.push(("da.total".to_string(), self.da_total() as f64));
+        out
+    }
 }
 
 /// Runs the SJ spatial join with the default configuration (path buffer,
@@ -222,7 +274,9 @@ pub fn spatial_join_with<const N: usize>(
         pair_count: exec.pair_count,
         stats1: exec.stats1,
         stats2: exec.stats2,
-        workers: Vec::new(),
+        buffers1: exec.buf1.counters(),
+        buffers2: exec.buf2.counters(),
+        ..JoinResultSet::default()
     }
 }
 

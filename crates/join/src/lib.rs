@@ -37,6 +37,9 @@ pub mod pbsm;
 
 pub use executor::{
     spatial_join, spatial_join_with, BufferPolicy, JoinConfig, JoinPredicate, JoinResultSet,
-    MatchOrder, WorkerTally,
+    MatchOrder, StealTally, WorkerTally,
 };
-pub use parallel::{parallel_spatial_join, parallel_spatial_join_with, ScheduleMode};
+pub use parallel::{
+    parallel_spatial_join, parallel_spatial_join_observed, parallel_spatial_join_with, JoinObs,
+    ScheduleMode,
+};

@@ -69,16 +69,33 @@
 //! order no parallel schedule can reproduce cheaply.
 
 use crate::executor::{
-    matched_children, spatial_join_with, JoinConfig, JoinResultSet, WorkerTally,
+    matched_children, spatial_join_with, JoinConfig, JoinResultSet, StealTally, WorkerTally,
 };
 use sjcm_core::join::unit_cost_na;
 use sjcm_core::{LevelParams, TreeParams};
 use sjcm_geom::Rect;
+use sjcm_obs::{DriftMonitor, Tracer, DA_TOTAL, NA_TOTAL};
 use sjcm_rtree::{Child, NodeId, ObjectId, RTree};
 use sjcm_storage::{AccessStats, BufferManager, PageId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+
+/// Observability hooks threaded through a parallel join run. The
+/// default value (disabled tracer, no drift monitor) makes every hook a
+/// no-op — [`parallel_spatial_join`] runs with exactly that, so the
+/// instrumented code path *is* the production code path.
+#[derive(Debug, Default)]
+pub struct JoinObs<'a> {
+    /// Span collector. Disabled tracers cost one `Option` check per
+    /// span site (see `sjcm-obs`).
+    pub tracer: Tracer,
+    /// Drift monitor for in-flight envelope checks: workers maintain
+    /// shared running NA/DA totals and test them against the
+    /// caller-registered `na.total` / `da.total` predictions after
+    /// every completed work unit.
+    pub drift: Option<&'a DriftMonitor>,
+}
 
 /// How parallel work units are assigned to workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -119,17 +136,41 @@ pub fn parallel_spatial_join_with<const N: usize>(
     threads: usize,
     mode: ScheduleMode,
 ) -> JoinResultSet {
+    parallel_spatial_join_observed(r1, r2, config, threads, mode, &JoinObs::default())
+}
+
+/// Runs the spatial join with observability hooks: spans for the
+/// frontier descent, the schedule, and every executed work unit, plus
+/// in-flight drift checks against the monitor's `na.total` /
+/// `da.total` predictions. With a default [`JoinObs`] this is exactly
+/// [`parallel_spatial_join_with`] — pair output, NA and DA are
+/// identical whether or not observation is enabled.
+pub fn parallel_spatial_join_observed<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    threads: usize,
+    mode: ScheduleMode,
+    obs: &JoinObs,
+) -> JoinResultSet {
     assert!(threads >= 1, "need at least one worker");
-    if threads == 1 {
+    let mut result = if threads == 1 {
+        let mut span = obs.tracer.span("sequential-join");
         let mut result = spatial_join_with(r1, r2, config);
         result.pairs.sort_unstable();
-        return result;
-    }
-    let mut result = match mode {
-        ScheduleMode::RoundRobin => round_robin_join(r1, r2, config, threads),
-        ScheduleMode::CostGuided => cost_guided_join(r1, r2, config, threads),
+        span.set("na", result.na_total());
+        span.set("da", result.da_total());
+        span.set("pairs", result.pair_count);
+        result
+    } else {
+        match mode {
+            ScheduleMode::RoundRobin => round_robin_join(r1, r2, config, threads, obs),
+            ScheduleMode::CostGuided => cost_guided_join(r1, r2, config, threads, obs),
+        }
     };
-    result.pairs.sort_unstable();
+    if threads > 1 {
+        result.pairs.sort_unstable();
+    }
     result
 }
 
@@ -142,21 +183,31 @@ fn cost_guided_join<const N: usize>(
     r2: &RTree<N>,
     config: JoinConfig,
     threads: usize,
+    obs: &JoinObs,
 ) -> JoinResultSet {
+    let mut join_span = obs.tracer.span("cost-guided-join");
+    join_span.set("threads", threads);
+
     // 1. The coordinator descends until it holds enough units, charging
     //    the intermediate accesses itself (in sequential per-level
     //    order).
     let mut coord = UnitExecutor::new(r1, r2, config);
-    let units = coord.collect_frontier(threads * UNITS_PER_WORKER, threads);
+    let units = {
+        let mut span = join_span.child("frontier-descent");
+        let units = coord.collect_frontier(threads * UNITS_PER_WORKER, threads);
+        span.set("units", units.len());
+        span.set("na", coord.stats1.na_total() + coord.stats2.na_total());
+        units
+    };
 
-    // 2. Price each unit with Eq 6 on its measured subtree parameters.
-    let costs = unit_costs(r1, r2, &units);
-
-    // 3. LPT seeding: hand units out in descending cost order, each to
+    // 2. Price each unit with Eq 6 on its measured subtree parameters,
+    //    then LPT-seed: hand units out in descending cost order, each to
     //    the currently least-loaded deque. Ties broken by unit index so
     //    the seeding is deterministic. `plan[i]` remembers the worker
     //    unit `i` was seeded to — per-worker tallies are attributed by
     //    this plan (see the module docs).
+    let mut schedule_span = join_span.child("schedule");
+    let costs = unit_costs(r1, r2, &units);
     let mut order: Vec<usize> = (0..units.len()).collect();
     order.sort_unstable_by(|&i, &j| costs[j].cmp(&costs[i]).then(i.cmp(&j)));
     let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); threads];
@@ -176,8 +227,16 @@ fn cost_guided_join<const N: usize>(
             remaining: AtomicU64::new(load),
         })
         .collect();
+    schedule_span.set("units", units.len());
+    schedule_span.set("cost_total", costs.iter().sum::<u64>());
+    schedule_span.finish();
 
-    // 4. Workers drain their own deque front-first (largest unit first,
+    // Running NA/DA totals for the in-flight drift checks, seeded with
+    // what the coordinator already charged above the frontier.
+    let na_live = AtomicU64::new(coord.stats1.na_total() + coord.stats2.na_total());
+    let da_live = AtomicU64::new(coord.stats1.da_total() + coord.stats2.da_total());
+
+    // 3. Workers drain their own deque front-first (largest unit first,
     //    thanks to LPT order) and steal from the deque with the most
     //    estimated work left once idle. Each worker records a per-unit
     //    tally so the coordinator can attribute units to their *planned*
@@ -186,58 +245,90 @@ fn cost_guided_join<const N: usize>(
     // first-spawned worker can steal every deque dry before the others
     // even begin, serializing the execution.
     let start = Barrier::new(threads);
-    let worker_outputs: Vec<(Vec<(usize, WorkerTally)>, JoinResultSet)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let deques = &deques;
-                    let units = &units;
-                    let costs = &costs;
-                    let start = &start;
-                    scope.spawn(move || {
-                        let mut exec = UnitExecutor::new(r1, r2, config);
-                        let mut per_unit: Vec<(usize, WorkerTally)> = Vec::new();
-                        start.wait();
-                        while let Some(i) = next_unit(deques, costs, w) {
-                            let (a, b) = units[i];
-                            // Fresh buffers per unit: see the module docs.
-                            exec.buf1.clear();
-                            exec.buf2.clear();
-                            let na0 = exec.stats1.na_total() + exec.stats2.na_total();
-                            let da0 = exec.stats1.da_total() + exec.stats2.da_total();
-                            let pc0 = exec.pair_count;
-                            exec.visit(a, b);
-                            per_unit.push((
-                                i,
-                                WorkerTally {
-                                    units: 1,
-                                    na: exec.stats1.na_total() + exec.stats2.na_total() - na0,
-                                    da: exec.stats1.da_total() + exec.stats2.da_total() - da0,
-                                    pair_count: exec.pair_count - pc0,
-                                },
-                            ));
-                        }
-                        (
-                            per_unit,
-                            JoinResultSet {
-                                pairs: exec.pairs,
-                                pair_count: exec.pair_count,
-                                stats1: exec.stats1,
-                                stats2: exec.stats2,
-                                workers: Vec::new(),
+    let join_id = join_span.id();
+    type WorkerOutput = (Vec<(usize, WorkerTally)>, StealTally, JoinResultSet);
+    let worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let deques = &deques;
+                let units = &units;
+                let costs = &costs;
+                let start = &start;
+                let tracer = obs.tracer.clone();
+                let drift = obs.drift;
+                let na_live = &na_live;
+                let da_live = &da_live;
+                scope.spawn(move || {
+                    let mut worker_span = tracer.span_under(join_id, "worker");
+                    worker_span.set("worker", w);
+                    let mut exec = UnitExecutor::new(r1, r2, config);
+                    let mut per_unit: Vec<(usize, WorkerTally)> = Vec::new();
+                    let mut steal = StealTally::default();
+                    start.wait();
+                    while let Some((i, stolen)) = next_unit(deques, costs, w, &mut steal) {
+                        steal.units_executed += 1;
+                        let mut unit_span = worker_span.child("unit");
+                        let (a, b) = units[i];
+                        // Fresh buffers per unit: see the module docs.
+                        exec.buf1.clear();
+                        exec.buf2.clear();
+                        let na0 = exec.stats1.na_total() + exec.stats2.na_total();
+                        let da0 = exec.stats1.da_total() + exec.stats2.da_total();
+                        let pc0 = exec.pair_count;
+                        exec.visit(a, b);
+                        let na = exec.stats1.na_total() + exec.stats2.na_total() - na0;
+                        let da = exec.stats1.da_total() + exec.stats2.da_total() - da0;
+                        let pair_count = exec.pair_count - pc0;
+                        per_unit.push((
+                            i,
+                            WorkerTally {
+                                units: 1,
+                                na,
+                                da,
+                                pair_count,
                             },
-                        )
-                    })
+                        ));
+                        unit_span.set("unit", i);
+                        unit_span.set("stolen", stolen);
+                        unit_span.set("na", na);
+                        unit_span.set("da", da);
+                        unit_span.set("pairs", pair_count);
+                        if let Some(drift) = drift {
+                            let na_now = na_live.fetch_add(na, Ordering::Relaxed) + na;
+                            let da_now = da_live.fetch_add(da, Ordering::Relaxed) + da;
+                            drift.observe_in_flight(NA_TOTAL, na_now as f64);
+                            drift.observe_in_flight(DA_TOTAL, da_now as f64);
+                        }
+                    }
+                    worker_span.set("units", steal.units_executed);
+                    worker_span.set("stolen", steal.units_stolen);
+                    (
+                        per_unit,
+                        steal,
+                        JoinResultSet {
+                            pairs: exec.pairs,
+                            pair_count: exec.pair_count,
+                            stats1: exec.stats1,
+                            stats2: exec.stats2,
+                            buffers1: exec.buf1.counters(),
+                            buffers2: exec.buf2.counters(),
+                            ..JoinResultSet::default()
+                        },
+                    )
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut workers = vec![WorkerTally::default(); threads];
-    for (per_unit, r) in worker_outputs {
+    let mut steals = Vec::with_capacity(threads);
+    let mut buffers1 = coord.buf1.counters();
+    let mut buffers2 = coord.buf2.counters();
+    for (per_unit, steal, r) in worker_outputs {
         for (i, t) in per_unit {
             let tally = &mut workers[plan[i]];
             tally.units += t.units;
@@ -245,17 +336,26 @@ fn cost_guided_join<const N: usize>(
             tally.da += t.da;
             tally.pair_count += t.pair_count;
         }
+        steals.push(steal);
+        buffers1.merge(&r.buffers1);
+        buffers2.merge(&r.buffers2);
         coord.pairs.extend(r.pairs);
         coord.pair_count += r.pair_count;
         coord.stats1.merge(&r.stats1);
         coord.stats2.merge(&r.stats2);
     }
+    join_span.set("na", coord.stats1.na_total() + coord.stats2.na_total());
+    join_span.set("da", coord.stats1.da_total() + coord.stats2.da_total());
+    join_span.set("pairs", coord.pair_count);
     JoinResultSet {
         pairs: coord.pairs,
         pair_count: coord.pair_count,
         stats1: coord.stats1,
         stats2: coord.stats2,
         workers,
+        buffers1,
+        buffers2,
+        steals,
     }
 }
 
@@ -266,20 +366,29 @@ struct Deque {
     remaining: AtomicU64,
 }
 
-fn pop_front(deque: &Deque, costs: &[u64]) -> Option<usize> {
+/// Pops the front unit, returning it together with the queue depth left
+/// behind (the steal-time depth recorded in [`StealTally`]).
+fn pop_front(deque: &Deque, costs: &[u64]) -> Option<(usize, u64)> {
     let mut q = deque.queue.lock().expect("deque poisoned");
     let i = q.pop_front()?;
     deque.remaining.fetch_sub(costs[i], Ordering::Relaxed);
-    Some(i)
+    Some((i, q.len() as u64))
 }
 
 /// Next unit for worker `own`: its own deque first, then a steal from
-/// the deque with the most estimated work remaining. Returns `None`
-/// only when every deque is empty (units are never re-queued, so that
-/// means the join is drained).
-fn next_unit(deques: &[Deque], costs: &[u64], own: usize) -> Option<usize> {
-    if let Some(i) = pop_front(&deques[own], costs) {
-        return Some(i);
+/// the deque with the most estimated work remaining. Returns the unit
+/// and whether it was stolen; `None` only when every deque is empty
+/// (units are never re-queued, so that means the join is drained).
+/// Steal attempts, successful steals and victim queue depths are
+/// recorded into `steal`.
+fn next_unit(
+    deques: &[Deque],
+    costs: &[u64],
+    own: usize,
+    steal: &mut StealTally,
+) -> Option<(usize, bool)> {
+    if let Some((i, _)) = pop_front(&deques[own], costs) {
+        return Some((i, false));
     }
     loop {
         let victim = deques
@@ -288,8 +397,11 @@ fn next_unit(deques: &[Deque], costs: &[u64], own: usize) -> Option<usize> {
             .filter(|(_, d)| d.remaining.load(Ordering::Relaxed) > 0)
             .max_by_key(|(_, d)| d.remaining.load(Ordering::Relaxed))
             .map(|(w, _)| w)?;
-        if let Some(i) = pop_front(&deques[victim], costs) {
-            return Some(i);
+        steal.steal_attempts += 1;
+        if let Some((i, depth)) = pop_front(&deques[victim], costs) {
+            steal.units_stolen += 1;
+            steal.steal_queue_depths.push(depth);
+            return Some((i, true));
         }
         // Lost the race for that deque; rescan.
     }
@@ -368,7 +480,10 @@ fn round_robin_join<const N: usize>(
     r2: &RTree<N>,
     config: JoinConfig,
     threads: usize,
+    obs: &JoinObs,
 ) -> JoinResultSet {
+    let mut join_span = obs.tracer.span("round-robin-join");
+    join_span.set("threads", threads);
     // Root-level work units: overlapping (child1, child2) pairs, or
     // pinned pairs when heights differ at the root.
     let units = root_work_units(r1, r2, &config);
@@ -377,10 +492,20 @@ fn round_robin_join<const N: usize>(
         shards[i % threads].push(u);
     }
 
+    let join_id = join_span.id();
     let results: Vec<JoinResultSet> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
-            .map(|shard| scope.spawn(move || run_shard(r1, r2, config, shard)))
+            .enumerate()
+            .map(|(w, shard)| {
+                let tracer = obs.tracer.clone();
+                scope.spawn(move || {
+                    let mut span = tracer.span_under(join_id, "worker");
+                    span.set("worker", w);
+                    span.set("units", shard.len());
+                    run_shard(r1, r2, config, shard)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -393,6 +518,9 @@ fn round_robin_join<const N: usize>(
     let mut stats1 = AccessStats::new();
     let mut stats2 = AccessStats::new();
     let mut workers = Vec::with_capacity(threads);
+    let mut steals = Vec::with_capacity(threads);
+    let mut buffers1 = sjcm_storage::BufferCounters::default();
+    let mut buffers2 = sjcm_storage::BufferCounters::default();
     for (shard, r) in shards.iter().zip(results) {
         workers.push(WorkerTally {
             units: shard.len() as u64,
@@ -400,17 +528,31 @@ fn round_robin_join<const N: usize>(
             da: r.da_total(),
             pair_count: r.pair_count,
         });
+        // No stealing in this mode: every shard executes exactly what
+        // it was dealt.
+        steals.push(StealTally {
+            units_executed: shard.len() as u64,
+            ..StealTally::default()
+        });
+        buffers1.merge(&r.buffers1);
+        buffers2.merge(&r.buffers2);
         pairs.extend(r.pairs);
         pair_count += r.pair_count;
         stats1.merge(&r.stats1);
         stats2.merge(&r.stats2);
     }
+    join_span.set("na", stats1.na_total() + stats2.na_total());
+    join_span.set("da", stats1.da_total() + stats2.da_total());
+    join_span.set("pairs", pair_count);
     JoinResultSet {
         pairs,
         pair_count,
         stats1,
         stats2,
         workers,
+        buffers1,
+        buffers2,
+        steals,
     }
 }
 
@@ -511,7 +653,9 @@ fn run_shard<const N: usize>(
         pair_count: shard.pair_count,
         stats1: shard.stats1,
         stats2: shard.stats2,
-        workers: Vec::new(),
+        buffers1: shard.buf1.counters(),
+        buffers2: shard.buf2.counters(),
+        ..JoinResultSet::default()
     }
 }
 
@@ -888,6 +1032,96 @@ mod tests {
             let par = parallel_spatial_join_with(&a, &b, JoinConfig::default(), 2, mode);
             assert_eq!(par.pairs, sorted(seq.pairs.clone()), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn observed_join_is_identical_to_unobserved() {
+        let a = build(2_000, 0.01, 19);
+        let b = build(2_000, 0.01, 20);
+        let plain = parallel_spatial_join(&a, &b, JoinConfig::default(), 4);
+        let tracer = Tracer::enabled();
+        let drift = DriftMonitor::default();
+        drift.predict(NA_TOTAL, plain.na_total() as f64);
+        drift.predict(DA_TOTAL, plain.da_total() as f64);
+        let obs = JoinObs {
+            tracer: tracer.clone(),
+            drift: Some(&drift),
+        };
+        let traced = parallel_spatial_join_observed(
+            &a,
+            &b,
+            JoinConfig::default(),
+            4,
+            ScheduleMode::CostGuided,
+            &obs,
+        );
+        // Observation must not perturb the join.
+        assert_eq!(plain.pairs, traced.pairs);
+        assert_eq!(plain.na_total(), traced.na_total());
+        assert_eq!(plain.da_total(), traced.da_total());
+        assert_eq!(plain.workers, traced.workers);
+        // Exact predictions ⇒ no in-flight overrun.
+        assert!(drift.all_within());
+        // The span tree covers the schedule and every unit.
+        let records = tracer.records();
+        assert!(records.iter().any(|r| r.name == "cost-guided-join"));
+        assert!(records.iter().any(|r| r.name == "frontier-descent"));
+        assert!(records.iter().any(|r| r.name == "schedule"));
+        let planned: u64 = traced.workers.iter().map(|w| w.units).sum();
+        assert_eq!(
+            records.iter().filter(|r| r.name == "unit").count() as u64,
+            planned
+        );
+        // Steal tallies cover every unit exactly once, whoever ran it.
+        let executed: u64 = traced.steals.iter().map(|s| s.units_executed).sum();
+        assert_eq!(executed, planned);
+        assert_eq!(traced.steals.len(), 4);
+        for s in &traced.steals {
+            assert_eq!(s.steal_queue_depths.len() as u64, s.units_stolen);
+            assert!(s.units_stolen <= s.steal_attempts);
+        }
+        // Buffer counters agree with the access tallies: every miss is
+        // a DA, every hit an absorbed NA.
+        assert_eq!(traced.buffers1.misses, traced.stats1.da_total());
+        assert_eq!(
+            traced.buffers1.hits,
+            traced.stats1.na_total() - traced.stats1.da_total()
+        );
+        assert_eq!(traced.buffers2.misses, traced.stats2.da_total());
+    }
+
+    #[test]
+    fn in_flight_drift_flags_absurd_predictions() {
+        let a = build(2_000, 0.01, 21);
+        let b = build(2_000, 0.01, 22);
+        let drift = DriftMonitor::default();
+        drift.predict(NA_TOTAL, 1.0); // the join does far more work
+        let obs = JoinObs {
+            tracer: Tracer::disabled(),
+            drift: Some(&drift),
+        };
+        parallel_spatial_join_observed(
+            &a,
+            &b,
+            JoinConfig::default(),
+            4,
+            ScheduleMode::CostGuided,
+            &obs,
+        );
+        assert!(!drift.all_within());
+        assert!(drift.breaches().iter().any(|s| s.overrun));
+    }
+
+    #[test]
+    fn drift_observations_match_target_names() {
+        let a = build(2_000, 0.01, 23);
+        let b = build(2_000, 0.01, 24);
+        let r = parallel_spatial_join(&a, &b, JoinConfig::default(), 2);
+        let names: Vec<String> = r.drift_observations().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"na.total".to_string()));
+        assert!(names.contains(&"da.total".to_string()));
+        assert!(names.contains(&sjcm_core::join::na_target(1, 1)));
+        assert!(names.contains(&sjcm_core::join::da_target(2, 1)));
     }
 
     #[test]

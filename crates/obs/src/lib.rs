@@ -1,0 +1,43 @@
+//! Workspace-wide observability for the spatial-join cost-model
+//! reproduction.
+//!
+//! The paper's entire claim is that Eqs 6–12 predict NA/DA within a
+//! ~15% relative-error envelope. Until now the repro could only check
+//! that claim *after* a run, by diffing CSVs; this crate supplies the
+//! feedback loop that watches prediction vs. observation while a join
+//! executes:
+//!
+//! * [`span`] — a lightweight hierarchical span/event system
+//!   ([`Tracer`]) with a JSONL sink and a human-readable tree summary.
+//!   A disabled tracer is a single `Option` check per call site: no
+//!   clock reads, no allocation, no locking (see the `obs_overhead`
+//!   bench variant in `sjcm-bench`).
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges and
+//!   fixed-bucket histograms, fed by the storage layer's access
+//!   statistics and buffer counters and by the parallel scheduler's
+//!   steal tallies.
+//! * [`drift`] — the [`DriftMonitor`]: per-level cost predictions are
+//!   registered up front, live counters are compared against them as
+//!   the join progresses (an *overrun* of the envelope is flagged
+//!   in-flight), and the final relative errors are published as
+//!   `drift.*` gauges.
+//! * [`json`] — the tiny self-contained JSON escaping/validation layer
+//!   the JSONL sinks share (the workspace builds offline; there is no
+//!   serde).
+//!
+//! The crate is std-only and dependency-free on purpose: every other
+//! crate in the workspace can afford to link it, and the execution
+//! layers ship it through their hot paths only behind the
+//! disabled-check guarantee above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use drift::{DriftMonitor, DriftSample, DA_TOTAL, NA_TOTAL, PAPER_ENVELOPE};
+pub use metrics::{Histogram, MetricKind, MetricsRegistry};
+pub use span::{FieldValue, Span, SpanRecord, Tracer};

@@ -1,0 +1,486 @@
+//! Hierarchical timed spans with a JSONL sink.
+//!
+//! A [`Tracer`] is either **enabled** (it owns a shared record buffer)
+//! or **disabled** (it owns nothing). Every operation on a disabled
+//! tracer — opening a span, attaching a field, dropping the guard — is
+//! a single `Option` discriminant check: no clock read, no allocation,
+//! no lock. That is the "no-op sink" guarantee the execution layers
+//! rely on when they thread a tracer through their hot paths.
+//!
+//! Spans form a tree through explicit parent links ([`Span::child`],
+//! or [`Tracer::span_under`] when the parent id has to cross a thread
+//! boundary, as in the parallel join's per-unit spans). Records are
+//! buffered in completion order and serialized one JSON object per
+//! line by [`Tracer::to_jsonl`] / [`Tracer::write_jsonl`];
+//! [`Tracer::tree_summary`] renders the same records as an indented
+//! human-readable tree.
+
+use crate::json::escape;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A field value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, ids).
+    U64(u64),
+    /// Floating point (ratios, costs).
+    F64(f64),
+    /// Short string (labels).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl FieldValue {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            // JSON has no NaN/Inf; null keeps the line parseable.
+            FieldValue::F64(_) => out.push_str("null"),
+            FieldValue::Str(s) => out.push_str(&escape(s)),
+            FieldValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+/// One completed span, as buffered by the tracer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within this tracer (1-based, allocation order).
+    pub id: u64,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u64>,
+    /// Span name (e.g. `"frontier-descent"`).
+    pub name: String,
+    /// Start offset from the tracer's epoch, microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: u64,
+    /// Attached fields, in attachment order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+struct Inner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+/// The span collector. Cheap to clone (shared buffer); see the module
+/// docs for the disabled-mode guarantee.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer whose every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A collecting tracer.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                records: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// `true` when spans are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a root span. The span records itself when dropped (or on
+    /// [`Span::finish`]).
+    #[inline]
+    pub fn span(&self, name: &str) -> Span {
+        self.span_under(None, name)
+    }
+
+    /// Opens a span under an explicit parent id — the cross-thread form
+    /// of [`Span::child`] (span ids are plain `u64`s and can be shipped
+    /// to worker threads).
+    #[inline]
+    pub fn span_under(&self, parent: Option<u64>, name: &str) -> Span {
+        match &self.inner {
+            None => Span { live: None },
+            Some(inner) => {
+                let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+                Span {
+                    live: Some(LiveSpan {
+                        inner: Arc::clone(inner),
+                        id,
+                        parent,
+                        name: name.to_string(),
+                        started: Instant::now(),
+                        fields: Vec::new(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Snapshot of all completed spans, in completion order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.records.lock().expect("tracer poisoned").clone(),
+        }
+    }
+
+    /// Per-name aggregates `(count, total microseconds)`, sorted by
+    /// name — what the bench harness attaches to its BENCH JSON lines.
+    pub fn totals_by_name(&self) -> Vec<(String, u64, u64)> {
+        let mut map: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+        for r in self.records() {
+            let e = map.entry(r.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += r.dur_us;
+        }
+        map.into_iter().map(|(n, (c, t))| (n, c, t)).collect()
+    }
+
+    /// All completed spans as JSONL: one
+    /// `{"type":"span","id":…,"parent":…,"name":…,"start_us":…,"dur_us":…,"fields":{…}}`
+    /// object per line. Empty string when disabled or nothing recorded.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.records() {
+            let _ = write!(out, "{{\"type\":\"span\",\"id\":{},\"parent\":", r.id);
+            match r.parent {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ",\"name\":{},\"start_us\":{},\"dur_us\":{},\"fields\":{{",
+                escape(&r.name),
+                r.start_us,
+                r.dur_us
+            );
+            for (i, (k, v)) in r.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&escape(k));
+                out.push(':');
+                v.write_json(&mut out);
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Writes [`Tracer::to_jsonl`] to `path` (parent directories are
+    /// created). A disabled tracer writes an empty file, so a `--trace`
+    /// flag always produces its artifact.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Renders the span tree: children indented under their parents (in
+    /// start order), with durations and fields. Roots ordered by start.
+    pub fn tree_summary(&self) -> String {
+        let mut records = self.records();
+        records.sort_by_key(|r| (r.start_us, r.id));
+        let mut children: std::collections::BTreeMap<Option<u64>, Vec<usize>> = Default::default();
+        for (i, r) in records.iter().enumerate() {
+            children.entry(r.parent).or_default().push(i);
+        }
+        let mut out = String::new();
+        fn render(
+            records: &[SpanRecord],
+            children: &std::collections::BTreeMap<Option<u64>, Vec<usize>>,
+            parent: Option<u64>,
+            depth: usize,
+            out: &mut String,
+        ) {
+            let Some(kids) = children.get(&parent) else {
+                return;
+            };
+            for &i in kids {
+                let r = &records[i];
+                let _ = write!(
+                    out,
+                    "{:indent$}{}  {:.3} ms",
+                    "",
+                    r.name,
+                    r.dur_us as f64 / 1000.0,
+                    indent = depth * 2
+                );
+                for (k, v) in &r.fields {
+                    let mut s = String::new();
+                    v.write_json(&mut s);
+                    let _ = write!(out, "  {k}={s}");
+                }
+                out.push('\n');
+                render(records, children, Some(r.id), depth + 1, out);
+            }
+        }
+        render(&records, &children, None, 0, &mut out);
+        out
+    }
+}
+
+struct LiveSpan {
+    inner: Arc<Inner>,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    started: Instant,
+    fields: Vec<(String, FieldValue)>,
+}
+
+/// An open span; records itself into the tracer when dropped. All
+/// methods are no-ops for spans of a disabled tracer.
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+impl Span {
+    /// This span's id, `None` when the tracer is disabled. Ship it to
+    /// another thread and reparent with [`Tracer::span_under`].
+    #[inline]
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.id)
+    }
+
+    /// Opens a child span.
+    #[inline]
+    pub fn child(&self, name: &str) -> Span {
+        match &self.live {
+            None => Span { live: None },
+            Some(live) => Tracer {
+                inner: Some(Arc::clone(&live.inner)),
+            }
+            .span_under(Some(live.id), name),
+        }
+    }
+
+    /// Attaches a `key = value` field.
+    #[inline]
+    pub fn set(&mut self, key: &str, value: impl Into<FieldValue>) {
+        if let Some(live) = &mut self.live {
+            live.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Completes the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let start_us = live
+            .started
+            .saturating_duration_since(live.inner.epoch)
+            .as_micros() as u64;
+        let dur_us = live.started.elapsed().as_micros() as u64;
+        let record = SpanRecord {
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            start_us,
+            dur_us,
+            fields: live.fields,
+        };
+        live.inner
+            .records
+            .lock()
+            .expect("tracer poisoned")
+            .push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let mut s = t.span("root");
+        s.set("k", 1u64);
+        let c = s.child("inner");
+        assert_eq!(c.id(), None);
+        drop(c);
+        drop(s);
+        assert!(t.records().is_empty());
+        assert_eq!(t.to_jsonl(), "");
+        assert_eq!(t.tree_summary(), "");
+    }
+
+    #[test]
+    fn spans_nest_and_record_in_completion_order() {
+        let t = Tracer::enabled();
+        let mut root = t.span("root");
+        root.set("n", 42u64);
+        {
+            let mut child = root.child("child");
+            child.set("label", "x");
+        }
+        drop(root);
+        let records = t.records();
+        assert_eq!(records.len(), 2);
+        // Child completes first.
+        assert_eq!(records[0].name, "child");
+        assert_eq!(records[0].parent, Some(records[1].id));
+        assert_eq!(records[1].name, "root");
+        assert_eq!(records[1].parent, None);
+        assert_eq!(
+            records[1].fields,
+            vec![("n".to_string(), FieldValue::U64(42))]
+        );
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_required_keys() {
+        let t = Tracer::enabled();
+        {
+            let mut s = t.span("a \"quoted\" name");
+            s.set("ratio", 0.5f64);
+            s.set("nan", f64::NAN); // must serialize as null, not NaN
+            s.set("flag", true);
+        }
+        let jsonl = t.to_jsonl();
+        for line in jsonl.lines() {
+            let v = parse(line).expect("line parses");
+            for key in [
+                "type", "id", "parent", "name", "start_us", "dur_us", "fields",
+            ] {
+                assert!(v.get(key).is_some(), "missing {key} in {line}");
+            }
+            assert_eq!(v.get("type").unwrap().as_str(), Some("span"));
+            let fields = v.get("fields").unwrap();
+            assert_eq!(fields.get("ratio").unwrap().as_f64(), Some(0.5));
+            assert!(matches!(fields.get("nan"), Some(crate::json::Value::Null)));
+        }
+    }
+
+    #[test]
+    fn cross_thread_reparenting_via_span_under() {
+        let t = Tracer::enabled();
+        let root = t.span("root");
+        let root_id = root.id();
+        std::thread::scope(|scope| {
+            for w in 0..3u64 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    let mut s = t.span_under(root_id, "unit");
+                    s.set("worker", w);
+                });
+            }
+        });
+        drop(root);
+        let records = t.records();
+        assert_eq!(records.len(), 4);
+        let root_rec = records.iter().find(|r| r.name == "root").unwrap();
+        assert_eq!(
+            records
+                .iter()
+                .filter(|r| r.parent == Some(root_rec.id))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn tree_summary_indents_children() {
+        let t = Tracer::enabled();
+        {
+            let root = t.span("root");
+            let _child = root.child("leafwork");
+        }
+        let tree = t.tree_summary();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("root"));
+        assert!(lines[1].starts_with("  leafwork"));
+    }
+
+    #[test]
+    fn totals_aggregate_by_name() {
+        let t = Tracer::enabled();
+        for _ in 0..3 {
+            t.span("unit").finish();
+        }
+        t.span("build").finish();
+        let totals = t.totals_by_name();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].0, "build");
+        assert_eq!(totals[0].1, 1);
+        assert_eq!(totals[1].0, "unit");
+        assert_eq!(totals[1].1, 3);
+    }
+}

@@ -32,6 +32,44 @@ impl AccessKind {
     }
 }
 
+/// Lifetime tallies of a buffer manager, for the observability layer:
+/// hits and misses partition the accesses (`hits + misses = NA` of the
+/// tree the buffer serves, `misses = DA`), evictions count pages pushed
+/// out to make room. Counters are cumulative across
+/// [`BufferManager::clear`] — the parallel join resets residency at
+/// every unit boundary, and the per-run totals must survive that.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferCounters {
+    /// Accesses served from the buffer.
+    pub hits: u64,
+    /// Accesses that went to disk.
+    pub misses: u64,
+    /// Resident pages displaced by a newcomer (not counted for
+    /// [`BufferManager::clear`], which models a deliberate reset, nor
+    /// for [`NoBuffer`], which never holds a page to displace).
+    pub evictions: u64,
+}
+
+impl BufferCounters {
+    /// Merges another tally into this one (used to combine the
+    /// per-worker buffers of the parallel join).
+    pub fn merge(&mut self, other: &BufferCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+
+    /// Hit ratio `hits / (hits + misses)`, `None` before any access.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
 /// A buffer manager decides, per page access, whether the page was
 /// already resident. Implementations are deterministic functions of the
 /// access trace, which keeps every experiment reproducible.
@@ -45,14 +83,27 @@ pub trait BufferManager {
 
     /// Human-readable scheme name for experiment reports.
     fn name(&self) -> &'static str;
+
+    /// Lifetime hit/miss/eviction tallies (see [`BufferCounters`]).
+    fn counters(&self) -> BufferCounters;
 }
 
 /// The trivial scheme: nothing is ever buffered, so `DA = NA`.
 #[derive(Debug, Default, Clone)]
-pub struct NoBuffer;
+pub struct NoBuffer {
+    counters: BufferCounters,
+}
+
+impl NoBuffer {
+    /// Creates the no-op buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 impl BufferManager for NoBuffer {
     fn access(&mut self, _page: PageId, _level: u8) -> AccessKind {
+        self.counters.misses += 1;
         AccessKind::Miss
     }
 
@@ -60,6 +111,10 @@ impl BufferManager for NoBuffer {
 
     fn name(&self) -> &'static str {
         "none"
+    }
+
+    fn counters(&self) -> BufferCounters {
+        self.counters
     }
 }
 
@@ -74,6 +129,7 @@ impl BufferManager for NoBuffer {
 #[derive(Debug, Default, Clone)]
 pub struct PathBuffer {
     frames: Vec<Option<PageId>>,
+    counters: BufferCounters,
 }
 
 impl PathBuffer {
@@ -95,9 +151,14 @@ impl BufferManager for PathBuffer {
             self.frames.resize(idx + 1, None);
         }
         if self.frames[idx] == Some(page) {
+            self.counters.hits += 1;
             AccessKind::Hit
         } else {
+            if self.frames[idx].is_some() {
+                self.counters.evictions += 1;
+            }
             self.frames[idx] = Some(page);
+            self.counters.misses += 1;
             AccessKind::Miss
         }
     }
@@ -108,6 +169,10 @@ impl BufferManager for PathBuffer {
 
     fn name(&self) -> &'static str {
         "path"
+    }
+
+    fn counters(&self) -> BufferCounters {
+        self.counters
     }
 }
 
@@ -123,6 +188,7 @@ pub struct LruBuffer {
     stamp: u64,
     resident: HashMap<PageId, u64>,
     by_stamp: std::collections::BTreeMap<u64, PageId>,
+    counters: BufferCounters,
 }
 
 impl LruBuffer {
@@ -133,6 +199,7 @@ impl LruBuffer {
             stamp: 0,
             resident: HashMap::with_capacity(capacity.min(1024)),
             by_stamp: std::collections::BTreeMap::new(),
+            counters: BufferCounters::default(),
         }
     }
 
@@ -154,6 +221,7 @@ impl LruBuffer {
     fn evict_lru(&mut self) {
         if let Some((_, victim)) = self.by_stamp.pop_first() {
             self.resident.remove(&victim);
+            self.counters.evictions += 1;
         }
     }
 }
@@ -161,6 +229,7 @@ impl LruBuffer {
 impl BufferManager for LruBuffer {
     fn access(&mut self, page: PageId, _level: u8) -> AccessKind {
         if self.capacity == 0 {
+            self.counters.misses += 1;
             return AccessKind::Miss;
         }
         self.stamp += 1;
@@ -168,6 +237,7 @@ impl BufferManager for LruBuffer {
         if let Some(old) = self.resident.insert(page, stamp) {
             self.by_stamp.remove(&old);
             self.by_stamp.insert(stamp, page);
+            self.counters.hits += 1;
             return AccessKind::Hit;
         }
         self.by_stamp.insert(stamp, page);
@@ -176,6 +246,7 @@ impl BufferManager for LruBuffer {
             // never its own victim.
             self.evict_lru();
         }
+        self.counters.misses += 1;
         AccessKind::Miss
     }
 
@@ -187,6 +258,10 @@ impl BufferManager for LruBuffer {
 
     fn name(&self) -> &'static str {
         "lru"
+    }
+
+    fn counters(&self) -> BufferCounters {
+        self.counters
     }
 }
 
@@ -200,7 +275,7 @@ mod tests {
 
     #[test]
     fn no_buffer_always_misses() {
-        let mut b = NoBuffer;
+        let mut b = NoBuffer::new();
         assert_eq!(b.access(p(1), 0), AccessKind::Miss);
         assert_eq!(b.access(p(1), 0), AccessKind::Miss);
     }
@@ -306,6 +381,81 @@ mod tests {
     }
 
     #[test]
+    fn path_buffer_counters_track_hits_misses_evictions() {
+        let mut b = PathBuffer::new();
+        b.access(p(1), 0); // miss, empty frame: no eviction
+        b.access(p(1), 0); // hit
+        b.access(p(2), 0); // miss, evicts page 1
+        b.access(p(3), 1); // miss, empty frame at level 1
+        let c = b.counters();
+        assert_eq!(
+            c,
+            BufferCounters {
+                hits: 1,
+                misses: 3,
+                evictions: 1
+            }
+        );
+        assert!((c.hit_ratio().unwrap() - 0.25).abs() < 1e-12);
+        // clear() resets residency, not the counters, and is not an
+        // eviction.
+        b.clear();
+        assert_eq!(b.counters().evictions, 1);
+        b.access(p(2), 0); // miss again after clear
+        assert_eq!(b.counters().misses, 4);
+    }
+
+    #[test]
+    fn lru_counters_track_hits_misses_evictions() {
+        let mut b = LruBuffer::new(2);
+        b.access(p(1), 0); // miss
+        b.access(p(2), 0); // miss
+        b.access(p(1), 0); // hit
+        b.access(p(3), 0); // miss, evicts 2
+        b.access(p(2), 0); // miss, evicts 1
+        let c = b.counters();
+        assert_eq!(
+            c,
+            BufferCounters {
+                hits: 1,
+                misses: 4,
+                evictions: 2
+            }
+        );
+        assert!((c.hit_ratio().unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_buffer_counts_only_misses() {
+        let mut b = NoBuffer::new();
+        b.access(p(1), 0);
+        b.access(p(1), 0);
+        let c = b.counters();
+        assert_eq!(c.hits, 0);
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.evictions, 0);
+        assert_eq!(c.hit_ratio(), Some(0.0));
+    }
+
+    #[test]
+    fn counters_merge_and_empty_hit_ratio() {
+        let mut a = BufferCounters {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+        };
+        a.merge(&BufferCounters {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+        });
+        assert_eq!(a.hits, 11);
+        assert_eq!(a.misses, 22);
+        assert_eq!(a.evictions, 33);
+        assert_eq!(BufferCounters::default().hit_ratio(), None);
+    }
+
+    #[test]
     fn lru_dominates_path_dominates_none_on_a_trace() {
         // On any trace, a big-enough LRU cannot miss more than the path
         // buffer, which cannot miss more than no buffer. Spot-check on a
@@ -322,7 +472,7 @@ mod tests {
             (5, 1),
             (2, 1),
         ];
-        let mut none = NoBuffer;
+        let mut none = NoBuffer::new();
         let mut path = PathBuffer::new();
         let mut lru = LruBuffer::new(16);
         let (mut m_none, mut m_path, mut m_lru) = (0, 0, 0);

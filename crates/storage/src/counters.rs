@@ -83,6 +83,17 @@ impl AccessStats {
         self.da_by_level.clear();
     }
 
+    /// Buffer hit ratio implied by the tallies: `(NA − DA) / NA`, the
+    /// fraction of node accesses the buffer absorbed. `None` when no
+    /// accesses were recorded (the ratio is undefined, not zero).
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let na = self.na_total();
+        if na == 0 {
+            return None;
+        }
+        Some((na - self.da_total()) as f64 / na as f64)
+    }
+
     /// The structural invariant `DA ≤ NA`, level by level. Always true
     /// for tallies produced through [`AccessStats::record`]; asserted by
     /// tests after every experiment.
@@ -154,5 +165,19 @@ mod tests {
         }
         assert_eq!(s.na_total(), 10);
         assert_eq!(s.da_total(), 0);
+    }
+
+    #[test]
+    fn hit_ratio_is_na_minus_da_over_na() {
+        let mut s = AccessStats::new();
+        assert_eq!(s.hit_ratio(), None);
+        s.record(0, AccessKind::Miss);
+        s.record(0, AccessKind::Hit);
+        s.record(1, AccessKind::Hit);
+        s.record(1, AccessKind::Hit);
+        // NA = 4, DA = 1 ⇒ (4 − 1)/4.
+        assert!((s.hit_ratio().unwrap() - 0.75).abs() < 1e-12);
+        s.clear();
+        assert_eq!(s.hit_ratio(), None);
     }
 }

@@ -30,7 +30,7 @@ pub mod file_store;
 pub mod layout;
 pub mod page;
 
-pub use buffer::{AccessKind, BufferManager, LruBuffer, NoBuffer, PathBuffer};
+pub use buffer::{AccessKind, BufferCounters, BufferManager, LruBuffer, NoBuffer, PathBuffer};
 pub use counters::AccessStats;
 pub use file_store::FilePageStore;
 pub use layout::{max_entries, DiskEntry, DiskNode};

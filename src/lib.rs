@@ -21,6 +21,7 @@
 //! | [`model`] | `sjcm-core` | **the paper's cost models** (Eqs 1–12 + extensions) |
 //! | [`datagen`] | `sjcm-datagen` | uniform / skewed / TIGER-like generators |
 //! | [`optimizer`] | `sjcm-optimizer` | cost-based spatial query optimizer |
+//! | [`obs`] | `sjcm-obs` | spans, metrics registry, model-drift monitor |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use sjcm_core as model;
 pub use sjcm_datagen as datagen;
 pub use sjcm_geom as geom;
 pub use sjcm_join as join;
+pub use sjcm_obs as obs;
 pub use sjcm_optimizer as optimizer;
 pub use sjcm_rtree as rtree;
 pub use sjcm_storage as storage;
