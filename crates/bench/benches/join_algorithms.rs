@@ -10,6 +10,7 @@ use sjcm_join::parallel::{
 };
 use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig, MatchOrder};
 use sjcm_obs::{DriftMonitor, Tracer};
+use sjcm_storage::FlightRecorder;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -103,14 +104,18 @@ fn bench_parallel(c: &mut Criterion) {
         }
     }
     group.finish();
-    if std::env::args().any(|a| a == "--test") {
-        return; // smoke mode: timing and tallies both skipped
-    }
     // The schedule quality itself, in the BENCH JSON convention: the
     // planned per-worker NA split is deterministic per mode, so one run
-    // per (mode, threads) suffices. Each run carries an enabled tracer
-    // so the line also reports where the time went (span totals).
-    for threads in [2usize, 4, 8] {
+    // per (mode, threads) suffices (smoke mode keeps one thread count
+    // so CI still collects the lines). Each run carries an enabled
+    // tracer so the line also reports where the time went (span
+    // totals).
+    let thread_counts: &[usize] = if std::env::args().any(|a| a == "--test") {
+        &[4]
+    } else {
+        &[2, 4, 8]
+    };
+    for &threads in thread_counts {
         for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
             let label = match mode {
                 ScheduleMode::RoundRobin => "round_robin",
@@ -120,6 +125,7 @@ fn bench_parallel(c: &mut Criterion) {
             let obs = JoinObs {
                 tracer: tracer.clone(),
                 drift: None,
+                recorder: FlightRecorder::disabled(),
             };
             let result = parallel_spatial_join_observed(&t1, &t2, config(), threads, mode, &obs);
             let worker_na: Vec<String> = result.workers.iter().map(|w| w.na.to_string()).collect();
@@ -143,17 +149,18 @@ fn bench_parallel(c: &mut Criterion) {
 }
 
 /// The observability overhead guard: the same fixed-seed cost-guided
-/// join with observability disabled (the production default) and fully
-/// enabled (tracer + in-flight drift checks), reported as a BENCH JSON
-/// line. The disabled path must be indistinguishable from the
+/// join with observability disabled (the production default), fully
+/// enabled (tracer + in-flight drift checks), and enabled *with the
+/// page-access flight recorder armed*, reported as a BENCH JSON line.
+/// The disabled path must be indistinguishable from the
 /// pre-observability code (a single `Option` check per hook); enabled
-/// tracing targets < 3% overhead.
+/// tracing — recorder included — targets < 3% overhead.
 fn bench_obs_overhead(c: &mut Criterion) {
     let _ = c; // manual timing: one JSON line, not a criterion group
-    if std::env::args().any(|a| a == "--test") {
-        return;
-    }
-    let n = 12_000;
+    let smoke = std::env::args().any(|a| a == "--test");
+    // Smoke mode still emits the line so CI collects it, on a smaller
+    // workload with fewer repetitions.
+    let (n, reps) = if smoke { (4_000, 7) } else { (12_000, 15) };
     let t1 = uniform_tree(n, 0.5, 104);
     let t2 = uniform_tree(n, 0.5, 105);
     let threads = 4;
@@ -181,6 +188,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
         let obs = JoinObs {
             tracer: Tracer::enabled(),
             drift: Some(&drift),
+            recorder: FlightRecorder::disabled(),
         };
         let start = Instant::now();
         let r = black_box(parallel_spatial_join_observed(
@@ -195,25 +203,59 @@ fn bench_obs_overhead(c: &mut Criterion) {
         assert_eq!(r.na_total(), warm.na_total());
         elapsed
     };
-    let _ = (run_disabled(), run_enabled()); // warm-up
-                                             // Interleave the two variants so both see the same machine
-                                             // conditions, and compare minima (noise on a 6 ms parallel join is
-                                             // strictly additive).
-    let reps = 15;
+    let run_recorded = || {
+        let drift = DriftMonitor::default();
+        drift.predict(sjcm_obs::NA_TOTAL, warm.na_total() as f64);
+        drift.predict(sjcm_obs::DA_TOTAL, warm.da_total() as f64);
+        let recorder = FlightRecorder::enabled();
+        let obs = JoinObs {
+            tracer: Tracer::enabled(),
+            drift: Some(&drift),
+            recorder: recorder.clone(),
+        };
+        let start = Instant::now();
+        let r = black_box(parallel_spatial_join_observed(
+            &t1,
+            &t2,
+            config(),
+            threads,
+            ScheduleMode::CostGuided,
+            &obs,
+        ));
+        let elapsed = start.elapsed();
+        assert_eq!(r.na_total(), warm.na_total());
+        // The trace must be complete: one event per node access, no
+        // ring overwrites. Draining outside the timed region is fair —
+        // a real run serializes after the join too.
+        let (events, dropped) = recorder.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len() as u64, r.na_total());
+        elapsed
+    };
+    // Warm up once, then interleave the variants so all see the same
+    // machine conditions, and compare minima (noise on a 6 ms parallel
+    // join is strictly additive).
+    let _ = (run_disabled(), run_enabled(), run_recorded());
     let mut disabled = std::time::Duration::MAX;
     let mut enabled = std::time::Duration::MAX;
+    let mut recorded = std::time::Duration::MAX;
     for _ in 0..reps {
         disabled = disabled.min(run_disabled());
         enabled = enabled.min(run_enabled());
+        recorded = recorded.min(run_recorded());
     }
-    let overhead_pct =
-        (enabled.as_secs_f64() - disabled.as_secs_f64()) / disabled.as_secs_f64() * 100.0;
+    let pct_over = |v: std::time::Duration| {
+        (v.as_secs_f64() - disabled.as_secs_f64()) / disabled.as_secs_f64() * 100.0
+    };
     println!(
         "{{\"group\":\"join_algorithms\",\"bench\":\"obs_overhead/{n}/{threads}\",\
-         \"disabled_us\":{},\"enabled_us\":{},\"overhead_pct\":{:.2}}}",
+         \"disabled_us\":{},\"enabled_us\":{},\"recorded_us\":{},\
+         \"overhead_pct\":{:.2},\"recorder_overhead_pct\":{:.2}}}",
         disabled.as_micros(),
         enabled.as_micros(),
-        overhead_pct
+        recorded.as_micros(),
+        pct_over(enabled),
+        pct_over(recorded)
     );
 }
 

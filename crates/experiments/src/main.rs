@@ -19,17 +19,24 @@
 //!   role-choice     §4.1(iii): query/data role assignment rule
 //!   lru-ablation    §5 extension: LRU buffer study
 //!   high-dim        §5 extension: n = 3, 4
+//!   algo-compare    SJ vs baselines vs PBSM
 //!   parallel        §5 outlook: cost-guided parallel SJ vs round-robin
-//!   join            one fully observed join: spans, metrics, live drift
-//!   validate-obs    check --trace/--metrics JSONL artifacts
-//!   all             everything above (except validate-obs)
+//!   params-diff     analytic-vs-measured tree parameter table
+//!   join            one fully observed join: spans, metrics, live
+//!                   drift, and (with --obs-dir) the page-access
+//!                   flight recorder + Perfetto export
+//!   trace replay    what-if buffer replay of the recorded trace
+//!   trace report    per-level histograms + hottest pages of the trace
+//!   validate-obs    check every artifact in --obs-dir
+//!   all             everything above (except trace/validate-obs)
 //!
 //! --scale F    scales the paper's 20K–80K cardinalities by F (default
 //!              1.0; use e.g. 0.1 for a quick pass)
 //! --out DIR    CSV output directory (default results/)
 //! --threads T  worker threads for parallel/join commands (default 4)
-//! --trace P    join: write span JSONL to P; validate-obs: read it
-//! --metrics P  join: write metrics JSONL to P; validate-obs: read it
+//! --obs-dir D  join: write the observability artifacts (span JSONL,
+//!              metrics JSONL, binary access trace, Perfetto JSON)
+//!              into D; trace replay/report and validate-obs read them
 //! ```
 
 mod common;
@@ -38,6 +45,7 @@ mod extensions;
 mod figures;
 mod observability;
 mod report;
+mod trace;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,18 +55,28 @@ struct Args {
     scale: f64,
     out: PathBuf,
     threads: usize,
-    trace: Option<PathBuf>,
-    metrics: Option<PathBuf>,
+    obs_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
-    let command = args.next().ok_or("missing command")?;
+    let mut command = args.next().ok_or("missing command")?;
+    if command == "trace" {
+        match args.next().as_deref() {
+            Some("replay") => command = "trace-replay".into(),
+            Some("report") => command = "trace-report".into(),
+            other => {
+                return Err(format!(
+                    "trace needs a subcommand (replay | report), got {}",
+                    other.unwrap_or("nothing")
+                ))
+            }
+        }
+    }
     let mut scale = 1.0;
     let mut out = PathBuf::from("results");
     let mut threads = 4;
-    let mut trace = None;
-    let mut metrics = None;
+    let mut obs_dir = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -82,11 +100,15 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads must be at least 1".into());
                 }
             }
-            "--trace" => {
-                trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
+            "--obs-dir" => {
+                obs_dir = Some(PathBuf::from(args.next().ok_or("--obs-dir needs a value")?));
             }
-            "--metrics" => {
-                metrics = Some(PathBuf::from(args.next().ok_or("--metrics needs a value")?));
+            "--trace" | "--metrics" => {
+                return Err(format!(
+                    "{flag} was replaced by --obs-dir DIR (the directory \
+                     receives join_trace.jsonl, join_metrics.jsonl, \
+                     join_access_trace.bin and join_perfetto.json)"
+                ));
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -96,8 +118,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         out,
         threads,
-        trace,
-        metrics,
+        obs_dir,
     })
 }
 
@@ -133,19 +154,21 @@ fn main() -> ExitCode {
             "algo-compare" => extensions::algo_compare(out, scale),
             "parallel" => extensions::parallel_join(out, scale, args.threads),
             "join" => {
-                if !observability::join_observed(
-                    out,
-                    scale,
-                    args.threads,
-                    args.trace.as_deref(),
-                    args.metrics.as_deref(),
-                ) {
+                if !observability::join_observed(out, scale, args.threads, args.obs_dir.as_deref())
+                {
                     eprintln!("warning: drift breached the envelope (see above)");
                 }
             }
             _ => return false,
         }
         true
+    };
+    let obs_dir_or = |cmd: &str| -> Option<&std::path::Path> {
+        let dir = args.obs_dir.as_deref();
+        if dir.is_none() {
+            eprintln!("error: {cmd} needs --obs-dir DIR (from a `join --obs-dir` run)");
+        }
+        dir
     };
     match args.command.as_str() {
         "all" => {
@@ -173,20 +196,42 @@ fn main() -> ExitCode {
             }
         }
         "validate-obs" => {
-            if !observability::validate_obs(args.trace.as_deref(), args.metrics.as_deref()) {
+            let Some(dir) = obs_dir_or("validate-obs") else {
+                return ExitCode::FAILURE;
+            };
+            if !observability::validate_obs(dir) {
                 return ExitCode::FAILURE;
             }
             return ExitCode::SUCCESS;
         }
+        "trace-replay" => {
+            let Some(dir) = obs_dir_or("trace replay") else {
+                return ExitCode::FAILURE;
+            };
+            if !trace::replay_cmd(out, dir) {
+                return ExitCode::FAILURE;
+            }
+        }
+        "trace-report" => {
+            let Some(dir) = obs_dir_or("trace report") else {
+                return ExitCode::FAILURE;
+            };
+            if !trace::report_cmd(out, dir) {
+                return ExitCode::FAILURE;
+            }
+        }
         "help" | "--help" | "-h" => {
             println!("commands: figure5a figure5b figure6 figure7 errors-uniform");
-            println!("          density-sweep nonuniform real param-source selectivity");
-            println!("          role-choice lru-ablation high-dim algo-compare parallel");
-            println!("          join validate-obs all");
+            println!("          density-sweep nonuniform real param-source params-diff");
+            println!("          selectivity role-choice lru-ablation high-dim");
+            println!("          algo-compare parallel join trace-replay trace-report");
+            println!("          (also spelled `trace replay` / `trace report`)");
+            println!("          validate-obs all");
             println!("flags:    --scale F (default 1.0), --out DIR (default results/),");
             println!("          --threads T (parallel/join commands, default 4),");
-            println!("          --trace P, --metrics P (join writes JSONL there;");
-            println!("          validate-obs reads and checks those artifacts)");
+            println!("          --obs-dir D (join writes span/metrics JSONL, the binary");
+            println!("          access trace and the Perfetto export there; trace");
+            println!("          replay/report and validate-obs read them back)");
             return ExitCode::SUCCESS;
         }
         cmd => {

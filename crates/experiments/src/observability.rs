@@ -1,15 +1,18 @@
 //! The observability-driven experiments: the traced `join` command and
-//! the `validate-obs` JSONL checker the CI runs against its artifacts.
+//! the `validate-obs` artifact checker the CI runs against its output.
 //!
 //! `join` runs the fixed-seed 60K·scale uniform workload through the
 //! cost-guided parallel executor with every hook armed: spans for tree
 //! construction, frontier descent, scheduling and each work unit; a
 //! metrics registry fed from the access statistics, the buffer
-//! counters and the scheduler's steal tallies; and a drift monitor
+//! counters and the scheduler's steal tallies; a drift monitor
 //! whose Eq 6/8–12 predictions are registered *before* the join runs,
 //! checked in-flight (overruns of the ~15% envelope flag while the
 //! join is still executing) and published as `drift.*` gauges at the
-//! end.
+//! end; and, when `--obs-dir` is given, the page-access flight
+//! recorder, whose binary trace feeds the offline `trace replay` /
+//! `trace report` toolchain ([`crate::trace`]) alongside the Perfetto
+//! export of the span tree.
 
 use crate::common::{build_tree, measured_params, DEFAULT_DENSITY};
 use crate::report::{int, pct, Report};
@@ -17,23 +20,32 @@ use sjcm_core::join;
 use sjcm_datagen::uniform::{generate as uniform, UniformConfig};
 use sjcm_join::{parallel_spatial_join_observed, BufferPolicy, JoinConfig, JoinObs, ScheduleMode};
 use sjcm_obs::{json, DriftMonitor, MetricsRegistry, Tracer, PAPER_ENVELOPE};
+use sjcm_storage::{AccessTrace, FlightRecorder, RecordedPolicy};
 use std::path::Path;
 
-/// The `join` command: one fully observed join run. `trace` / `metrics`
-/// name the JSONL sink files (omitted ⇒ the artifact is not written,
-/// the in-terminal report still prints). Returns `true` when every
-/// drift target landed inside the paper's envelope.
-pub fn join_observed(
-    out: &Path,
-    scale: f64,
-    threads: usize,
-    trace: Option<&Path>,
-    metrics_path: Option<&Path>,
-) -> bool {
+/// Span-JSONL artifact name inside `--obs-dir`.
+pub const TRACE_FILE: &str = "join_trace.jsonl";
+/// Metrics-JSONL artifact name inside `--obs-dir`.
+pub const METRICS_FILE: &str = "join_metrics.jsonl";
+/// Perfetto/Chrome trace-event artifact name inside `--obs-dir`.
+pub const PERFETTO_FILE: &str = "join_perfetto.json";
+
+/// The `join` command: one fully observed join run. `obs_dir` names a
+/// directory receiving every artifact — span JSONL, metrics JSONL, the
+/// flight recorder's binary page-access trace, and the Perfetto
+/// trace-event export (omitted ⇒ nothing is written and the recorder
+/// stays disabled; the in-terminal report still prints). Returns
+/// `true` when every drift target landed inside the paper's envelope.
+pub fn join_observed(out: &Path, scale: f64, threads: usize, obs_dir: Option<&Path>) -> bool {
     let n = (60_000.0 * scale).round().max(600.0) as usize;
     let tracer = Tracer::enabled();
     let metrics = MetricsRegistry::new();
     let drift = DriftMonitor::new(PAPER_ENVELOPE);
+    let recorder = if obs_dir.is_some() {
+        FlightRecorder::enabled()
+    } else {
+        FlightRecorder::disabled()
+    };
 
     // Build the two indexes under their own spans.
     let build = |seed: u64, name: &str| {
@@ -96,6 +108,7 @@ pub fn join_observed(
         &JoinObs {
             tracer: tracer.clone(),
             drift: Some(&drift),
+            recorder: recorder.clone(),
         },
     );
 
@@ -171,16 +184,40 @@ pub fn join_observed(
     println!("\n== span tree ==");
     print!("{}", tracer.tree_summary());
 
-    if let Some(path) = trace {
-        match tracer.write_jsonl(path) {
-            Ok(()) => println!("[trace] {}", path.display()),
-            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-        }
-    }
-    if let Some(path) = metrics_path {
-        match metrics.write_jsonl(path) {
-            Ok(()) => println!("[metrics] {}", path.display()),
-            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    if let Some(dir) = obs_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else {
+            let trace_path = dir.join(TRACE_FILE);
+            match tracer.write_jsonl(&trace_path) {
+                Ok(()) => println!("[trace] {}", trace_path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", trace_path.display()),
+            }
+            let metrics_path = dir.join(METRICS_FILE);
+            match metrics.write_jsonl(&metrics_path) {
+                Ok(()) => println!("[metrics] {}", metrics_path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", metrics_path.display()),
+            }
+            // The binary page-access trace: the join ran under the
+            // path-buffer policy, and the header carries the Eq 7/11
+            // and 10/12 totals so `trace replay` can draw its what-if
+            // curve against the model.
+            let access = recorder.into_trace(RecordedPolicy::Path, na_pred, da_pred);
+            let access_path = dir.join(crate::trace::ACCESS_TRACE_FILE);
+            match access.write(&access_path) {
+                Ok(()) => println!(
+                    "[access-trace] {} ({} events, {} dropped)",
+                    access_path.display(),
+                    access.events.len(),
+                    access.dropped
+                ),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", access_path.display()),
+            }
+            let perfetto_path = dir.join(PERFETTO_FILE);
+            match sjcm_obs::write_chrome_trace(&tracer, &perfetto_path) {
+                Ok(()) => println!("[perfetto] {}", perfetto_path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", perfetto_path.display()),
+            }
         }
     }
 
@@ -206,24 +243,44 @@ pub fn join_observed(
     ok
 }
 
-/// The `validate-obs` command: checks that a `--trace` and/or
-/// `--metrics` JSONL artifact is well-formed — every line parses, the
-/// required keys are present — and that the recorded drift stayed
-/// inside the envelope (`drift.*` gauges ≤ `drift.envelope`, and the
-/// `drift.breaches` counter is 0). Returns `false` (with diagnostics
-/// on stderr) on any violation.
-pub fn validate_obs(trace: Option<&Path>, metrics: Option<&Path>) -> bool {
-    let mut ok = true;
-    let mut fail = |msg: String| {
+/// The `validate-obs` command: checks every artifact present in
+/// `--obs-dir` — the span and metrics JSONL files (every line parses,
+/// the required keys are present, the recorded drift stayed inside the
+/// envelope: `drift.*` gauges ≤ `drift.envelope` and the
+/// `drift.breaches` counter is 0), the binary page-access trace
+/// (magic/version/size/tick-monotonicity via [`AccessTrace::read`],
+/// plus a truncation check on the ring-drop counter), and the Perfetto
+/// export (well-formed Chrome trace-event JSON). Returns `false` (with
+/// diagnostics on stderr) on any violation, including an obs dir with
+/// nothing to validate.
+pub fn validate_obs(dir: &Path) -> bool {
+    let ok = std::cell::Cell::new(true);
+    let fail = |msg: String| {
         eprintln!("validate-obs: {msg}");
-        ok = false;
+        ok.set(false);
     };
-    if trace.is_none() && metrics.is_none() {
-        fail("nothing to validate; pass --trace and/or --metrics".into());
-        return ok;
+    let present = |name: &str| {
+        let p = dir.join(name);
+        p.is_file().then_some(p)
+    };
+    let trace = present(TRACE_FILE);
+    let metrics = present(METRICS_FILE);
+    let access = present(crate::trace::ACCESS_TRACE_FILE);
+    let perfetto = present(PERFETTO_FILE);
+    if [&trace, &metrics, &access, &perfetto]
+        .iter()
+        .all(|a| a.is_none())
+    {
+        fail(format!(
+            "no artifacts found in {}; expected any of {TRACE_FILE}, \
+             {METRICS_FILE}, {}, {PERFETTO_FILE}",
+            dir.display(),
+            crate::trace::ACCESS_TRACE_FILE
+        ));
+        return false;
     }
 
-    if let Some(path) = trace {
+    if let Some(path) = &trace {
         match std::fs::read_to_string(path) {
             Err(e) => fail(format!("cannot read {}: {e}", path.display())),
             Ok(text) => {
@@ -258,7 +315,7 @@ pub fn validate_obs(trace: Option<&Path>, metrics: Option<&Path>) -> bool {
         }
     }
 
-    if let Some(path) = metrics {
+    if let Some(path) = &metrics {
         match std::fs::read_to_string(path) {
             Err(e) => fail(format!("cannot read {}: {e}", path.display())),
             Ok(text) => {
@@ -351,7 +408,7 @@ pub fn validate_obs(trace: Option<&Path>, metrics: Option<&Path>) -> bool {
                         path.display()
                     )),
                 }
-                if ok {
+                if ok.get() {
                     println!(
                         "validate-obs: {} metric lines ok in {} ({} drift gauges within {:.0}%)",
                         lines,
@@ -363,5 +420,42 @@ pub fn validate_obs(trace: Option<&Path>, metrics: Option<&Path>) -> bool {
             }
         }
     }
-    ok
+
+    if let Some(path) = &access {
+        // AccessTrace::read already rejects bad magic/version/padding,
+        // truncated or oversized byte counts, invalid event encodings
+        // and non-monotonic ticks; on top of that an artifact whose
+        // rings overwrote events is not replayable and fails here.
+        match AccessTrace::read(path) {
+            Err(e) => fail(format!("{}: {e}", path.display())),
+            Ok(t) if t.dropped > 0 => fail(format!(
+                "{}: truncated trace ({} events overwritten by the ring)",
+                path.display(),
+                t.dropped
+            )),
+            Ok(t) if t.events.is_empty() => {
+                fail(format!("{}: trace holds no events", path.display()))
+            }
+            Ok(t) => println!(
+                "validate-obs: {} access events ok in {}",
+                t.events.len(),
+                path.display()
+            ),
+        }
+    }
+
+    if let Some(path) = &perfetto {
+        match std::fs::read_to_string(path) {
+            Err(e) => fail(format!("cannot read {}: {e}", path.display())),
+            Ok(text) => match sjcm_obs::validate_chrome_trace(&text) {
+                Err(e) => fail(format!("{}: {e}", path.display())),
+                Ok(events) => println!(
+                    "validate-obs: {} trace events ok in {}",
+                    events,
+                    path.display()
+                ),
+            },
+        }
+    }
+    ok.get()
 }

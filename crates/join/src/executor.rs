@@ -2,8 +2,10 @@
 
 use sjcm_geom::Rect;
 use sjcm_rtree::{Child, Node, NodeId, ObjectId, RTree};
+use sjcm_storage::recorder::RecordedPolicy;
 use sjcm_storage::{
-    AccessStats, BufferCounters, BufferManager, LruBuffer, NoBuffer, PageId, PathBuffer,
+    AccessStats, BufferCounters, BufferManager, FlightRecorder, LruBuffer, NoBuffer, PageId,
+    PathBuffer, RecorderLane,
 };
 
 /// Join predicate between two object MBRs (and, during traversal,
@@ -49,6 +51,18 @@ impl BufferPolicy {
             BufferPolicy::None => Box::new(NoBuffer::new()),
             BufferPolicy::Path => Box::new(PathBuffer::new()),
             BufferPolicy::Lru(cap) => Box::new(LruBuffer::new(cap)),
+        }
+    }
+
+    /// The storage-layer mirror of this policy, as stamped into a
+    /// recorded [`sjcm_storage::AccessTrace`] header so offline replay
+    /// knows which configuration reproduces the recorded hit/miss
+    /// stream.
+    pub fn recorded(self) -> RecordedPolicy {
+        match self {
+            BufferPolicy::None => RecordedPolicy::None,
+            BufferPolicy::Path => RecordedPolicy::Path,
+            BufferPolicy::Lru(cap) => RecordedPolicy::Lru(cap as u32),
         }
     }
 }
@@ -254,6 +268,20 @@ pub fn spatial_join_with<const N: usize>(
     r2: &RTree<N>,
     config: JoinConfig,
 ) -> JoinResultSet {
+    spatial_join_recorded(r1, r2, config, &FlightRecorder::disabled())
+}
+
+/// Runs the SJ spatial join with a page-access flight recorder: every
+/// buffered access additionally emits one event into `recorder`
+/// (correlation domain 0 — the sequential executor is a single
+/// buffer-residency domain). With a disabled recorder this is exactly
+/// [`spatial_join_with`] — one `Option` check per access.
+pub fn spatial_join_recorded<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    recorder: &FlightRecorder,
+) -> JoinResultSet {
     let mut exec = Executor {
         r1,
         r2,
@@ -261,6 +289,8 @@ pub fn spatial_join_with<const N: usize>(
         buf2: config.buffer.build(),
         stats1: AccessStats::new(),
         stats2: AccessStats::new(),
+        lane1: recorder.lane(1),
+        lane2: recorder.lane(2),
         pairs: Vec::new(),
         pair_count: 0,
         config,
@@ -287,6 +317,8 @@ struct Executor<'a, const N: usize> {
     buf2: Box<dyn BufferManager>,
     stats1: AccessStats,
     stats2: AccessStats,
+    lane1: RecorderLane,
+    lane2: RecorderLane,
     pairs: Vec<(ObjectId, ObjectId)>,
     pair_count: u64,
     config: JoinConfig,
@@ -300,12 +332,14 @@ impl<const N: usize> Executor<'_, N> {
         let level = self.r1.node(id).level;
         let kind = self.buf1.access(PageId(id.0), level);
         self.stats1.record(level, kind);
+        self.lane1.record(PageId(id.0), level, kind);
     }
 
     fn access2(&mut self, id: NodeId) {
         let level = self.r2.node(id).level;
         let kind = self.buf2.access(PageId(id.0), level);
         self.stats2.record(level, kind);
+        self.lane2.record(PageId(id.0), level, kind);
     }
 
     fn emit(&mut self, o1: ObjectId, o2: ObjectId) {

@@ -36,8 +36,8 @@ pub mod parallel;
 pub mod pbsm;
 
 pub use executor::{
-    spatial_join, spatial_join_with, BufferPolicy, JoinConfig, JoinPredicate, JoinResultSet,
-    MatchOrder, StealTally, WorkerTally,
+    spatial_join, spatial_join_recorded, spatial_join_with, BufferPolicy, JoinConfig,
+    JoinPredicate, JoinResultSet, MatchOrder, StealTally, WorkerTally,
 };
 pub use parallel::{
     parallel_spatial_join, parallel_spatial_join_observed, parallel_spatial_join_with, JoinObs,

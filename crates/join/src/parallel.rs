@@ -68,15 +68,14 @@
 //! scheduling — the sequential executor's emission order is a traversal
 //! order no parallel schedule can reproduce cheaply.
 
-use crate::executor::{
-    matched_children, spatial_join_with, JoinConfig, JoinResultSet, StealTally, WorkerTally,
-};
+use crate::executor::{matched_children, JoinConfig, JoinResultSet, StealTally, WorkerTally};
 use sjcm_core::join::unit_cost_na;
 use sjcm_core::{LevelParams, TreeParams};
 use sjcm_geom::Rect;
+use sjcm_obs::perfetto::DRIFT_BREACH_SPAN as BREACH_SPAN;
 use sjcm_obs::{DriftMonitor, Tracer, DA_TOTAL, NA_TOTAL};
 use sjcm_rtree::{Child, NodeId, ObjectId, RTree};
-use sjcm_storage::{AccessStats, BufferManager, PageId};
+use sjcm_storage::{AccessStats, BufferManager, FlightRecorder, PageId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -93,8 +92,18 @@ pub struct JoinObs<'a> {
     /// Drift monitor for in-flight envelope checks: workers maintain
     /// shared running NA/DA totals and test them against the
     /// caller-registered `na.total` / `da.total` predictions after
-    /// every completed work unit.
+    /// every completed work unit. The first breach of each total is
+    /// additionally marked with a zero-duration `drift-breach` child
+    /// span under the breaching unit, so the Perfetto export shows
+    /// *when* and *on whose lane* the model lost the run.
     pub drift: Option<&'a DriftMonitor>,
+    /// Page-access flight recorder. Disabled (the default) costs one
+    /// `Option` check per access; enabled, every buffered access of
+    /// every executor emits one event, with the correlation id set to
+    /// the buffer-residency domain (0 = coordinator/sequential, unit
+    /// index + 1 for cost-guided units, shard index + 1 for
+    /// round-robin shards — see `sjcm_storage::recorder`).
+    pub recorder: FlightRecorder,
 }
 
 /// How parallel work units are assigned to workers.
@@ -156,7 +165,7 @@ pub fn parallel_spatial_join_observed<const N: usize>(
     assert!(threads >= 1, "need at least one worker");
     let mut result = if threads == 1 {
         let mut span = obs.tracer.span("sequential-join");
-        let mut result = spatial_join_with(r1, r2, config);
+        let mut result = crate::executor::spatial_join_recorded(r1, r2, config, &obs.recorder);
         result.pairs.sort_unstable();
         span.set("na", result.na_total());
         span.set("da", result.da_total());
@@ -190,8 +199,8 @@ fn cost_guided_join<const N: usize>(
 
     // 1. The coordinator descends until it holds enough units, charging
     //    the intermediate accesses itself (in sequential per-level
-    //    order).
-    let mut coord = UnitExecutor::new(r1, r2, config);
+    //    order). Its recorder lanes stay on correlation domain 0.
+    let mut coord = UnitExecutor::new(r1, r2, config, &obs.recorder);
     let units = {
         let mut span = join_span.child("frontier-descent");
         let units = coord.collect_frontier(threads * UNITS_PER_WORKER, threads);
@@ -256,22 +265,33 @@ fn cost_guided_join<const N: usize>(
                 let start = &start;
                 let tracer = obs.tracer.clone();
                 let drift = obs.drift;
+                let recorder = obs.recorder.clone();
                 let na_live = &na_live;
                 let da_live = &da_live;
                 scope.spawn(move || {
                     let mut worker_span = tracer.span_under(join_id, "worker");
                     worker_span.set("worker", w);
-                    let mut exec = UnitExecutor::new(r1, r2, config);
+                    let mut exec = UnitExecutor::new(r1, r2, config, &recorder);
                     let mut per_unit: Vec<(usize, WorkerTally)> = Vec::new();
                     let mut steal = StealTally::default();
+                    // First-breach markers, per worker (the monitor's
+                    // overrun is sticky, so one marker per lane is the
+                    // signal; repeating it every unit would be noise).
+                    let mut na_breach_marked = false;
+                    let mut da_breach_marked = false;
                     start.wait();
                     while let Some((i, stolen)) = next_unit(deques, costs, w, &mut steal) {
                         steal.units_executed += 1;
                         let mut unit_span = worker_span.child("unit");
                         let (a, b) = units[i];
                         // Fresh buffers per unit: see the module docs.
+                        // The unit is its own buffer-residency domain,
+                        // so its accesses get their own correlation id.
                         exec.buf1.clear();
                         exec.buf2.clear();
+                        let corr = (i + 1) as u32;
+                        exec.lane1.set_corr(corr);
+                        exec.lane2.set_corr(corr);
                         let na0 = exec.stats1.na_total() + exec.stats2.na_total();
                         let da0 = exec.stats1.da_total() + exec.stats2.da_total();
                         let pc0 = exec.pair_count;
@@ -289,6 +309,7 @@ fn cost_guided_join<const N: usize>(
                             },
                         ));
                         unit_span.set("unit", i);
+                        unit_span.set("corr", corr as u64);
                         unit_span.set("stolen", stolen);
                         unit_span.set("na", na);
                         unit_span.set("da", da);
@@ -296,8 +317,20 @@ fn cost_guided_join<const N: usize>(
                         if let Some(drift) = drift {
                             let na_now = na_live.fetch_add(na, Ordering::Relaxed) + na;
                             let da_now = da_live.fetch_add(da, Ordering::Relaxed) + da;
-                            drift.observe_in_flight(NA_TOTAL, na_now as f64);
-                            drift.observe_in_flight(DA_TOTAL, da_now as f64);
+                            let na_breach = drift.observe_in_flight(NA_TOTAL, na_now as f64);
+                            let da_breach = drift.observe_in_flight(DA_TOTAL, da_now as f64);
+                            if na_breach && !na_breach_marked {
+                                na_breach_marked = true;
+                                let mut b = unit_span.child(BREACH_SPAN);
+                                b.set("target", NA_TOTAL);
+                                b.set("at", na_now);
+                            }
+                            if da_breach && !da_breach_marked {
+                                da_breach_marked = true;
+                                let mut b = unit_span.child(BREACH_SPAN);
+                                b.set("target", DA_TOTAL);
+                                b.set("at", da_now);
+                            }
                         }
                     }
                     worker_span.set("units", steal.units_executed);
@@ -499,11 +532,14 @@ fn round_robin_join<const N: usize>(
             .enumerate()
             .map(|(w, shard)| {
                 let tracer = obs.tracer.clone();
+                let recorder = obs.recorder.clone();
                 scope.spawn(move || {
                     let mut span = tracer.span_under(join_id, "worker");
                     span.set("worker", w);
                     span.set("units", shard.len());
-                    run_shard(r1, r2, config, shard)
+                    // One correlation domain per shard: its buffers
+                    // persist across all of the shard's units.
+                    run_shard(r1, r2, config, shard, &recorder, (w + 1) as u32)
                 })
             })
             .collect();
@@ -624,8 +660,12 @@ fn run_shard<const N: usize>(
     r2: &RTree<N>,
     config: JoinConfig,
     units: &[WorkUnit],
+    recorder: &FlightRecorder,
+    corr: u32,
 ) -> JoinResultSet {
-    let mut shard = UnitExecutor::new(r1, r2, config);
+    let mut shard = UnitExecutor::new(r1, r2, config, recorder);
+    shard.lane1.set_corr(corr);
+    shard.lane2.set_corr(corr);
     for unit in units {
         match *unit {
             WorkUnit::Emit(a, b) => {
@@ -676,6 +716,8 @@ struct UnitExecutor<'a, const N: usize> {
     buf2: Box<dyn BufferManager>,
     stats1: AccessStats,
     stats2: AccessStats,
+    lane1: sjcm_storage::RecorderLane,
+    lane2: sjcm_storage::RecorderLane,
     pairs: Vec<(ObjectId, ObjectId)>,
     pair_count: u64,
     config: JoinConfig,
@@ -684,7 +726,12 @@ struct UnitExecutor<'a, const N: usize> {
 }
 
 impl<'a, const N: usize> UnitExecutor<'a, N> {
-    fn new(r1: &'a RTree<N>, r2: &'a RTree<N>, config: JoinConfig) -> Self {
+    fn new(
+        r1: &'a RTree<N>,
+        r2: &'a RTree<N>,
+        config: JoinConfig,
+        recorder: &FlightRecorder,
+    ) -> Self {
         Self {
             r1,
             r2,
@@ -692,6 +739,8 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
             buf2: config.buffer.build(),
             stats1: AccessStats::new(),
             stats2: AccessStats::new(),
+            lane1: recorder.lane(1),
+            lane2: recorder.lane(2),
             pairs: Vec::new(),
             pair_count: 0,
             config,
@@ -704,12 +753,14 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
         let level = self.r1.node(id).level;
         let kind = self.buf1.access(PageId(id.0), level);
         self.stats1.record(level, kind);
+        self.lane1.record(PageId(id.0), level, kind);
     }
 
     fn access2(&mut self, id: NodeId) {
         let level = self.r2.node(id).level;
         let kind = self.buf2.access(PageId(id.0), level);
         self.stats2.record(level, kind);
+        self.lane2.record(PageId(id.0), level, kind);
     }
 
     fn matched(&mut self, n1_id: NodeId, n2_id: NodeId) -> Vec<(Child, Child)> {
@@ -1046,6 +1097,7 @@ mod tests {
         let obs = JoinObs {
             tracer: tracer.clone(),
             drift: Some(&drift),
+            recorder: FlightRecorder::disabled(),
         };
         let traced = parallel_spatial_join_observed(
             &a,
@@ -1091,6 +1143,99 @@ mod tests {
     }
 
     #[test]
+    fn recorded_join_is_identical_and_replay_is_exact() {
+        use sjcm_storage::recorder::RecordedPolicy;
+        let a = build(2_000, 0.01, 25);
+        let b = build(2_000, 0.01, 26);
+        let plain = parallel_spatial_join(&a, &b, JoinConfig::default(), 4);
+        let recorder = FlightRecorder::enabled();
+        let obs = JoinObs {
+            tracer: Tracer::disabled(),
+            drift: None,
+            recorder: recorder.clone(),
+        };
+        let recorded = parallel_spatial_join_observed(
+            &a,
+            &b,
+            JoinConfig::default(),
+            4,
+            ScheduleMode::CostGuided,
+            &obs,
+        );
+        // Recording must not perturb the join.
+        assert_eq!(plain.pairs, recorded.pairs);
+        assert_eq!(plain.na_total(), recorded.na_total());
+        assert_eq!(plain.da_total(), recorded.da_total());
+        // Every access produced exactly one event, none dropped.
+        let (events, dropped) = recorder.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len() as u64, recorded.na_total());
+        // Replaying the recorded policy (the default is Path)
+        // reproduces the live counters exactly — totals and per-level.
+        let out = sjcm_storage::replay(&events, RecordedPolicy::Path);
+        assert_eq!(out.kind_mismatches, 0);
+        assert_eq!(out.stats1, recorded.stats1);
+        assert_eq!(out.stats2, recorded.stats2);
+    }
+
+    #[test]
+    fn round_robin_trace_replays_exactly_too() {
+        use sjcm_storage::recorder::RecordedPolicy;
+        let a = build(1_500, 0.012, 27);
+        let b = build(1_500, 0.012, 28);
+        let recorder = FlightRecorder::enabled();
+        let obs = JoinObs {
+            tracer: Tracer::disabled(),
+            drift: None,
+            recorder: recorder.clone(),
+        };
+        let recorded = parallel_spatial_join_observed(
+            &a,
+            &b,
+            JoinConfig::default(),
+            3,
+            ScheduleMode::RoundRobin,
+            &obs,
+        );
+        let (events, dropped) = recorder.drain();
+        assert_eq!(dropped, 0);
+        // Shard buffers persist across units, so per-shard correlation
+        // domains are what makes this replay exact.
+        let out = sjcm_storage::replay(&events, RecordedPolicy::Path);
+        assert_eq!(out.kind_mismatches, 0);
+        assert_eq!(out.stats1, recorded.stats1);
+        assert_eq!(out.stats2, recorded.stats2);
+    }
+
+    #[test]
+    fn sequential_fallback_records_too() {
+        use sjcm_storage::recorder::RecordedPolicy;
+        let a = build(800, 0.02, 29);
+        let b = build(800, 0.02, 30);
+        let recorder = FlightRecorder::enabled();
+        let obs = JoinObs {
+            tracer: Tracer::disabled(),
+            drift: None,
+            recorder: recorder.clone(),
+        };
+        let recorded = parallel_spatial_join_observed(
+            &a,
+            &b,
+            JoinConfig::default(),
+            1,
+            ScheduleMode::CostGuided,
+            &obs,
+        );
+        let (events, _) = recorder.drain();
+        assert_eq!(events.len() as u64, recorded.na_total());
+        assert!(events.iter().all(|e| e.corr == 0), "one residency domain");
+        let out = sjcm_storage::replay(&events, RecordedPolicy::Path);
+        assert_eq!(out.kind_mismatches, 0);
+        assert_eq!(out.stats1, recorded.stats1);
+        assert_eq!(out.stats2, recorded.stats2);
+    }
+
+    #[test]
     fn in_flight_drift_flags_absurd_predictions() {
         let a = build(2_000, 0.01, 21);
         let b = build(2_000, 0.01, 22);
@@ -1099,6 +1244,7 @@ mod tests {
         let obs = JoinObs {
             tracer: Tracer::disabled(),
             drift: Some(&drift),
+            recorder: FlightRecorder::disabled(),
         };
         parallel_spatial_join_observed(
             &a,

@@ -24,6 +24,9 @@
 //! * [`json`] — the tiny self-contained JSON escaping/validation layer
 //!   the JSONL sinks share (the workspace builds offline; there is no
 //!   serde).
+//! * [`perfetto`] — a Chrome/Perfetto trace-event exporter: span
+//!   records become worker-lane slices (work units, steals, drift
+//!   breaches as instant markers) loadable in `ui.perfetto.dev`.
 //!
 //! The crate is std-only and dependency-free on purpose: every other
 //! crate in the workspace can afford to link it, and the execution
@@ -36,8 +39,10 @@
 pub mod drift;
 pub mod json;
 pub mod metrics;
+pub mod perfetto;
 pub mod span;
 
 pub use drift::{DriftMonitor, DriftSample, DA_TOTAL, NA_TOTAL, PAPER_ENVELOPE};
 pub use metrics::{Histogram, MetricKind, MetricsRegistry};
+pub use perfetto::{chrome_trace_json, validate_chrome_trace, write_chrome_trace};
 pub use span::{FieldValue, Span, SpanRecord, Tracer};

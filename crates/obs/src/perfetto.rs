@@ -1,0 +1,389 @@
+//! Chrome/Perfetto trace-event export.
+//!
+//! Renders a tracer's span records in the [Trace Event Format] that
+//! `chrome://tracing` and [ui.perfetto.dev] load directly: a JSON
+//! object with a `traceEvents` array of complete (`"X"`), instant
+//! (`"i"`) and metadata (`"M"`) events. The export makes the parallel
+//! join's schedule *visible*: one lane (tid) per worker showing its
+//! work units back to back, steals and drift breaches overlaid as
+//! instant markers, the coordinator's frontier/seed phases on lane 0.
+//!
+//! Lane assignment: a span carrying a `worker` field (the scheduler's
+//! per-worker spans do) is placed on `tid = worker + 1`; spans without
+//! one inherit the lane of their nearest ancestor that has one, and
+//! default to the coordinator lane `tid 0`. Timestamps are the
+//! tracer's native microsecond offsets, which is exactly the unit the
+//! format specifies.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use crate::json::{escape, parse, Value};
+use crate::span::{FieldValue, SpanRecord, Tracer};
+use std::collections::HashMap;
+
+/// Span name that is rendered as an instant event (a vertical marker)
+/// instead of a duration slice: the execution layer emits one
+/// zero-duration span with this name when the drift monitor flags an
+/// in-flight overrun.
+pub const DRIFT_BREACH_SPAN: &str = "drift-breach";
+
+/// Field name that assigns a span (and its descendants) to a worker
+/// lane.
+pub const WORKER_FIELD: &str = "worker";
+
+/// Renders `records` as one Chrome trace-event JSON document.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    // Resolve each span's lane: own `worker` field, else nearest
+    // ancestor's, else the coordinator lane 0.
+    let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    let mut lane_of: HashMap<u64, u64> = HashMap::new();
+    fn lane(id: u64, by_id: &HashMap<u64, &SpanRecord>, cache: &mut HashMap<u64, u64>) -> u64 {
+        if let Some(&t) = cache.get(&id) {
+            return t;
+        }
+        let t = by_id.get(&id).map_or(0, |r| {
+            own_worker(r)
+                .map(|w| w + 1)
+                .unwrap_or_else(|| r.parent.map_or(0, |p| lane(p, by_id, cache)))
+        });
+        cache.insert(id, t);
+        t
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+
+    // Metadata: name every lane that appears.
+    let mut tids: Vec<u64> = records
+        .iter()
+        .map(|r| lane(r.id, &by_id, &mut lane_of))
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        let name = if *tid == 0 {
+            "coordinator".to_string()
+        } else {
+            format!("worker {}", tid - 1)
+        };
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+                escape(&name)
+            ),
+        );
+    }
+
+    for r in records {
+        let tid = lane(r.id, &by_id, &mut lane_of);
+        if r.name == DRIFT_BREACH_SPAN {
+            // Breaches are moments, not intervals.
+            let mut ev = format!(
+                "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{tid},",
+                escape(&r.name),
+                r.start_us
+            );
+            write_args(&mut ev, &r.fields);
+            ev.push('}');
+            push_event(&mut out, &mut first, &ev);
+            continue;
+        }
+        let mut ev = format!(
+            "{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{tid},",
+            escape(&r.name),
+            r.start_us,
+            r.dur_us
+        );
+        write_args(&mut ev, &r.fields);
+        ev.push('}');
+        push_event(&mut out, &mut first, &ev);
+        // A stolen work unit additionally gets a steal marker at its
+        // start, so steals stand out without opening the slice.
+        if r.fields
+            .iter()
+            .any(|(k, v)| k == "stolen" && *v == FieldValue::Bool(true))
+        {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"steal\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\
+                 \"tid\":{tid},\"args\":{{}}}}",
+                    r.start_us
+                ),
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn own_worker(r: &SpanRecord) -> Option<u64> {
+    r.fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+        (WORKER_FIELD, FieldValue::U64(w)) => Some(*w),
+        _ => None,
+    })
+}
+
+fn push_event(out: &mut String, first: &mut bool, event: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(event);
+}
+
+fn write_args(out: &mut String, fields: &[(String, FieldValue)]) {
+    out.push_str("\"args\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&escape(k));
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+/// Renders `tracer`'s records and writes the document to `path`
+/// (parent directories are created). A disabled tracer writes an empty
+/// but valid `{"traceEvents":[]}` document.
+pub fn write_chrome_trace(tracer: &Tracer, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, chrome_trace_json(&tracer.records()))
+}
+
+/// Validates that `text` is a well-formed trace-event document: a JSON
+/// object whose `traceEvents` array contains only objects with the
+/// required keys (`name`/`ph` strings, numeric `ts`/`pid`/`tid`, and a
+/// numeric `dur` on complete events). The `validate-obs` CI step runs
+/// this over the exported artifact.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |msg: &str| format!("event {i}: {msg}");
+        if !matches!(ev, Value::Obj(_)) {
+            return Err(ctx("not an object"));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("missing ph"))?;
+        ev.get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("missing name"))?;
+        for key in ["pid", "tid"] {
+            ev.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ctx(&format!("missing numeric {key}")))?;
+        }
+        match ph {
+            "M" => {}
+            "X" => {
+                ev.get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| ctx("missing numeric ts"))?;
+                ev.get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| ctx("complete event missing dur"))?;
+            }
+            "i" => {
+                ev.get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| ctx("missing numeric ts"))?;
+            }
+            other => return Err(ctx(&format!("unsupported phase {other:?}"))),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        start_us: u64,
+        dur_us: u64,
+        fields: Vec<(&str, FieldValue)>,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+            dur_us,
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn empty_records_still_produce_a_valid_document() {
+        let doc = chrome_trace_json(&[]);
+        assert_eq!(validate_chrome_trace(&doc).unwrap(), 0);
+    }
+
+    #[test]
+    fn worker_field_assigns_lanes_and_descendants_inherit() {
+        let records = vec![
+            record(1, None, "join", 0, 100, vec![]),
+            record(
+                2,
+                Some(1),
+                "worker-loop",
+                5,
+                90,
+                vec![("worker", FieldValue::U64(2))],
+            ),
+            record(3, Some(2), "unit", 10, 20, vec![]),
+        ];
+        let doc = chrome_trace_json(&records);
+        validate_chrome_trace(&doc).unwrap();
+        let parsed = parse(&doc).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let tid_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("name").unwrap().as_str() == Some(name)
+                        && e.get("ph").unwrap().as_str() != Some("M")
+                })
+                .and_then(|e| e.get("tid").unwrap().as_f64())
+                .unwrap()
+        };
+        assert_eq!(tid_of("join"), 0.0);
+        assert_eq!(tid_of("worker-loop"), 3.0);
+        assert_eq!(tid_of("unit"), 3.0, "descendants inherit the worker lane");
+        // Lane metadata present for both lanes.
+        let meta: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert!(meta.contains(&"coordinator"));
+        assert!(meta.contains(&"worker 2"));
+    }
+
+    #[test]
+    fn drift_breaches_become_instants_and_steals_get_markers() {
+        let records = vec![
+            record(
+                1,
+                None,
+                "unit",
+                0,
+                50,
+                vec![("stolen", FieldValue::Bool(true))],
+            ),
+            record(
+                2,
+                Some(1),
+                DRIFT_BREACH_SPAN,
+                30,
+                0,
+                vec![("target", FieldValue::Str("da.total".into()))],
+            ),
+        ];
+        let doc = chrome_trace_json(&records);
+        validate_chrome_trace(&doc).unwrap();
+        let parsed = parse(&doc).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let instants: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(instants.contains(&DRIFT_BREACH_SPAN));
+        assert!(instants.contains(&"steal"));
+        // The breach is not also a duration slice.
+        assert!(!events.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("X")
+                && e.get("name").unwrap().as_str() == Some(DRIFT_BREACH_SPAN)
+        }));
+    }
+
+    #[test]
+    fn args_carry_span_fields() {
+        let records = vec![record(
+            1,
+            None,
+            "unit",
+            0,
+            10,
+            vec![
+                ("na", FieldValue::U64(42)),
+                ("label", FieldValue::Str("a\"b".into())),
+            ],
+        )];
+        let doc = chrome_trace_json(&records);
+        validate_chrome_trace(&doc).unwrap();
+        let parsed = parse(&doc).unwrap();
+        let ev = &parsed.get("traceEvents").unwrap().as_arr().unwrap()[1];
+        assert_eq!(
+            ev.get("args").unwrap().get("na").unwrap().as_f64(),
+            Some(42.0)
+        );
+        assert_eq!(
+            ev.get("args").unwrap().get("label").unwrap().as_str(),
+            Some("a\"b")
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}")
+            .unwrap_err()
+            .contains("traceEvents"));
+        assert!(validate_chrome_trace("{\"traceEvents\":{}}").is_err());
+        // Missing dur on a complete event.
+        let bad = "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0,\"pid\":1,\"tid\":0}]}";
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("dur"));
+        // Unsupported phase.
+        let bad = "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"Q\",\"ts\":0,\"pid\":1,\"tid\":0}]}";
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("phase"));
+    }
+
+    #[test]
+    fn live_tracer_round_trip() {
+        let t = Tracer::enabled();
+        {
+            let root = t.span("join");
+            let mut w = root.child("worker-loop");
+            w.set("worker", 0u64);
+            let _u = w.child("unit");
+        }
+        let doc = chrome_trace_json(&t.records());
+        let n = validate_chrome_trace(&doc).unwrap();
+        // 2 lanes of metadata + 3 spans.
+        assert_eq!(n, 5);
+    }
+}

@@ -65,7 +65,7 @@ impl From<bool> for FieldValue {
 }
 
 impl FieldValue {
-    fn write_json(&self, out: &mut String) {
+    pub(crate) fn write_json(&self, out: &mut String) {
         match self {
             FieldValue::U64(v) => {
                 let _ = write!(out, "{v}");

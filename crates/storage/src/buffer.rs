@@ -59,14 +59,10 @@ impl BufferCounters {
         self.evictions += other.evictions;
     }
 
-    /// Hit ratio `hits / (hits + misses)`, `None` before any access.
+    /// Hit ratio `hits / (hits + misses)`, `None` before any access
+    /// (delegates to the shared [`crate::counters::hit_ratio`]).
     pub fn hit_ratio(&self) -> Option<f64> {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            None
-        } else {
-            Some(self.hits as f64 / total as f64)
-        }
+        crate::counters::hit_ratio(self.hits, self.misses)
     }
 }
 

@@ -6,6 +6,20 @@
 
 use crate::buffer::AccessKind;
 
+/// Buffer hit ratio `hits / (hits + misses)` — the one definition
+/// shared by [`AccessStats::hit_ratio`] and
+/// [`crate::buffer::BufferCounters::hit_ratio`]. Zero-access semantics
+/// are explicit: with no accesses the ratio is **undefined** (`None`),
+/// not 0.0 — an untouched buffer is not a buffer that always missed.
+pub fn hit_ratio(hits: u64, misses: u64) -> Option<f64> {
+    let total = hits + misses;
+    if total == 0 {
+        None
+    } else {
+        Some(hits as f64 / total as f64)
+    }
+}
+
 /// Node/disk access counts for one tree, broken down by level
 /// (0 = leaf, following the crate convention; the cost-model crate maps
 /// to the paper's 1-based levels).
@@ -83,15 +97,14 @@ impl AccessStats {
         self.da_by_level.clear();
     }
 
-    /// Buffer hit ratio implied by the tallies: `(NA − DA) / NA`, the
-    /// fraction of node accesses the buffer absorbed. `None` when no
-    /// accesses were recorded (the ratio is undefined, not zero).
+    /// Buffer hit ratio implied by the tallies: hits are `NA − DA`
+    /// (accesses the buffer absorbed), misses are `DA`. Delegates to
+    /// the shared [`hit_ratio`] helper; `None` when no accesses were
+    /// recorded.
     pub fn hit_ratio(&self) -> Option<f64> {
         let na = self.na_total();
-        if na == 0 {
-            return None;
-        }
-        Some((na - self.da_total()) as f64 / na as f64)
+        let da = self.da_total();
+        hit_ratio(na - da, da)
     }
 
     /// The structural invariant `DA ≤ NA`, level by level. Always true

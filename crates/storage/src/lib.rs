@@ -20,6 +20,14 @@
 //! * [`counters`] — per-level NA/DA tallies ([`counters::AccessStats`])
 //!   that the join executor fills in and the experiments compare against
 //!   the analytical model level by level.
+//! * [`recorder`] — the page-access flight recorder: every buffered
+//!   access can emit a compact binary event (tree, level, page,
+//!   hit/miss, monotonic tick, correlation id) into a bounded ring,
+//!   serialized as an [`recorder::AccessTrace`] for offline analysis.
+//! * [`mod@replay`] — trace-driven what-if analysis: re-simulate a captured
+//!   trace under any buffer policy ([`replay::replay`]), or get the hit
+//!   ratio of *every* LRU capacity from one scan with the Mattson
+//!   stack-distance analyzer ([`replay::StackDistance`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +37,13 @@ pub mod counters;
 pub mod file_store;
 pub mod layout;
 pub mod page;
+pub mod recorder;
+pub mod replay;
 
 pub use buffer::{AccessKind, BufferCounters, BufferManager, LruBuffer, NoBuffer, PathBuffer};
-pub use counters::AccessStats;
+pub use counters::{hit_ratio, AccessStats};
 pub use file_store::FilePageStore;
 pub use layout::{max_entries, DiskEntry, DiskNode};
 pub use page::{InMemoryPageStore, PageId, PageStore, StorageError, DEFAULT_PAGE_SIZE};
+pub use recorder::{AccessTrace, FlightRecorder, PageAccessEvent, RecordedPolicy, RecorderLane};
+pub use replay::{replay, ReplayOutcome, StackDistance};

@@ -9,6 +9,7 @@ use sjcm::join::{parallel_spatial_join_observed, BufferPolicy, JoinConfig, JoinO
 use sjcm::model::{join, LevelParams, TreeParams};
 use sjcm::obs::{DriftMonitor, MetricsRegistry, Tracer, DA_TOTAL, NA_TOTAL, PAPER_ENVELOPE};
 use sjcm::prelude::*;
+use sjcm::storage::FlightRecorder;
 
 fn uniform_tree(n: usize, d: f64, seed: u64) -> RTree<2> {
     let rects = sjcm::datagen::uniform::generate::<2>(sjcm::datagen::uniform::UniformConfig::new(
@@ -86,6 +87,7 @@ fn known_good_workload_stays_inside_the_envelope() {
         &JoinObs {
             tracer: Tracer::disabled(),
             drift: Some(&drift),
+            recorder: FlightRecorder::disabled(),
         },
     );
     for (name, actual) in result.drift_observations() {
@@ -141,6 +143,7 @@ fn wrong_parameterization_is_flagged_in_flight() {
         &JoinObs {
             tracer: Tracer::disabled(),
             drift: Some(&drift),
+            recorder: FlightRecorder::disabled(),
         },
     );
     for (name, actual) in result.drift_observations() {
