@@ -8,9 +8,11 @@ use sjcm_join::baselines::{index_nested_loop_join, nested_loop_join};
 use sjcm_join::parallel::{
     parallel_spatial_join_observed, parallel_spatial_join_with, JoinObs, ScheduleMode,
 };
-use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig, MatchOrder};
+use sjcm_join::{
+    spatial_join_with, try_parallel_spatial_join_with, BufferPolicy, JoinConfig, MatchOrder,
+};
 use sjcm_obs::{DriftMonitor, Tracer};
-use sjcm_storage::FlightRecorder;
+use sjcm_storage::{FaultInjector, FlightRecorder};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -259,11 +261,74 @@ fn bench_obs_overhead(c: &mut Criterion) {
     );
 }
 
+/// The fault-injection overhead guard: the same fixed-seed cost-guided
+/// join through the infallible entry point and through its fallible
+/// twin with the injector *disabled* (the production default — one
+/// `Option` discriminant check per node pair), reported as a BENCH
+/// JSON line. The disabled twin targets < 1% overhead and must return
+/// exactly the infallible result.
+fn bench_fault_overhead(c: &mut Criterion) {
+    let _ = c; // manual timing: one JSON line, not a criterion group
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (n, reps) = if smoke { (4_000, 7) } else { (12_000, 15) };
+    let t1 = uniform_tree(n, 0.5, 104);
+    let t2 = uniform_tree(n, 0.5, 105);
+    let threads = 4;
+    let warm = parallel_spatial_join_with(&t1, &t2, config(), threads, ScheduleMode::CostGuided);
+    let run_infallible = || {
+        let start = Instant::now();
+        let r = black_box(parallel_spatial_join_with(
+            &t1,
+            &t2,
+            config(),
+            threads,
+            ScheduleMode::CostGuided,
+        ));
+        assert_eq!(r.na_total(), warm.na_total());
+        start.elapsed()
+    };
+    let run_fallible = || {
+        let faults = FaultInjector::disabled();
+        let start = Instant::now();
+        let d = black_box(try_parallel_spatial_join_with(
+            &t1,
+            &t2,
+            config(),
+            threads,
+            ScheduleMode::CostGuided,
+            &faults,
+        ))
+        .expect("a disabled injector cannot fail");
+        let elapsed = start.elapsed();
+        assert!(d.is_exact());
+        assert_eq!(d.result.na_total(), warm.na_total());
+        assert_eq!(d.result.da_total(), warm.da_total());
+        elapsed
+    };
+    let _ = (run_infallible(), run_fallible());
+    let mut infallible = std::time::Duration::MAX;
+    let mut fallible = std::time::Duration::MAX;
+    for _ in 0..reps {
+        infallible = infallible.min(run_infallible());
+        fallible = fallible.min(run_fallible());
+    }
+    let overhead =
+        (fallible.as_secs_f64() - infallible.as_secs_f64()) / infallible.as_secs_f64() * 100.0;
+    println!(
+        "{{\"group\":\"join_algorithms\",\"bench\":\"fault_overhead/{n}/{threads}\",\
+         \"infallible_us\":{},\"fallible_disabled_us\":{},\"overhead_pct\":{:.2}}}",
+        infallible.as_micros(),
+        fallible.as_micros(),
+        overhead
+    );
+}
+
 criterion_group!(
     benches,
     bench_algorithms,
     bench_match_order,
     bench_parallel,
-    bench_obs_overhead
+    bench_obs_overhead,
+    bench_fault_overhead
 );
 criterion_main!(benches);

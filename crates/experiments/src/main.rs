@@ -25,6 +25,11 @@
 //!   join            one fully observed join: spans, metrics, live
 //!                   drift, and (with --obs-dir) the page-access
 //!                   flight recorder + Perfetto export
+//!   chaos           seeded fault-injection campaigns: transient faults
+//!                   must heal to a byte-identical join, permanent leaf
+//!                   loss must degrade gracefully with the forfeit
+//!                   estimate inside the envelope (exit 1 on gate
+//!                   failure)
 //!   trace replay    what-if buffer replay of the recorded trace
 //!   trace report    per-level histograms + hottest pages of the trace
 //!   validate-obs    check every artifact in --obs-dir
@@ -36,9 +41,13 @@
 //! --threads T  worker threads for parallel/join commands (default 4)
 //! --obs-dir D  join: write the observability artifacts (span JSONL,
 //!              metrics JSONL, binary access trace, Perfetto JSON)
-//!              into D; trace replay/report and validate-obs read them
+//!              into D; chaos adds its fault/drift metrics JSONL;
+//!              trace replay/report and validate-obs read them
+//! --seed S     chaos: seeds the deterministic fault plans (default
+//!              1998; the data seeds stay pinned)
 //! ```
 
+mod chaos;
 mod common;
 mod errors;
 mod extensions;
@@ -56,6 +65,7 @@ struct Args {
     out: PathBuf,
     threads: usize,
     obs_dir: Option<PathBuf>,
+    seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("results");
     let mut threads = 4;
     let mut obs_dir = None;
+    let mut seed = 1998;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -103,6 +114,12 @@ fn parse_args() -> Result<Args, String> {
             "--obs-dir" => {
                 obs_dir = Some(PathBuf::from(args.next().ok_or("--obs-dir needs a value")?));
             }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --seed {v}: {e}"))?;
+            }
             "--trace" | "--metrics" => {
                 return Err(format!(
                     "{flag} was replaced by --obs-dir DIR (the directory \
@@ -119,6 +136,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         threads,
         obs_dir,
+        seed,
     })
 }
 
@@ -195,6 +213,12 @@ fn main() -> ExitCode {
                 assert!(run(cmd));
             }
         }
+        "chaos" => {
+            if !chaos::chaos(out, scale, args.threads, args.seed, args.obs_dir.as_deref()) {
+                eprintln!("chaos: at least one gate failed");
+                return ExitCode::FAILURE;
+            }
+        }
         "validate-obs" => {
             let Some(dir) = obs_dir_or("validate-obs") else {
                 return ExitCode::FAILURE;
@@ -224,14 +248,16 @@ fn main() -> ExitCode {
             println!("commands: figure5a figure5b figure6 figure7 errors-uniform");
             println!("          density-sweep nonuniform real param-source params-diff");
             println!("          selectivity role-choice lru-ablation high-dim");
-            println!("          algo-compare parallel join trace-replay trace-report");
+            println!("          algo-compare parallel join chaos trace-replay trace-report");
             println!("          (also spelled `trace replay` / `trace report`)");
             println!("          validate-obs all");
             println!("flags:    --scale F (default 1.0), --out DIR (default results/),");
-            println!("          --threads T (parallel/join commands, default 4),");
+            println!("          --threads T (parallel/join/chaos commands, default 4),");
             println!("          --obs-dir D (join writes span/metrics JSONL, the binary");
-            println!("          access trace and the Perfetto export there; trace");
-            println!("          replay/report and validate-obs read them back)");
+            println!("          access trace and the Perfetto export there; chaos adds");
+            println!("          its fault/drift metrics JSONL; trace replay/report and");
+            println!("          validate-obs read them back),");
+            println!("          --seed S (chaos fault-plan seed, default 1998)");
             return ExitCode::SUCCESS;
         }
         cmd => {

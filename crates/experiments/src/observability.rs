@@ -247,7 +247,8 @@ pub fn join_observed(out: &Path, scale: f64, threads: usize, obs_dir: Option<&Pa
 /// `--obs-dir` — the span and metrics JSONL files (every line parses,
 /// the required keys are present, the recorded drift stayed inside the
 /// envelope: `drift.*` gauges ≤ `drift.envelope` and the
-/// `drift.breaches` counter is 0), the binary page-access trace
+/// `drift.breaches` counter is 0), the chaos campaigns' metrics file
+/// under the same contract, the binary page-access trace
 /// (magic/version/size/tick-monotonicity via [`AccessTrace::read`],
 /// plus a truncation check on the ring-drop counter), and the Perfetto
 /// export (well-formed Chrome trace-event JSON). Returns `false` (with
@@ -265,16 +266,18 @@ pub fn validate_obs(dir: &Path) -> bool {
     };
     let trace = present(TRACE_FILE);
     let metrics = present(METRICS_FILE);
+    let chaos_metrics = present(crate::chaos::CHAOS_METRICS_FILE);
     let access = present(crate::trace::ACCESS_TRACE_FILE);
     let perfetto = present(PERFETTO_FILE);
-    if [&trace, &metrics, &access, &perfetto]
+    if [&trace, &metrics, &chaos_metrics, &access, &perfetto]
         .iter()
         .all(|a| a.is_none())
     {
         fail(format!(
             "no artifacts found in {}; expected any of {TRACE_FILE}, \
-             {METRICS_FILE}, {}, {PERFETTO_FILE}",
+             {METRICS_FILE}, {}, {}, {PERFETTO_FILE}",
             dir.display(),
+            crate::chaos::CHAOS_METRICS_FILE,
             crate::trace::ACCESS_TRACE_FILE
         ));
         return false;
@@ -316,109 +319,10 @@ pub fn validate_obs(dir: &Path) -> bool {
     }
 
     if let Some(path) = &metrics {
-        match std::fs::read_to_string(path) {
-            Err(e) => fail(format!("cannot read {}: {e}", path.display())),
-            Ok(text) => {
-                let mut lines = 0usize;
-                let mut envelope = None;
-                let mut drift_gauges: Vec<(String, Option<f64>)> = Vec::new();
-                let mut breaches = None;
-                for (lineno, line) in text.lines().enumerate() {
-                    let v = match json::parse(line) {
-                        Ok(v) => v,
-                        Err(e) => {
-                            fail(format!("{}:{}: {e}", path.display(), lineno + 1));
-                            continue;
-                        }
-                    };
-                    lines += 1;
-                    let kind = v.get("type").and_then(|t| t.as_str()).unwrap_or("");
-                    let name = v.get("name").and_then(|n| n.as_str()).unwrap_or("");
-                    if name.is_empty() || kind.is_empty() {
-                        fail(format!(
-                            "{}:{}: metric line missing type/name",
-                            path.display(),
-                            lineno + 1
-                        ));
-                        continue;
-                    }
-                    match kind {
-                        "counter" | "gauge" => {
-                            if v.get("value").is_none() {
-                                fail(format!(
-                                    "{}:{}: {kind} missing value",
-                                    path.display(),
-                                    lineno + 1
-                                ));
-                            }
-                        }
-                        "histogram" => {
-                            let bounds = v.get("bounds").and_then(|b| b.as_arr());
-                            let counts = v.get("counts").and_then(|c| c.as_arr());
-                            match (bounds, counts) {
-                                (Some(b), Some(c)) if c.len() == b.len() + 1 => {}
-                                _ => fail(format!(
-                                    "{}:{}: malformed histogram",
-                                    path.display(),
-                                    lineno + 1
-                                )),
-                            }
-                        }
-                        other => fail(format!(
-                            "{}:{}: unknown metric type {other}",
-                            path.display(),
-                            lineno + 1
-                        )),
-                    }
-                    let value = v.get("value").and_then(|x| x.as_f64());
-                    if kind == "gauge" && name == "drift.envelope" {
-                        envelope = value;
-                    } else if kind == "gauge" && name.starts_with("drift.") {
-                        drift_gauges.push((name.to_string(), value));
-                    } else if kind == "counter" && name == "drift.breaches" {
-                        breaches = value;
-                    }
-                }
-                if lines == 0 {
-                    fail(format!("{}: no metrics recorded", path.display()));
-                }
-                let env = envelope.unwrap_or(PAPER_ENVELOPE);
-                if envelope.is_none() {
-                    fail(format!("{}: drift.envelope gauge missing", path.display()));
-                }
-                if drift_gauges.is_empty() {
-                    fail(format!("{}: no drift.* gauges recorded", path.display()));
-                }
-                for (name, err) in &drift_gauges {
-                    match err {
-                        Some(e) if *e <= env => {}
-                        Some(e) => fail(format!(
-                            "{name} = {:.1}% exceeds the {:.1}% envelope",
-                            e * 100.0,
-                            env * 100.0
-                        )),
-                        None => fail(format!("{name} is null (non-finite relative error)")),
-                    }
-                }
-                match breaches {
-                    Some(0.0) => {}
-                    Some(b) => fail(format!("drift.breaches = {b}, expected 0")),
-                    None => fail(format!(
-                        "{}: drift.breaches counter missing",
-                        path.display()
-                    )),
-                }
-                if ok.get() {
-                    println!(
-                        "validate-obs: {} metric lines ok in {} ({} drift gauges within {:.0}%)",
-                        lines,
-                        path.display(),
-                        drift_gauges.len(),
-                        env * 100.0
-                    );
-                }
-            }
-        }
+        check_metrics_file(path, &fail);
+    }
+    if let Some(path) = &chaos_metrics {
+        check_metrics_file(path, &fail);
     }
 
     if let Some(path) = &access {
@@ -458,4 +362,119 @@ pub fn validate_obs(dir: &Path) -> bool {
         }
     }
     ok.get()
+}
+
+/// Validates one metrics-JSONL artifact — shared by the join command's
+/// metrics file and the chaos campaigns' (both follow the same
+/// contract): every line parses with the type/name/value shape, each
+/// `drift.*` gauge stays inside the published `drift.envelope`, and the
+/// `drift.breaches` counter is zero.
+fn check_metrics_file(path: &Path, fail: &dyn Fn(String)) {
+    let text = match std::fs::read_to_string(path) {
+        Err(e) => return fail(format!("cannot read {}: {e}", path.display())),
+        Ok(t) => t,
+    };
+    let file_ok = std::cell::Cell::new(true);
+    let fail = |msg: String| {
+        file_ok.set(false);
+        fail(msg);
+    };
+    let mut lines = 0usize;
+    let mut envelope = None;
+    let mut drift_gauges: Vec<(String, Option<f64>)> = Vec::new();
+    let mut breaches = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                fail(format!("{}:{}: {e}", path.display(), lineno + 1));
+                continue;
+            }
+        };
+        lines += 1;
+        let kind = v.get("type").and_then(|t| t.as_str()).unwrap_or("");
+        let name = v.get("name").and_then(|n| n.as_str()).unwrap_or("");
+        if name.is_empty() || kind.is_empty() {
+            fail(format!(
+                "{}:{}: metric line missing type/name",
+                path.display(),
+                lineno + 1
+            ));
+            continue;
+        }
+        match kind {
+            "counter" | "gauge" => {
+                if v.get("value").is_none() {
+                    fail(format!(
+                        "{}:{}: {kind} missing value",
+                        path.display(),
+                        lineno + 1
+                    ));
+                }
+            }
+            "histogram" => {
+                let bounds = v.get("bounds").and_then(|b| b.as_arr());
+                let counts = v.get("counts").and_then(|c| c.as_arr());
+                match (bounds, counts) {
+                    (Some(b), Some(c)) if c.len() == b.len() + 1 => {}
+                    _ => fail(format!(
+                        "{}:{}: malformed histogram",
+                        path.display(),
+                        lineno + 1
+                    )),
+                }
+            }
+            other => fail(format!(
+                "{}:{}: unknown metric type {other}",
+                path.display(),
+                lineno + 1
+            )),
+        }
+        let value = v.get("value").and_then(|x| x.as_f64());
+        if kind == "gauge" && name == "drift.envelope" {
+            envelope = value;
+        } else if kind == "gauge" && name.starts_with("drift.") {
+            drift_gauges.push((name.to_string(), value));
+        } else if kind == "counter" && name == "drift.breaches" {
+            breaches = value;
+        }
+    }
+    if lines == 0 {
+        fail(format!("{}: no metrics recorded", path.display()));
+    }
+    let env = envelope.unwrap_or(PAPER_ENVELOPE);
+    if envelope.is_none() {
+        fail(format!("{}: drift.envelope gauge missing", path.display()));
+    }
+    if drift_gauges.is_empty() {
+        fail(format!("{}: no drift.* gauges recorded", path.display()));
+    }
+    for (name, err) in &drift_gauges {
+        match err {
+            Some(e) if *e <= env => {}
+            Some(e) => fail(format!(
+                "{name} = {:.1}% exceeds the {:.1}% envelope",
+                e * 100.0,
+                env * 100.0
+            )),
+            None => fail(format!("{name} is null (non-finite relative error)")),
+        }
+    }
+    match breaches {
+        Some(0.0) => {}
+        Some(b) => fail(format!("drift.breaches = {b}, expected 0")),
+        None => fail(format!(
+            "{}: drift.breaches counter missing",
+            path.display()
+        )),
+    }
+    if file_ok.get() {
+        println!(
+            "validate-obs: {} metric lines ok in {} ({} drift gauges within {:.0}%)",
+            lines,
+            path.display(),
+            drift_gauges.len(),
+            env * 100.0
+        );
+    }
 }

@@ -1,0 +1,492 @@
+//! Graceful degradation: typed join errors, forfeited-subtree records,
+//! and the model-priced degraded result.
+//!
+//! When a [`sjcm_storage::FaultInjector`] is armed, a page read that
+//! fails permanently (retry budget exhausted, or the page is lost) does
+//! **not** abort the join. The node *pair* whose read failed is
+//! forfeited — that one subtree-vs-subtree sub-join is skipped — and
+//! the rest of the traversal continues, including the other
+//! work-stealing lanes of the parallel schedulers. The result comes
+//! back as a [`DegradedJoinResult`] carrying one [`SkippedSubtree`] per
+//! forfeited pair, each priced with the paper's own machinery so the
+//! caller can decide whether the degraded answer still sits inside the
+//! paper's ~15% accuracy envelope (§4.1):
+//!
+//! * **`est_na`** — the node accesses the forfeited sub-join would have
+//!   cost: Eq 6 on the two subtrees' *measured* parameters, scaled by
+//!   their MBR overlap fraction. This is exactly the pricing the
+//!   cost-guided scheduler uses for work units, reused here to price
+//!   the work that was *lost* instead of the work to be scheduled.
+//! * **`est_pairs`** — the result pairs forfeited: a localized Eq-3
+//!   selectivity estimate. Eq 3 gives the expected number of
+//!   qualifying pairs for objects spread uniformly over the *whole*
+//!   workspace; here the same product-of-per-dimension-overlap
+//!   probabilities is evaluated over the two subtrees' MBRs, with the
+//!   object centers taken uniform over each MBR shrunk by the
+//!   subtree's average object extent (so objects stay inside their
+//!   MBR, as they must). The per-dimension overlap probability
+//!   `P(|X − Y| ≤ (s₁ + s₂)/2)` for independent uniform centers has a
+//!   closed form — a clamped-linear band integral — evaluated exactly
+//!   by the private `overlap_probability` helper.
+//!
+//! Faults ≤ the retry budget never forfeit anything: the injector
+//! recovers them and the result is bit-identical to a fault-free run
+//! (`skips` empty, [`DegradedJoinResult::is_exact`] true) — the chaos
+//! experiment gates on exactly that.
+
+use crate::executor::{JoinPredicate, JoinResultSet};
+use crate::parallel::{overlap_fraction, subtree_params};
+use sjcm_core::join::unit_cost_na;
+use sjcm_core::TreeParams;
+use sjcm_geom::Rect;
+use sjcm_rtree::{NodeId, RTree};
+use sjcm_storage::{FaultCounters, FaultInjector, PageId, StorageError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a fallible join could not produce a result at all.
+///
+/// Forfeited subtrees do *not* raise this — containment turns them into
+/// [`SkippedSubtree`] records on an `Ok` result. An `Err` means the run
+/// itself is unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// A storage-layer failure outside the containment protocol (e.g. a
+    /// malformed node surfacing mid-traversal).
+    Storage(StorageError),
+    /// A worker thread of the parallel join panicked; the payload
+    /// message is preserved.
+    WorkerPanicked(String),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Storage(e) => write!(f, "storage failure during join: {e}"),
+            JoinError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl From<StorageError> for JoinError {
+    fn from(e: StorageError) -> Self {
+        JoinError::Storage(e)
+    }
+}
+
+impl JoinError {
+    /// Converts a worker thread's panic payload into a typed error.
+    pub(crate) fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        JoinError::WorkerPanicked(msg)
+    }
+}
+
+/// A forfeited node pair as recorded in the hot path: which side's page
+/// read failed and the two subtree roots. Pricing happens once, after
+/// the traversal, in [`finish_degraded`] — the traversal only pays for
+/// this push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RawSkip {
+    /// Which tree's page read failed (1 or 2).
+    pub tree: u8,
+    /// R1-side subtree root of the forfeited pair.
+    pub n1: NodeId,
+    /// R2-side subtree root of the forfeited pair.
+    pub n2: NodeId,
+}
+
+/// One forfeited sub-join: the node pair that was skipped because a
+/// page read failed permanently, with model-priced estimates of what
+/// the skip cost the answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedSubtree<const N: usize> {
+    /// Which tree's page read failed (1 or 2).
+    pub tree: u8,
+    /// Page of the failed subtree root (pages mirror node ids).
+    pub page: PageId,
+    /// Page of the partner subtree root on the other tree.
+    pub partner: PageId,
+    /// Level of the failed node (0 = leaf).
+    pub level: u8,
+    /// MBR of the R1-side subtree of the forfeited pair.
+    pub mbr1: Rect<N>,
+    /// MBR of the R2-side subtree of the forfeited pair.
+    pub mbr2: Rect<N>,
+    /// Eq-6-priced node accesses the forfeited sub-join would have
+    /// cost, scaled by the subtree MBRs' overlap fraction.
+    pub est_na: f64,
+    /// Localized Eq-3 estimate of the result pairs forfeited.
+    pub est_pairs: f64,
+}
+
+/// Result of a fallible join: the (possibly degraded) answer plus the
+/// priced inventory of everything that was forfeited.
+#[derive(Debug, Clone)]
+pub struct DegradedJoinResult<const N: usize> {
+    /// The join result actually computed. With no permanent faults this
+    /// is bit-identical to the infallible executor's output.
+    pub result: JoinResultSet,
+    /// Forfeited sub-joins, sorted by `(tree, page, partner)` so the
+    /// inventory is deterministic across schedulers and thread counts.
+    pub skips: Vec<SkippedSubtree<N>>,
+    /// Snapshot of the injector's fault counters after the run.
+    pub faults: FaultCounters,
+}
+
+impl<const N: usize> DegradedJoinResult<N> {
+    /// `true` when nothing was forfeited: `result` is the exact answer.
+    pub fn is_exact(&self) -> bool {
+        self.skips.is_empty()
+    }
+
+    /// Total Eq-6-priced node accesses forfeited across all skips.
+    pub fn forfeited_na(&self) -> f64 {
+        self.skips.iter().map(|s| s.est_na).sum()
+    }
+
+    /// Total estimated result pairs forfeited across all skips.
+    ///
+    /// Distinct skips forfeit disjoint pair sets (each subtree pair
+    /// covers different objects), so the per-skip estimates sum.
+    pub fn forfeited_pairs(&self) -> f64 {
+        self.skips.iter().map(|s| s.est_pairs).sum()
+    }
+
+    /// Estimated fraction of the *full* answer that was forfeited:
+    /// `forfeited / (returned + forfeited)`. 0.0 for an exact result.
+    pub fn forfeited_fraction(&self) -> f64 {
+        let est = self.forfeited_pairs();
+        let total = self.result.pair_count as f64 + est;
+        if total == 0.0 {
+            0.0
+        } else {
+            est / total
+        }
+    }
+
+    /// Decision support for graceful degradation: is the estimated
+    /// forfeited fraction within `envelope` (e.g. the paper's 0.15)?
+    pub fn within_envelope(&self, envelope: f64) -> bool {
+        self.forfeited_fraction() <= envelope
+    }
+}
+
+/// Sorts and prices the raw skips, snapshots the fault counters, and
+/// assembles the [`DegradedJoinResult`]. Called once per join, outside
+/// the traversal hot path; with no skips it is a handful of moves.
+pub(crate) fn finish_degraded<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    predicate: JoinPredicate,
+    result: JoinResultSet,
+    mut raw: Vec<RawSkip>,
+    faults: &FaultInjector,
+) -> DegradedJoinResult<N> {
+    raw.sort_unstable_by_key(|s| (s.tree, s.n1.0, s.n2.0));
+    raw.dedup();
+    let skips = price_skips(r1, r2, predicate, &raw);
+    DegradedJoinResult {
+        result,
+        skips,
+        faults: faults.counters(),
+    }
+}
+
+/// Prices every raw skip. Subtree parameters and object statistics are
+/// cached per node id — a lost page typically appears in many skips
+/// (once per partner subtree it would have joined with).
+fn price_skips<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    predicate: JoinPredicate,
+    raw: &[RawSkip],
+) -> Vec<SkippedSubtree<N>> {
+    // For the distance predicate every per-dimension band widens by ε —
+    // the L∞ over-approximation of the Euclidean ε-ball, so the
+    // estimate leans high rather than low.
+    let slack = match predicate {
+        JoinPredicate::Overlap => 0.0,
+        JoinPredicate::WithinDistance(eps) => eps,
+    };
+    let mut params1: HashMap<NodeId, TreeParams<N>> = HashMap::new();
+    let mut params2: HashMap<NodeId, TreeParams<N>> = HashMap::new();
+    let mut objs1: HashMap<NodeId, SubtreeObjects<N>> = HashMap::new();
+    let mut objs2: HashMap<NodeId, SubtreeObjects<N>> = HashMap::new();
+    raw.iter()
+        .map(|s| {
+            let p1 = params1
+                .entry(s.n1)
+                .or_insert_with(|| subtree_params(r1, s.n1));
+            let p2 = params2
+                .entry(s.n2)
+                .or_insert_with(|| subtree_params(r2, s.n2));
+            let est_na = unit_cost_na(p1, p2) * overlap_fraction(r1, r2, s.n1, s.n2);
+            let o1 = objs1
+                .entry(s.n1)
+                .or_insert_with(|| subtree_objects(r1, s.n1));
+            let o2 = objs2
+                .entry(s.n2)
+                .or_insert_with(|| subtree_objects(r2, s.n2));
+            // Empty subtrees only arise for an empty tree's root, which
+            // is never probed; the unit square is a harmless default.
+            let mbr1 = r1.node(s.n1).mbr().unwrap_or_else(Rect::unit);
+            let mbr2 = r2.node(s.n2).mbr().unwrap_or_else(Rect::unit);
+            let est_pairs = localized_pairs(o1, &mbr1, o2, &mbr2, slack);
+            let (page, partner, level) = if s.tree == 1 {
+                (PageId(s.n1.0), PageId(s.n2.0), r1.node(s.n1).level)
+            } else {
+                (PageId(s.n2.0), PageId(s.n1.0), r2.node(s.n2).level)
+            };
+            SkippedSubtree {
+                tree: s.tree,
+                page,
+                partner,
+                level,
+                mbr1,
+                mbr2,
+                est_na,
+                est_pairs,
+            }
+        })
+        .collect()
+}
+
+/// Object-level statistics of one subtree: how many objects it holds
+/// and their average extent per dimension. [`sjcm_rtree::TreeStats`]
+/// exposes *node*-rectangle extents per level; the pair estimator needs
+/// the *object* rectangles, so this walks the subtree's leaves.
+struct SubtreeObjects<const N: usize> {
+    count: f64,
+    extent: [f64; N],
+}
+
+fn subtree_objects<const N: usize>(tree: &RTree<N>, root: NodeId) -> SubtreeObjects<N> {
+    let mut count = 0f64;
+    let mut sums = [0f64; N];
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        let node = tree.node(id);
+        if node.is_leaf() {
+            for e in &node.entries {
+                count += 1.0;
+                for (k, sum) in sums.iter_mut().enumerate() {
+                    *sum += e.rect.extent(k);
+                }
+            }
+        } else {
+            stack.extend(node.entries.iter().map(|e| e.child.node()));
+        }
+    }
+    let extent = std::array::from_fn(|k| if count > 0.0 { sums[k] / count } else { 0.0 });
+    SubtreeObjects { count, extent }
+}
+
+/// Localized Eq 3: expected qualifying pairs between two object
+/// populations confined to their subtree MBRs. `n₁·n₂·Π_k P(|X_k − Y_k|
+/// ≤ t_k)` with `t_k = (s₁ₖ + s₂ₖ)/2 + slack` (average object
+/// half-extents meet exactly when the centers are `t_k` apart) and the
+/// centers uniform over each MBR shrunk by the average object extent.
+fn localized_pairs<const N: usize>(
+    o1: &SubtreeObjects<N>,
+    m1: &Rect<N>,
+    o2: &SubtreeObjects<N>,
+    m2: &Rect<N>,
+    slack: f64,
+) -> f64 {
+    if o1.count == 0.0 || o2.count == 0.0 {
+        return 0.0;
+    }
+    let mut pairs = o1.count * o2.count;
+    for k in 0..N {
+        let t = 0.5 * (o1.extent[k] + o2.extent[k]) + slack;
+        let (a1, b1) = center_range(m1.lo_k(k), m1.hi_k(k), o1.extent[k]);
+        let (a2, b2) = center_range(m2.lo_k(k), m2.hi_k(k), o2.extent[k]);
+        pairs *= overlap_probability(a1, b1, a2, b2, t);
+    }
+    pairs
+}
+
+/// Range the object *centers* can occupy inside an MBR `[lo, hi]` given
+/// the average object extent `e`. Collapses to the midpoint when the
+/// objects are as wide as the MBR itself.
+fn center_range(lo: f64, hi: f64, e: f64) -> (f64, f64) {
+    let a = lo + 0.5 * e;
+    let b = hi - 0.5 * e;
+    if b < a {
+        let mid = 0.5 * (lo + hi);
+        (mid, mid)
+    } else {
+        (a, b)
+    }
+}
+
+/// `P(|X − Y| ≤ t)` for independent `X ~ U[a1, b1]`, `Y ~ U[a2, b2]`,
+/// exactly. Degenerate (zero-width) intervals are point masses. The
+/// non-degenerate case is the area of the band `{|x − y| ≤ t}` inside
+/// the rectangle `[a1, b1] × [a2, b2]`, normalized — computed as the
+/// difference of two half-plane areas, each a clamped-linear integral.
+fn overlap_probability(a1: f64, b1: f64, a2: f64, b2: f64, t: f64) -> f64 {
+    const EPS: f64 = 1e-12;
+    let w1 = (b1 - a1).max(0.0);
+    let w2 = (b2 - a2).max(0.0);
+    if w1 <= EPS && w2 <= EPS {
+        return if (a1 - a2).abs() <= t { 1.0 } else { 0.0 };
+    }
+    if w1 <= EPS {
+        // X is a point: the fraction of [a2, b2] within t of it.
+        let span = (a1 + t).min(b2) - (a1 - t).max(a2);
+        return (span.max(0.0) / w2).min(1.0);
+    }
+    if w2 <= EPS {
+        let span = (a2 + t).min(b1) - (a2 - t).max(a1);
+        return (span.max(0.0) / w1).min(1.0);
+    }
+    // Area({y − x ≤ t}) − Area({y − x ≤ −t}) = Area({|x − y| ≤ t}).
+    let area = halfplane_area(a1, b1, a2, b2, t) - halfplane_area(a1, b1, a2, b2, -t);
+    (area / (w1 * w2)).clamp(0.0, 1.0)
+}
+
+/// Area of `{(x, y) ∈ [a1, b1] × [a2, b2] : y − x ≤ c}`, i.e.
+/// `∫ clamp(c + x − a2, 0, b2 − a2) dx` over `[a1, b1]` — the integrand
+/// is linear in `x` with slope 1, so the integral splits into a zero
+/// piece, a trapezoid, and a saturated piece at the two crossings.
+fn halfplane_area(a1: f64, b1: f64, a2: f64, b2: f64, c: f64) -> f64 {
+    let h = b2 - a2;
+    let u0 = c + a1 - a2; // integrand value at x = a1
+    let xa = (a1 - u0).clamp(a1, b1); // where the integrand crosses 0
+    let xb = (a1 + (h - u0)).clamp(a1, b1); // where it saturates at h
+    let ua = (u0 + (xa - a1)).clamp(0.0, h);
+    let ub = (u0 + (xb - a1)).clamp(0.0, h);
+    0.5 * (ua + ub) * (xb - xa) + h * (b1 - xb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_probability_handles_the_closed_forms() {
+        // Identical unit intervals: P(|X − Y| ≤ t) = 2t − t² for t ≤ 1.
+        for t in [0.0, 0.1, 0.25, 0.5, 0.9, 1.0] {
+            let p = overlap_probability(0.0, 1.0, 0.0, 1.0, t);
+            assert!((p - (2.0 * t - t * t)).abs() < 1e-12, "t={t}: p={p}");
+        }
+        // Beyond the interval span the event is certain.
+        assert_eq!(overlap_probability(0.0, 1.0, 0.0, 1.0, 1.5), 1.0);
+        // Disjoint far-apart intervals: impossible.
+        assert_eq!(overlap_probability(0.0, 1.0, 5.0, 6.0, 1.0), 0.0);
+        // Point vs point.
+        assert_eq!(overlap_probability(2.0, 2.0, 2.5, 2.5, 0.4), 0.0);
+        assert_eq!(overlap_probability(2.0, 2.0, 2.5, 2.5, 0.6), 1.0);
+        // Point vs interval: plain length fraction.
+        let p = overlap_probability(0.5, 0.5, 0.0, 2.0, 0.25);
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_probability_matches_grid_enumeration() {
+        // Exhaustive midpoint-grid approximation of the band area, as an
+        // independent check of the closed form on asymmetric intervals.
+        let cases = [
+            (0.0, 1.0, 0.5, 3.0, 0.4),
+            (-1.0, 2.0, 0.0, 0.5, 0.7),
+            (0.0, 4.0, 1.0, 2.0, 0.3),
+            (0.2, 0.9, 0.1, 1.1, 0.05),
+        ];
+        for (a1, b1, a2, b2, t) in cases {
+            let exact = overlap_probability(a1, b1, a2, b2, t);
+            let steps = 800;
+            let mut hits = 0u64;
+            for i in 0..steps {
+                let x = a1 + (b1 - a1) * (i as f64 + 0.5) / steps as f64;
+                for j in 0..steps {
+                    let y = a2 + (b2 - a2) * (j as f64 + 0.5) / steps as f64;
+                    if (x - y).abs() <= t {
+                        hits += 1;
+                    }
+                }
+            }
+            let approx = hits as f64 / (steps * steps) as f64;
+            assert!(
+                (exact - approx).abs() < 5e-3,
+                "({a1},{b1})×({a2},{b2}) t={t}: exact {exact} vs grid {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_probability_is_monotone_in_t() {
+        let mut last = 0.0;
+        for i in 0..50 {
+            let t = i as f64 * 0.05;
+            let p = overlap_probability(0.0, 2.0, 1.0, 4.0, t);
+            assert!(p >= last - 1e-12);
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn localized_pairs_is_bounded_and_symmetric_in_sides() {
+        let o1 = SubtreeObjects::<2> {
+            count: 30.0,
+            extent: [0.01, 0.02],
+        };
+        let o2 = SubtreeObjects::<2> {
+            count: 50.0,
+            extent: [0.015, 0.01],
+        };
+        let m1 = Rect::new([0.0, 0.0], [0.5, 0.5]).unwrap();
+        let m2 = Rect::new([0.25, 0.25], [0.75, 0.75]).unwrap();
+        let est = localized_pairs(&o1, &m1, &o2, &m2, 0.0);
+        assert!(est > 0.0, "overlapping clouds must expect some pairs");
+        assert!(est <= 30.0 * 50.0, "cannot exceed the cross product");
+        let flipped = localized_pairs(&o2, &m2, &o1, &m1, 0.0);
+        assert!((est - flipped).abs() < 1e-9, "estimator must be symmetric");
+        // Empty population ⇒ nothing to forfeit.
+        let none = SubtreeObjects::<2> {
+            count: 0.0,
+            extent: [0.0, 0.0],
+        };
+        assert_eq!(localized_pairs(&none, &m1, &o2, &m2, 0.0), 0.0);
+    }
+
+    #[test]
+    fn degraded_result_accounting() {
+        let mk = |est_pairs| SkippedSubtree::<2> {
+            tree: 1,
+            page: PageId(3),
+            partner: PageId(4),
+            level: 1,
+            mbr1: Rect::unit(),
+            mbr2: Rect::unit(),
+            est_na: 10.0,
+            est_pairs,
+        };
+        let mut d = DegradedJoinResult::<2> {
+            result: JoinResultSet {
+                pair_count: 90,
+                ..JoinResultSet::default()
+            },
+            skips: vec![mk(6.0), mk(4.0)],
+            faults: FaultCounters::default(),
+        };
+        assert!(!d.is_exact());
+        assert_eq!(d.forfeited_na(), 20.0);
+        assert_eq!(d.forfeited_pairs(), 10.0);
+        assert!((d.forfeited_fraction() - 0.1).abs() < 1e-12);
+        assert!(d.within_envelope(0.15));
+        assert!(!d.within_envelope(0.05));
+        d.skips.clear();
+        assert!(d.is_exact());
+        assert_eq!(d.forfeited_fraction(), 0.0);
+        assert!(d.within_envelope(0.0));
+    }
+}

@@ -1,11 +1,12 @@
 //! The instrumented SJ executor.
 
+use crate::degraded::{DegradedJoinResult, JoinError, RawSkip};
 use sjcm_geom::Rect;
 use sjcm_rtree::{Child, Node, NodeId, ObjectId, RTree};
 use sjcm_storage::recorder::RecordedPolicy;
 use sjcm_storage::{
-    AccessStats, BufferCounters, BufferManager, FlightRecorder, LruBuffer, NoBuffer, PageId,
-    PathBuffer, RecorderLane,
+    AccessStats, BufferCounters, BufferManager, FaultInjector, FlightRecorder, LruBuffer, NoBuffer,
+    PageId, PathBuffer, RecorderLane,
 };
 
 /// Join predicate between two object MBRs (and, during traversal,
@@ -282,6 +283,63 @@ pub fn spatial_join_recorded<const N: usize>(
     config: JoinConfig,
     recorder: &FlightRecorder,
 ) -> JoinResultSet {
+    try_spatial_join_recorded(r1, r2, config, recorder, &FaultInjector::disabled())
+        .expect("sequential join without fault injection cannot fail")
+        .result
+}
+
+/// Fallible twin of [`spatial_join_with`]: runs the SJ join under a
+/// [`FaultInjector`]. Transient page-read faults within the injector's
+/// retry budget are recovered invisibly (the result is bit-identical to
+/// a fault-free run); a *permanent* failure — retry budget exhausted,
+/// or the page lost — forfeits only the node pair whose read failed,
+/// and the traversal continues. The forfeited sub-joins come back
+/// priced on [`DegradedJoinResult::skips`].
+///
+/// With a disabled injector this is [`spatial_join_with`] plus a
+/// `Result` wrapper: one `Option` discriminant check per node pair, and
+/// `skips` is empty.
+pub fn try_spatial_join_with<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    faults: &FaultInjector,
+) -> Result<DegradedJoinResult<N>, JoinError> {
+    try_spatial_join_recorded(r1, r2, config, &FlightRecorder::disabled(), faults)
+}
+
+/// Fallible twin of [`spatial_join_recorded`] — see
+/// [`try_spatial_join_with`]. The sequential executor contains every
+/// injected failure, so this currently always returns `Ok`; the
+/// `Result` mirrors the parallel twin, whose workers can die.
+pub fn try_spatial_join_recorded<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    recorder: &FlightRecorder,
+    faults: &FaultInjector,
+) -> Result<DegradedJoinResult<N>, JoinError> {
+    let (result, raw) = run_sequential(r1, r2, config, recorder, faults);
+    Ok(crate::degraded::finish_degraded(
+        r1,
+        r2,
+        config.predicate,
+        result,
+        raw,
+        faults,
+    ))
+}
+
+/// The sequential traversal shared by the fallible and infallible entry
+/// points (and the parallel module's `threads = 1` fallback). Returns
+/// the result set plus the raw (unpriced) skip records.
+pub(crate) fn run_sequential<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    recorder: &FlightRecorder,
+    faults: &FaultInjector,
+) -> (JoinResultSet, Vec<RawSkip>) {
     let mut exec = Executor {
         r1,
         r2,
@@ -296,18 +354,23 @@ pub fn spatial_join_recorded<const N: usize>(
         config,
         scratch1: Vec::new(),
         scratch2: Vec::new(),
+        faults: faults.clone(),
+        skips: Vec::new(),
     };
     // The roots are assumed memory-resident (§3.1) and are not counted.
     exec.visit(r1.root_id(), r2.root_id());
-    JoinResultSet {
-        pairs: exec.pairs,
-        pair_count: exec.pair_count,
-        stats1: exec.stats1,
-        stats2: exec.stats2,
-        buffers1: exec.buf1.counters(),
-        buffers2: exec.buf2.counters(),
-        ..JoinResultSet::default()
-    }
+    (
+        JoinResultSet {
+            pairs: exec.pairs,
+            pair_count: exec.pair_count,
+            stats1: exec.stats1,
+            stats2: exec.stats2,
+            buffers1: exec.buf1.counters(),
+            buffers2: exec.buf2.counters(),
+            ..JoinResultSet::default()
+        },
+        exec.skips,
+    )
 }
 
 struct Executor<'a, const N: usize> {
@@ -325,9 +388,35 @@ struct Executor<'a, const N: usize> {
     // Reused sort buffers for plane-sweep matching.
     scratch1: Vec<(Rect<N>, Child)>,
     scratch2: Vec<(Rect<N>, Child)>,
+    // Fault-injection oracle (disabled = one `Option` check per pair)
+    // and the node pairs forfeited to permanent read failures.
+    faults: FaultInjector,
+    skips: Vec<RawSkip>,
 }
 
 impl<const N: usize> Executor<'_, N> {
+    /// Probes the injector for the pair's two page reads before they
+    /// are charged (root pages are memory-resident per §3.1 and never
+    /// probed). Returns `false` — recording the forfeited pair — if
+    /// either read fails permanently; a skipped pair charges nothing.
+    fn probe(&mut self, n1: NodeId, n2: NodeId) -> bool {
+        if n1 != self.r1.root_id() {
+            let level = self.r1.node(n1).level;
+            if self.faults.access(1, PageId(n1.0), level).is_err() {
+                self.skips.push(RawSkip { tree: 1, n1, n2 });
+                return false;
+            }
+        }
+        if n2 != self.r2.root_id() {
+            let level = self.r2.node(n2).level;
+            if self.faults.access(2, PageId(n2.0), level).is_err() {
+                self.skips.push(RawSkip { tree: 2, n1, n2 });
+                return false;
+            }
+        }
+        true
+    }
+
     fn access1(&mut self, id: NodeId) {
         let level = self.r1.node(id).level;
         let kind = self.buf1.access(PageId(id.0), level);
@@ -370,6 +459,9 @@ impl<const N: usize> Executor<'_, N> {
                     .map(|e| e.child.node())
                     .collect();
                 for c1 in children {
+                    if self.faults.is_enabled() && !self.probe(c1, n2_id) {
+                        continue;
+                    }
                     self.access1(c1);
                     self.access2(n2_id);
                     self.visit(c1, n2_id);
@@ -387,6 +479,9 @@ impl<const N: usize> Executor<'_, N> {
                     .map(|e| e.child.node())
                     .collect();
                 for c2 in children {
+                    if self.faults.is_enabled() && !self.probe(n1_id, c2) {
+                        continue;
+                    }
                     self.access1(n1_id);
                     self.access2(c2);
                     self.visit(n1_id, c2);
@@ -399,6 +494,9 @@ impl<const N: usize> Executor<'_, N> {
         let matched = self.matched_pairs(n1_id, n2_id);
         for (c1, c2) in matched {
             let (c1, c2) = (c1.node(), c2.node());
+            if self.faults.is_enabled() && !self.probe(c1, c2) {
+                continue;
+            }
             self.access1(c1);
             self.access2(c2);
             self.visit(c1, c2);

@@ -26,20 +26,29 @@
 //! the Partition Based Spatial-Merge join of \[PD96\] (the paper's
 //! §2.1 "no index" camp), and [`parallel`] a multi-threaded SJ per the
 //! paper's §5 outlook.
+//!
+//! Every executor also has a fallible `try_*` twin that runs under a
+//! [`sjcm_storage::FaultInjector`]: permanent page-read failures are
+//! *contained* — the affected node pair is forfeited and priced with
+//! the paper's own formulas instead of aborting the join. See
+//! [`degraded`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod degraded;
 pub mod executor;
 pub mod parallel;
 pub mod pbsm;
 
+pub use degraded::{DegradedJoinResult, JoinError, SkippedSubtree};
 pub use executor::{
-    spatial_join, spatial_join_recorded, spatial_join_with, BufferPolicy, JoinConfig,
-    JoinPredicate, JoinResultSet, MatchOrder, StealTally, WorkerTally,
+    spatial_join, spatial_join_recorded, spatial_join_with, try_spatial_join_recorded,
+    try_spatial_join_with, BufferPolicy, JoinConfig, JoinPredicate, JoinResultSet, MatchOrder,
+    StealTally, WorkerTally,
 };
 pub use parallel::{
-    parallel_spatial_join, parallel_spatial_join_observed, parallel_spatial_join_with, JoinObs,
-    ScheduleMode,
+    parallel_spatial_join, parallel_spatial_join_observed, parallel_spatial_join_with,
+    try_parallel_spatial_join_observed, try_parallel_spatial_join_with, JoinObs, ScheduleMode,
 };

@@ -68,6 +68,7 @@
 //! scheduling — the sequential executor's emission order is a traversal
 //! order no parallel schedule can reproduce cheaply.
 
+use crate::degraded::{DegradedJoinResult, JoinError, RawSkip};
 use crate::executor::{matched_children, JoinConfig, JoinResultSet, StealTally, WorkerTally};
 use sjcm_core::join::unit_cost_na;
 use sjcm_core::{LevelParams, TreeParams};
@@ -75,7 +76,7 @@ use sjcm_geom::Rect;
 use sjcm_obs::perfetto::DRIFT_BREACH_SPAN as BREACH_SPAN;
 use sjcm_obs::{DriftMonitor, Tracer, DA_TOTAL, NA_TOTAL};
 use sjcm_rtree::{Child, NodeId, ObjectId, RTree};
-use sjcm_storage::{AccessStats, BufferManager, FlightRecorder, PageId};
+use sjcm_storage::{AccessStats, BufferManager, FaultInjector, FlightRecorder, PageId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -162,25 +163,80 @@ pub fn parallel_spatial_join_observed<const N: usize>(
     mode: ScheduleMode,
     obs: &JoinObs,
 ) -> JoinResultSet {
+    try_parallel_spatial_join_observed(
+        r1,
+        r2,
+        config,
+        threads,
+        mode,
+        obs,
+        &FaultInjector::disabled(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+    .result
+}
+
+/// Fallible twin of [`parallel_spatial_join_with`]: runs the parallel
+/// join under a [`FaultInjector`]. A work unit whose subtree hits a
+/// permanent read failure is contained — only the affected node pair
+/// is forfeited, and the other work-stealing lanes keep running. The
+/// forfeited sub-joins come back priced on
+/// [`DegradedJoinResult::skips`], identical (same set, same order) for
+/// both schedulers, any thread count, and the sequential twin under the
+/// same fault plan.
+///
+/// `Err` is reserved for failures that make the run unusable — today
+/// that is a worker thread panicking (the infallible twins propagate
+/// such a panic instead).
+pub fn try_parallel_spatial_join_with<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    threads: usize,
+    mode: ScheduleMode,
+    faults: &FaultInjector,
+) -> Result<DegradedJoinResult<N>, JoinError> {
+    try_parallel_spatial_join_observed(r1, r2, config, threads, mode, &JoinObs::default(), faults)
+}
+
+/// Fallible twin of [`parallel_spatial_join_observed`] — see
+/// [`try_parallel_spatial_join_with`].
+pub fn try_parallel_spatial_join_observed<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    threads: usize,
+    mode: ScheduleMode,
+    obs: &JoinObs,
+    faults: &FaultInjector,
+) -> Result<DegradedJoinResult<N>, JoinError> {
     assert!(threads >= 1, "need at least one worker");
-    let mut result = if threads == 1 {
+    let (mut result, raw) = if threads == 1 {
         let mut span = obs.tracer.span("sequential-join");
-        let mut result = crate::executor::spatial_join_recorded(r1, r2, config, &obs.recorder);
+        let (mut result, raw) =
+            crate::executor::run_sequential(r1, r2, config, &obs.recorder, faults);
         result.pairs.sort_unstable();
         span.set("na", result.na_total());
         span.set("da", result.da_total());
         span.set("pairs", result.pair_count);
-        result
+        (result, raw)
     } else {
         match mode {
-            ScheduleMode::RoundRobin => round_robin_join(r1, r2, config, threads, obs),
-            ScheduleMode::CostGuided => cost_guided_join(r1, r2, config, threads, obs),
+            ScheduleMode::RoundRobin => round_robin_join(r1, r2, config, threads, obs, faults)?,
+            ScheduleMode::CostGuided => cost_guided_join(r1, r2, config, threads, obs, faults)?,
         }
     };
     if threads > 1 {
         result.pairs.sort_unstable();
     }
-    result
+    Ok(crate::degraded::finish_degraded(
+        r1,
+        r2,
+        config.predicate,
+        result,
+        raw,
+        faults,
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -193,14 +249,15 @@ fn cost_guided_join<const N: usize>(
     config: JoinConfig,
     threads: usize,
     obs: &JoinObs,
-) -> JoinResultSet {
+    faults: &FaultInjector,
+) -> Result<(JoinResultSet, Vec<RawSkip>), JoinError> {
     let mut join_span = obs.tracer.span("cost-guided-join");
     join_span.set("threads", threads);
 
     // 1. The coordinator descends until it holds enough units, charging
     //    the intermediate accesses itself (in sequential per-level
     //    order). Its recorder lanes stay on correlation domain 0.
-    let mut coord = UnitExecutor::new(r1, r2, config, &obs.recorder);
+    let mut coord = UnitExecutor::new(r1, r2, config, &obs.recorder, faults.clone());
     let units = {
         let mut span = join_span.child("frontier-descent");
         let units = coord.collect_frontier(threads * UNITS_PER_WORKER, threads);
@@ -255,8 +312,13 @@ fn cost_guided_join<const N: usize>(
     // even begin, serializing the execution.
     let start = Barrier::new(threads);
     let join_id = join_span.id();
-    type WorkerOutput = (Vec<(usize, WorkerTally)>, StealTally, JoinResultSet);
-    let worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+    type WorkerOutput = (
+        Vec<(usize, WorkerTally)>,
+        StealTally,
+        JoinResultSet,
+        Vec<RawSkip>,
+    );
+    let worker_outputs: Vec<Result<WorkerOutput, JoinError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let deques = &deques;
@@ -271,7 +333,7 @@ fn cost_guided_join<const N: usize>(
                 scope.spawn(move || {
                     let mut worker_span = tracer.span_under(join_id, "worker");
                     worker_span.set("worker", w);
-                    let mut exec = UnitExecutor::new(r1, r2, config, &recorder);
+                    let mut exec = UnitExecutor::new(r1, r2, config, &recorder, faults.clone());
                     let mut per_unit: Vec<(usize, WorkerTally)> = Vec::new();
                     let mut steal = StealTally::default();
                     // First-breach markers, per worker (the monitor's
@@ -347,13 +409,17 @@ fn cost_guided_join<const N: usize>(
                             buffers2: exec.buf2.counters(),
                             ..JoinResultSet::default()
                         },
+                        exec.skips,
                     )
                 })
             })
             .collect();
+        // Join every handle before propagating a failure, so one dead
+        // worker cannot leave others unjoined (a panic payload consumed
+        // via `join` also will not re-raise at scope exit).
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| h.join().map_err(JoinError::from_panic))
             .collect()
     });
 
@@ -361,7 +427,9 @@ fn cost_guided_join<const N: usize>(
     let mut steals = Vec::with_capacity(threads);
     let mut buffers1 = coord.buf1.counters();
     let mut buffers2 = coord.buf2.counters();
-    for (per_unit, steal, r) in worker_outputs {
+    let mut raw = std::mem::take(&mut coord.skips);
+    for output in worker_outputs {
+        let (per_unit, steal, r, skips) = output?;
         for (i, t) in per_unit {
             let tally = &mut workers[plan[i]];
             tally.units += t.units;
@@ -376,20 +444,24 @@ fn cost_guided_join<const N: usize>(
         coord.pair_count += r.pair_count;
         coord.stats1.merge(&r.stats1);
         coord.stats2.merge(&r.stats2);
+        raw.extend(skips);
     }
     join_span.set("na", coord.stats1.na_total() + coord.stats2.na_total());
     join_span.set("da", coord.stats1.da_total() + coord.stats2.da_total());
     join_span.set("pairs", coord.pair_count);
-    JoinResultSet {
-        pairs: coord.pairs,
-        pair_count: coord.pair_count,
-        stats1: coord.stats1,
-        stats2: coord.stats2,
-        workers,
-        buffers1,
-        buffers2,
-        steals,
-    }
+    Ok((
+        JoinResultSet {
+            pairs: coord.pairs,
+            pair_count: coord.pair_count,
+            stats1: coord.stats1,
+            stats2: coord.stats2,
+            workers,
+            buffers1,
+            buffers2,
+            steals,
+        },
+        raw,
+    ))
 }
 
 /// One worker's deque plus the estimated cost of what is still queued
@@ -402,7 +474,14 @@ struct Deque {
 /// Pops the front unit, returning it together with the queue depth left
 /// behind (the steal-time depth recorded in [`StealTally`]).
 fn pop_front(deque: &Deque, costs: &[u64]) -> Option<(usize, u64)> {
-    let mut q = deque.queue.lock().expect("deque poisoned");
+    // A poisoned lock means another worker panicked while popping; the
+    // queue itself is still consistent (pop_front is atomic on the
+    // VecDeque), and the panic is reported as `JoinError::WorkerPanicked`
+    // at join time — so keep draining rather than panicking here too.
+    let mut q = deque
+        .queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let i = q.pop_front()?;
     deque.remaining.fetch_sub(costs[i], Ordering::Relaxed);
     Some((i, q.len() as u64))
@@ -472,8 +551,15 @@ fn unit_costs<const N: usize>(
 
 /// Per-dimension fraction of the smaller of the two subtree MBR extents
 /// covered by their intersection, multiplied over dimensions. 1.0 for
-/// nested/co-located subtrees, → 0 for sliver overlaps.
-fn overlap_fraction<const N: usize>(r1: &RTree<N>, r2: &RTree<N>, a: NodeId, b: NodeId) -> f64 {
+/// nested/co-located subtrees, → 0 for sliver overlaps. Shared with the
+/// degraded-result pricing, which uses the same factor to price
+/// *forfeited* sub-joins.
+pub(crate) fn overlap_fraction<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    a: NodeId,
+    b: NodeId,
+) -> f64 {
     let (m1, m2) = match (r1.node(a).mbr(), r2.node(b).mbr()) {
         (Some(m1), Some(m2)) => (m1, m2),
         _ => return 1.0,
@@ -489,7 +575,7 @@ fn overlap_fraction<const N: usize>(r1: &RTree<N>, r2: &RTree<N>, a: NodeId, b: 
     factor
 }
 
-fn subtree_params<const N: usize>(tree: &RTree<N>, id: NodeId) -> TreeParams<N> {
+pub(crate) fn subtree_params<const N: usize>(tree: &RTree<N>, id: NodeId) -> TreeParams<N> {
     let stats = tree.subtree_stats(id);
     TreeParams::from_levels(
         stats
@@ -514,7 +600,8 @@ fn round_robin_join<const N: usize>(
     config: JoinConfig,
     threads: usize,
     obs: &JoinObs,
-) -> JoinResultSet {
+    faults: &FaultInjector,
+) -> Result<(JoinResultSet, Vec<RawSkip>), JoinError> {
     let mut join_span = obs.tracer.span("round-robin-join");
     join_span.set("threads", threads);
     // Root-level work units: overlapping (child1, child2) pairs, or
@@ -526,28 +613,29 @@ fn round_robin_join<const N: usize>(
     }
 
     let join_id = join_span.id();
-    let results: Vec<JoinResultSet> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .enumerate()
-            .map(|(w, shard)| {
-                let tracer = obs.tracer.clone();
-                let recorder = obs.recorder.clone();
-                scope.spawn(move || {
-                    let mut span = tracer.span_under(join_id, "worker");
-                    span.set("worker", w);
-                    span.set("units", shard.len());
-                    // One correlation domain per shard: its buffers
-                    // persist across all of the shard's units.
-                    run_shard(r1, r2, config, shard, &recorder, (w + 1) as u32)
+    let results: Vec<Result<(JoinResultSet, Vec<RawSkip>), JoinError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(w, shard)| {
+                    let tracer = obs.tracer.clone();
+                    let recorder = obs.recorder.clone();
+                    scope.spawn(move || {
+                        let mut span = tracer.span_under(join_id, "worker");
+                        span.set("worker", w);
+                        span.set("units", shard.len());
+                        // One correlation domain per shard: its buffers
+                        // persist across all of the shard's units.
+                        run_shard(r1, r2, config, shard, &recorder, (w + 1) as u32, faults)
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(JoinError::from_panic))
+                .collect()
+        });
 
     let mut pairs = Vec::new();
     let mut pair_count = 0;
@@ -557,7 +645,9 @@ fn round_robin_join<const N: usize>(
     let mut steals = Vec::with_capacity(threads);
     let mut buffers1 = sjcm_storage::BufferCounters::default();
     let mut buffers2 = sjcm_storage::BufferCounters::default();
-    for (shard, r) in shards.iter().zip(results) {
+    let mut raw = Vec::new();
+    for (shard, result) in shards.iter().zip(results) {
+        let (r, skips) = result?;
         workers.push(WorkerTally {
             units: shard.len() as u64,
             na: r.na_total(),
@@ -576,20 +666,24 @@ fn round_robin_join<const N: usize>(
         pair_count += r.pair_count;
         stats1.merge(&r.stats1);
         stats2.merge(&r.stats2);
+        raw.extend(skips);
     }
     join_span.set("na", stats1.na_total() + stats2.na_total());
     join_span.set("da", stats1.da_total() + stats2.da_total());
     join_span.set("pairs", pair_count);
-    JoinResultSet {
-        pairs,
-        pair_count,
-        stats1,
-        stats2,
-        workers,
-        buffers1,
-        buffers2,
-        steals,
-    }
+    Ok((
+        JoinResultSet {
+            pairs,
+            pair_count,
+            stats1,
+            stats2,
+            workers,
+            buffers1,
+            buffers2,
+            steals,
+        },
+        raw,
+    ))
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -662,8 +756,9 @@ fn run_shard<const N: usize>(
     units: &[WorkUnit],
     recorder: &FlightRecorder,
     corr: u32,
-) -> JoinResultSet {
-    let mut shard = UnitExecutor::new(r1, r2, config, recorder);
+    faults: &FaultInjector,
+) -> (JoinResultSet, Vec<RawSkip>) {
+    let mut shard = UnitExecutor::new(r1, r2, config, recorder, faults.clone());
     shard.lane1.set_corr(corr);
     shard.lane2.set_corr(corr);
     for unit in units {
@@ -676,6 +771,11 @@ fn run_shard<const N: usize>(
             }
             WorkUnit::Pair(c1, c2) => {
                 let (id1, id2) = (c1.node(), c2.node());
+                // The same probe the sequential executor makes before
+                // charging this pair (roots are exempt inside `probe`).
+                if shard.faults.is_enabled() && !shard.probe(id1, id2) {
+                    continue;
+                }
                 // Root-child reads are charged like in the sequential
                 // executor (unless the unit pins a root itself).
                 if id1 != r1.root_id() {
@@ -688,15 +788,18 @@ fn run_shard<const N: usize>(
             }
         }
     }
-    JoinResultSet {
-        pairs: shard.pairs,
-        pair_count: shard.pair_count,
-        stats1: shard.stats1,
-        stats2: shard.stats2,
-        buffers1: shard.buf1.counters(),
-        buffers2: shard.buf2.counters(),
-        ..JoinResultSet::default()
-    }
+    (
+        JoinResultSet {
+            pairs: shard.pairs,
+            pair_count: shard.pair_count,
+            stats1: shard.stats1,
+            stats2: shard.stats2,
+            buffers1: shard.buf1.counters(),
+            buffers2: shard.buf2.counters(),
+            ..JoinResultSet::default()
+        },
+        shard.skips,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -723,6 +826,10 @@ struct UnitExecutor<'a, const N: usize> {
     config: JoinConfig,
     scratch1: Vec<(Rect<N>, Child)>,
     scratch2: Vec<(Rect<N>, Child)>,
+    // Fault-injection oracle (disabled = one `Option` check per pair)
+    // and the node pairs forfeited to permanent read failures.
+    faults: FaultInjector,
+    skips: Vec<RawSkip>,
 }
 
 impl<'a, const N: usize> UnitExecutor<'a, N> {
@@ -731,6 +838,7 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
         r2: &'a RTree<N>,
         config: JoinConfig,
         recorder: &FlightRecorder,
+        faults: FaultInjector,
     ) -> Self {
         Self {
             r1,
@@ -746,7 +854,32 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
             config,
             scratch1: Vec::new(),
             scratch2: Vec::new(),
+            faults,
+            skips: Vec::new(),
         }
+    }
+
+    /// Probes the injector for the pair's two page reads before they
+    /// are charged — the same protocol as the sequential executor's
+    /// `probe` (roots are memory-resident per §3.1 and never probed),
+    /// so all schedulers forfeit exactly the same pairs under the same
+    /// fault plan.
+    fn probe(&mut self, n1: NodeId, n2: NodeId) -> bool {
+        if n1 != self.r1.root_id() {
+            let level = self.r1.node(n1).level;
+            if self.faults.access(1, PageId(n1.0), level).is_err() {
+                self.skips.push(RawSkip { tree: 1, n1, n2 });
+                return false;
+            }
+        }
+        if n2 != self.r2.root_id() {
+            let level = self.r2.node(n2).level;
+            if self.faults.access(2, PageId(n2.0), level).is_err() {
+                self.skips.push(RawSkip { tree: 2, n1, n2 });
+                return false;
+            }
+        }
+        true
     }
 
     fn access1(&mut self, id: NodeId) {
@@ -821,6 +954,9 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
                         expanded = true;
                         for (c1, c2) in self.matched(a, b) {
                             let (c1, c2) = (c1.node(), c2.node());
+                            if self.faults.is_enabled() && !self.probe(c1, c2) {
+                                continue;
+                            }
                             self.access1(c1);
                             self.access2(c2);
                             next.push((c1, c2));
@@ -841,6 +977,9 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
                             .map(|e| e.child.node())
                             .collect();
                         for c1 in children {
+                            if self.faults.is_enabled() && !self.probe(c1, b) {
+                                continue;
+                            }
                             self.access1(c1);
                             self.access2(b);
                             next.push((c1, b));
@@ -861,6 +1000,9 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
                             .map(|e| e.child.node())
                             .collect();
                         for c2 in children {
+                            if self.faults.is_enabled() && !self.probe(a, c2) {
+                                continue;
+                            }
                             self.access1(a);
                             self.access2(c2);
                             next.push((a, c2));
@@ -891,6 +1033,9 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
             (false, false) => {
                 for (c1, c2) in self.matched(n1_id, n2_id) {
                     let (c1, c2) = (c1.node(), c2.node());
+                    if self.faults.is_enabled() && !self.probe(c1, c2) {
+                        continue;
+                    }
                     self.access1(c1);
                     self.access2(c2);
                     self.visit(c1, c2);
@@ -910,6 +1055,9 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
                     .map(|e| e.child.node())
                     .collect();
                 for c1 in children {
+                    if self.faults.is_enabled() && !self.probe(c1, n2_id) {
+                        continue;
+                    }
                     self.access1(c1);
                     self.access2(n2_id);
                     self.visit(c1, n2_id);
@@ -929,6 +1077,9 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
                     .map(|e| e.child.node())
                     .collect();
                 for c2 in children {
+                    if self.faults.is_enabled() && !self.probe(n1_id, c2) {
+                        continue;
+                    }
                     self.access1(n1_id);
                     self.access2(c2);
                     self.visit(n1_id, c2);

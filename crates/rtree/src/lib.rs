@@ -46,5 +46,6 @@ pub use bulk::BulkLoad;
 pub use config::{RTreeConfig, SplitStrategy};
 pub use knn::Neighbor;
 pub use node::{Child, Entry, Node, NodeId, ObjectId};
+pub use persist::PersistedTree;
 pub use stats::{LevelStats, TreeStats};
 pub use tree::RTree;

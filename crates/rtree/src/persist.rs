@@ -58,6 +58,9 @@ impl<const N: usize> RTree<N> {
             let bytes = disk.encode(store.page_size())?;
             store.write(page_of[&id], &bytes)?;
         }
+        // A save is only durable once the store has flushed it; without
+        // this, a crash after `save` returns could tear the file.
+        store.sync()?;
         Ok(PersistedTree {
             root: page_of[&self.root_id()],
             len: self.len(),

@@ -35,7 +35,7 @@ impl FilePageStore {
             .create(true)
             .truncate(true)
             .open(path)
-            .map_err(|e| StorageError::MalformedNode(format!("cannot create {path:?}: {e}")))?;
+            .map_err(|e| StorageError::Io(format!("cannot create {path:?}: {e}")))?;
         Ok(Self {
             file,
             path: path.to_path_buf(),
@@ -53,14 +53,17 @@ impl FilePageStore {
             .read(true)
             .write(true)
             .open(path)
-            .map_err(|e| StorageError::MalformedNode(format!("cannot open {path:?}: {e}")))?;
+            .map_err(|e| StorageError::Io(format!("cannot open {path:?}: {e}")))?;
         let len = file
             .metadata()
-            .map_err(|e| StorageError::MalformedNode(format!("metadata: {e}")))?
+            .map_err(|e| StorageError::Io(format!("metadata: {e}")))?
             .len();
         if len % page_size as u64 != 0 {
-            return Err(StorageError::MalformedNode(format!(
-                "file length {len} is not a multiple of page size {page_size}"
+            // A torn tail — e.g. a crash mid-write or an external
+            // truncation — is data corruption of the last page, not a
+            // structural decode failure.
+            return Err(StorageError::Corrupt(PageId(
+                (len / page_size as u64) as u32,
             )));
         }
         let pages = len / page_size as u64;
@@ -130,7 +133,7 @@ impl PageStore for FilePageStore {
         self.file
             .seek(SeekFrom::Start(self.offset(id)))
             .and_then(|_| self.file.write_all(&buf))
-            .map_err(|e| StorageError::MalformedNode(format!("write page {id}: {e}")))
+            .map_err(|e| StorageError::Io(format!("write page {id}: {e}")))
     }
 
     fn read(&self, id: PageId) -> Result<Bytes, StorageError> {
@@ -139,7 +142,7 @@ impl PageStore for FilePageStore {
         let mut buf = vec![0u8; self.page_size];
         file.seek(SeekFrom::Start(self.offset(id)))
             .and_then(|_| file.read_exact(&mut buf))
-            .map_err(|e| StorageError::MalformedNode(format!("read page {id}: {e}")))?;
+            .map_err(|e| StorageError::Io(format!("read page {id}: {e}")))?;
         Ok(Bytes::from(buf))
     }
 
@@ -151,6 +154,12 @@ impl PageStore for FilePageStore {
 
     fn live_pages(&self) -> usize {
         self.pages as usize - self.free_list.len()
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.file
+            .sync_all()
+            .map_err(|e| StorageError::Io(format!("sync {:?}: {e}", self.path)))
     }
 }
 
@@ -202,14 +211,37 @@ mod tests {
     }
 
     #[test]
-    fn open_rejects_misaligned_file() {
+    fn open_rejects_misaligned_file_as_corrupt() {
         let path = temp_path("misaligned");
         let _guard = Cleanup(path.clone());
         std::fs::write(&path, vec![0u8; 33]).unwrap();
+        // 33 bytes at page size 32 = one whole page plus a torn tail: the
+        // torn page is page 1.
         assert!(matches!(
             FilePageStore::open(&path, 32),
-            Err(StorageError::MalformedNode(_))
+            Err(StorageError::Corrupt(PageId(1)))
         ));
+    }
+
+    #[test]
+    fn open_missing_file_is_io_not_malformed() {
+        let path = temp_path("missing");
+        let _guard = Cleanup(path.clone());
+        assert!(matches!(
+            FilePageStore::open(&path, 32),
+            Err(StorageError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn sync_flushes_without_error() {
+        let path = temp_path("sync");
+        let _guard = Cleanup(path.clone());
+        let mut store = FilePageStore::create(&path, 32).unwrap();
+        let a = store.allocate().unwrap();
+        store.write(a, b"durable").unwrap();
+        store.sync().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 32);
     }
 
     #[test]

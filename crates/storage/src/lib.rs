@@ -28,12 +28,18 @@
 //!   trace under any buffer policy ([`replay::replay`]), or get the hit
 //!   ratio of *every* LRU capacity from one scan with the Mattson
 //!   stack-distance analyzer ([`replay::StackDistance`]).
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`],
+//!   [`fault::FaultyPageStore`]) and recovery ([`fault::ResilientStore`]
+//!   with bounded retry + quarantine, [`fault::FaultInjector`] as the
+//!   join executor's access oracle), tallied in
+//!   [`fault::FaultCounters`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod counters;
+pub mod fault;
 pub mod file_store;
 pub mod layout;
 pub mod page;
@@ -42,8 +48,12 @@ pub mod replay;
 
 pub use buffer::{AccessKind, BufferCounters, BufferManager, LruBuffer, NoBuffer, PathBuffer};
 pub use counters::{hit_ratio, AccessStats};
+pub use fault::{
+    FaultCounters, FaultInjector, FaultPlan, FaultyPageStore, ResilientStore, RetryPolicy,
+    FAULT_INJECTED, FAULT_QUARANTINED, FAULT_RECOVERED, FAULT_RETRIED,
+};
 pub use file_store::FilePageStore;
 pub use layout::{max_entries, DiskEntry, DiskNode};
-pub use page::{InMemoryPageStore, PageId, PageStore, StorageError, DEFAULT_PAGE_SIZE};
+pub use page::{fnv1a, InMemoryPageStore, PageId, PageStore, StorageError, DEFAULT_PAGE_SIZE};
 pub use recorder::{AccessTrace, FlightRecorder, PageAccessEvent, RecordedPolicy, RecorderLane};
 pub use replay::{replay, ReplayOutcome, StackDistance};

@@ -59,6 +59,11 @@ pub enum StorageError {
     MalformedNode(String),
     /// The page store ran out of 32-bit page ids.
     OutOfPages,
+    /// A real (or injected) I/O failure: the operating system refused the
+    /// operation, the device lost the page, or a transient fault fired.
+    /// Carries a human-readable description rather than `std::io::Error`
+    /// so the variant stays `Clone + Eq` for deterministic comparisons.
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -71,6 +76,7 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt(p) => write!(f, "checksum mismatch on page {p}"),
             StorageError::MalformedNode(msg) => write!(f, "malformed node: {msg}"),
             StorageError::OutOfPages => write!(f, "page id space exhausted"),
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -98,11 +104,18 @@ pub trait PageStore {
 
     /// Number of live (allocated, not freed) pages.
     fn live_pages(&self) -> usize;
+
+    /// Flushes buffered writes to durable storage. A no-op for memory-
+    /// backed stores; file-backed stores must not consider a `write`
+    /// durable until `sync` returns `Ok`.
+    fn sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
 }
 
 /// FNV-1a, the checksum stored alongside each page. Not cryptographic —
 /// it only needs to catch layout bugs and simulated corruption.
-fn fnv1a(data: &[u8]) -> u64 {
+pub fn fnv1a(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
         h ^= u64::from(b);
