@@ -13,6 +13,10 @@
 //! * [`mod@density`] — the *density* statistic `D` of a rectangle set, the
 //!   primitive data property (together with cardinality `N`) that the
 //!   paper's analytical formulas are functions of.
+//! * [`batch`] — structure-of-arrays rectangle batches
+//!   ([`RectBatch`]) with chunked, autovectorization-friendly overlap /
+//!   distance / reference-point kernels (bitmask output) for the join
+//!   executors' entry-matching hot loops.
 //!
 //! The paper works in the unit workspace `WS = [0,1)^n`; helpers for that
 //! convention live in [`density::UnitSpace`].
@@ -24,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod curve;
 pub mod density;
 mod point;
 mod rect;
 
+pub use batch::{overlap_many_vs_many, unit_grid_cell, OverlapMask, RectBatch};
 pub use density::{average_extents, density, local_density, UnitSpace};
 pub use point::Point;
 pub use rect::{mbr_of, GeomError, Rect};

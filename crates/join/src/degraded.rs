@@ -57,6 +57,9 @@ pub enum JoinError {
     /// A worker thread of the parallel join panicked; the payload
     /// message is preserved.
     WorkerPanicked(String),
+    /// A parallel join was requested with `threads = 0`. The infallible
+    /// entry points clamp this to one worker instead.
+    InvalidThreads,
 }
 
 impl fmt::Display for JoinError {
@@ -64,6 +67,9 @@ impl fmt::Display for JoinError {
         match self {
             JoinError::Storage(e) => write!(f, "storage failure during join: {e}"),
             JoinError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            JoinError::InvalidThreads => {
+                write!(f, "parallel join needs at least one worker (threads = 0)")
+            }
         }
     }
 }

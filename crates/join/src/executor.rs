@@ -1,8 +1,8 @@
 //! The instrumented SJ executor.
 
 use crate::degraded::{DegradedJoinResult, JoinError, RawSkip};
-use sjcm_geom::Rect;
-use sjcm_rtree::{Child, Node, NodeId, ObjectId, RTree};
+use sjcm_geom::{OverlapMask, Rect, RectBatch};
+use sjcm_rtree::{Child, Entry, Node, NodeId, ObjectId, RTree};
 use sjcm_storage::recorder::RecordedPolicy;
 use sjcm_storage::{
     AccessStats, BufferCounters, BufferManager, FaultInjector, FlightRecorder, LruBuffer, NoBuffer,
@@ -83,6 +83,27 @@ pub enum MatchOrder {
     PlaneSweep,
 }
 
+/// How entry-pair predicates are evaluated — the CPU side of matching,
+/// orthogonal to [`MatchOrder`] (which pairs are *considered*, and in
+/// what order).
+///
+/// Both kernels produce byte-identical results: the same pairs in the
+/// same order, and identical NA/DA tallies (the kernel only replaces
+/// predicate evaluation, never which nodes are visited). The scalar
+/// kernel is kept as the reference the batched one is asserted against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchKernel {
+    /// One `Rect::intersects`/`within_distance` call per candidate pair
+    /// — the pre-kernel reference path.
+    Scalar,
+    /// Batched structure-of-arrays kernels ([`sjcm_geom::RectBatch`]):
+    /// node entries are transposed into per-dimension coordinate slabs
+    /// once per node visit and candidates are tested 64 at a time,
+    /// branch-free, so the comparison loops autovectorize.
+    #[default]
+    Batched,
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinConfig {
@@ -92,6 +113,8 @@ pub struct JoinConfig {
     pub predicate: JoinPredicate,
     /// Entry-matching order.
     pub order: MatchOrder,
+    /// Entry-matching kernel (scalar reference vs batched SoA).
+    pub kernel: MatchKernel,
     /// When `false`, result pairs are not materialized (the experiments
     /// only need access counts; 80K×80K joins produce millions of pairs).
     pub collect_pairs: bool,
@@ -103,8 +126,29 @@ impl Default for JoinConfig {
             buffer: BufferPolicy::Path,
             predicate: JoinPredicate::Overlap,
             order: MatchOrder::NestedLoop,
+            kernel: MatchKernel::default(),
             collect_pairs: true,
         }
+    }
+}
+
+/// Reusable scratch buffers for entry matching: the sort buffers of the
+/// plane sweep plus the SoA batches and bitmask of the batched kernel.
+/// One instance lives in each executor; matching refills it per node
+/// pair, so steady-state matching allocates nothing but the output.
+#[derive(Debug, Default)]
+pub struct MatchScratch<const N: usize> {
+    entries1: Vec<(Rect<N>, Child)>,
+    entries2: Vec<(Rect<N>, Child)>,
+    batch1: RectBatch<N>,
+    batch2: RectBatch<N>,
+    mask: OverlapMask,
+}
+
+impl<const N: usize> MatchScratch<N> {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -352,8 +396,7 @@ pub(crate) fn run_sequential<const N: usize>(
         pairs: Vec::new(),
         pair_count: 0,
         config,
-        scratch1: Vec::new(),
-        scratch2: Vec::new(),
+        scratch: MatchScratch::new(),
         faults: faults.clone(),
         skips: Vec::new(),
     };
@@ -385,9 +428,8 @@ struct Executor<'a, const N: usize> {
     pairs: Vec<(ObjectId, ObjectId)>,
     pair_count: u64,
     config: JoinConfig,
-    // Reused sort buffers for plane-sweep matching.
-    scratch1: Vec<(Rect<N>, Child)>,
-    scratch2: Vec<(Rect<N>, Child)>,
+    // Reused matching buffers (sweep sort vectors, SoA batches, bitmask).
+    scratch: MatchScratch<N>,
     // Fault-injection oracle (disabled = one `Option` check per pair)
     // and the node pairs forfeited to permanent read failures.
     faults: FaultInjector,
@@ -452,12 +494,13 @@ impl<const N: usize> Executor<'_, N> {
                     Some(m) => m,
                     None => return,
                 };
-                let children: Vec<NodeId> = n1
-                    .entries
-                    .iter()
-                    .filter(|e| self.config.predicate.holds(&e.rect, &n2_mbr))
-                    .map(|e| e.child.node())
-                    .collect();
+                let children = pinned_children(
+                    &n1.entries,
+                    &n2_mbr,
+                    self.config.predicate,
+                    self.config.kernel,
+                    &mut self.scratch,
+                );
                 for c1 in children {
                     if self.faults.is_enabled() && !self.probe(c1, n2_id) {
                         continue;
@@ -472,12 +515,13 @@ impl<const N: usize> Executor<'_, N> {
                     Some(m) => m,
                     None => return,
                 };
-                let children: Vec<NodeId> = n2
-                    .entries
-                    .iter()
-                    .filter(|e| self.config.predicate.holds(&n1_mbr, &e.rect))
-                    .map(|e| e.child.node())
-                    .collect();
+                let children = pinned_children(
+                    &n2.entries,
+                    &n1_mbr,
+                    self.config.predicate,
+                    self.config.kernel,
+                    &mut self.scratch,
+                );
                 for c2 in children {
                     if self.faults.is_enabled() && !self.probe(n1_id, c2) {
                         continue;
@@ -514,29 +558,63 @@ impl<const N: usize> Executor<'_, N> {
     /// configured match order. Pairs are materialized (rather than
     /// processed in-loop) because the recursion needs `&mut self`.
     fn matched_pairs(&mut self, n1_id: NodeId, n2_id: NodeId) -> Vec<(Child, Child)> {
-        matched_children(
+        matched_entries(
             self.r1.node(n1_id),
             self.r2.node(n2_id),
             &self.config,
-            &mut self.scratch1,
-            &mut self.scratch2,
+            &mut self.scratch,
         )
     }
 }
 
+/// Children of `entries` whose rectangles satisfy `predicate` against a
+/// single pinned rectangle (the height-mismatch arms of the traversal),
+/// in entry order. The batched kernel and the scalar filter agree
+/// exactly — both predicates are symmetric, so one-vs-many masking is
+/// just the scalar loop with the comparisons vectorized.
+pub(crate) fn pinned_children<const N: usize>(
+    entries: &[Entry<N>],
+    mbr: &Rect<N>,
+    predicate: JoinPredicate,
+    kernel: MatchKernel,
+    scratch: &mut MatchScratch<N>,
+) -> Vec<NodeId> {
+    match kernel {
+        MatchKernel::Scalar => entries
+            .iter()
+            .filter(|e| predicate.holds(&e.rect, mbr))
+            .map(|e| e.child.node())
+            .collect(),
+        MatchKernel::Batched => {
+            let MatchScratch { batch1, mask, .. } = scratch;
+            batch1.clear();
+            batch1.extend(entries.iter().map(|e| e.rect));
+            match predicate {
+                JoinPredicate::Overlap => batch1.overlap_mask(mbr, 0, batch1.len(), mask),
+                JoinPredicate::WithinDistance(eps) => {
+                    batch1.within_mask(mbr, eps, 0, batch1.len(), mask)
+                }
+            }
+            mask.iter_set().map(|i| entries[i].child.node()).collect()
+        }
+    }
+}
+
 /// Entry pairs of two nodes satisfying the configured predicate, in the
-/// configured match order. Shared between the sequential executor and
-/// the parallel coordinator/workers so both traversals match entries in
-/// exactly the same order (which the DA comparisons rely on).
-pub(crate) fn matched_children<const N: usize>(
+/// configured match order, evaluated by the configured kernel. Shared
+/// between the sequential executor and the parallel
+/// coordinator/workers so both traversals match entries in exactly the
+/// same order (which the DA comparisons rely on); the kernel choice
+/// never changes which pairs come back or their order, only how the
+/// rectangle comparisons are evaluated.
+pub fn matched_entries<const N: usize>(
     n1: &Node<N>,
     n2: &Node<N>,
     config: &JoinConfig,
-    scratch1: &mut Vec<(Rect<N>, Child)>,
-    scratch2: &mut Vec<(Rect<N>, Child)>,
+    scratch: &mut MatchScratch<N>,
 ) -> Vec<(Child, Child)> {
-    match config.order {
-        MatchOrder::NestedLoop => {
+    match (config.order, config.kernel) {
+        (MatchOrder::NestedLoop, MatchKernel::Scalar) => {
             let mut out = Vec::new();
             // Figure 2: R2's entries drive the outer loop.
             for e2 in &n2.entries {
@@ -548,53 +626,135 @@ pub(crate) fn matched_children<const N: usize>(
             }
             out
         }
-        MatchOrder::PlaneSweep => sweep_pairs(n1, n2, config.predicate, scratch1, scratch2),
+        (MatchOrder::NestedLoop, MatchKernel::Batched) => {
+            // Same loops, inner loop vectorized: batch R1's entries
+            // once, test each R2 entry against all of them. Ascending
+            // mask bits reproduce the inner loop's entry order.
+            let MatchScratch { batch1, mask, .. } = scratch;
+            batch1.clear();
+            batch1.extend(n1.entries.iter().map(|e| e.rect));
+            let mut out = Vec::new();
+            for e2 in &n2.entries {
+                match config.predicate {
+                    JoinPredicate::Overlap => batch1.overlap_mask(&e2.rect, 0, batch1.len(), mask),
+                    JoinPredicate::WithinDistance(eps) => {
+                        batch1.within_mask(&e2.rect, eps, 0, batch1.len(), mask)
+                    }
+                }
+                for i in mask.iter_set() {
+                    out.push((n1.entries[i].child, e2.child));
+                }
+            }
+            out
+        }
+        (MatchOrder::PlaneSweep, kernel) => sweep_pairs(n1, n2, config.predicate, kernel, scratch),
     }
 }
 
 /// Plane-sweep entry matching along dimension 0 (BKS93's CPU
 /// optimization). For the distance predicate the sweep widens the active
 /// window by ε so no qualifying pair is skipped.
+///
+/// The batched kernel delimits each anchor's candidate range by
+/// scanning the sorted `lo₀` slab (the same comparisons the scalar
+/// inner loop makes) and then evaluates the whole range at once:
+/// [`RectBatch::overlap_mask_tail`] for overlap — dimension 0 is
+/// implied by the range, see the `sjcm_geom::batch` module docs — or
+/// the full [`RectBatch::within_mask`] for the distance predicate
+/// (the ε-widened range does *not* imply dimension-0 proximity).
 fn sweep_pairs<const N: usize>(
     n1: &Node<N>,
     n2: &Node<N>,
     predicate: JoinPredicate,
-    scratch1: &mut Vec<(Rect<N>, Child)>,
-    scratch2: &mut Vec<(Rect<N>, Child)>,
+    kernel: MatchKernel,
+    scratch: &mut MatchScratch<N>,
 ) -> Vec<(Child, Child)> {
     let slack = match predicate {
         JoinPredicate::Overlap => 0.0,
         JoinPredicate::WithinDistance(eps) => eps,
     };
-    scratch1.clear();
-    scratch2.clear();
-    scratch1.extend(n1.entries.iter().map(|e| (e.rect, e.child)));
-    scratch2.extend(n2.entries.iter().map(|e| (e.rect, e.child)));
-    scratch1.sort_by(|a, b| a.0.lo_k(0).total_cmp(&b.0.lo_k(0)));
-    scratch2.sort_by(|a, b| a.0.lo_k(0).total_cmp(&b.0.lo_k(0)));
+    let MatchScratch {
+        entries1,
+        entries2,
+        batch1,
+        batch2,
+        mask,
+    } = scratch;
+    entries1.clear();
+    entries2.clear();
+    entries1.extend(n1.entries.iter().map(|e| (e.rect, e.child)));
+    entries2.extend(n2.entries.iter().map(|e| (e.rect, e.child)));
+    entries1.sort_by(|a, b| a.0.lo_k(0).total_cmp(&b.0.lo_k(0)));
+    entries2.sort_by(|a, b| a.0.lo_k(0).total_cmp(&b.0.lo_k(0)));
+    if kernel == MatchKernel::Batched {
+        batch1.clear();
+        batch2.clear();
+        batch1.extend(entries1.iter().map(|e| e.0));
+        batch2.extend(entries2.iter().map(|e| e.0));
+    }
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
-    while i < scratch1.len() && j < scratch2.len() {
-        if scratch1[i].0.lo_k(0) <= scratch2[j].0.lo_k(0) {
-            let anchor = &scratch1[i];
+    while i < entries1.len() && j < entries2.len() {
+        if entries1[i].0.lo_k(0) <= entries2[j].0.lo_k(0) {
+            let anchor = entries1[i];
             let limit = anchor.0.hi_k(0) + slack;
-            let mut k = j;
-            while k < scratch2.len() && scratch2[k].0.lo_k(0) <= limit {
-                if predicate.holds::<N>(&anchor.0, &scratch2[k].0) {
-                    out.push((anchor.1, scratch2[k].1));
+            match kernel {
+                MatchKernel::Scalar => {
+                    let mut k = j;
+                    while k < entries2.len() && entries2[k].0.lo_k(0) <= limit {
+                        if predicate.holds::<N>(&anchor.0, &entries2[k].0) {
+                            out.push((anchor.1, entries2[k].1));
+                        }
+                        k += 1;
+                    }
                 }
-                k += 1;
+                MatchKernel::Batched => {
+                    let lo = batch2.lo_slab(0);
+                    let mut end = j;
+                    while end < lo.len() && lo[end] <= limit {
+                        end += 1;
+                    }
+                    match predicate {
+                        JoinPredicate::Overlap => batch2.overlap_mask_tail(&anchor.0, j, end, mask),
+                        JoinPredicate::WithinDistance(eps) => {
+                            batch2.within_mask(&anchor.0, eps, j, end, mask)
+                        }
+                    }
+                    for b in mask.iter_set() {
+                        out.push((anchor.1, entries2[j + b].1));
+                    }
+                }
             }
             i += 1;
         } else {
-            let anchor = &scratch2[j];
+            let anchor = entries2[j];
             let limit = anchor.0.hi_k(0) + slack;
-            let mut k = i;
-            while k < scratch1.len() && scratch1[k].0.lo_k(0) <= limit {
-                if predicate.holds::<N>(&scratch1[k].0, &anchor.0) {
-                    out.push((scratch1[k].1, anchor.1));
+            match kernel {
+                MatchKernel::Scalar => {
+                    let mut k = i;
+                    while k < entries1.len() && entries1[k].0.lo_k(0) <= limit {
+                        if predicate.holds::<N>(&entries1[k].0, &anchor.0) {
+                            out.push((entries1[k].1, anchor.1));
+                        }
+                        k += 1;
+                    }
                 }
-                k += 1;
+                MatchKernel::Batched => {
+                    let lo = batch1.lo_slab(0);
+                    let mut end = i;
+                    while end < lo.len() && lo[end] <= limit {
+                        end += 1;
+                    }
+                    match predicate {
+                        JoinPredicate::Overlap => batch1.overlap_mask_tail(&anchor.0, i, end, mask),
+                        JoinPredicate::WithinDistance(eps) => {
+                            batch1.within_mask(&anchor.0, eps, i, end, mask)
+                        }
+                    }
+                    for b in mask.iter_set() {
+                        out.push((entries1[i + b].1, anchor.1));
+                    }
+                }
             }
             j += 1;
         }

@@ -44,9 +44,9 @@ pub mod pbsm;
 
 pub use degraded::{DegradedJoinResult, JoinError, SkippedSubtree};
 pub use executor::{
-    spatial_join, spatial_join_recorded, spatial_join_with, try_spatial_join_recorded,
-    try_spatial_join_with, BufferPolicy, JoinConfig, JoinPredicate, JoinResultSet, MatchOrder,
-    StealTally, WorkerTally,
+    matched_entries, spatial_join, spatial_join_recorded, spatial_join_with,
+    try_spatial_join_recorded, try_spatial_join_with, BufferPolicy, JoinConfig, JoinPredicate,
+    JoinResultSet, MatchKernel, MatchOrder, MatchScratch, StealTally, WorkerTally,
 };
 pub use parallel::{
     parallel_spatial_join, parallel_spatial_join_observed, parallel_spatial_join_with,

@@ -69,10 +69,12 @@
 //! order no parallel schedule can reproduce cheaply.
 
 use crate::degraded::{DegradedJoinResult, JoinError, RawSkip};
-use crate::executor::{matched_children, JoinConfig, JoinResultSet, StealTally, WorkerTally};
+use crate::executor::{
+    matched_entries, pinned_children, JoinConfig, JoinResultSet, MatchScratch, StealTally,
+    WorkerTally,
+};
 use sjcm_core::join::unit_cost_na;
 use sjcm_core::{LevelParams, TreeParams};
-use sjcm_geom::Rect;
 use sjcm_obs::perfetto::DRIFT_BREACH_SPAN as BREACH_SPAN;
 use sjcm_obs::{DriftMonitor, Tracer, DA_TOTAL, NA_TOTAL};
 use sjcm_rtree::{Child, NodeId, ObjectId, RTree};
@@ -155,6 +157,10 @@ pub fn parallel_spatial_join_with<const N: usize>(
 /// `da.total` predictions. With a default [`JoinObs`] this is exactly
 /// [`parallel_spatial_join_with`] — pair output, NA and DA are
 /// identical whether or not observation is enabled.
+///
+/// The infallible entry points clamp `threads = 0` to one worker (the
+/// sequential fallback) instead of panicking; the `try_*` twins report
+/// it as [`JoinError::InvalidThreads`].
 pub fn parallel_spatial_join_observed<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
@@ -167,7 +173,7 @@ pub fn parallel_spatial_join_observed<const N: usize>(
         r1,
         r2,
         config,
-        threads,
+        threads.max(1),
         mode,
         obs,
         &FaultInjector::disabled(),
@@ -185,9 +191,10 @@ pub fn parallel_spatial_join_observed<const N: usize>(
 /// both schedulers, any thread count, and the sequential twin under the
 /// same fault plan.
 ///
-/// `Err` is reserved for failures that make the run unusable — today
-/// that is a worker thread panicking (the infallible twins propagate
-/// such a panic instead).
+/// `Err` is reserved for failures that make the run unusable — a
+/// worker thread panicking (the infallible twins propagate such a
+/// panic instead), or an invalid `threads = 0` (which the infallible
+/// twins clamp to one worker).
 pub fn try_parallel_spatial_join_with<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
@@ -210,7 +217,9 @@ pub fn try_parallel_spatial_join_observed<const N: usize>(
     obs: &JoinObs,
     faults: &FaultInjector,
 ) -> Result<DegradedJoinResult<N>, JoinError> {
-    assert!(threads >= 1, "need at least one worker");
+    if threads == 0 {
+        return Err(JoinError::InvalidThreads);
+    }
     let (mut result, raw) = if threads == 1 {
         let mut span = obs.tracer.span("sequential-join");
         let (mut result, raw) =
@@ -703,41 +712,37 @@ fn root_work_units<const N: usize>(
     let n1 = r1.node(r1.root_id());
     let n2 = r2.node(r2.root_id());
     let pred = config.predicate;
+    // The root deal always matches in nested-loop order — shard
+    // composition must not depend on the per-node match order — but
+    // honours the configured kernel.
+    let root_config = JoinConfig {
+        order: crate::executor::MatchOrder::NestedLoop,
+        ..*config
+    };
+    let mut scratch = MatchScratch::new();
     let mut units = Vec::new();
     match (n1.is_leaf(), n2.is_leaf()) {
         (true, true) => {
-            for e2 in &n2.entries {
-                for e1 in &n1.entries {
-                    if pred.holds(&e1.rect, &e2.rect) {
-                        units.push(WorkUnit::Emit(e1.child.object(), e2.child.object()));
-                    }
-                }
+            for (c1, c2) in matched_entries(n1, n2, &root_config, &mut scratch) {
+                units.push(WorkUnit::Emit(c1.object(), c2.object()));
             }
         }
         (false, false) => {
-            for e2 in &n2.entries {
-                for e1 in &n1.entries {
-                    if pred.holds(&e1.rect, &e2.rect) {
-                        units.push(WorkUnit::Pair(e1.child, e2.child));
-                    }
-                }
+            for (c1, c2) in matched_entries(n1, n2, &root_config, &mut scratch) {
+                units.push(WorkUnit::Pair(c1, c2));
             }
         }
         (false, true) => {
             if let Some(m2) = n2.mbr() {
-                for e1 in &n1.entries {
-                    if pred.holds(&e1.rect, &m2) {
-                        units.push(WorkUnit::Pair(e1.child, Child::Node(r2.root_id())));
-                    }
+                for c1 in pinned_children(&n1.entries, &m2, pred, config.kernel, &mut scratch) {
+                    units.push(WorkUnit::Pair(Child::Node(c1), Child::Node(r2.root_id())));
                 }
             }
         }
         (true, false) => {
             if let Some(m1) = n1.mbr() {
-                for e2 in &n2.entries {
-                    if pred.holds(&m1, &e2.rect) {
-                        units.push(WorkUnit::Pair(Child::Node(r1.root_id()), e2.child));
-                    }
+                for c2 in pinned_children(&n2.entries, &m1, pred, config.kernel, &mut scratch) {
+                    units.push(WorkUnit::Pair(Child::Node(r1.root_id()), Child::Node(c2)));
                 }
             }
         }
@@ -810,7 +815,7 @@ fn run_shard<const N: usize>(
 /// sequential `Executor` is private to `executor.rs` and entangled with
 /// its entry point; the traversal logic is small enough that sharing it
 /// through a trait would cost more than it saves). Entry matching goes
-/// through [`matched_children`], so the match order — and therefore the
+/// through [`matched_entries`], so the match order — and therefore the
 /// access order the buffers see — is the sequential executor's.
 struct UnitExecutor<'a, const N: usize> {
     r1: &'a RTree<N>,
@@ -824,8 +829,7 @@ struct UnitExecutor<'a, const N: usize> {
     pairs: Vec<(ObjectId, ObjectId)>,
     pair_count: u64,
     config: JoinConfig,
-    scratch1: Vec<(Rect<N>, Child)>,
-    scratch2: Vec<(Rect<N>, Child)>,
+    scratch: MatchScratch<N>,
     // Fault-injection oracle (disabled = one `Option` check per pair)
     // and the node pairs forfeited to permanent read failures.
     faults: FaultInjector,
@@ -852,8 +856,7 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
             pairs: Vec::new(),
             pair_count: 0,
             config,
-            scratch1: Vec::new(),
-            scratch2: Vec::new(),
+            scratch: MatchScratch::new(),
             faults,
             skips: Vec::new(),
         }
@@ -897,12 +900,11 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
     }
 
     fn matched(&mut self, n1_id: NodeId, n2_id: NodeId) -> Vec<(Child, Child)> {
-        matched_children(
+        matched_entries(
             self.r1.node(n1_id),
             self.r2.node(n2_id),
             &self.config,
-            &mut self.scratch1,
-            &mut self.scratch2,
+            &mut self.scratch,
         )
     }
 
@@ -968,14 +970,13 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
                             Some(m) => m,
                             None => continue,
                         };
-                        let children: Vec<NodeId> = self
-                            .r1
-                            .node(a)
-                            .entries
-                            .iter()
-                            .filter(|e| self.config.predicate.holds(&e.rect, &m2))
-                            .map(|e| e.child.node())
-                            .collect();
+                        let children = pinned_children(
+                            &self.r1.node(a).entries,
+                            &m2,
+                            self.config.predicate,
+                            self.config.kernel,
+                            &mut self.scratch,
+                        );
                         for c1 in children {
                             if self.faults.is_enabled() && !self.probe(c1, b) {
                                 continue;
@@ -991,14 +992,13 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
                             Some(m) => m,
                             None => continue,
                         };
-                        let children: Vec<NodeId> = self
-                            .r2
-                            .node(b)
-                            .entries
-                            .iter()
-                            .filter(|e| self.config.predicate.holds(&m1, &e.rect))
-                            .map(|e| e.child.node())
-                            .collect();
+                        let children = pinned_children(
+                            &self.r2.node(b).entries,
+                            &m1,
+                            self.config.predicate,
+                            self.config.kernel,
+                            &mut self.scratch,
+                        );
                         for c2 in children {
                             if self.faults.is_enabled() && !self.probe(a, c2) {
                                 continue;
@@ -1046,14 +1046,13 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
                     Some(m) => m,
                     None => return,
                 };
-                let children: Vec<NodeId> = self
-                    .r1
-                    .node(n1_id)
-                    .entries
-                    .iter()
-                    .filter(|e| pred.holds(&e.rect, &m2))
-                    .map(|e| e.child.node())
-                    .collect();
+                let children = pinned_children(
+                    &self.r1.node(n1_id).entries,
+                    &m2,
+                    pred,
+                    self.config.kernel,
+                    &mut self.scratch,
+                );
                 for c1 in children {
                     if self.faults.is_enabled() && !self.probe(c1, n2_id) {
                         continue;
@@ -1068,14 +1067,13 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
                     Some(m) => m,
                     None => return,
                 };
-                let children: Vec<NodeId> = self
-                    .r2
-                    .node(n2_id)
-                    .entries
-                    .iter()
-                    .filter(|e| pred.holds(&m1, &e.rect))
-                    .map(|e| e.child.node())
-                    .collect();
+                let children = pinned_children(
+                    &self.r2.node(n2_id).entries,
+                    &m1,
+                    pred,
+                    self.config.kernel,
+                    &mut self.scratch,
+                );
                 for c2 in children {
                     if self.faults.is_enabled() && !self.probe(n1_id, c2) {
                         continue;
@@ -1095,6 +1093,7 @@ mod tests {
     use crate::executor::spatial_join;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use sjcm_geom::Rect;
     use sjcm_rtree::RTreeConfig;
 
     fn build(n: usize, side: f64, seed: u64) -> RTree<2> {

@@ -19,7 +19,8 @@
 //! The simulated I/O cost of PBSM is the classic two-pass accounting:
 //! both inputs are written into partitions once and read back once.
 
-use sjcm_geom::Rect;
+use crate::executor::MatchKernel;
+use sjcm_geom::{unit_grid_cell, Rect, RectBatch};
 use sjcm_rtree::ObjectId;
 
 /// Result of a PBSM join.
@@ -49,19 +50,45 @@ pub fn pbsm_join<const N: usize>(
     grid: usize,
     page_capacity: usize,
 ) -> PbsmResult {
+    pbsm_join_with(left, right, grid, page_capacity, MatchKernel::default())
+}
+
+/// [`pbsm_join`] with an explicit [`MatchKernel`]. The scalar and
+/// batched kernels produce identical pairs in identical order — the
+/// batched path evaluates each sweep anchor's candidate range with the
+/// fused [`RectBatch::ref_cell_mask`] kernel (intersection test and
+/// reference-point cell in one pass) instead of per-candidate
+/// `intersects` + `intersection` double scans.
+pub fn pbsm_join_with<const N: usize>(
+    left: &[(Rect<N>, ObjectId)],
+    right: &[(Rect<N>, ObjectId)],
+    grid: usize,
+    page_capacity: usize,
+    kernel: MatchKernel,
+) -> PbsmResult {
     assert!(grid >= 1, "need at least one partition per dimension");
     assert!(page_capacity >= 1, "page capacity must be positive");
     let cells = grid.pow(N as u32);
     let mut parts_left: Vec<Vec<(Rect<N>, ObjectId)>> = vec![Vec::new(); cells];
     let mut parts_right: Vec<Vec<(Rect<N>, ObjectId)>> = vec![Vec::new(); cells];
     let mut replicas = 0usize;
-    for &(r, id) in left {
+    // Sort each input once, globally, before partitioning: replication
+    // preserves order, so every partition receives its entries already
+    // sorted by sweep dimension — the per-cell sorts the sweep used to
+    // repeat for every cell vanish. (The sort is stable, so equal-lo₀
+    // ties keep input order, exactly as the former per-cell stable
+    // sorts left them.)
+    let mut left = left.to_vec();
+    let mut right = right.to_vec();
+    left.sort_by(|a, b| a.0.lo_k(0).total_cmp(&b.0.lo_k(0)));
+    right.sort_by(|a, b| a.0.lo_k(0).total_cmp(&b.0.lo_k(0)));
+    for &(r, id) in &left {
         for cell in overlapped_cells(&r, grid) {
             parts_left[cell].push((r, id));
             replicas += 1;
         }
     }
-    for &(r, id) in right {
+    for &(r, id) in &right {
         for cell in overlapped_cells(&r, grid) {
             parts_right[cell].push((r, id));
             replicas += 1;
@@ -75,15 +102,18 @@ pub fn pbsm_join<const N: usize>(
     };
 
     let mut pairs = Vec::new();
+    let mut scratch = SweepScratch::default();
     for cell in 0..cells {
         if parts_left[cell].is_empty() || parts_right[cell].is_empty() {
             continue;
         }
         sweep_cell(
-            &mut parts_left[cell],
-            &mut parts_right[cell],
+            &parts_left[cell],
+            &parts_right[cell],
             cell,
             grid,
+            kernel,
+            &mut scratch,
             &mut pairs,
         );
     }
@@ -98,17 +128,6 @@ pub fn pbsm_join<const N: usize>(
         io_pages,
         replication_factor,
     }
-}
-
-/// Row-major index of the cell containing point `p` (clamped into the
-/// unit workspace).
-fn cell_of_point<const N: usize>(p: &[f64; N], grid: usize) -> usize {
-    let mut idx = 0usize;
-    for k in (0..N).rev() {
-        let i = ((p[k].clamp(0.0, 1.0) * grid as f64) as usize).min(grid - 1);
-        idx = idx * grid + i;
-    }
-    idx
 }
 
 /// Row-major indices of all cells a rectangle overlaps (closed
@@ -147,46 +166,101 @@ fn overlapped_cells<const N: usize>(r: &Rect<N>, grid: usize) -> Vec<usize> {
     }
 }
 
+/// Reusable SoA batches for the batched per-cell sweeps.
+#[derive(Debug, Default)]
+struct SweepScratch<const N: usize> {
+    left: RectBatch<N>,
+    right: RectBatch<N>,
+}
+
 /// Plane-sweep join of one partition, with reference-point duplicate
-/// suppression.
+/// suppression. Both inputs must arrive sorted by `lo₀` (the global
+/// pre-partitioning sort guarantees it — partitions inherit the order).
+///
+/// The scalar kernel evaluates each candidate with a single
+/// `intersection` pass (`None` ⇒ disjoint — no pre-check, no
+/// `expect`); the batched kernel consumes each anchor's candidate run
+/// with the sweep-fused [`RectBatch::sweep_ref_cells`] kernel, which
+/// folds the run bound into its vectorized lanes and emits exactly
+/// "intersects **and** reference point in this cell" (dimension 0
+/// overlap is implied by the run bound — see the `sjcm_geom::batch`
+/// module docs).
+#[allow(clippy::too_many_arguments)]
 fn sweep_cell<const N: usize>(
-    left: &mut [(Rect<N>, ObjectId)],
-    right: &mut [(Rect<N>, ObjectId)],
+    left: &[(Rect<N>, ObjectId)],
+    right: &[(Rect<N>, ObjectId)],
     cell: usize,
     grid: usize,
+    kernel: MatchKernel,
+    scratch: &mut SweepScratch<N>,
     out: &mut Vec<(ObjectId, ObjectId)>,
 ) {
-    left.sort_by(|a, b| a.0.lo_k(0).total_cmp(&b.0.lo_k(0)));
-    right.sort_by(|a, b| a.0.lo_k(0).total_cmp(&b.0.lo_k(0)));
-    let mut emit = |a: &(Rect<N>, ObjectId), b: &(Rect<N>, ObjectId)| {
-        if !a.0.intersects(&b.0) {
-            return;
+    debug_assert!(
+        left.windows(2).all(|w| w[0].0.lo_k(0) <= w[1].0.lo_k(0))
+            && right.windows(2).all(|w| w[0].0.lo_k(0) <= w[1].0.lo_k(0)),
+        "sweep_cell inputs must be sorted by lo_k(0)"
+    );
+    if kernel == MatchKernel::Batched {
+        scratch.left.clear();
+        scratch.right.clear();
+        scratch.left.extend(left.iter().map(|e| e.0));
+        scratch.right.extend(right.iter().map(|e| e.0));
+    }
+    // Scalar reference point: the low corner of the MBR intersection.
+    // Only the partition containing it reports the pair.
+    fn emit<const N: usize>(
+        a: &(Rect<N>, ObjectId),
+        b: &(Rect<N>, ObjectId),
+        grid: usize,
+        cell: usize,
+        out: &mut Vec<(ObjectId, ObjectId)>,
+    ) {
+        if let Some(inter) = a.0.intersection(&b.0) {
+            if unit_grid_cell(&inter.lo().coords(), grid) == cell {
+                out.push((a.1, b.1));
+            }
         }
-        // Reference point: the low corner of the MBR intersection. Only
-        // the partition containing it reports the pair.
-        let inter = a.0.intersection(&b.0).expect("checked intersects");
-        if cell_of_point(&inter.lo().coords(), grid) == cell {
-            out.push((a.1, b.1));
-        }
-    };
+    }
     let (mut i, mut j) = (0usize, 0usize);
     while i < left.len() && j < right.len() {
         if left[i].0.lo_k(0) <= right[j].0.lo_k(0) {
             let anchor = left[i];
             let limit = anchor.0.hi_k(0);
-            let mut k = j;
-            while k < right.len() && right[k].0.lo_k(0) <= limit {
-                emit(&anchor, &right[k]);
-                k += 1;
+            match kernel {
+                MatchKernel::Scalar => {
+                    let mut k = j;
+                    while k < right.len() && right[k].0.lo_k(0) <= limit {
+                        emit(&anchor, &right[k], grid, cell, out);
+                        k += 1;
+                    }
+                }
+                MatchKernel::Batched => {
+                    scratch
+                        .right
+                        .sweep_ref_cells(&anchor.0, j, limit, grid, cell, |k| {
+                            out.push((anchor.1, right[k].1));
+                        });
+                }
             }
             i += 1;
         } else {
             let anchor = right[j];
             let limit = anchor.0.hi_k(0);
-            let mut k = i;
-            while k < left.len() && left[k].0.lo_k(0) <= limit {
-                emit(&left[k], &anchor);
-                k += 1;
+            match kernel {
+                MatchKernel::Scalar => {
+                    let mut k = i;
+                    while k < left.len() && left[k].0.lo_k(0) <= limit {
+                        emit(&left[k], &anchor, grid, cell, out);
+                        k += 1;
+                    }
+                }
+                MatchKernel::Batched => {
+                    scratch
+                        .left
+                        .sweep_ref_cells(&anchor.0, i, limit, grid, cell, |k| {
+                            out.push((left[k].1, anchor.1));
+                        });
+                }
             }
             j += 1;
         }

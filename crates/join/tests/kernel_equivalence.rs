@@ -1,0 +1,342 @@
+//! The batched-kernel fidelity suite: the SoA kernels of `sjcm-geom`
+//! must be **byte-identical** to the scalar predicates they replace —
+//! same qualifying pairs, same order, same NA/DA tallies — on
+//! adversarial coordinates (touching boundaries, ±0.0, degenerate
+//! rectangles, f32-outward-rounded values straight from the page
+//! format) and on the 60K fixed-seed workload under every scheduler.
+
+use proptest::prelude::*;
+use sjcm_geom::{unit_grid_cell, OverlapMask, Point, Rect, RectBatch};
+use sjcm_join::pbsm::{pbsm_join, pbsm_join_with};
+use sjcm_join::{
+    parallel_spatial_join, parallel_spatial_join_with, spatial_join_with,
+    try_parallel_spatial_join_with, JoinConfig, JoinError, JoinPredicate, MatchKernel, MatchOrder,
+    ScheduleMode,
+};
+use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig};
+use sjcm_storage::{DiskEntry, DiskNode, FaultInjector, DEFAULT_PAGE_SIZE};
+
+// ---------------------------------------------------------------------
+// Adversarial-coordinate strategies.
+// ---------------------------------------------------------------------
+
+/// One coordinate, biased toward the values that break naive overlap
+/// code: exact boundary/touching values, signed zero, and coordinates
+/// that went through the page format's f32 outward rounding.
+fn coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        3 => 0.0f64..1.0,
+        1 => Just(0.0f64),
+        1 => Just(-0.0f64),
+        1 => Just(0.25f64),
+        1 => Just(0.5f64),
+        1 => Just(1.0f64),
+        // f32-truncated: the same value class the page decoder returns.
+        2 => (0.0f64..1.0).prop_map(|x| f64::from(x as f32).clamp(0.0, 1.0)),
+    ]
+}
+
+/// A rectangle from adversarial corners; ~1 in 5 is degenerate (zero
+/// extent in at least one dimension).
+fn rect2() -> impl Strategy<Value = Rect<2>> {
+    (coord(), coord(), coord(), coord(), 0u32..5).prop_map(|(ax, ay, bx, by, degen)| {
+        let (bx, by) = if degen == 0 { (ax, ay) } else { (bx, by) };
+        Rect::from_corners(Point::new([ax, ay]), Point::new([bx, by]))
+    })
+}
+
+/// Round-trips a rectangle through the disk page format, returning the
+/// f32-outward-rounded rectangle a reader would see.
+fn page_roundtrip(r: Rect<2>) -> Rect<2> {
+    let node = DiskNode::<2> {
+        level: 0,
+        entries: vec![DiskEntry { rect: r, child: 0 }],
+    };
+    let bytes = node.encode(DEFAULT_PAGE_SIZE).expect("one entry fits");
+    DiskNode::<2>::decode(&bytes)
+        .expect("own encoding decodes")
+        .entries[0]
+        .rect
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn overlap_mask_agrees_with_scalar_intersects(
+        q in rect2(),
+        rects in prop::collection::vec(rect2(), 1..150),
+    ) {
+        let batch: RectBatch<2> = rects.iter().copied().collect();
+        let mut mask = OverlapMask::new();
+        batch.overlap_mask(&q, 0, batch.len(), &mut mask);
+        for (i, r) in rects.iter().enumerate() {
+            prop_assert_eq!(mask.get(i), q.intersects(r), "i={} q={:?} r={:?}", i, q, r);
+        }
+    }
+
+    #[test]
+    fn overlap_mask_agrees_on_page_rounded_coords(
+        q in rect2(),
+        rects in prop::collection::vec(rect2(), 1..80),
+    ) {
+        // The exact coordinate class the join sees after reading pages:
+        // f32 lows rounded down, f32 highs rounded up.
+        let q = page_roundtrip(q);
+        let rects: Vec<Rect<2>> = rects.into_iter().map(page_roundtrip).collect();
+        let batch: RectBatch<2> = rects.iter().copied().collect();
+        let mut mask = OverlapMask::new();
+        batch.overlap_mask(&q, 0, batch.len(), &mut mask);
+        for (i, r) in rects.iter().enumerate() {
+            prop_assert_eq!(mask.get(i), q.intersects(r), "i={} q={:?} r={:?}", i, q, r);
+        }
+    }
+
+    #[test]
+    fn within_mask_agrees_with_scalar_within_distance(
+        q in rect2(),
+        rects in prop::collection::vec(rect2(), 1..100),
+        eps in prop_oneof![Just(0.0f64), 0.0f64..0.5],
+    ) {
+        let batch: RectBatch<2> = rects.iter().copied().collect();
+        let mut mask = OverlapMask::new();
+        batch.within_mask(&q, eps, 0, batch.len(), &mut mask);
+        for (i, r) in rects.iter().enumerate() {
+            prop_assert_eq!(
+                mask.get(i),
+                q.within_distance(r, eps),
+                "i={} eps={} q={:?} r={:?}", i, eps, q, r
+            );
+        }
+    }
+
+    #[test]
+    fn ref_cell_mask_agrees_with_intersection_cell(
+        q in rect2(),
+        rects in prop::collection::vec(rect2(), 1..100),
+        grid in 1usize..9,
+    ) {
+        let batch: RectBatch<2> = rects.iter().copied().collect();
+        let mut mask = OverlapMask::new();
+        for cell in 0..grid.pow(2) {
+            batch.ref_cell_mask(&q, 0, batch.len(), grid, cell, &mut mask);
+            for (i, r) in rects.iter().enumerate() {
+                // The fused kernel trusts its sweep caller for dimension
+                // 0, so compare only candidates that overlap q there.
+                if !(q.lo_k(0) <= r.hi_k(0) && r.lo_k(0) <= q.hi_k(0)) {
+                    continue;
+                }
+                let expect = match q.intersection(r) {
+                    Some(inter) => unit_grid_cell(&inter.lo().coords(), grid) == cell,
+                    None => false,
+                };
+                prop_assert_eq!(
+                    mask.get(i), expect,
+                    "grid={} cell={} q={:?} r={:?}", grid, cell, q, r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pbsm_kernels_agree_on_adversarial_inputs(
+        left in prop::collection::vec(rect2(), 0..60),
+        right in prop::collection::vec(rect2(), 0..60),
+        grid in 1usize..6,
+    ) {
+        let tag = |rects: Vec<Rect<2>>, off: u32| -> Vec<(Rect<2>, ObjectId)> {
+            rects
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (r, ObjectId(off + i as u32)))
+                .collect()
+        };
+        let left = tag(left, 0);
+        let right = tag(right, 10_000);
+        let scalar = pbsm_join_with(&left, &right, grid, 50, MatchKernel::Scalar);
+        let batched = pbsm_join_with(&left, &right, grid, 50, MatchKernel::Batched);
+        // Identical pairs in identical order, not merely as multisets.
+        prop_assert_eq!(&scalar.pairs, &batched.pairs);
+        prop_assert_eq!(scalar.io_pages, batched.io_pages);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executor equivalence on deterministic workloads.
+// ---------------------------------------------------------------------
+
+fn build_uniform(n: usize, density: f64, seed: u64) -> RTree<2> {
+    let rects = sjcm_datagen::uniform::generate::<2>(sjcm_datagen::uniform::UniformConfig::new(
+        n, density, seed,
+    ));
+    let items: Vec<_> = rects
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, ObjectId(i as u32)))
+        .collect();
+    RTree::bulk_load(RTreeConfig::paper(2), items, BulkLoad::Str, 0.67)
+}
+
+fn with_kernel(config: JoinConfig, kernel: MatchKernel) -> JoinConfig {
+    JoinConfig { kernel, ..config }
+}
+
+/// The acceptance invariant: on the 60K fixed-seed workload the batched
+/// join is byte-identical to the scalar join — pair multiset, NA and DA
+/// — under all three schedulers (sequential, cost-guided, round-robin)
+/// and both match orders.
+#[test]
+fn batched_join_is_byte_identical_on_60k_workload() {
+    let t1 = build_uniform(60_000, 0.5, 4242);
+    let t2 = build_uniform(60_000, 0.5, 2424);
+    for order in [MatchOrder::NestedLoop, MatchOrder::PlaneSweep] {
+        let config = JoinConfig {
+            order,
+            ..JoinConfig::default()
+        };
+        // Sequential: identical pairs in identical emission order.
+        let seq_s = spatial_join_with(&t1, &t2, with_kernel(config, MatchKernel::Scalar));
+        let seq_b = spatial_join_with(&t1, &t2, with_kernel(config, MatchKernel::Batched));
+        assert_eq!(seq_s.pairs, seq_b.pairs, "{order:?} sequential pairs");
+        assert_eq!(seq_s.na_total(), seq_b.na_total(), "{order:?} NA");
+        assert_eq!(seq_s.da_total(), seq_b.da_total(), "{order:?} DA");
+        assert_eq!(seq_s.stats1, seq_b.stats1, "{order:?} per-level stats R1");
+        assert_eq!(seq_s.stats2, seq_b.stats2, "{order:?} per-level stats R2");
+
+        // Both parallel schedulers (pairs come back sorted there).
+        for mode in [ScheduleMode::CostGuided, ScheduleMode::RoundRobin] {
+            let par_s = parallel_spatial_join_with(
+                &t1,
+                &t2,
+                with_kernel(config, MatchKernel::Scalar),
+                4,
+                mode,
+            );
+            let par_b = parallel_spatial_join_with(
+                &t1,
+                &t2,
+                with_kernel(config, MatchKernel::Batched),
+                4,
+                mode,
+            );
+            assert_eq!(par_s.pairs, par_b.pairs, "{order:?} {mode:?} pairs");
+            assert_eq!(par_s.na_total(), par_b.na_total(), "{order:?} {mode:?} NA");
+            assert_eq!(par_s.da_total(), par_b.da_total(), "{order:?} {mode:?} DA");
+        }
+    }
+}
+
+/// Same invariant for the distance join (the sweep widens its window by
+/// ε and must use the full distance kernel, not the tail overlap one).
+#[test]
+fn batched_distance_join_is_byte_identical() {
+    let t1 = build_uniform(8_000, 0.3, 77);
+    let t2 = build_uniform(8_000, 0.3, 78);
+    for order in [MatchOrder::NestedLoop, MatchOrder::PlaneSweep] {
+        let config = JoinConfig {
+            predicate: JoinPredicate::WithinDistance(0.002),
+            order,
+            ..JoinConfig::default()
+        };
+        let scalar = spatial_join_with(&t1, &t2, with_kernel(config, MatchKernel::Scalar));
+        let batched = spatial_join_with(&t1, &t2, with_kernel(config, MatchKernel::Batched));
+        assert_eq!(scalar.pairs, batched.pairs, "{order:?}");
+        assert_eq!(scalar.na_total(), batched.na_total(), "{order:?}");
+        assert_eq!(scalar.da_total(), batched.da_total(), "{order:?}");
+    }
+}
+
+/// Pinned-node traversal (trees of different heights) goes through the
+/// one-vs-many kernel; it must match the scalar filter exactly.
+#[test]
+fn batched_join_identical_with_height_mismatch() {
+    let tall = build_uniform(20_000, 0.4, 91);
+    let short = build_uniform(120, 0.4, 92);
+    assert!(tall.height() > short.height());
+    for (a, b) in [(&tall, &short), (&short, &tall)] {
+        let scalar = spatial_join_with(
+            a,
+            b,
+            with_kernel(JoinConfig::default(), MatchKernel::Scalar),
+        );
+        let batched = spatial_join_with(
+            a,
+            b,
+            with_kernel(JoinConfig::default(), MatchKernel::Batched),
+        );
+        assert_eq!(scalar.pairs, batched.pairs);
+        assert_eq!(scalar.na_total(), batched.na_total());
+        assert_eq!(scalar.da_total(), batched.da_total());
+    }
+}
+
+// ---------------------------------------------------------------------
+// threads = 0 handling (the former `min_by_key(..).unwrap()` panic).
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_threads_is_a_typed_error_on_the_fallible_path() {
+    let t1 = build_uniform(500, 0.3, 11);
+    let t2 = build_uniform(500, 0.3, 12);
+    for mode in [ScheduleMode::CostGuided, ScheduleMode::RoundRobin] {
+        let err = try_parallel_spatial_join_with(
+            &t1,
+            &t2,
+            JoinConfig::default(),
+            0,
+            mode,
+            &FaultInjector::disabled(),
+        )
+        .expect_err("threads = 0 must not silently run");
+        assert_eq!(err, JoinError::InvalidThreads, "{mode:?}");
+        assert!(err.to_string().contains("at least one worker"));
+    }
+}
+
+#[test]
+fn zero_threads_clamps_to_sequential_on_the_infallible_path() {
+    let t1 = build_uniform(500, 0.3, 11);
+    let t2 = build_uniform(500, 0.3, 12);
+    let one = parallel_spatial_join(&t1, &t2, JoinConfig::default(), 1);
+    let zero = parallel_spatial_join(&t1, &t2, JoinConfig::default(), 0);
+    assert_eq!(zero.pairs, one.pairs);
+    assert_eq!(zero.na_total(), one.na_total());
+    assert_eq!(zero.da_total(), one.da_total());
+    for mode in [ScheduleMode::CostGuided, ScheduleMode::RoundRobin] {
+        let zero = parallel_spatial_join_with(&t1, &t2, JoinConfig::default(), 0, mode);
+        assert_eq!(zero.pairs, one.pairs, "{mode:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// PBSM regressions: boundary-touching pairs and the kernel gate.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pbsm_boundary_touching_pairs_identical_across_kernels() {
+    // Pairs meeting exactly on a partition boundary exercise both the
+    // reference-point tie-breaking and the fused kernel's cell
+    // computation on boundary coordinates.
+    let a = vec![
+        (Rect::new([0.0, 0.0], [0.5, 0.5]).unwrap(), ObjectId(1)),
+        (Rect::new([0.5, 0.5], [1.0, 1.0]).unwrap(), ObjectId(2)),
+        (Rect::new([0.25, 0.25], [0.25, 0.75]).unwrap(), ObjectId(3)),
+    ];
+    let b = vec![
+        (Rect::new([0.5, 0.0], [1.0, 0.5]).unwrap(), ObjectId(7)),
+        (Rect::new([0.0, 0.5], [0.5, 1.0]).unwrap(), ObjectId(8)),
+        (Rect::new([0.25, 0.5], [0.75, 0.5]).unwrap(), ObjectId(9)),
+    ];
+    for grid in [1, 2, 3, 4, 8] {
+        let scalar = pbsm_join_with(&a, &b, grid, 10, MatchKernel::Scalar);
+        let batched = pbsm_join_with(&a, &b, grid, 10, MatchKernel::Batched);
+        assert_eq!(scalar.pairs, batched.pairs, "grid = {grid}");
+        // The default entry point uses the batched kernel.
+        assert_eq!(pbsm_join(&a, &b, grid, 10).pairs, batched.pairs);
+        // And no pair is reported twice despite boundary replication.
+        let mut seen = std::collections::HashSet::new();
+        for &p in &batched.pairs {
+            assert!(seen.insert(p), "duplicate {p:?} at grid {grid}");
+        }
+    }
+}

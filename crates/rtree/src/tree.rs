@@ -452,7 +452,7 @@ impl<const N: usize> RTree<N> {
     /// particular order.
     pub fn query_window(&self, window: &Rect<N>) -> Vec<ObjectId> {
         let mut out = Vec::new();
-        self.query_desc(self.root, window, &mut out, &mut |_| {});
+        self.query_scan(window, &mut out, &mut |_| {});
         out
     }
 
@@ -464,13 +464,45 @@ impl<const N: usize> RTree<N> {
     pub fn query_window_counting(&self, window: &Rect<N>) -> (Vec<ObjectId>, Vec<u64>) {
         let mut out = Vec::new();
         let mut visits = vec![0u64; self.height()];
-        self.query_desc(self.root, window, &mut out, &mut |level| {
+        self.query_scan(window, &mut out, &mut |level| {
             visits[level as usize] += 1;
         });
         (out, visits)
     }
 
-    fn query_desc(
+    /// The query engine behind [`RTree::query_window`] and
+    /// [`RTree::query_window_counting`]: an explicit-stack depth-first
+    /// descent whose per-node entry matching runs through the batched
+    /// [`sjcm_geom::RectBatch`] overlap kernel. Matched children are
+    /// pushed in reverse so the stack pops them in entry order — the
+    /// visit order (and therefore `out` and `on_visit` order) is exactly
+    /// the recursive scalar descent's pre-order (asserted in tests
+    /// against `query_desc_scalar`).
+    fn query_scan(&self, window: &Rect<N>, out: &mut Vec<ObjectId>, on_visit: &mut impl FnMut(u8)) {
+        let mut batch = sjcm_geom::RectBatch::new();
+        let mut mask = sjcm_geom::OverlapMask::new();
+        let mut matched: Vec<NodeId> = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(node_id) = stack.pop() {
+            let node = self.node(node_id);
+            on_visit(node.level);
+            batch.clear();
+            batch.extend(node.entries.iter().map(|e| e.rect));
+            batch.overlap_mask(window, 0, batch.len(), &mut mask);
+            if node.is_leaf() {
+                out.extend(mask.iter_set().map(|i| node.entries[i].child.object()));
+            } else {
+                matched.clear();
+                matched.extend(mask.iter_set().map(|i| node.entries[i].child.node()));
+                stack.extend(matched.iter().rev());
+            }
+        }
+    }
+
+    /// The scalar recursive descent `query_scan` replaced — kept as the
+    /// reference implementation the equivalence tests compare against.
+    #[cfg(test)]
+    fn query_desc_scalar(
         &self,
         node_id: NodeId,
         window: &Rect<N>,
@@ -485,7 +517,7 @@ impl<const N: usize> RTree<N> {
             }
             match e.child {
                 Child::Object(id) => out.push(id),
-                Child::Node(child) => self.query_desc(child, window, out, on_visit),
+                Child::Node(child) => self.query_desc_scalar(child, window, out, on_visit),
             }
         }
     }
@@ -547,6 +579,32 @@ mod tests {
         assert_eq!(tree.height(), 1);
         assert_eq!(tree.mbr(), None);
         assert!(tree.query_window(&Rect::unit()).is_empty());
+    }
+
+    #[test]
+    fn batched_query_scan_is_byte_identical_to_scalar_descent() {
+        let data = random_rects(800, 42);
+        let mut tree = RTree::<2>::new(small_config());
+        for &(r, id) in &data {
+            tree.insert(r, id);
+        }
+        assert!(tree.height() >= 3, "want a multi-level tree");
+        let mut rng = StdRng::seed_from_u64(4242);
+        for _ in 0..40 {
+            let cx: f64 = rng.gen_range(0.0..1.0);
+            let cy: f64 = rng.gen_range(0.0..1.0);
+            let q = Rect::centered(sjcm_geom::Point::new([cx, cy]), [0.25, 0.2]);
+            // Same hits in the same order, same visit sequence — the
+            // batched scan is the scalar pre-order descent, vectorized.
+            let mut scalar = Vec::new();
+            let mut scalar_levels = Vec::new();
+            tree.query_desc_scalar(tree.root, &q, &mut scalar, &mut |l| scalar_levels.push(l));
+            let mut batched = Vec::new();
+            let mut batched_levels = Vec::new();
+            tree.query_scan(&q, &mut batched, &mut |l| batched_levels.push(l));
+            assert_eq!(batched, scalar);
+            assert_eq!(batched_levels, scalar_levels);
+        }
     }
 
     #[test]
