@@ -11,7 +11,7 @@ use sjcm_join::parallel::{
 use sjcm_join::{
     spatial_join_with, try_parallel_spatial_join_with, BufferPolicy, JoinConfig, MatchOrder,
 };
-use sjcm_obs::{DriftMonitor, Tracer};
+use sjcm_obs::{DriftMonitor, ProgressTracker, Tracer};
 use sjcm_storage::{FaultInjector, FlightRecorder};
 use std::hint::black_box;
 use std::time::Instant;
@@ -128,6 +128,7 @@ fn bench_parallel(c: &mut Criterion) {
                 tracer: tracer.clone(),
                 drift: None,
                 recorder: FlightRecorder::disabled(),
+                progress: ProgressTracker::disabled(),
             };
             let result = parallel_spatial_join_observed(&t1, &t2, config(), threads, mode, &obs);
             let worker_na: Vec<String> = result.workers.iter().map(|w| w.na.to_string()).collect();
@@ -152,11 +153,14 @@ fn bench_parallel(c: &mut Criterion) {
 
 /// The observability overhead guard: the same fixed-seed cost-guided
 /// join with observability disabled (the production default), fully
-/// enabled (tracer + in-flight drift checks), and enabled *with the
-/// page-access flight recorder armed*, reported as a BENCH JSON line.
-/// The disabled path must be indistinguishable from the
-/// pre-observability code (a single `Option` check per hook); enabled
-/// tracing — recorder included — targets < 3% overhead.
+/// enabled (tracer + in-flight drift checks), enabled *with the
+/// page-access flight recorder armed*, and with *only the progress
+/// tracker* armed, reported as a BENCH JSON line. The disabled path
+/// must be indistinguishable from the pre-observability code (a single
+/// `Option` check per hook); enabled tracing — recorder included —
+/// targets < 3% overhead, and the progress tracker alone must stay
+/// under 2% (asserted on full runs; its hot path is one `Option`
+/// check per access plus a delta flush every 512th).
 fn bench_obs_overhead(c: &mut Criterion) {
     let _ = c; // manual timing: one JSON line, not a criterion group
     let smoke = std::env::args().any(|a| a == "--test");
@@ -191,6 +195,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
             tracer: Tracer::enabled(),
             drift: Some(&drift),
             recorder: FlightRecorder::disabled(),
+            progress: ProgressTracker::disabled(),
         };
         let start = Instant::now();
         let r = black_box(parallel_spatial_join_observed(
@@ -214,6 +219,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
             tracer: Tracer::enabled(),
             drift: Some(&drift),
             recorder: recorder.clone(),
+            progress: ProgressTracker::disabled(),
         };
         let start = Instant::now();
         let r = black_box(parallel_spatial_join_observed(
@@ -234,31 +240,75 @@ fn bench_obs_overhead(c: &mut Criterion) {
         assert_eq!(events.len() as u64, r.na_total());
         elapsed
     };
+    let run_progress = || {
+        let tracker = ProgressTracker::enabled();
+        let obs = JoinObs {
+            tracer: Tracer::disabled(),
+            drift: None,
+            recorder: FlightRecorder::disabled(),
+            progress: tracker.clone(),
+        };
+        let start = Instant::now();
+        let r = black_box(parallel_spatial_join_observed(
+            &t1,
+            &t2,
+            config(),
+            threads,
+            ScheduleMode::CostGuided,
+            &obs,
+        ));
+        let elapsed = start.elapsed();
+        // Progress must be invisible in the answer and complete in its
+        // own counters.
+        assert_eq!(r.na_total(), warm.na_total());
+        assert_eq!(r.da_total(), warm.da_total());
+        elapsed
+    };
     // Warm up once, then interleave the variants so all see the same
     // machine conditions, and compare minima (noise on a 6 ms parallel
     // join is strictly additive).
-    let _ = (run_disabled(), run_enabled(), run_recorded());
+    let _ = (
+        run_disabled(),
+        run_enabled(),
+        run_recorded(),
+        run_progress(),
+    );
     let mut disabled = std::time::Duration::MAX;
     let mut enabled = std::time::Duration::MAX;
     let mut recorded = std::time::Duration::MAX;
+    let mut progress = std::time::Duration::MAX;
     for _ in 0..reps {
         disabled = disabled.min(run_disabled());
         enabled = enabled.min(run_enabled());
         recorded = recorded.min(run_recorded());
+        progress = progress.min(run_progress());
     }
     let pct_over = |v: std::time::Duration| {
         (v.as_secs_f64() - disabled.as_secs_f64()) / disabled.as_secs_f64() * 100.0
     };
     println!(
         "{{\"group\":\"join_algorithms\",\"bench\":\"obs_overhead/{n}/{threads}\",\
-         \"disabled_us\":{},\"enabled_us\":{},\"recorded_us\":{},\
-         \"overhead_pct\":{:.2},\"recorder_overhead_pct\":{:.2}}}",
+         \"disabled_us\":{},\"enabled_us\":{},\"recorded_us\":{},\"progress_us\":{},\
+         \"overhead_pct\":{:.2},\"recorder_overhead_pct\":{:.2},\
+         \"progress_overhead_pct\":{:.2}}}",
         disabled.as_micros(),
         enabled.as_micros(),
         recorded.as_micros(),
+        progress.as_micros(),
         pct_over(enabled),
-        pct_over(recorded)
+        pct_over(recorded),
+        pct_over(progress)
     );
+    // The < 2% progress guard runs at full scale only: smoke workloads
+    // are too small for the percentage to be meaningful.
+    if !smoke {
+        assert!(
+            pct_over(progress) < 2.0,
+            "progress tracker overhead {:.2}% exceeds the 2% budget \
+             (disabled {disabled:?}, progress {progress:?})",
+            pct_over(progress)
+        );
+    }
 }
 
 /// The fault-injection overhead guard: the same fixed-seed cost-guided

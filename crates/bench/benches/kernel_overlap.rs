@@ -205,7 +205,7 @@ fn bench_pbsm_sweep(c: &mut Criterion) {
     };
     let items1 = uniform_items(n, 0.5, 4242);
     let items2 = uniform_items(n, 0.5, 2424);
-    let grids: &[usize] = if smoke() { &[1] } else { &[1, 4, 8, 16] };
+    let grids: &[usize] = if smoke() { &[1, 16] } else { &[1, 4, 8, 16] };
     for &grid in grids {
         let run = |kernel: MatchKernel| {
             let start = Instant::now();
@@ -242,6 +242,22 @@ fn bench_pbsm_sweep(c: &mut Criterion) {
                 speedup >= bar,
                 "batched sweep matching {speedup:.2}x < required {bar:.1}x \
                  (scalar {scalar:?}, batched {batched:?})"
+            );
+        }
+        if grid == 16 {
+            // High-resolution grids produce cells too small (~230
+            // entries at 60K) to amortize the per-cell SoA fill, so
+            // the kernel demotes them to the scalar path and the two
+            // arms run identical code: the expected speedup is parity,
+            // and what this guard rejects is the 0.91× class of
+            // regression where batched pays the fill without using it.
+            // The bar sits a noise margin below 1.0 — back-to-back
+            // parity runs measure 0.99–1.01×.
+            let bar = if smoke() { 0.9 } else { 0.95 };
+            assert!(
+                speedup >= bar,
+                "batched sweep at grid 16 regressed to {speedup:.2}x \
+                 (< {bar:.1}x; scalar {scalar:?}, batched {batched:?})"
             );
         }
     }

@@ -273,6 +273,36 @@ pub fn join_prediction_targets<const N: usize>(
     out
 }
 
+/// Structured per-level NA priors for a live progress estimator: for
+/// each tree and accessed paper level `j` (1 = leaf; roots are excluded
+/// by construction — the schedule never emits them), the Eq-6 NA
+/// prediction, as `(tree ∈ {1, 2}, j, NA)` triples sorted by tree then
+/// level. This is the NA half of [`join_prediction_targets`] without
+/// the name strings: the progress engine seeds its per-level work
+/// denominators from these values and needs the coordinates as data,
+/// not as parseable names. The triples of one tree sum to
+/// [`join_cost_na`] / 2 (each tree pays half of every pair visit).
+pub fn join_na_priors<const N: usize>(
+    r1: &TreeParams<N>,
+    r2: &TreeParams<N>,
+) -> Vec<(usize, usize, f64)> {
+    use std::collections::BTreeMap;
+    let mut na1: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut na2: BTreeMap<usize, f64> = BTreeMap::new();
+    for (pair, na) in join_cost_na_by_level(r1, r2) {
+        *na1.entry(pair.j1).or_insert(0.0) += na;
+        *na2.entry(pair.j2).or_insert(0.0) += na;
+    }
+    let mut out = Vec::new();
+    for (&j, &v) in &na1 {
+        out.push((1, j, v));
+    }
+    for (&j, &v) in &na2 {
+        out.push((2, j, v));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -514,6 +544,30 @@ mod tests {
         assert!(!targets.iter().any(|(n, _)| n == "na.r2.l3"));
         assert_eq!(na_target(1, 2), "na.r1.l2");
         assert_eq!(da_target(2, 1), "da.r2.l1");
+    }
+
+    #[test]
+    fn na_priors_mirror_the_named_targets() {
+        let a = p2(80_000, 0.5); // h = 4
+        let b = p2(20_000, 0.5); // h = 3 — exercises the pinned phase
+        let priors = join_na_priors(&a, &b);
+        let targets = join_prediction_targets(&a, &b);
+        // Same coordinates, same values as the named NA targets.
+        for &(tree, j, na) in &priors {
+            let name = na_target(tree, j);
+            let named = targets
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing named twin {name}"));
+            assert!((na - named).abs() < 1e-9, "{name}");
+        }
+        let total: f64 = priors.iter().map(|&(_, _, v)| v).sum();
+        assert!((total - join_cost_na(&a, &b)).abs() < 1e-9);
+        // Roots never appear (paper level h is memory-resident).
+        assert!(priors
+            .iter()
+            .all(|&(t, j, _)| j < if t == 1 { 4 } else { 3 }));
     }
 
     #[test]

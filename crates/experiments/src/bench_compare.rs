@@ -1,0 +1,259 @@
+//! The `bench-compare` command: diffs a freshly collected BENCH JSON
+//! stream against the committed per-PR baselines and fails on real
+//! regressions.
+//!
+//! Every bench target prints one JSON object per result (the `^{`
+//! lines the CI greps into `BENCH_pr*.json`). This command joins the
+//! current stream to the baselines on the `(group, bench)` key and
+//! compares only the fields that are stable across machines:
+//!
+//! * `speedup` — the scalar-vs-batched (or equivalent) ratio; a ratio
+//!   of ratios cancels the host's absolute clock, so a drop below
+//!   [`SPEEDUP_FLOOR`] (> 20% regression) fails the gate.
+//! * `na_imbalance` — the scheduler's work-spread; dimensionless by
+//!   construction; growth beyond [`IMBALANCE_CEIL`] fails.
+//!
+//! Raw `*_us` timings and `*_pct` overheads are machine-speed
+//! artifacts (a slower CI runner would flag every PR), so they are
+//! reported for context but never gate. Benches present on only one
+//! side are listed, not failed — new benches appear, retired ones
+//! disappear.
+//!
+//! Multiple `--baseline` files are merged in order, later files
+//! overriding earlier ones per key, so `BENCH_pr3.json BENCH_pr6.json`
+//! composes the committed history into one baseline view.
+
+use sjcm_obs::json::{self, Value};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A current/baseline speedup ratio below this (i.e. more than a 20%
+/// relative slowdown) fails the gate.
+const SPEEDUP_FLOOR: f64 = 0.8;
+
+/// A current/baseline NA-imbalance ratio above this (the spread grew
+/// by more than 20%) fails the gate.
+const IMBALANCE_CEIL: f64 = 1.2;
+
+/// One parsed BENCH line, keyed by `(group, bench)`, holding only the
+/// numeric fields.
+type BenchMap = BTreeMap<(String, String), BTreeMap<String, f64>>;
+
+/// Reads one BENCH JSON file into the map, overriding any keys already
+/// present (the later-baseline-wins merge rule). Non-`{` lines are
+/// skipped so a raw bench log works as well as a grepped artifact.
+fn load_into(map: &mut BenchMap, path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut lines = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if !line.trim_start().starts_with('{') {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
+        let field = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+        let (Some(group), Some(bench)) = (field("group"), field("bench")) else {
+            return Err(format!(
+                "{}:{}: BENCH line missing group/bench",
+                path.display(),
+                lineno + 1
+            ));
+        };
+        let mut fields = BTreeMap::new();
+        for key in ["speedup", "na_imbalance", "pairs", "na_total", "da_total"] {
+            if let Some(x) = v.get(key).and_then(Value::as_f64) {
+                fields.insert(key.to_string(), x);
+            }
+        }
+        map.insert((group, bench), fields);
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{}: no BENCH JSON lines", path.display()));
+    }
+    Ok(lines)
+}
+
+/// Committed baselines found at the repo root when no `--baseline` was
+/// given: every `BENCH_*.json` beside `Cargo.toml`, sorted so the
+/// merge order is deterministic.
+pub fn default_baselines() -> Vec<PathBuf> {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(".")
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    found.sort();
+    found
+}
+
+/// The gate: `false` (with per-bench diagnostics) iff any stable
+/// metric regressed beyond its threshold.
+pub fn bench_compare(current: &Path, baselines: &[PathBuf]) -> bool {
+    let mut base = BenchMap::new();
+    for b in baselines {
+        match load_into(&mut base, b) {
+            Ok(n) => println!("bench-compare: {n} baseline lines from {}", b.display()),
+            Err(e) => {
+                eprintln!("bench-compare: {e}");
+                return false;
+            }
+        }
+    }
+    let mut cur = BenchMap::new();
+    match load_into(&mut cur, current) {
+        Ok(n) => println!(
+            "bench-compare: {n} current lines from {}",
+            current.display()
+        ),
+        Err(e) => {
+            eprintln!("bench-compare: {e}");
+            return false;
+        }
+    }
+
+    let mut ok = true;
+    let mut compared = 0usize;
+    for ((group, bench), fields) in &cur {
+        let key = (group.clone(), bench.clone());
+        let Some(base_fields) = base.get(&key) else {
+            println!("  new   {group}/{bench} (no baseline)");
+            continue;
+        };
+        for (metric, floor_is_bad, threshold) in [
+            ("speedup", true, SPEEDUP_FLOOR),
+            ("na_imbalance", false, IMBALANCE_CEIL),
+        ] {
+            let (Some(&c), Some(&b)) = (fields.get(metric), base_fields.get(metric)) else {
+                continue;
+            };
+            if b <= 0.0 {
+                continue;
+            }
+            let ratio = c / b;
+            compared += 1;
+            let regressed = if floor_is_bad {
+                ratio < threshold
+            } else {
+                ratio > threshold
+            };
+            let verdict = if regressed { "FAIL" } else { "ok" };
+            println!(
+                "  {verdict:<5} {group}/{bench} {metric}: {b:.3} -> {c:.3} (x{ratio:.2}, gate {}{threshold:.1})",
+                if floor_is_bad { ">=" } else { "<=" },
+            );
+            if regressed {
+                eprintln!(
+                    "bench-compare: {group}/{bench} {metric} regressed x{ratio:.2} \
+                     (baseline {b:.3}, current {c:.3})"
+                );
+                ok = false;
+            }
+        }
+    }
+    for (group, bench) in base.keys() {
+        if !cur.contains_key(&(group.clone(), bench.clone())) {
+            println!("  gone  {group}/{bench} (baseline only)");
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench-compare: no overlapping gated metrics between current and baselines");
+        return false;
+    }
+    println!(
+        "bench-compare: {compared} gated metrics compared, {}",
+        if ok {
+            "all within thresholds"
+        } else {
+            "REGRESSIONS found"
+        }
+    );
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, name: &str, text: &str) -> PathBuf {
+        let p = dir.join(name);
+        std::fs::write(&p, text).unwrap();
+        p
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("sjcm_bench_compare_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn passes_when_metrics_hold_and_fails_a_20pct_speedup_drop() {
+        let d = tmpdir("gate");
+        let base = write(
+            &d,
+            "base.json",
+            r#"{"group":"g","bench":"a","speedup":2.0,"scalar_us":100}
+{"group":"g","bench":"b","na_imbalance":1.1}"#,
+        );
+        let good = write(
+            &d,
+            "good.json",
+            r#"{"group":"g","bench":"a","speedup":1.7,"scalar_us":900}
+{"group":"g","bench":"b","na_imbalance":1.2}"#,
+        );
+        let bad = write(
+            &d,
+            "bad.json",
+            r#"{"group":"g","bench":"a","speedup":1.5}
+{"group":"g","bench":"b","na_imbalance":1.2}"#,
+        );
+        // 1.7/2.0 = 0.85 holds; raw _us timings never gate.
+        assert!(bench_compare(&good, std::slice::from_ref(&base)));
+        // 1.5/2.0 = 0.75 < 0.8 fails.
+        assert!(!bench_compare(&bad, &[base]));
+    }
+
+    #[test]
+    fn fails_an_imbalance_growth_and_later_baselines_override() {
+        let d = tmpdir("merge");
+        let old = write(
+            &d,
+            "old.json",
+            r#"{"group":"g","bench":"b","na_imbalance":0.5}"#,
+        );
+        let new = write(
+            &d,
+            "new.json",
+            r#"{"group":"g","bench":"b","na_imbalance":1.0}"#,
+        );
+        let cur = write(
+            &d,
+            "cur.json",
+            r#"{"group":"g","bench":"b","na_imbalance":1.15}"#,
+        );
+        // Against the merged view the later baseline (1.0) wins:
+        // 1.15/1.0 holds, while 1.15/0.5 would have failed.
+        assert!(bench_compare(&cur, &[old.clone(), new]));
+        assert!(!bench_compare(&cur, &[old]));
+    }
+
+    #[test]
+    fn rejects_streams_with_nothing_to_gate() {
+        let d = tmpdir("empty");
+        let base = write(
+            &d,
+            "base.json",
+            r#"{"group":"g","bench":"a","speedup":2.0}"#,
+        );
+        let cur = write(&d, "cur.json", r#"{"group":"g","bench":"z","pairs":5}"#);
+        assert!(!bench_compare(&cur, &[base]));
+    }
+}

@@ -23,8 +23,14 @@
 //!   parallel        §5 outlook: cost-guided parallel SJ vs round-robin
 //!   params-diff     analytic-vs-measured tree parameter table
 //!   join            one fully observed join: spans, metrics, live
-//!                   drift, and (with --obs-dir) the page-access
-//!                   flight recorder + Perfetto export
+//!                   drift, the Eq-6-seeded progress/ETA engine
+//!                   (--watch draws it live; --obs-dir persists the
+//!                   snapshot JSONL), and (with --obs-dir) the
+//!                   page-access flight recorder + Perfetto export
+//!   bench-compare   gate a fresh BENCH JSON stream (--current)
+//!                   against committed baselines (--baseline, repeat
+//!                   to merge; defaults to ./BENCH_*.json): fails on
+//!                   >20% speedup loss or imbalance growth
 //!   chaos           seeded fault-injection campaigns: transient faults
 //!                   must heal to a byte-identical join, permanent leaf
 //!                   loss must degrade gracefully with the forfeit
@@ -45,8 +51,14 @@
 //!              trace replay/report and validate-obs read them
 //! --seed S     chaos: seeds the deterministic fault plans (default
 //!              1998; the data seeds stay pinned)
+//! --watch      join: redraw the live progress line (fraction, ETA
+//!              with the ±15% band, pairs) while the join runs
+//! --current F  bench-compare: the freshly grepped BENCH JSON
+//! --baseline F bench-compare: a committed baseline; repeatable,
+//!              later files override earlier per (group, bench)
 //! ```
 
+mod bench_compare;
 mod chaos;
 mod common;
 mod errors;
@@ -66,6 +78,9 @@ struct Args {
     threads: usize,
     obs_dir: Option<PathBuf>,
     seed: u64,
+    watch: bool,
+    current: Option<PathBuf>,
+    baselines: Vec<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,6 +103,9 @@ fn parse_args() -> Result<Args, String> {
     let mut threads = 4;
     let mut obs_dir = None;
     let mut seed = 1998;
+    let mut watch = false;
+    let mut current = None;
+    let mut baselines = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -120,6 +138,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<u64>()
                     .map_err(|e| format!("bad --seed {v}: {e}"))?;
             }
+            "--watch" => watch = true,
+            "--current" => {
+                current = Some(PathBuf::from(args.next().ok_or("--current needs a value")?));
+            }
+            "--baseline" => {
+                baselines.push(PathBuf::from(
+                    args.next().ok_or("--baseline needs a value")?,
+                ));
+            }
             "--trace" | "--metrics" => {
                 return Err(format!(
                     "{flag} was replaced by --obs-dir DIR (the directory \
@@ -137,6 +164,9 @@ fn parse_args() -> Result<Args, String> {
         threads,
         obs_dir,
         seed,
+        watch,
+        current,
+        baselines,
     })
 }
 
@@ -172,8 +202,13 @@ fn main() -> ExitCode {
             "algo-compare" => extensions::algo_compare(out, scale),
             "parallel" => extensions::parallel_join(out, scale, args.threads),
             "join" => {
-                if !observability::join_observed(out, scale, args.threads, args.obs_dir.as_deref())
-                {
+                if !observability::join_observed(
+                    out,
+                    scale,
+                    args.threads,
+                    args.obs_dir.as_deref(),
+                    args.watch,
+                ) {
                     eprintln!("warning: drift breached the envelope (see above)");
                 }
             }
@@ -219,6 +254,29 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "bench-compare" => {
+            let Some(current) = args.current.as_deref() else {
+                eprintln!("error: bench-compare needs --current FILE (a grepped BENCH JSON)");
+                return ExitCode::FAILURE;
+            };
+            let baselines = if args.baselines.is_empty() {
+                let found = bench_compare::default_baselines();
+                if found.is_empty() {
+                    eprintln!(
+                        "error: no --baseline given and no committed BENCH_*.json found \
+                         in the working directory"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                found
+            } else {
+                args.baselines.clone()
+            };
+            if !bench_compare::bench_compare(current, &baselines) {
+                return ExitCode::FAILURE;
+            }
+            return ExitCode::SUCCESS;
+        }
         "validate-obs" => {
             let Some(dir) = obs_dir_or("validate-obs") else {
                 return ExitCode::FAILURE;
@@ -250,14 +308,17 @@ fn main() -> ExitCode {
             println!("          selectivity role-choice lru-ablation high-dim");
             println!("          algo-compare parallel join chaos trace-replay trace-report");
             println!("          (also spelled `trace replay` / `trace report`)");
-            println!("          validate-obs all");
+            println!("          bench-compare validate-obs all");
             println!("flags:    --scale F (default 1.0), --out DIR (default results/),");
             println!("          --threads T (parallel/join/chaos commands, default 4),");
-            println!("          --obs-dir D (join writes span/metrics JSONL, the binary");
-            println!("          access trace and the Perfetto export there; chaos adds");
-            println!("          its fault/drift metrics JSONL; trace replay/report and");
-            println!("          validate-obs read them back),");
-            println!("          --seed S (chaos fault-plan seed, default 1998)");
+            println!("          --obs-dir D (join writes span/metrics/progress JSONL, the");
+            println!("          binary access trace and the Perfetto export there; chaos");
+            println!("          adds its fault/drift metrics JSONL; trace replay/report");
+            println!("          and validate-obs read them back),");
+            println!("          --seed S (chaos fault-plan seed, default 1998),");
+            println!("          --watch (join: live progress/ETA line),");
+            println!("          --current F / --baseline F (bench-compare inputs; --baseline");
+            println!("          repeats, defaults to the committed ./BENCH_*.json)");
             return ExitCode::SUCCESS;
         }
         cmd => {

@@ -12,15 +12,22 @@
 //! end; and, when `--obs-dir` is given, the page-access flight
 //! recorder, whose binary trace feeds the offline `trace replay` /
 //! `trace report` toolchain ([`crate::trace`]) alongside the Perfetto
-//! export of the span tree.
+//! export of the span tree. A watcher thread samples the
+//! Eq-6-prior-seeded progress engine throughout the run — `--watch`
+//! draws it live, `--obs-dir` persists the snapshot JSONL, and the
+//! report prints the prior-vs-refined ETA error curve either way.
 
 use crate::common::{build_tree, measured_params, DEFAULT_DENSITY};
 use crate::report::{int, pct, Report};
 use sjcm_core::join;
 use sjcm_datagen::uniform::{generate as uniform, UniformConfig};
 use sjcm_join::{parallel_spatial_join_observed, BufferPolicy, JoinConfig, JoinObs, ScheduleMode};
-use sjcm_obs::{json, DriftMonitor, MetricsRegistry, Tracer, PAPER_ENVELOPE};
+use sjcm_obs::{
+    json, validate_progress_jsonl, DriftMonitor, LevelPrior, MetricsRegistry, ProgressEngine,
+    ProgressSnapshot, ProgressTracker, Tracer, PAPER_ENVELOPE,
+};
 use sjcm_storage::{AccessTrace, FlightRecorder, RecordedPolicy};
+use std::io::Write as _;
 use std::path::Path;
 
 /// Span-JSONL artifact name inside `--obs-dir`.
@@ -29,14 +36,34 @@ pub const TRACE_FILE: &str = "join_trace.jsonl";
 pub const METRICS_FILE: &str = "join_metrics.jsonl";
 /// Perfetto/Chrome trace-event artifact name inside `--obs-dir`.
 pub const PERFETTO_FILE: &str = "join_perfetto.json";
+/// Progress-snapshot JSONL artifact name inside `--obs-dir`.
+pub const PROGRESS_FILE: &str = "join_progress.jsonl";
+
+/// Sampling cadence of the progress watcher thread. The paper-scale
+/// cost-guided join finishes in ~100 ms, so a 5 ms cadence lands a few
+/// dozen snapshots across the run (enough to draw the prior-vs-refined
+/// error curve) while a sample itself costs ~1 µs of atomic reads.
+const SAMPLE_EVERY_MS: u64 = 5;
 
 /// The `join` command: one fully observed join run. `obs_dir` names a
 /// directory receiving every artifact — span JSONL, metrics JSONL, the
-/// flight recorder's binary page-access trace, and the Perfetto
-/// trace-event export (omitted ⇒ nothing is written and the recorder
-/// stays disabled; the in-terminal report still prints). Returns
-/// `true` when every drift target landed inside the paper's envelope.
-pub fn join_observed(out: &Path, scale: f64, threads: usize, obs_dir: Option<&Path>) -> bool {
+/// flight recorder's binary page-access trace, the Perfetto
+/// trace-event export, and the progress-snapshot JSONL (omitted ⇒
+/// nothing is written and the recorder stays disabled; the in-terminal
+/// report still prints). `watch` redraws a live one-line progress bar
+/// (fraction, ETA ± the §4.1 envelope, pair count) while the join
+/// runs. Progress is always *tracked* — the watcher thread samples the
+/// Eq-6-seeded [`ProgressEngine`] every [`SAMPLE_EVERY_MS`] and the
+/// final report prints the prior-vs-refined ETA error curve — `watch`
+/// only controls the terminal redraw. Returns `true` when every drift
+/// target landed inside the paper's envelope.
+pub fn join_observed(
+    out: &Path,
+    scale: f64,
+    threads: usize,
+    obs_dir: Option<&Path>,
+    watch: bool,
+) -> bool {
     let n = (60_000.0 * scale).round().max(600.0) as usize;
     let tracer = Tracer::enabled();
     let metrics = MetricsRegistry::new();
@@ -95,22 +122,55 @@ pub fn join_observed(out: &Path, scale: f64, threads: usize, obs_dir: Option<&Pa
         }
     }
 
-    let result = parallel_spatial_join_observed(
-        &t1,
-        &t2,
-        JoinConfig {
-            buffer: BufferPolicy::Path,
-            collect_pairs: false,
-            ..JoinConfig::default()
-        },
-        threads,
-        ScheduleMode::CostGuided,
-        &JoinObs {
-            tracer: tracer.clone(),
-            drift: Some(&drift),
-            recorder: recorder.clone(),
-        },
-    );
+    // Seed the progress engine from the same Eq-6 machinery: per-level
+    // NA priors on measured parameters become the engine's initial
+    // denominator, then live counters refine it as the join descends.
+    let progress = ProgressTracker::enabled();
+    let priors: Vec<LevelPrior> = join::join_na_priors(&p1, &p2)
+        .into_iter()
+        .map(|(tree, level, na)| LevelPrior { tree, level, na })
+        .collect();
+    let mut engine = ProgressEngine::new(&progress, &priors);
+    let mut snapshots: Vec<ProgressSnapshot> = Vec::new();
+    let obs = JoinObs {
+        tracer: tracer.clone(),
+        drift: Some(&drift),
+        recorder: recorder.clone(),
+        progress: progress.clone(),
+    };
+    let result = std::thread::scope(|s| {
+        let worker = s.spawn(|| {
+            parallel_spatial_join_observed(
+                &t1,
+                &t2,
+                JoinConfig {
+                    buffer: BufferPolicy::Path,
+                    collect_pairs: false,
+                    ..JoinConfig::default()
+                },
+                threads,
+                ScheduleMode::CostGuided,
+                &obs,
+            )
+        });
+        while !worker.is_finished() {
+            std::thread::sleep(std::time::Duration::from_millis(SAMPLE_EVERY_MS));
+            let snap = engine.sample();
+            if watch {
+                print!("\r{}", snap.terminal_line());
+                let _ = std::io::stdout().flush();
+            }
+            snapshots.push(snap);
+        }
+        worker.join().expect("join worker panicked")
+    });
+    // One last sample after `finish()`: fraction is exactly 1.0 and the
+    // validator requires the stream to end that way.
+    let final_snap = engine.sample();
+    if watch {
+        println!("\r{}", final_snap.terminal_line());
+    }
+    snapshots.push(final_snap);
 
     // Final observations: the measured per-level and total NA/DA under
     // the same names the predictions were registered with.
@@ -181,6 +241,64 @@ pub fn join_observed(out: &Path, scale: f64, threads: usize, obs_dir: Option<&Pa
         ]);
     }
     table.finish();
+
+    // The prior-vs-refined accuracy curve: at each sampled fraction,
+    // how far the engine's live total-work estimate sat from the true
+    // final work (the last snapshot's done_work — by then every counter
+    // is settled). Early rows are pure Eq-6 prior; late rows are
+    // observation-dominated. EXPERIMENTS.md quotes this table.
+    let true_work = snapshots.last().map(|s| s.done_work).unwrap_or(0.0);
+    let mut eta_table = Report::new(
+        out,
+        "join_eta",
+        &[
+            "t_us",
+            "fraction",
+            "est_total_work",
+            "eta_us",
+            "err_vs_final",
+        ],
+    );
+    eta_table.comment(&format!(
+        "live total-work estimate vs the settled final work ({true_work:.0} NA); \
+         the first rows are Eq-6-prior-dominated, the last observation-dominated"
+    ));
+    for s in &snapshots {
+        let err = if true_work > 0.0 {
+            (s.est_total_work - true_work).abs() / true_work
+        } else {
+            0.0
+        };
+        eta_table.row(&[
+            &s.t_us.to_string(),
+            &format!("{:.4}", s.fraction),
+            &int(s.est_total_work),
+            &s.eta_us.map(|e| e.to_string()).unwrap_or_default(),
+            &pct(err),
+        ]);
+    }
+    eta_table.finish();
+
+    // Run-state introspection: the same RunState the snapshot API
+    // serves, printed once at the end as a worker/buffer digest.
+    let state = engine.run_state(Some(&drift));
+    println!("\n== run state ==");
+    println!(
+        "fraction {:.4}  na_done {}  pairs {}  drift breaches {}",
+        state.snapshot.fraction, state.snapshot.na_done, state.snapshot.pairs, state.drift_breaches
+    );
+    if let Some(h) = state.buffer_hit_ratio {
+        println!("buffer hit ratio {:.3}", h);
+    }
+    for (i, w) in state.workers.iter().enumerate() {
+        println!(
+            "worker {i}: {}/{} units, cost {}/{} retired",
+            w.units_done,
+            w.planned_units,
+            w.planned_cost - w.remaining_cost,
+            w.planned_cost
+        );
+    }
     println!("\n== span tree ==");
     print!("{}", tracer.tree_summary());
 
@@ -218,6 +336,16 @@ pub fn join_observed(out: &Path, scale: f64, threads: usize, obs_dir: Option<&Pa
                 Ok(()) => println!("[perfetto] {}", perfetto_path.display()),
                 Err(e) => eprintln!("warning: cannot write {}: {e}", perfetto_path.display()),
             }
+            let progress_path = dir.join(PROGRESS_FILE);
+            let jsonl: String = snapshots.iter().map(|s| s.to_json() + "\n").collect();
+            match std::fs::write(&progress_path, &jsonl) {
+                Ok(()) => println!(
+                    "[progress] {} ({} snapshots)",
+                    progress_path.display(),
+                    snapshots.len()
+                ),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", progress_path.display()),
+            }
         }
     }
 
@@ -250,8 +378,10 @@ pub fn join_observed(out: &Path, scale: f64, threads: usize, obs_dir: Option<&Pa
 /// `drift.breaches` counter is 0), the chaos campaigns' metrics file
 /// under the same contract, the binary page-access trace
 /// (magic/version/size/tick-monotonicity via [`AccessTrace::read`],
-/// plus a truncation check on the ring-drop counter), and the Perfetto
-/// export (well-formed Chrome trace-event JSON). Returns `false` (with
+/// plus a truncation check on the ring-drop counter), the Perfetto
+/// export (well-formed Chrome trace-event JSON), and the progress
+/// snapshot stream (monotone time and fraction, finishing at exactly
+/// 1.0, via [`validate_progress_jsonl`]). Returns `false` (with
 /// diagnostics on stderr) on any violation, including an obs dir with
 /// nothing to validate.
 pub fn validate_obs(dir: &Path) -> bool {
@@ -269,13 +399,21 @@ pub fn validate_obs(dir: &Path) -> bool {
     let chaos_metrics = present(crate::chaos::CHAOS_METRICS_FILE);
     let access = present(crate::trace::ACCESS_TRACE_FILE);
     let perfetto = present(PERFETTO_FILE);
-    if [&trace, &metrics, &chaos_metrics, &access, &perfetto]
-        .iter()
-        .all(|a| a.is_none())
+    let progress = present(PROGRESS_FILE);
+    if [
+        &trace,
+        &metrics,
+        &chaos_metrics,
+        &access,
+        &perfetto,
+        &progress,
+    ]
+    .iter()
+    .all(|a| a.is_none())
     {
         fail(format!(
             "no artifacts found in {}; expected any of {TRACE_FILE}, \
-             {METRICS_FILE}, {}, {}, {PERFETTO_FILE}",
+             {METRICS_FILE}, {}, {}, {PERFETTO_FILE}, {PROGRESS_FILE}",
             dir.display(),
             crate::chaos::CHAOS_METRICS_FILE,
             crate::trace::ACCESS_TRACE_FILE
@@ -356,6 +494,23 @@ pub fn validate_obs(dir: &Path) -> bool {
                 Ok(events) => println!(
                     "validate-obs: {} trace events ok in {}",
                     events,
+                    path.display()
+                ),
+            },
+        }
+    }
+
+    // The progress stream's contract lives in the obs crate: every line
+    // parses with the snapshot keys, time and fraction are monotone,
+    // and the stream ends finished with fraction exactly 1.0.
+    if let Some(path) = &progress {
+        match std::fs::read_to_string(path) {
+            Err(e) => fail(format!("cannot read {}: {e}", path.display())),
+            Ok(text) => match validate_progress_jsonl(&text) {
+                Err(e) => fail(format!("{}: {e}", path.display())),
+                Ok(lines) => println!(
+                    "validate-obs: {} progress snapshots ok in {}",
+                    lines,
                     path.display()
                 ),
             },

@@ -2,6 +2,7 @@
 
 use crate::degraded::{DegradedJoinResult, JoinError, RawSkip};
 use sjcm_geom::{OverlapMask, Rect, RectBatch};
+use sjcm_obs::progress::ProgressSink;
 use sjcm_rtree::{Child, Entry, Node, NodeId, ObjectId, RTree};
 use sjcm_storage::recorder::RecordedPolicy;
 use sjcm_storage::{
@@ -363,7 +364,7 @@ pub fn try_spatial_join_recorded<const N: usize>(
     recorder: &FlightRecorder,
     faults: &FaultInjector,
 ) -> Result<DegradedJoinResult<N>, JoinError> {
-    let (result, raw) = run_sequential(r1, r2, config, recorder, faults);
+    let (result, raw) = run_sequential(r1, r2, config, recorder, faults, ProgressSink::disabled());
     Ok(crate::degraded::finish_degraded(
         r1,
         r2,
@@ -383,6 +384,7 @@ pub(crate) fn run_sequential<const N: usize>(
     config: JoinConfig,
     recorder: &FlightRecorder,
     faults: &FaultInjector,
+    progress: ProgressSink,
 ) -> (JoinResultSet, Vec<RawSkip>) {
     let mut exec = Executor {
         r1,
@@ -399,9 +401,11 @@ pub(crate) fn run_sequential<const N: usize>(
         scratch: MatchScratch::new(),
         faults: faults.clone(),
         skips: Vec::new(),
+        progress,
     };
     // The roots are assumed memory-resident (§3.1) and are not counted.
     exec.visit(r1.root_id(), r2.root_id());
+    exec.flush_progress();
     (
         JoinResultSet {
             pairs: exec.pairs,
@@ -434,6 +438,10 @@ struct Executor<'a, const N: usize> {
     // and the node pairs forfeited to permanent read failures.
     faults: FaultInjector,
     skips: Vec<RawSkip>,
+    // Live progress feed — disabled is one `Option` check per access;
+    // enabled adds a counter increment, with the per-level tallies
+    // published in batches (see `sjcm_obs::progress`).
+    progress: ProgressSink,
 }
 
 impl<const N: usize> Executor<'_, N> {
@@ -446,6 +454,7 @@ impl<const N: usize> Executor<'_, N> {
             let level = self.r1.node(n1).level;
             if self.faults.access(1, PageId(n1.0), level).is_err() {
                 self.skips.push(RawSkip { tree: 1, n1, n2 });
+                self.progress.forfeit(level);
                 return false;
             }
         }
@@ -453,10 +462,23 @@ impl<const N: usize> Executor<'_, N> {
             let level = self.r2.node(n2).level;
             if self.faults.access(2, PageId(n2.0), level).is_err() {
                 self.skips.push(RawSkip { tree: 2, n1, n2 });
+                self.progress.forfeit(level);
                 return false;
             }
         }
         true
+    }
+
+    /// Publishes the executor's cumulative per-level tallies into the
+    /// progress hub (no-op when progress is disabled).
+    fn flush_progress(&mut self) {
+        if self.progress.is_enabled() {
+            self.progress.flush(
+                self.stats1.per_level(),
+                self.stats2.per_level(),
+                self.pair_count,
+            );
+        }
     }
 
     fn access1(&mut self, id: NodeId) {
@@ -464,6 +486,9 @@ impl<const N: usize> Executor<'_, N> {
         let kind = self.buf1.access(PageId(id.0), level);
         self.stats1.record(level, kind);
         self.lane1.record(PageId(id.0), level, kind);
+        if self.progress.tick() {
+            self.flush_progress();
+        }
     }
 
     fn access2(&mut self, id: NodeId) {
@@ -471,6 +496,9 @@ impl<const N: usize> Executor<'_, N> {
         let kind = self.buf2.access(PageId(id.0), level);
         self.stats2.record(level, kind);
         self.lane2.record(PageId(id.0), level, kind);
+        if self.progress.tick() {
+            self.flush_progress();
+        }
     }
 
     fn emit(&mut self, o1: ObjectId, o2: ObjectId) {

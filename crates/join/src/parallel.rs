@@ -75,7 +75,8 @@ use crate::executor::{
 };
 use sjcm_core::join::unit_cost_na;
 use sjcm_core::{LevelParams, TreeParams};
-use sjcm_obs::perfetto::DRIFT_BREACH_SPAN as BREACH_SPAN;
+use sjcm_obs::perfetto::{DRIFT_BREACH_SPAN as BREACH_SPAN, PROGRESS_SPAN};
+use sjcm_obs::progress::{ProgressSink, ProgressTracker};
 use sjcm_obs::{DriftMonitor, Tracer, DA_TOTAL, NA_TOTAL};
 use sjcm_rtree::{Child, NodeId, ObjectId, RTree};
 use sjcm_storage::{AccessStats, BufferManager, FaultInjector, FlightRecorder, PageId};
@@ -107,6 +108,14 @@ pub struct JoinObs<'a> {
     /// index + 1 for cost-guided units, shard index + 1 for
     /// round-robin shards — see `sjcm_storage::recorder`).
     pub recorder: FlightRecorder,
+    /// Live progress hub (see `sjcm_obs::progress`). Disabled (the
+    /// default) costs one `Option` check per access; enabled, every
+    /// executor feeds per-level NA/DA/pair deltas in batches, the
+    /// schedulers register their per-worker cost ledgers, and the
+    /// entry point marks completion — a `ProgressEngine` sampling the
+    /// same tracker then turns the feed into fractions and ETAs.
+    /// Results are byte-identical either way.
+    pub progress: ProgressTracker,
 }
 
 /// How parallel work units are assigned to workers.
@@ -222,8 +231,14 @@ pub fn try_parallel_spatial_join_observed<const N: usize>(
     }
     let (mut result, raw) = if threads == 1 {
         let mut span = obs.tracer.span("sequential-join");
-        let (mut result, raw) =
-            crate::executor::run_sequential(r1, r2, config, &obs.recorder, faults);
+        let (mut result, raw) = crate::executor::run_sequential(
+            r1,
+            r2,
+            config,
+            &obs.recorder,
+            faults,
+            obs.progress.sink(),
+        );
         result.pairs.sort_unstable();
         span.set("na", result.na_total());
         span.set("da", result.da_total());
@@ -238,6 +253,8 @@ pub fn try_parallel_spatial_join_observed<const N: usize>(
     if threads > 1 {
         result.pairs.sort_unstable();
     }
+    // The run is over: later progress samples report exactly 1.0.
+    obs.progress.finish();
     Ok(crate::degraded::finish_degraded(
         r1,
         r2,
@@ -266,7 +283,14 @@ fn cost_guided_join<const N: usize>(
     // 1. The coordinator descends until it holds enough units, charging
     //    the intermediate accesses itself (in sequential per-level
     //    order). Its recorder lanes stay on correlation domain 0.
-    let mut coord = UnitExecutor::new(r1, r2, config, &obs.recorder, faults.clone());
+    let mut coord = UnitExecutor::new(
+        r1,
+        r2,
+        config,
+        &obs.recorder,
+        faults.clone(),
+        obs.progress.sink(),
+    );
     let units = {
         let mut span = join_span.child("frontier-descent");
         let units = coord.collect_frontier(threads * UNITS_PER_WORKER, threads);
@@ -274,6 +298,10 @@ fn cost_guided_join<const N: usize>(
         span.set("na", coord.stats1.na_total() + coord.stats2.na_total());
         units
     };
+    // The coordinator charges nothing below the frontier; publish its
+    // tallies now so they cannot be double-counted when worker stats
+    // are merged back into `coord` after the scope.
+    coord.flush_progress();
 
     // 2. Price each unit with Eq 6 on its measured subtree parameters,
     //    then LPT-seed: hand units out in descending cost order, each to
@@ -294,6 +322,14 @@ fn cost_guided_join<const N: usize>(
         queues[w].push_back(i);
         loads[w] += costs[i];
     }
+    // Register the planned per-worker ledger with the progress hub:
+    // LPT unit counts and Eq-6 cost per deque, before any worker runs.
+    let planned: Vec<(u64, u64)> = queues
+        .iter()
+        .zip(&loads)
+        .map(|(q, &load)| (q.len() as u64, load))
+        .collect();
+    obs.progress.set_schedule(&planned);
     let deques: Vec<Deque> = queues
         .into_iter()
         .zip(loads)
@@ -333,16 +369,25 @@ fn cost_guided_join<const N: usize>(
                 let deques = &deques;
                 let units = &units;
                 let costs = &costs;
+                let plan = &plan;
                 let start = &start;
                 let tracer = obs.tracer.clone();
                 let drift = obs.drift;
                 let recorder = obs.recorder.clone();
+                let progress = obs.progress.clone();
                 let na_live = &na_live;
                 let da_live = &da_live;
                 scope.spawn(move || {
                     let mut worker_span = tracer.span_under(join_id, "worker");
                     worker_span.set("worker", w);
-                    let mut exec = UnitExecutor::new(r1, r2, config, &recorder, faults.clone());
+                    let mut exec = UnitExecutor::new(
+                        r1,
+                        r2,
+                        config,
+                        &recorder,
+                        faults.clone(),
+                        progress.sink(),
+                    );
                     let mut per_unit: Vec<(usize, WorkerTally)> = Vec::new();
                     let mut steal = StealTally::default();
                     // First-breach markers, per worker (the monitor's
@@ -385,6 +430,20 @@ fn cost_guided_join<const N: usize>(
                         unit_span.set("na", na);
                         unit_span.set("da", da);
                         unit_span.set("pairs", pair_count);
+                        if progress.is_enabled() {
+                            // Retire the unit's Eq-6 cost from its
+                            // *planned* worker's ledger (steal-aware —
+                            // the same attribution `WorkerTally` uses)
+                            // and publish the tallies so samplers see
+                            // the unit boundary immediately.
+                            progress.unit_done(plan[i], costs[i]);
+                            exec.flush_progress();
+                            // Zero-duration progress instant on this
+                            // worker's Perfetto lane.
+                            let mut p = unit_span.child(PROGRESS_SPAN);
+                            p.set("unit", i);
+                            p.set("cost", costs[i]);
+                        }
                         if let Some(drift) = drift {
                             let na_now = na_live.fetch_add(na, Ordering::Relaxed) + na;
                             let da_now = da_live.fetch_add(da, Ordering::Relaxed) + da;
@@ -620,6 +679,13 @@ fn round_robin_join<const N: usize>(
     for (i, u) in units.into_iter().enumerate() {
         shards[i % threads].push(u);
     }
+    // Round-robin has no cost model: the ledger prices every root unit
+    // at one, so per-worker progress is units retired over units dealt.
+    let planned: Vec<(u64, u64)> = shards
+        .iter()
+        .map(|s| (s.len() as u64, s.len() as u64))
+        .collect();
+    obs.progress.set_schedule(&planned);
 
     let join_id = join_span.id();
     let results: Vec<Result<(JoinResultSet, Vec<RawSkip>), JoinError>> =
@@ -630,13 +696,23 @@ fn round_robin_join<const N: usize>(
                 .map(|(w, shard)| {
                     let tracer = obs.tracer.clone();
                     let recorder = obs.recorder.clone();
+                    let progress = obs.progress.clone();
                     scope.spawn(move || {
                         let mut span = tracer.span_under(join_id, "worker");
                         span.set("worker", w);
                         span.set("units", shard.len());
                         // One correlation domain per shard: its buffers
                         // persist across all of the shard's units.
-                        run_shard(r1, r2, config, shard, &recorder, (w + 1) as u32, faults)
+                        run_shard(
+                            r1,
+                            r2,
+                            config,
+                            shard,
+                            &recorder,
+                            (w + 1) as u32,
+                            faults,
+                            &progress,
+                        )
                     })
                 })
                 .collect();
@@ -754,6 +830,7 @@ fn root_work_units<const N: usize>(
 /// worker executor whose buffers persist across units (the legacy
 /// behaviour, kept bit-for-bit so `RoundRobin` stays an honest
 /// baseline).
+#[allow(clippy::too_many_arguments)]
 fn run_shard<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
@@ -762,8 +839,12 @@ fn run_shard<const N: usize>(
     recorder: &FlightRecorder,
     corr: u32,
     faults: &FaultInjector,
+    progress: &ProgressTracker,
 ) -> (JoinResultSet, Vec<RawSkip>) {
-    let mut shard = UnitExecutor::new(r1, r2, config, recorder, faults.clone());
+    let mut shard = UnitExecutor::new(r1, r2, config, recorder, faults.clone(), progress.sink());
+    // The shard index: `corr` is the shard's buffer-residency domain,
+    // assigned as worker + 1 by the round-robin deal above.
+    let worker = (corr - 1) as usize;
     shard.lane1.set_corr(corr);
     shard.lane2.set_corr(corr);
     for unit in units {
@@ -791,6 +872,10 @@ fn run_shard<const N: usize>(
                 }
                 shard.visit(id1, id2);
             }
+        }
+        if progress.is_enabled() {
+            progress.unit_done(worker, 1);
+            shard.flush_progress();
         }
     }
     (
@@ -834,6 +919,9 @@ struct UnitExecutor<'a, const N: usize> {
     // and the node pairs forfeited to permanent read failures.
     faults: FaultInjector,
     skips: Vec<RawSkip>,
+    // Live progress feed — disabled is one `Option` check per access
+    // (see the sequential executor's twin field).
+    progress: ProgressSink,
 }
 
 impl<'a, const N: usize> UnitExecutor<'a, N> {
@@ -843,6 +931,7 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
         config: JoinConfig,
         recorder: &FlightRecorder,
         faults: FaultInjector,
+        progress: ProgressSink,
     ) -> Self {
         Self {
             r1,
@@ -859,6 +948,19 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
             scratch: MatchScratch::new(),
             faults,
             skips: Vec::new(),
+            progress,
+        }
+    }
+
+    /// Publishes the executor's cumulative per-level tallies into the
+    /// progress hub (no-op when progress is disabled).
+    fn flush_progress(&mut self) {
+        if self.progress.is_enabled() {
+            self.progress.flush(
+                self.stats1.per_level(),
+                self.stats2.per_level(),
+                self.pair_count,
+            );
         }
     }
 
@@ -872,6 +974,7 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
             let level = self.r1.node(n1).level;
             if self.faults.access(1, PageId(n1.0), level).is_err() {
                 self.skips.push(RawSkip { tree: 1, n1, n2 });
+                self.progress.forfeit(level);
                 return false;
             }
         }
@@ -879,6 +982,7 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
             let level = self.r2.node(n2).level;
             if self.faults.access(2, PageId(n2.0), level).is_err() {
                 self.skips.push(RawSkip { tree: 2, n1, n2 });
+                self.progress.forfeit(level);
                 return false;
             }
         }
@@ -890,6 +994,9 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
         let kind = self.buf1.access(PageId(id.0), level);
         self.stats1.record(level, kind);
         self.lane1.record(PageId(id.0), level, kind);
+        if self.progress.tick() {
+            self.flush_progress();
+        }
     }
 
     fn access2(&mut self, id: NodeId) {
@@ -897,6 +1004,9 @@ impl<'a, const N: usize> UnitExecutor<'a, N> {
         let kind = self.buf2.access(PageId(id.0), level);
         self.stats2.record(level, kind);
         self.lane2.record(PageId(id.0), level, kind);
+        if self.progress.tick() {
+            self.flush_progress();
+        }
     }
 
     fn matched(&mut self, n1_id: NodeId, n2_id: NodeId) -> Vec<(Child, Child)> {
@@ -1248,6 +1358,7 @@ mod tests {
             tracer: tracer.clone(),
             drift: Some(&drift),
             recorder: FlightRecorder::disabled(),
+            progress: ProgressTracker::disabled(),
         };
         let traced = parallel_spatial_join_observed(
             &a,
@@ -1303,6 +1414,7 @@ mod tests {
             tracer: Tracer::disabled(),
             drift: None,
             recorder: recorder.clone(),
+            progress: ProgressTracker::disabled(),
         };
         let recorded = parallel_spatial_join_observed(
             &a,
@@ -1338,6 +1450,7 @@ mod tests {
             tracer: Tracer::disabled(),
             drift: None,
             recorder: recorder.clone(),
+            progress: ProgressTracker::disabled(),
         };
         let recorded = parallel_spatial_join_observed(
             &a,
@@ -1367,6 +1480,7 @@ mod tests {
             tracer: Tracer::disabled(),
             drift: None,
             recorder: recorder.clone(),
+            progress: ProgressTracker::disabled(),
         };
         let recorded = parallel_spatial_join_observed(
             &a,
@@ -1395,6 +1509,7 @@ mod tests {
             tracer: Tracer::disabled(),
             drift: Some(&drift),
             recorder: FlightRecorder::disabled(),
+            progress: ProgressTracker::disabled(),
         };
         parallel_spatial_join_observed(
             &a,

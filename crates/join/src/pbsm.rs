@@ -21,6 +21,7 @@
 
 use crate::executor::MatchKernel;
 use sjcm_geom::{unit_grid_cell, Rect, RectBatch};
+use sjcm_obs::progress::ProgressTracker;
 use sjcm_rtree::ObjectId;
 
 /// Result of a PBSM join.
@@ -66,6 +67,31 @@ pub fn pbsm_join_with<const N: usize>(
     page_capacity: usize,
     kernel: MatchKernel,
 ) -> PbsmResult {
+    pbsm_join_observed(
+        left,
+        right,
+        grid,
+        page_capacity,
+        kernel,
+        &ProgressTracker::disabled(),
+    )
+}
+
+/// [`pbsm_join_with`] with a live progress feed. PBSM has no R-tree
+/// priors, so progress runs on the unit ledger: each active cell
+/// (both partitions non-empty) is one work unit priced by its entry
+/// count — the per-cell sweep estimate — registered up front, retired
+/// as its sweep completes, with emitted pairs published alongside.
+/// The tracker is marked finished on return. Results are byte-identical
+/// to an untracked run.
+pub fn pbsm_join_observed<const N: usize>(
+    left: &[(Rect<N>, ObjectId)],
+    right: &[(Rect<N>, ObjectId)],
+    grid: usize,
+    page_capacity: usize,
+    kernel: MatchKernel,
+    progress: &ProgressTracker,
+) -> PbsmResult {
     assert!(grid >= 1, "need at least one partition per dimension");
     assert!(page_capacity >= 1, "page capacity must be positive");
     let cells = grid.pow(N as u32);
@@ -101,12 +127,27 @@ pub fn pbsm_join_with<const N: usize>(
         replicas as f64 / total_objects as f64
     };
 
+    // Progress ledger: one unit per active cell, priced by its entry
+    // count (the sweep is linear in candidates, so a cell's cost share
+    // approximates its share of the remaining work).
+    if progress.is_enabled() {
+        let (mut units, mut cost) = (0u64, 0u64);
+        for cell in 0..cells {
+            if !parts_left[cell].is_empty() && !parts_right[cell].is_empty() {
+                units += 1;
+                cost += (parts_left[cell].len() + parts_right[cell].len()) as u64;
+            }
+        }
+        progress.set_schedule(&[(units, cost)]);
+    }
+
     let mut pairs = Vec::new();
     let mut scratch = SweepScratch::default();
     for cell in 0..cells {
         if parts_left[cell].is_empty() || parts_right[cell].is_empty() {
             continue;
         }
+        let before = pairs.len();
         sweep_cell(
             &parts_left[cell],
             &parts_right[cell],
@@ -116,7 +157,12 @@ pub fn pbsm_join_with<const N: usize>(
             &mut scratch,
             &mut pairs,
         );
+        if progress.is_enabled() {
+            progress.unit_done(0, (parts_left[cell].len() + parts_right[cell].len()) as u64);
+            progress.add_pairs((pairs.len() - before) as u64);
+        }
     }
+    progress.finish();
 
     // Two-pass I/O: write all replicas out, read them back.
     let pages = |entries: usize| entries.div_ceil(page_capacity) as u64;
@@ -200,6 +246,21 @@ fn sweep_cell<const N: usize>(
             && right.windows(2).all(|w| w[0].0.lo_k(0) <= w[1].0.lo_k(0)),
         "sweep_cell inputs must be sorted by lo_k(0)"
     );
+    // Small-cell gate: the batched path pays an O(cell) SoA fill before
+    // the first anchor, which only amortizes when the cell is big
+    // enough to produce kernel-length candidate runs. High-resolution
+    // grids (the 0.91× `pbsm_sweep/16` regression this gate fixes)
+    // shred the inputs into hundreds of small cells whose sweeps are
+    // over before the fill pays for itself — those cells take the
+    // scalar sweep outright and never touch the batches. Identical
+    // pairs in identical order either way, so the gate is invisible in
+    // the output.
+    const CELL_BATCH_MIN: usize = 512;
+    let kernel = if kernel == MatchKernel::Batched && left.len().min(right.len()) < CELL_BATCH_MIN {
+        MatchKernel::Scalar
+    } else {
+        kernel
+    };
     if kernel == MatchKernel::Batched {
         scratch.left.clear();
         scratch.right.clear();

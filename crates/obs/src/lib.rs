@@ -27,6 +27,11 @@
 //! * [`perfetto`] — a Chrome/Perfetto trace-event exporter: span
 //!   records become worker-lane slices (work units, steals, drift
 //!   breaches as instant markers) loadable in `ui.perfetto.dev`.
+//! * [`progress`] — the *predictive* layer: a live progress/ETA engine
+//!   seeded from the Eq-6 per-level priors, refined in flight by the
+//!   observed branching ratios, with monotone fractions, a windowed
+//!   work-rate ETA inside the §4.1 ±15% band, and an on-demand
+//!   full-run-state snapshot ([`progress::RunState`]).
 //!
 //! The crate is std-only and dependency-free on purpose: every other
 //! crate in the workspace can afford to link it, and the execution
@@ -40,9 +45,17 @@ pub mod drift;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod progress;
 pub mod span;
 
 pub use drift::{DriftMonitor, DriftSample, DA_TOTAL, NA_TOTAL, PAPER_ENVELOPE};
 pub use metrics::{Histogram, MetricKind, MetricsRegistry};
-pub use perfetto::{chrome_trace_json, validate_chrome_trace, write_chrome_trace};
+pub use perfetto::{
+    chrome_trace_json, validate_chrome_trace, write_chrome_trace, DRIFT_BREACH_SPAN, PROGRESS_SPAN,
+    WORKER_FIELD,
+};
+pub use progress::{
+    validate_progress_jsonl, LevelPrior, ProgressEngine, ProgressSink, ProgressSnapshot,
+    ProgressTracker, RunState,
+};
 pub use span::{FieldValue, Span, SpanRecord, Tracer};

@@ -28,6 +28,12 @@ use std::collections::HashMap;
 /// in-flight overrun.
 pub const DRIFT_BREACH_SPAN: &str = "drift-breach";
 
+/// Span name for live progress samples, rendered as instant events on
+/// the emitting lane (workers stamp one per retired work unit, the
+/// watcher thread one per snapshot on the coordinator lane) so the
+/// schedule view shows progress ticking alongside the work slices.
+pub const PROGRESS_SPAN: &str = "progress";
+
 /// Field name that assigns a span (and its descendants) to a worker
 /// lane.
 pub const WORKER_FIELD: &str = "worker";
@@ -80,8 +86,8 @@ pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
 
     for r in records {
         let tid = lane(r.id, &by_id, &mut lane_of);
-        if r.name == DRIFT_BREACH_SPAN {
-            // Breaches are moments, not intervals.
+        if r.name == DRIFT_BREACH_SPAN || r.name == PROGRESS_SPAN {
+            // Breaches and progress samples are moments, not intervals.
             let mut ev = format!(
                 "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{tid},",
                 escape(&r.name),

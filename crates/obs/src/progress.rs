@@ -1,0 +1,1248 @@
+//! Cost-model-driven live progress and ETA for a running spatial join.
+//!
+//! The paper's whole point is that Eqs 6–12 predict the join's total
+//! work *before* it runs — which is exactly the denominator a progress
+//! estimator needs. This module turns that prediction into a live
+//! "X% done, ETA T" signal:
+//!
+//! * a [`ProgressTracker`] — the shared atomic hub the executors feed.
+//!   Disabled (the default) it is one `Option` discriminant check per
+//!   hook, the same no-op-sink guarantee as [`crate::Tracer`];
+//! * per-executor [`ProgressSink`]s — executors do **not** touch the
+//!   shared counters per access. A sink piggybacks on the executor's
+//!   existing per-level `AccessStats` tallies: every
+//!   [`ProgressSink::tick`] accesses (plus every work-unit boundary)
+//!   the executor hands the sink its current per-level counters and the
+//!   sink publishes the *delta* since its last flush. The hot path
+//!   gains one increment and one branch; contention is one batch of
+//!   `fetch_add`s per ~512 accesses per thread;
+//! * a [`ProgressEngine`] — the single-reader estimator. It seeds
+//!   per-level work estimates from the Eq-6 NA priors
+//!   (`sjcm_core::join::join_na_priors`), re-estimates remaining work
+//!   by blending each level's prior branching ratio with the observed
+//!   one (EWMA-smoothed, prior-dominated early, observation-dominated
+//!   late), and emits monotone-by-construction [`ProgressSnapshot`]s
+//!   with an ETA from a windowed work-rate clock and a confidence band
+//!   from the paper's §4.1 ~15% error envelope.
+//!
+//! # The estimator
+//!
+//! For each tree, levels are estimated top-down (raw level `top` is the
+//! root's children — the first counted level per §3.1):
+//!
+//! ```text
+//! est[top] = max(prior[top], done[top])
+//! est[j]   = max(est[j+1] · blend(j), done[j])
+//! blend(j) = (1 − w) · prior[j]/prior[j+1]  +  w · ewma(done[j]/done[j+1])
+//! w        = done[j+1] / (done[j+1] + ¼ · prior[j+1])
+//! ```
+//!
+//! so early in the run the model prior dominates and late in the run
+//! the observed per-level branching ratio does. The progress fraction
+//! is `done / (Σ est − forfeited)`, clamped monotone (a re-estimate
+//! can shrink the denominator; the published fraction never regresses)
+//! and pinned to exactly 1.0 by [`ProgressTracker::finish`].
+//!
+//! Joins with no model prior (PBSM has no R-trees) fall back to the
+//! unit ledger: cells/units completed over total, each weighted by its
+//! registered cost.
+//!
+//! # Faults
+//!
+//! A permanently lost subtree would stall progress forever — its work
+//! sits in the denominator but will never be done. The tracker
+//! therefore precomputes, per level, a *forfeit quantum*: the expected
+//! remaining NA below one skipped node pair at that level (the same
+//! Eq-6 mass the degraded path prices after the run). The executors
+//! report each skip as it happens and the quantum is retired from the
+//! denominator immediately, so progress neither stalls nor regresses
+//! under injected faults.
+
+use crate::drift::DriftMonitor;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Maximum raw tree levels tracked per tree. Fan-out ≥ 2 means 16
+/// levels cover > 64 Ki nodes per tree — far beyond the paper's
+/// workloads; higher levels are clamped into the top slot.
+pub const MAX_LEVELS: usize = 16;
+
+/// Accesses between two sink flushes. Small enough that a 60K-object
+/// join flushes hundreds of times (smooth fractions), large enough
+/// that shared-counter contention is negligible.
+const FLUSH_EVERY: u32 = 512;
+
+/// ETA rate window, microseconds: the work rate is measured over the
+/// trailing ~3 s (or the whole run when shorter).
+const RATE_WINDOW_US: u64 = 3_000_000;
+
+/// §4.1: the model is accurate to ~15%; the ETA confidence band scales
+/// the remaining-work estimate by `1 ± envelope`.
+const ETA_ENVELOPE: f64 = 0.15;
+
+/// One per-level NA prior, as produced by
+/// `sjcm_core::join::join_na_priors` (plain data so this crate stays
+/// free of model-crate dependencies — same decoupling as the drift
+/// monitor's named targets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelPrior {
+    /// Tree index, 1 or 2.
+    pub tree: usize,
+    /// Paper level `j` (1 = leaf). Raw storage level is `j − 1`.
+    pub level: usize,
+    /// Eq-6 predicted node accesses of this tree at this level.
+    pub na: f64,
+}
+
+/// Per-worker schedule ledger entry (cost units are whatever the
+/// scheduler priced units in — Eq-6 milli-NA for the cost-guided
+/// scheduler, unit counts for round-robin, entry counts for PBSM).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerState {
+    /// Units scheduled onto this worker.
+    pub planned_units: u64,
+    /// Total scheduled cost.
+    pub planned_cost: u64,
+    /// Cost not yet retired — the live deque depth, steal-aware
+    /// (stolen units still retire from their *planned* worker, matching
+    /// how `WorkerTally` attributes work).
+    pub remaining_cost: u64,
+    /// Units retired so far.
+    pub units_done: u64,
+}
+
+struct Shared {
+    epoch: Instant,
+    /// Per (tree, raw level) node-access counters.
+    na: [[AtomicU64; MAX_LEVELS]; 2],
+    /// Per-tree disk-access counters (levels folded — DA only feeds
+    /// the hit-ratio introspection, not the work model).
+    da: [AtomicU64; 2],
+    pairs: AtomicU64,
+    /// Work retired from the denominator by skipped subtrees, in
+    /// milli-NA.
+    forfeited_milli: AtomicU64,
+    /// Per raw level: expected remaining NA below one skipped node
+    /// pair at that level, in milli-NA (set once at seeding).
+    quantum_milli: [AtomicU64; MAX_LEVELS],
+    units_total: AtomicU64,
+    units_done: AtomicU64,
+    cost_total: AtomicU64,
+    cost_done: AtomicU64,
+    finished: AtomicBool,
+    workers: Mutex<Vec<WorkerState>>,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            na: [(); 2].map(|_| [(); MAX_LEVELS].map(|_| AtomicU64::new(0))),
+            da: [(); 2].map(|_| AtomicU64::new(0)),
+            pairs: AtomicU64::new(0),
+            forfeited_milli: AtomicU64::new(0),
+            quantum_milli: [(); MAX_LEVELS].map(|_| AtomicU64::new(0)),
+            units_total: AtomicU64::new(0),
+            units_done: AtomicU64::new(0),
+            cost_total: AtomicU64::new(0),
+            cost_done: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// The shared progress hub. Cheap to clone (an `Arc`); the disabled
+/// tracker owns nothing and every operation on it — and on every sink
+/// it hands out — is a single `Option` check.
+#[derive(Clone, Default)]
+pub struct ProgressTracker {
+    shared: Option<Arc<Shared>>,
+}
+
+impl std::fmt::Debug for ProgressTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressTracker")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl ProgressTracker {
+    /// A tracker whose every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self { shared: None }
+    }
+
+    /// A collecting tracker (epoch = now).
+    pub fn enabled() -> Self {
+        Self {
+            shared: Some(Arc::new(Shared::new())),
+        }
+    }
+
+    /// `true` when progress is being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// A per-executor sink feeding this tracker. Sinks of a disabled
+    /// tracker are free.
+    pub fn sink(&self) -> ProgressSink {
+        ProgressSink {
+            shared: self.shared.clone(),
+            ticks: 0,
+            last_na: [[0; MAX_LEVELS]; 2],
+            last_da: [0; 2],
+            last_pairs: 0,
+        }
+    }
+
+    /// Seeds the per-level forfeit quanta from the Eq-6 priors: a
+    /// skipped node pair at raw level `ℓ` retires
+    /// `Σ_{ℓ' ≤ ℓ} (P₁[ℓ'] + P₂[ℓ']) / max(pairs at ℓ, 1)` NA from the
+    /// denominator — its own two reads plus the expected traversal
+    /// below it, averaged over the predicted pair population of that
+    /// level. Called by [`ProgressEngine::new`]; idempotent.
+    pub fn seed_quanta(&self, priors: &[LevelPrior]) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        let mut p = [[0.0f64; MAX_LEVELS]; 2];
+        for prior in priors {
+            let (Some(t), Some(raw)) = (prior.tree.checked_sub(1), prior.level.checked_sub(1))
+            else {
+                continue;
+            };
+            if t < 2 {
+                p[t][raw.min(MAX_LEVELS - 1)] += prior.na;
+            }
+        }
+        let mut below = 0.0f64;
+        for (raw, quantum_slot) in shared.quantum_milli.iter().enumerate().take(MAX_LEVELS) {
+            let here = p[0][raw] + p[1][raw];
+            below += here;
+            // Pair visits at this level ≈ each tree's NA there (every
+            // qualifying pair charges one access per tree).
+            let visits = p[0][raw].max(p[1][raw]).max(1.0);
+            let quantum = below / visits;
+            quantum_slot.store((quantum * 1000.0).round() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Registers the schedule: per planned worker `(units, cost)`.
+    /// Re-registering replaces the ledger (the totals accumulate —
+    /// PBSM registers once, the parallel schedulers once per run).
+    pub fn set_schedule(&self, planned: &[(u64, u64)]) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        let mut units = 0;
+        let mut cost = 0;
+        let mut ledger = Vec::with_capacity(planned.len());
+        for &(u, c) in planned {
+            units += u;
+            cost += c;
+            ledger.push(WorkerState {
+                planned_units: u,
+                planned_cost: c,
+                remaining_cost: c,
+                units_done: 0,
+            });
+        }
+        shared.units_total.fetch_add(units, Ordering::Relaxed);
+        shared.cost_total.fetch_add(cost, Ordering::Relaxed);
+        *shared.workers.lock().expect("progress ledger poisoned") = ledger;
+    }
+
+    /// Retires one completed unit of `cost`, attributed to the worker
+    /// it was *planned* on (steal-aware: the executing thread passes
+    /// the planned worker, mirroring `WorkerTally` attribution).
+    pub fn unit_done(&self, worker: usize, cost: u64) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        shared.units_done.fetch_add(1, Ordering::Relaxed);
+        shared.cost_done.fetch_add(cost, Ordering::Relaxed);
+        let mut ledger = shared.workers.lock().expect("progress ledger poisoned");
+        if let Some(w) = ledger.get_mut(worker) {
+            w.remaining_cost = w.remaining_cost.saturating_sub(cost);
+            w.units_done += 1;
+        }
+    }
+
+    /// Adds emitted result pairs (executors with an `AccessStats`-fed
+    /// sink report pairs through the sink instead).
+    pub fn add_pairs(&self, n: u64) {
+        if let Some(shared) = &self.shared {
+            shared.pairs.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks the run complete: every later snapshot reports fraction
+    /// exactly 1.0 and a zero ETA.
+    pub fn finish(&self) {
+        if let Some(shared) = &self.shared {
+            shared.finished.store(true, Ordering::Release);
+        }
+    }
+
+    /// Microseconds since the tracker was created (0 when disabled).
+    pub fn elapsed_us(&self) -> u64 {
+        self.shared
+            .as_ref()
+            .map(|s| s.epoch.elapsed().as_micros() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// Per-executor feed into a [`ProgressTracker`]. See the module docs
+/// for the delta-flush protocol; executors call [`ProgressSink::tick`]
+/// per access and flush when it fires (and at unit boundaries / run
+/// end, so progress is current whenever a unit retires).
+pub struct ProgressSink {
+    shared: Option<Arc<Shared>>,
+    ticks: u32,
+    last_na: [[u64; MAX_LEVELS]; 2],
+    last_da: [u64; 2],
+    last_pairs: u64,
+}
+
+impl ProgressSink {
+    /// A sink that feeds nothing.
+    pub fn disabled() -> Self {
+        ProgressTracker::disabled().sink()
+    }
+
+    /// `true` when this sink feeds an enabled tracker.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Counts one access; `true` when a flush is due. One branch and
+    /// one increment when enabled, one `Option` check when not.
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        match &self.shared {
+            None => false,
+            Some(_) => {
+                self.ticks = self.ticks.wrapping_add(1);
+                self.ticks.is_multiple_of(FLUSH_EVERY)
+            }
+        }
+    }
+
+    /// Publishes the delta between the executor's current per-level
+    /// `(level, NA, DA)` tallies (plus its pair count) and the last
+    /// flush. The iterators are the two trees' `AccessStats::per_level`
+    /// snapshots; counters are cumulative and never regress.
+    pub fn flush<I1, I2>(&mut self, tree1: I1, tree2: I2, pairs: u64)
+    where
+        I1: IntoIterator<Item = (u8, u64, u64)>,
+        I2: IntoIterator<Item = (u8, u64, u64)>,
+    {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        flush_tree(shared, &mut self.last_na[0], &mut self.last_da[0], 0, tree1);
+        flush_tree(shared, &mut self.last_na[1], &mut self.last_da[1], 1, tree2);
+        if pairs > self.last_pairs {
+            shared
+                .pairs
+                .fetch_add(pairs - self.last_pairs, Ordering::Relaxed);
+            self.last_pairs = pairs;
+        }
+    }
+
+    /// Reports a permanently skipped node pair at raw level `level`:
+    /// the precomputed forfeit quantum is retired from the work
+    /// denominator immediately, so progress never stalls on faults.
+    pub fn forfeit(&self, level: u8) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        let raw = (level as usize).min(MAX_LEVELS - 1);
+        let q = shared.quantum_milli[raw].load(Ordering::Relaxed);
+        // Unseeded trackers (no priors registered) retire a token 2
+        // accesses — the pair's own reads — so the signal still moves.
+        shared
+            .forfeited_milli
+            .fetch_add(q.max(2_000), Ordering::Relaxed);
+    }
+}
+
+/// Publishes one tree's cumulative `(level, NA, DA)` tallies as deltas
+/// into the hub, updating the sink's last-seen snapshot. Counters are
+/// cumulative per executor, so `cur − last ≥ 0` always.
+fn flush_tree(
+    shared: &Shared,
+    last_na: &mut [u64; MAX_LEVELS],
+    last_da: &mut u64,
+    t: usize,
+    levels: impl IntoIterator<Item = (u8, u64, u64)>,
+) {
+    let mut da_now = 0;
+    for (level, na, da) in levels {
+        let raw = (level as usize).min(MAX_LEVELS - 1);
+        da_now += da;
+        let delta = na.saturating_sub(last_na[raw]);
+        if delta > 0 {
+            shared.na[t][raw].fetch_add(delta, Ordering::Relaxed);
+            last_na[raw] = na;
+        }
+    }
+    if da_now > *last_da {
+        shared.da[t].fetch_add(da_now - *last_da, Ordering::Relaxed);
+        *last_da = da_now;
+    }
+}
+
+/// One emitted progress sample — a line of the `join_progress.jsonl`
+/// artifact and the payload of the `--watch` terminal line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Microseconds since the tracker's epoch.
+    pub t_us: u64,
+    /// Monotone progress fraction in `[0, 1]`; exactly 1.0 once the
+    /// run has called [`ProgressTracker::finish`].
+    pub fraction: f64,
+    /// Work done so far (NA for model-driven runs, retired unit cost
+    /// for ledger-driven runs like PBSM).
+    pub done_work: f64,
+    /// Current estimate of total work, after prior/observation
+    /// blending and forfeit retirement. `≥ done_work`.
+    pub est_total_work: f64,
+    /// Work retired from the denominator by skipped subtrees.
+    pub forfeited_work: f64,
+    /// Node accesses published so far (both trees).
+    pub na_done: u64,
+    /// Disk accesses published so far (both trees).
+    pub da_done: u64,
+    /// Result pairs published so far.
+    pub pairs: u64,
+    /// Work units retired / scheduled (0/0 for the sequential join,
+    /// which has no unit ledger).
+    pub units_done: u64,
+    /// Total scheduled units.
+    pub units_total: u64,
+    /// Estimated microseconds to completion from the windowed work
+    /// rate; `None` until a rate is measurable (or once finished).
+    pub eta_us: Option<u64>,
+    /// Optimistic ETA bound: remaining work shrunk by the §4.1 ~15%
+    /// envelope.
+    pub eta_lo_us: Option<u64>,
+    /// Pessimistic ETA bound: remaining work grown by the envelope.
+    pub eta_hi_us: Option<u64>,
+    /// `true` once [`ProgressTracker::finish`] was called.
+    pub finished: bool,
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_opt(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+impl ProgressSnapshot {
+    /// One JSON object, no trailing newline:
+    /// `{"type":"progress","t_us":…,"fraction":…,…}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"type\":\"progress\",\"t_us\":{},\"fraction\":",
+            self.t_us
+        );
+        write_f64(&mut out, self.fraction);
+        out.push_str(",\"done_work\":");
+        write_f64(&mut out, self.done_work);
+        out.push_str(",\"est_total_work\":");
+        write_f64(&mut out, self.est_total_work);
+        out.push_str(",\"forfeited_work\":");
+        write_f64(&mut out, self.forfeited_work);
+        let _ = write!(
+            out,
+            ",\"na_done\":{},\"da_done\":{},\"pairs\":{},\"units_done\":{},\"units_total\":{}",
+            self.na_done, self.da_done, self.pairs, self.units_done, self.units_total
+        );
+        out.push_str(",\"eta_us\":");
+        write_opt(&mut out, self.eta_us);
+        out.push_str(",\"eta_lo_us\":");
+        write_opt(&mut out, self.eta_lo_us);
+        out.push_str(",\"eta_hi_us\":");
+        write_opt(&mut out, self.eta_hi_us);
+        let _ = write!(out, ",\"finished\":{}}}", self.finished);
+        out
+    }
+
+    /// A single-line terminal rendering for `--watch`:
+    /// `[=====>         ]  34.2%  ETA 1.8s (1.5–2.1)  pairs 48210`.
+    pub fn terminal_line(&self) -> String {
+        const WIDTH: usize = 24;
+        let filled = ((self.fraction * WIDTH as f64) as usize).min(WIDTH);
+        let mut bar = String::with_capacity(WIDTH + 2);
+        bar.push('[');
+        for i in 0..WIDTH {
+            bar.push(match i.cmp(&filled) {
+                std::cmp::Ordering::Less => '=',
+                std::cmp::Ordering::Equal if !self.finished => '>',
+                _ => ' ',
+            });
+        }
+        bar.push(']');
+        let secs = |us: u64| us as f64 / 1e6;
+        let eta = match (self.eta_us, self.eta_lo_us, self.eta_hi_us) {
+            _ if self.finished => format!("done in {:.1}s", secs(self.t_us)),
+            (Some(eta), Some(lo), Some(hi)) => {
+                format!("ETA {:.1}s ({:.1}–{:.1})", secs(eta), secs(lo), secs(hi))
+            }
+            _ => "ETA —".to_string(),
+        };
+        format!(
+            "{bar} {:5.1}%  {eta}  pairs {}",
+            self.fraction * 100.0,
+            self.pairs
+        )
+    }
+}
+
+/// Introspection of one (tree, paper level) work cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelState {
+    /// Tree index, 1 or 2.
+    pub tree: usize,
+    /// Paper level `j` (1 = leaf).
+    pub level: usize,
+    /// Node accesses done at this level.
+    pub done: u64,
+    /// The Eq-6 prior for this level.
+    pub prior: f64,
+    /// The engine's current blended estimate of this level's total.
+    pub est_total: f64,
+}
+
+/// Full run state, as returned by [`ProgressEngine::run_state`] — the
+/// on-demand `snapshot()` API a wire protocol would serve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunState {
+    /// The headline progress sample.
+    pub snapshot: ProgressSnapshot,
+    /// Per-(tree, level) done/prior/estimate breakdown, model-driven
+    /// runs only (empty for unit-ledger runs).
+    pub levels: Vec<LevelState>,
+    /// Per-worker schedule ledger (empty for the sequential join).
+    pub workers: Vec<WorkerState>,
+    /// Live buffer hit ratio implied by the published counters
+    /// (`1 − DA/NA`); `None` before any access.
+    pub buffer_hit_ratio: Option<f64>,
+    /// Drift-monitor breach count, when a monitor was attached.
+    pub drift_breaches: usize,
+    /// `DriftMonitor::all_within`, when a monitor was attached (`true`
+    /// with none — no evidence of drift).
+    pub drift_all_within: bool,
+}
+
+/// The single-reader estimator over a [`ProgressTracker`]. Owns the
+/// mutable smoothing state (EWMA ratios, the monotone clamp, the rate
+/// window), so exactly one engine should sample a given run — the
+/// watcher thread in `experiments join --watch`, the test harness in
+/// the acceptance tests.
+pub struct ProgressEngine {
+    tracker: ProgressTracker,
+    prior: [[f64; MAX_LEVELS]; 2],
+    /// Highest raw level with a nonzero prior, per tree (`None` when
+    /// the tree contributes no counted work).
+    top: [Option<usize>; 2],
+    prior_total: f64,
+    ewma: [[Option<f64>; MAX_LEVELS]; 2],
+    max_fraction: f64,
+    window: VecDeque<(u64, f64)>,
+}
+
+impl ProgressEngine {
+    /// An engine seeded with Eq-6 per-level priors (see
+    /// `sjcm_core::join::join_na_priors`). Also seeds the tracker's
+    /// forfeit quanta from the same priors.
+    pub fn new(tracker: &ProgressTracker, priors: &[LevelPrior]) -> Self {
+        tracker.seed_quanta(priors);
+        let mut prior = [[0.0f64; MAX_LEVELS]; 2];
+        for p in priors {
+            let (Some(t), Some(raw)) = (p.tree.checked_sub(1), p.level.checked_sub(1)) else {
+                continue;
+            };
+            if t < 2 {
+                prior[t][raw.min(MAX_LEVELS - 1)] += p.na;
+            }
+        }
+        let top = [0, 1].map(|t| prior[t].iter().rposition(|&v| v > 0.0));
+        let prior_total: f64 = prior.iter().flatten().sum();
+        Self {
+            tracker: tracker.clone(),
+            prior,
+            top,
+            prior_total,
+            ewma: [[None; MAX_LEVELS]; 2],
+            max_fraction: 0.0,
+            window: VecDeque::new(),
+        }
+    }
+
+    /// An engine with no model prior — progress comes purely from the
+    /// unit ledger (PBSM: cells completed × per-cell sweep cost).
+    pub fn for_units(tracker: &ProgressTracker) -> Self {
+        Self::new(tracker, &[])
+    }
+
+    /// Current estimate of total work (the live denominator, before
+    /// forfeit retirement) — what the prior-vs-refined accuracy curve
+    /// in EXPERIMENTS.md tracks against the final true work.
+    pub fn estimated_total(&mut self) -> f64 {
+        self.sample().est_total_work
+    }
+
+    fn estimate(&mut self, done: &[[u64; MAX_LEVELS]; 2]) -> (f64, [[f64; MAX_LEVELS]; 2]) {
+        let mut est = [[0.0f64; MAX_LEVELS]; 2];
+        let mut total = 0.0;
+        for t in 0..2 {
+            let Some(top) = self.top[t] else {
+                // No prior for this tree: whatever was done is the
+                // estimate (height-1 trees, unit-ledger runs).
+                for raw in 0..MAX_LEVELS {
+                    est[t][raw] = done[t][raw] as f64;
+                    total += est[t][raw];
+                }
+                continue;
+            };
+            let mut above = self.prior[t][top].max(done[t][top] as f64);
+            est[t][top] = above;
+            total += above;
+            for raw in (0..top).rev() {
+                let p_here = self.prior[t][raw];
+                let p_above = self.prior[t][raw + 1].max(f64::MIN_POSITIVE);
+                let prior_ratio = p_here / p_above;
+                let d_above = done[t][raw + 1] as f64;
+                let obs_ratio = if d_above > 0.0 {
+                    done[t][raw] as f64 / d_above
+                } else {
+                    prior_ratio
+                };
+                let smoothed = match self.ewma[t][raw] {
+                    None => obs_ratio,
+                    Some(prev) => 0.2 * obs_ratio + 0.8 * prev,
+                };
+                self.ewma[t][raw] = Some(smoothed);
+                let w = d_above / (d_above + 0.25 * self.prior[t][raw + 1].max(1.0));
+                let blended = (1.0 - w) * prior_ratio + w * smoothed;
+                let e = (above * blended).max(done[t][raw] as f64);
+                est[t][raw] = e;
+                total += e;
+                above = e;
+            }
+        }
+        (total, est)
+    }
+
+    /// Takes one sample: reads the shared counters, refines the
+    /// remaining-work estimate, advances the monotone clamp and the
+    /// rate window, and returns the snapshot. Sampling a disabled
+    /// tracker returns an all-zero snapshot.
+    pub fn sample(&mut self) -> ProgressSnapshot {
+        let Some(shared) = &self.tracker.shared else {
+            return ProgressSnapshot {
+                t_us: 0,
+                fraction: 0.0,
+                done_work: 0.0,
+                est_total_work: 0.0,
+                forfeited_work: 0.0,
+                na_done: 0,
+                da_done: 0,
+                pairs: 0,
+                units_done: 0,
+                units_total: 0,
+                eta_us: None,
+                eta_lo_us: None,
+                eta_hi_us: None,
+                finished: false,
+            };
+        };
+        let t_us = shared.epoch.elapsed().as_micros() as u64;
+        let mut done = [[0u64; MAX_LEVELS]; 2];
+        for (t, row) in done.iter_mut().enumerate() {
+            for (raw, cell) in row.iter_mut().enumerate() {
+                *cell = shared.na[t][raw].load(Ordering::Relaxed);
+            }
+        }
+        let na_done: u64 = done.iter().flatten().sum();
+        let da_done = shared.da[0].load(Ordering::Relaxed) + shared.da[1].load(Ordering::Relaxed);
+        let pairs = shared.pairs.load(Ordering::Relaxed);
+        let units_done = shared.units_done.load(Ordering::Relaxed);
+        let units_total = shared.units_total.load(Ordering::Relaxed);
+        let cost_done = shared.cost_done.load(Ordering::Relaxed);
+        let cost_total = shared.cost_total.load(Ordering::Relaxed);
+        let forfeited = shared.forfeited_milli.load(Ordering::Relaxed) as f64 / 1000.0;
+        let finished = shared.finished.load(Ordering::Acquire);
+
+        let (done_work, est_total) = if self.prior_total > 0.0 && cost_total > 0 {
+            // A unit schedule exists (cost-guided, round-robin, PBSM):
+            // the per-level branching ratios are not representative
+            // mid-run — the frontier descent completes the upper
+            // levels long before the leaves, so level-over-level
+            // ratios track "how far along" rather than true fan-out.
+            // The ledger is the better observation: if `f` of the
+            // scheduled cost has retired, total ≈ done / f. Blend it
+            // with the Eq-6 prior, prior-dominated early (f → 0),
+            // observation-dominated late (f → 1, where the estimate
+            // converges to the exact final work).
+            let f = (cost_done as f64 / cost_total as f64).clamp(0.0, 1.0);
+            let obs_est = if f > 0.0 {
+                na_done as f64 / f
+            } else {
+                self.prior_total
+            };
+            let blended = (1.0 - f) * self.prior_total.max(na_done as f64) + f * obs_est;
+            (na_done as f64, blended)
+        } else if self.prior_total > 0.0 {
+            let (total, _) = self.estimate(&done);
+            (na_done as f64, total)
+        } else if cost_total > 0 {
+            (cost_done as f64, cost_total as f64)
+        } else {
+            // Nothing to estimate against (e.g. two height-1 trees):
+            // progress is binary.
+            (0.0, 0.0)
+        };
+        let denom = (est_total - forfeited)
+            .max(done_work)
+            .max(f64::MIN_POSITIVE);
+        let raw_fraction = if est_total > 0.0 {
+            (done_work / denom).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        // Monotone by construction: a refined (smaller) denominator or
+        // a freshly retired forfeit can only push the max up, never
+        // published output down. Pre-finish samples cap just below 1.0
+        // so exactly-1.0 is unambiguously "finished".
+        self.max_fraction = self.max_fraction.max(raw_fraction.min(0.9995));
+        let fraction = if finished { 1.0 } else { self.max_fraction };
+
+        // Windowed work rate → ETA with the ±15% envelope band.
+        self.window.push_back((t_us, done_work));
+        while let Some(&(t0, _)) = self.window.front() {
+            if self.window.len() > 8 && t_us.saturating_sub(t0) > RATE_WINDOW_US {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        let (mut eta_us, mut eta_lo_us, mut eta_hi_us) = (None, None, None);
+        if finished {
+            eta_us = Some(0);
+            eta_lo_us = Some(0);
+            eta_hi_us = Some(0);
+        } else if let (Some(&(t0, w0)), true) = (self.window.front(), self.window.len() >= 2) {
+            let dt = t_us.saturating_sub(t0) as f64;
+            let dw = done_work - w0;
+            if dt > 0.0 && dw > 0.0 {
+                let rate = dw / dt; // work per microsecond
+                let remaining = (denom - done_work).max(0.0);
+                eta_us = Some((remaining / rate) as u64);
+                eta_lo_us = Some((remaining * (1.0 - ETA_ENVELOPE) / rate) as u64);
+                eta_hi_us = Some((remaining * (1.0 + ETA_ENVELOPE) / rate) as u64);
+            }
+        }
+        ProgressSnapshot {
+            t_us,
+            fraction,
+            done_work,
+            est_total_work: est_total,
+            forfeited_work: forfeited,
+            na_done,
+            da_done,
+            pairs,
+            units_done,
+            units_total,
+            eta_us,
+            eta_lo_us,
+            eta_hi_us,
+            finished,
+        }
+    }
+
+    /// The on-demand full-run-state introspection: the headline sample
+    /// plus per-level done/prior/estimate cells, the per-worker ledger,
+    /// the live buffer hit ratio, and the drift monitor's verdict when
+    /// one is attached.
+    pub fn run_state(&mut self, drift: Option<&DriftMonitor>) -> RunState {
+        let snapshot = self.sample();
+        let mut levels = Vec::new();
+        if let Some(shared) = &self.tracker.shared {
+            if self.prior_total > 0.0 {
+                let mut done = [[0u64; MAX_LEVELS]; 2];
+                for (t, row) in done.iter_mut().enumerate() {
+                    for (raw, cell) in row.iter_mut().enumerate() {
+                        *cell = shared.na[t][raw].load(Ordering::Relaxed);
+                    }
+                }
+                let (_, est) = self.estimate(&done);
+                for t in 0..2 {
+                    let Some(top) = self.top[t] else { continue };
+                    for raw in 0..=top {
+                        levels.push(LevelState {
+                            tree: t + 1,
+                            level: raw + 1,
+                            done: done[t][raw],
+                            prior: self.prior[t][raw],
+                            est_total: est[t][raw],
+                        });
+                    }
+                }
+            }
+        }
+        let workers = self
+            .tracker
+            .shared
+            .as_ref()
+            .map(|s| s.workers.lock().expect("progress ledger poisoned").clone())
+            .unwrap_or_default();
+        let buffer_hit_ratio = if snapshot.na_done > 0 {
+            Some(1.0 - snapshot.da_done as f64 / snapshot.na_done as f64)
+        } else {
+            None
+        };
+        RunState {
+            snapshot,
+            levels,
+            workers,
+            buffer_hit_ratio,
+            drift_breaches: drift.map(|d| d.breaches().len()).unwrap_or(0),
+            drift_all_within: drift.map(|d| d.all_within()).unwrap_or(true),
+        }
+    }
+}
+
+/// Validates one progress JSONL document (as written next to the other
+/// `--obs-dir` artifacts): every line parses with the required keys,
+/// `t_us` and `fraction` are monotone non-decreasing, fractions stay in
+/// `[0, 1]`, and the final line is `finished: true` with fraction
+/// exactly 1.0. Returns the number of samples.
+pub fn validate_progress_jsonl(text: &str) -> Result<usize, String> {
+    use crate::json::{parse, Value};
+    let mut last_t = 0u64;
+    let mut last_fraction = -1.0f64;
+    let mut count = 0usize;
+    let mut finished = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("type").and_then(Value::as_str) != Some("progress") {
+            return Err(format!("line {}: not a progress record", i + 1));
+        }
+        for key in [
+            "t_us",
+            "fraction",
+            "done_work",
+            "na_done",
+            "pairs",
+            "finished",
+        ] {
+            if v.get(key).is_none() {
+                return Err(format!("line {}: missing key {key}", i + 1));
+            }
+        }
+        let t = v.get("t_us").and_then(Value::as_f64).unwrap_or(-1.0);
+        if t < 0.0 || (t as u64) < last_t {
+            return Err(format!("line {}: t_us regressed ({t})", i + 1));
+        }
+        last_t = t as u64;
+        let f = v.get("fraction").and_then(Value::as_f64).unwrap_or(-1.0);
+        if !(0.0..=1.0).contains(&f) {
+            return Err(format!("line {}: fraction {f} outside [0, 1]", i + 1));
+        }
+        if f < last_fraction {
+            return Err(format!(
+                "line {}: fraction regressed ({f} < {last_fraction})",
+                i + 1
+            ));
+        }
+        last_fraction = f;
+        finished = matches!(v.get("finished"), Some(Value::Bool(true)));
+        count += 1;
+    }
+    if count == 0 {
+        return Err("no progress samples".to_string());
+    }
+    if !finished {
+        return Err("final sample is not finished".to_string());
+    }
+    if last_fraction != 1.0 {
+        return Err(format!("final fraction {last_fraction} ≠ 1.0"));
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn priors_two_trees() -> Vec<LevelPrior> {
+        // A 3-level-ish prior: 60 leaf accesses over 12 level-2
+        // accesses per tree.
+        vec![
+            LevelPrior {
+                tree: 1,
+                level: 1,
+                na: 60.0,
+            },
+            LevelPrior {
+                tree: 1,
+                level: 2,
+                na: 12.0,
+            },
+            LevelPrior {
+                tree: 2,
+                level: 1,
+                na: 60.0,
+            },
+            LevelPrior {
+                tree: 2,
+                level: 2,
+                na: 12.0,
+            },
+        ]
+    }
+
+    fn feed(sink: &mut ProgressSink, t1: &[(u8, u64, u64)], t2: &[(u8, u64, u64)], pairs: u64) {
+        sink.flush(t1.iter().copied(), t2.iter().copied(), pairs);
+    }
+
+    #[test]
+    fn disabled_tracker_is_inert() {
+        let tracker = ProgressTracker::disabled();
+        assert!(!tracker.is_enabled());
+        let mut sink = tracker.sink();
+        assert!(!sink.tick());
+        feed(&mut sink, &[(0, 10, 5)], &[], 3);
+        sink.forfeit(1);
+        tracker.unit_done(0, 5);
+        tracker.finish();
+        let mut engine = ProgressEngine::new(&tracker, &priors_two_trees());
+        let snap = engine.sample();
+        assert_eq!(snap.fraction, 0.0);
+        assert!(!snap.finished);
+        assert_eq!(engine.run_state(None).workers.len(), 0);
+    }
+
+    #[test]
+    fn fraction_is_monotone_and_finishes_at_exactly_one() {
+        let tracker = ProgressTracker::enabled();
+        let mut engine = ProgressEngine::new(&tracker, &priors_two_trees());
+        let mut sink = tracker.sink();
+        let mut last = 0.0;
+        for step in 1..=10u64 {
+            // 6 leaf accesses per level-2 access, per tree — exactly
+            // the prior's branching ratio.
+            feed(
+                &mut sink,
+                &[(0, step * 6, step), (1, step, 0)],
+                &[(0, step * 6, step), (1, step, 0)],
+                step * 4,
+            );
+            let snap = engine.sample();
+            assert!(snap.fraction >= last, "regressed at step {step}");
+            assert!(snap.fraction < 1.0, "hit 1.0 before finish");
+            last = snap.fraction;
+        }
+        tracker.finish();
+        let snap = engine.sample();
+        assert_eq!(snap.fraction, 1.0);
+        assert!(snap.finished);
+        assert_eq!(snap.eta_us, Some(0));
+        // Fraction by then is substantial: 120 of ~144 predicted.
+        assert!(last > 0.5, "got {last}");
+    }
+
+    #[test]
+    fn estimate_tracks_observed_branching_over_the_prior() {
+        // Prior says 5 leaf accesses per internal access; the run
+        // observes 20. Late in the run the estimate should be far
+        // closer to the observed total than to the prior.
+        let priors = vec![
+            LevelPrior {
+                tree: 1,
+                level: 1,
+                na: 50.0,
+            },
+            LevelPrior {
+                tree: 1,
+                level: 2,
+                na: 10.0,
+            },
+        ];
+        let tracker = ProgressTracker::enabled();
+        let mut engine = ProgressEngine::new(&tracker, &priors);
+        let mut sink = tracker.sink();
+        for step in 1..=10u64 {
+            feed(&mut sink, &[(0, step * 20, 0), (1, step, 0)], &[], 0);
+            engine.sample();
+        }
+        // Observed: 200 leaf + 10 internal. Prior said 60 total.
+        let snap = engine.sample();
+        assert!(
+            snap.est_total_work > 150.0,
+            "estimate {} still prior-bound",
+            snap.est_total_work
+        );
+        assert!(snap.est_total_work >= snap.done_work);
+    }
+
+    #[test]
+    fn early_estimate_is_prior_dominated() {
+        let priors = vec![
+            LevelPrior {
+                tree: 1,
+                level: 1,
+                na: 1000.0,
+            },
+            LevelPrior {
+                tree: 1,
+                level: 2,
+                na: 100.0,
+            },
+        ];
+        let tracker = ProgressTracker::enabled();
+        let mut engine = ProgressEngine::new(&tracker, &priors);
+        let mut sink = tracker.sink();
+        // One internal access, one (atypical) leaf access observed.
+        feed(&mut sink, &[(0, 1, 0), (1, 1, 0)], &[], 0);
+        let snap = engine.sample();
+        // w = 1/(1 + 25) — the prior's 10:1 ratio must dominate the
+        // observed 1:1.
+        assert!(
+            snap.est_total_work > 900.0,
+            "estimate {} abandoned the prior too early",
+            snap.est_total_work
+        );
+    }
+
+    #[test]
+    fn forfeit_retires_work_from_the_denominator() {
+        let tracker = ProgressTracker::enabled();
+        let mut engine = ProgressEngine::new(&tracker, &priors_two_trees());
+        let mut sink = tracker.sink();
+        feed(
+            &mut sink,
+            &[(0, 30, 0), (1, 6, 0)],
+            &[(0, 30, 0), (1, 6, 0)],
+            0,
+        );
+        let before = engine.sample().fraction;
+        // Skip a level-1 (raw 0) subtree pair several times: the
+        // denominator shrinks, so the fraction must not drop — and
+        // should in fact rise.
+        for _ in 0..5 {
+            sink.forfeit(0);
+        }
+        let after = engine.sample();
+        assert!(after.forfeited_work > 0.0);
+        assert!(after.fraction >= before, "{} < {before}", after.fraction);
+    }
+
+    #[test]
+    fn unit_ledger_drives_progress_without_priors() {
+        let tracker = ProgressTracker::enabled();
+        let mut engine = ProgressEngine::for_units(&tracker);
+        tracker.set_schedule(&[(3, 300), (2, 200)]);
+        let s0 = engine.sample();
+        assert_eq!(s0.fraction, 0.0);
+        assert_eq!(s0.units_total, 5);
+        tracker.unit_done(0, 100);
+        tracker.unit_done(1, 150);
+        let s1 = engine.sample();
+        assert!((s1.done_work - 250.0).abs() < 1e-9);
+        assert!(s1.fraction > 0.45 && s1.fraction < 0.55, "{}", s1.fraction);
+        tracker.unit_done(0, 200);
+        tracker.unit_done(1, 50);
+        tracker.unit_done(0, 0);
+        tracker.finish();
+        let s2 = engine.sample();
+        assert_eq!(s2.fraction, 1.0);
+        assert_eq!(s2.units_done, 5);
+        // Steal-aware ledger: worker 0 retired 300 of 300.
+        let state = engine.run_state(None);
+        assert_eq!(state.workers[0].remaining_cost, 0);
+        assert_eq!(state.workers[0].units_done, 3);
+        assert_eq!(state.workers[1].remaining_cost, 0);
+    }
+
+    #[test]
+    fn run_state_reports_levels_workers_and_hit_ratio() {
+        let tracker = ProgressTracker::enabled();
+        let mut engine = ProgressEngine::new(&tracker, &priors_two_trees());
+        tracker.set_schedule(&[(4, 100)]);
+        let mut sink = tracker.sink();
+        feed(
+            &mut sink,
+            &[(0, 40, 10), (1, 8, 2)],
+            &[(0, 40, 4), (1, 8, 0)],
+            7,
+        );
+        let state = engine.run_state(None);
+        assert_eq!(state.levels.len(), 4);
+        let leaf1 = state
+            .levels
+            .iter()
+            .find(|l| l.tree == 1 && l.level == 1)
+            .unwrap();
+        assert_eq!(leaf1.done, 40);
+        assert!((leaf1.prior - 60.0).abs() < 1e-9);
+        assert!(leaf1.est_total >= 40.0);
+        assert_eq!(state.workers.len(), 1);
+        assert_eq!(state.workers[0].planned_units, 4);
+        // NA 96, DA 16 ⇒ hit ratio 1 − 16/96.
+        let hr = state.buffer_hit_ratio.unwrap();
+        assert!((hr - (1.0 - 16.0 / 96.0)).abs() < 1e-9);
+        assert!(state.drift_all_within);
+        assert_eq!(state.snapshot.pairs, 7);
+    }
+
+    #[test]
+    fn eta_appears_with_a_measurable_rate_and_brackets_the_point_estimate() {
+        let tracker = ProgressTracker::enabled();
+        let mut engine = ProgressEngine::new(&tracker, &priors_two_trees());
+        let mut sink = tracker.sink();
+        let mut with_eta = None;
+        for step in 1..=20u64 {
+            feed(
+                &mut sink,
+                &[(0, step * 3, 0), (1, step, 0)],
+                &[(0, step * 3, 0), (1, step, 0)],
+                0,
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let snap = engine.sample();
+            if snap.eta_us.is_some() {
+                with_eta = Some(snap);
+            }
+        }
+        let snap = with_eta.expect("rate never became measurable");
+        let (eta, lo, hi) = (
+            snap.eta_us.unwrap(),
+            snap.eta_lo_us.unwrap(),
+            snap.eta_hi_us.unwrap(),
+        );
+        assert!(lo <= eta && eta <= hi, "{lo} ≤ {eta} ≤ {hi}");
+        // The band is the ±15% envelope.
+        assert!(hi as f64 >= eta as f64 * 1.10);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_and_validates() {
+        let tracker = ProgressTracker::enabled();
+        let mut engine = ProgressEngine::new(&tracker, &priors_two_trees());
+        let mut sink = tracker.sink();
+        let mut doc = String::new();
+        for step in 1..=5u64 {
+            feed(
+                &mut sink,
+                &[(0, step * 6, step), (1, step, 0)],
+                &[(0, step * 6, 0), (1, step, 0)],
+                step,
+            );
+            doc.push_str(&engine.sample().to_json());
+            doc.push('\n');
+        }
+        tracker.finish();
+        doc.push_str(&engine.sample().to_json());
+        doc.push('\n');
+        let n = validate_progress_jsonl(&doc).expect("valid progress stream");
+        assert_eq!(n, 6);
+        // Each line parses with the advertised keys.
+        let first = parse(doc.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            first.get("type").and_then(crate::json::Value::as_str),
+            Some("progress")
+        );
+        assert!(first.get("eta_us").is_some());
+    }
+
+    #[test]
+    fn validator_rejects_broken_streams() {
+        assert!(validate_progress_jsonl("").is_err());
+        // Regressing fraction.
+        let bad = concat!(
+            "{\"type\":\"progress\",\"t_us\":1,\"fraction\":0.5,\"done_work\":1,\"na_done\":1,\"pairs\":0,\"finished\":false}\n",
+            "{\"type\":\"progress\",\"t_us\":2,\"fraction\":0.4,\"done_work\":2,\"na_done\":2,\"pairs\":0,\"finished\":true}\n",
+        );
+        assert!(validate_progress_jsonl(bad)
+            .unwrap_err()
+            .contains("regressed"));
+        // Final fraction not 1.0.
+        let unfinished = "{\"type\":\"progress\",\"t_us\":1,\"fraction\":0.5,\"done_work\":1,\"na_done\":1,\"pairs\":0,\"finished\":true}\n";
+        assert!(validate_progress_jsonl(unfinished).is_err());
+        // Not finished at all.
+        let open = "{\"type\":\"progress\",\"t_us\":1,\"fraction\":1.0,\"done_work\":1,\"na_done\":1,\"pairs\":0,\"finished\":false}\n";
+        assert!(validate_progress_jsonl(open).is_err());
+    }
+
+    #[test]
+    fn terminal_line_renders_bar_fraction_and_eta() {
+        let tracker = ProgressTracker::enabled();
+        let mut engine = ProgressEngine::for_units(&tracker);
+        tracker.set_schedule(&[(2, 100)]);
+        tracker.unit_done(0, 50);
+        let line = engine.sample().terminal_line();
+        assert!(line.contains('%'), "{line}");
+        assert!(line.starts_with('['), "{line}");
+        tracker.finish();
+        let line = engine.sample().terminal_line();
+        assert!(line.contains("100.0%"), "{line}");
+        assert!(line.contains("done"), "{line}");
+    }
+
+    #[test]
+    fn sink_deltas_accumulate_across_executors() {
+        // Two sinks (two workers) feeding the same tracker: the hub
+        // must see the sum, each sink publishing only its own deltas.
+        let tracker = ProgressTracker::enabled();
+        let mut engine = ProgressEngine::new(&tracker, &priors_two_trees());
+        let mut a = tracker.sink();
+        let mut b = tracker.sink();
+        feed(&mut a, &[(0, 10, 2)], &[(0, 4, 1)], 3);
+        feed(&mut b, &[(0, 7, 0)], &[(0, 2, 2)], 1);
+        feed(&mut a, &[(0, 12, 2)], &[(0, 4, 1)], 3); // +2 NA only
+        let snap = engine.sample();
+        assert_eq!(snap.na_done, 10 + 7 + 4 + 2 + 2);
+        // a: tree-1 DA 2, tree-2 DA 1; b: tree-1 DA 0, tree-2 DA 2;
+        // a's second flush repeats its DA tallies — no new deltas.
+        assert_eq!(snap.da_done, 2 + 1 + 2);
+        assert_eq!(snap.pairs, 4);
+    }
+
+    #[test]
+    fn tick_fires_on_the_flush_cadence() {
+        let tracker = ProgressTracker::enabled();
+        let mut sink = tracker.sink();
+        let fires = (0..(FLUSH_EVERY * 2)).filter(|_| sink.tick()).count();
+        assert_eq!(fires, 2);
+    }
+}

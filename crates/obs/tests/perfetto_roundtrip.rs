@@ -1,0 +1,152 @@
+//! Perfetto export round-trip over the executor's real span topology:
+//! a live tracer emits the same shapes the parallel join does
+//! (coordinator phases, per-worker loops carrying the `worker` field,
+//! work units with steal markers, drift-breach and progress instants),
+//! the export is validated, re-parsed, and every event type is checked
+//! for presence and correct lane placement — progress instants must
+//! ride the lane of the worker whose unit emitted them.
+
+use sjcm_obs::json::{parse, Value};
+use sjcm_obs::{
+    chrome_trace_json, validate_chrome_trace, Tracer, DRIFT_BREACH_SPAN, PROGRESS_SPAN,
+};
+
+/// Builds a two-worker trace the way the cost-guided executor does:
+/// schedule + frontier on the coordinator lane, one loop span per
+/// worker, units under them, one progress instant per retired unit,
+/// a steal on worker 1 and one drift breach under worker 0's unit.
+fn executor_shaped_tracer() -> Tracer {
+    let t = Tracer::enabled();
+    {
+        let root = t.span("cost-guided-join");
+        {
+            let _f = root.child("frontier-descent");
+        }
+        {
+            let mut s = root.child("schedule");
+            s.set("units", 3u64);
+        }
+        for worker in 0..2u64 {
+            let mut w = root.child("worker");
+            w.set("worker", worker);
+            let stolen = worker == 1;
+            let mut unit = w.child("unit");
+            unit.set("unit", worker);
+            unit.set("stolen", stolen);
+            {
+                let mut p = unit.child(PROGRESS_SPAN);
+                p.set("unit", worker);
+                p.set("cost", 100u64 * (worker + 1));
+            }
+            if worker == 0 {
+                let mut b = unit.child(DRIFT_BREACH_SPAN);
+                b.set("target", "na.total");
+            }
+        }
+        // The watcher thread samples outside any worker span: its
+        // progress instants belong on the coordinator lane.
+        let mut p = root.child(PROGRESS_SPAN);
+        p.set("fraction_milli", 500u64);
+    }
+    t
+}
+
+#[test]
+fn every_event_type_survives_the_round_trip() {
+    let tracer = executor_shaped_tracer();
+    let doc = chrome_trace_json(&tracer.records());
+    let n = validate_chrome_trace(&doc).expect("export must validate");
+    let parsed = parse(&doc).expect("export must re-parse");
+    let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+    assert_eq!(events.len(), n);
+
+    let phase = |e: &Value| e.get("ph").unwrap().as_str().unwrap().to_string();
+    let name = |e: &Value| e.get("name").unwrap().as_str().unwrap().to_string();
+
+    // All three phases appear: lane metadata, duration slices, instants.
+    for ph in ["M", "X", "i"] {
+        assert!(
+            events.iter().any(|e| phase(e) == ph),
+            "no {ph:?} events in the export"
+        );
+    }
+    // Every instant flavour appears: progress, drift breach, steal.
+    let instants: Vec<String> = events
+        .iter()
+        .filter(|e| phase(e) == "i")
+        .map(&name)
+        .collect();
+    for marker in [PROGRESS_SPAN, DRIFT_BREACH_SPAN, "steal"] {
+        assert!(
+            instants.iter().any(|n| n == marker),
+            "missing {marker:?} instant among {instants:?}"
+        );
+    }
+    // Instants never render a duration twin.
+    for marker in [PROGRESS_SPAN, DRIFT_BREACH_SPAN] {
+        assert!(
+            !events.iter().any(|e| phase(e) == "X" && name(e) == marker),
+            "{marker:?} must not also be a slice"
+        );
+    }
+    // Both worker lanes plus the coordinator are named.
+    let lanes: Vec<String> = events
+        .iter()
+        .filter(|e| phase(e) == "M")
+        .map(|e| {
+            e.get("args")
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    for lane in ["coordinator", "worker 0", "worker 1"] {
+        assert!(lanes.iter().any(|l| l == lane), "missing lane {lane:?}");
+    }
+}
+
+#[test]
+fn progress_instants_land_on_their_workers_lane() {
+    let tracer = executor_shaped_tracer();
+    let doc = chrome_trace_json(&tracer.records());
+    let parsed = parse(&doc).unwrap();
+    let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+
+    let progress: Vec<&Value> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").unwrap().as_str() == Some("i")
+                && e.get("name").unwrap().as_str() == Some(PROGRESS_SPAN)
+        })
+        .collect();
+    assert_eq!(progress.len(), 3, "one per unit + the watcher sample");
+
+    // Per-unit instants carry a `unit` arg equal to the worker index
+    // here, so the expected lane is unit + 1; the watcher's instant
+    // (no `unit` arg) belongs on the coordinator lane 0.
+    let mut lanes_seen = Vec::new();
+    for p in progress {
+        let tid = p.get("tid").unwrap().as_f64().unwrap();
+        match p.get("args").unwrap().get("unit").and_then(Value::as_f64) {
+            Some(unit) => assert_eq!(
+                tid,
+                unit + 1.0,
+                "unit {unit} progress instant on the wrong lane"
+            ),
+            None => assert_eq!(tid, 0.0, "watcher sample must sit on the coordinator lane"),
+        }
+        lanes_seen.push(tid);
+    }
+    lanes_seen.sort_by(f64::total_cmp);
+    assert_eq!(lanes_seen, vec![0.0, 1.0, 2.0]);
+
+    // Steal markers inherit the stolen unit's lane too.
+    let steal = events
+        .iter()
+        .find(|e| e.get("name").unwrap().as_str() == Some("steal"))
+        .expect("worker 1's unit was stolen");
+    assert_eq!(steal.get("tid").unwrap().as_f64(), Some(2.0));
+}

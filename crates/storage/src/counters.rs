@@ -76,6 +76,18 @@ impl AccessStats {
             .map(|l| l as u8)
     }
 
+    /// Per-level `(level, NA, DA)` triples for every level touched so
+    /// far, in ascending level order — the counter plumbing a live
+    /// progress sink drains periodically (it diffs two snapshots of
+    /// this iterator, so reading must not perturb the tallies).
+    pub fn per_level(&self) -> impl Iterator<Item = (u8, u64, u64)> + '_ {
+        self.na_by_level
+            .iter()
+            .zip(&self.da_by_level)
+            .enumerate()
+            .map(|(i, (&na, &da))| (i as u8, na, da))
+    }
+
     /// Adds another tally into this one (used to combine the per-thread
     /// statistics of the parallel join).
     pub fn merge(&mut self, other: &AccessStats) {
@@ -159,6 +171,17 @@ mod tests {
         assert_eq!(a.da_at(0), 1);
         assert_eq!(a.na_at(3), 1);
         assert_eq!(a.max_level(), Some(3));
+    }
+
+    #[test]
+    fn per_level_mirrors_the_accessors() {
+        let mut s = AccessStats::new();
+        s.record(0, AccessKind::Miss);
+        s.record(0, AccessKind::Hit);
+        s.record(2, AccessKind::Miss);
+        let levels: Vec<_> = s.per_level().collect();
+        assert_eq!(levels, vec![(0, 2, 1), (1, 0, 0), (2, 1, 1)]);
+        assert!(AccessStats::new().per_level().next().is_none());
     }
 
     #[test]

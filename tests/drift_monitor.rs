@@ -7,7 +7,9 @@
 
 use sjcm::join::{parallel_spatial_join_observed, BufferPolicy, JoinConfig, JoinObs, ScheduleMode};
 use sjcm::model::{join, LevelParams, TreeParams};
-use sjcm::obs::{DriftMonitor, MetricsRegistry, Tracer, DA_TOTAL, NA_TOTAL, PAPER_ENVELOPE};
+use sjcm::obs::{
+    DriftMonitor, MetricsRegistry, ProgressTracker, Tracer, DA_TOTAL, NA_TOTAL, PAPER_ENVELOPE,
+};
 use sjcm::prelude::*;
 use sjcm::storage::FlightRecorder;
 
@@ -88,6 +90,7 @@ fn known_good_workload_stays_inside_the_envelope() {
             tracer: Tracer::disabled(),
             drift: Some(&drift),
             recorder: FlightRecorder::disabled(),
+            progress: ProgressTracker::disabled(),
         },
     );
     for (name, actual) in result.drift_observations() {
@@ -144,6 +147,7 @@ fn wrong_parameterization_is_flagged_in_flight() {
             tracer: Tracer::disabled(),
             drift: Some(&drift),
             recorder: FlightRecorder::disabled(),
+            progress: ProgressTracker::disabled(),
         },
     );
     for (name, actual) in result.drift_observations() {
