@@ -22,6 +22,13 @@
 //!   algo-compare    SJ vs baselines vs PBSM
 //!   parallel        §5 outlook: cost-guided parallel SJ vs round-robin
 //!   params-diff     analytic-vs-measured tree parameter table
+//!   explain         EXPLAIN ANALYZE of the optimizer's plan for the
+//!                   fixed-seed rivers × countries selection-join:
+//!                   per-operator estimate vs re-estimate vs measured
+//!                   NA/DA with catalog/model error attribution
+//!                   (--obs-dir persists plan_analyze.jsonl;
+//!                   --calibrate demos the stale-catalog flip and
+//!                   persists the corrected catalog.json)
 //!   join            one fully observed join: spans, metrics, live
 //!                   drift, the Eq-6-seeded progress/ETA engine
 //!                   (--watch draws it live; --obs-dir persists the
@@ -53,6 +60,9 @@
 //!              1998; the data seeds stay pinned)
 //! --watch      join: redraw the live progress line (fraction, ETA
 //!              with the ±15% band, pairs) while the join runs
+//! --calibrate  explain: start from a 4×-mis-registered catalog,
+//!              write the measured statistics back, persist the
+//!              corrected catalog.json and show the re-planning flip
 //! --current F  bench-compare: the freshly grepped BENCH JSON
 //! --baseline F bench-compare: a committed baseline; repeatable,
 //!              later files override earlier per (group, bench)
@@ -62,6 +72,7 @@ mod bench_compare;
 mod chaos;
 mod common;
 mod errors;
+mod explain;
 mod extensions;
 mod figures;
 mod observability;
@@ -79,6 +90,7 @@ struct Args {
     obs_dir: Option<PathBuf>,
     seed: u64,
     watch: bool,
+    calibrate: bool,
     current: Option<PathBuf>,
     baselines: Vec<PathBuf>,
 }
@@ -104,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
     let mut obs_dir = None;
     let mut seed = 1998;
     let mut watch = false;
+    let mut calibrate = false;
     let mut current = None;
     let mut baselines = Vec::new();
     while let Some(flag) = args.next() {
@@ -139,6 +152,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --seed {v}: {e}"))?;
             }
             "--watch" => watch = true,
+            "--calibrate" => calibrate = true,
             "--current" => {
                 current = Some(PathBuf::from(args.next().ok_or("--current needs a value")?));
             }
@@ -165,6 +179,7 @@ fn parse_args() -> Result<Args, String> {
         obs_dir,
         seed,
         watch,
+        calibrate,
         current,
         baselines,
     })
@@ -248,6 +263,17 @@ fn main() -> ExitCode {
                 assert!(run(cmd));
             }
         }
+        "explain" => {
+            let ok = if args.calibrate {
+                explain::calibrate(out, scale, args.threads, args.obs_dir.as_deref())
+            } else {
+                explain::explain(out, scale, args.threads, args.obs_dir.as_deref())
+            };
+            if !ok {
+                eprintln!("explain: gate failed");
+                return ExitCode::FAILURE;
+            }
+        }
         "chaos" => {
             if !chaos::chaos(out, scale, args.threads, args.seed, args.obs_dir.as_deref()) {
                 eprintln!("chaos: at least one gate failed");
@@ -306,7 +332,8 @@ fn main() -> ExitCode {
             println!("commands: figure5a figure5b figure6 figure7 errors-uniform");
             println!("          density-sweep nonuniform real param-source params-diff");
             println!("          selectivity role-choice lru-ablation high-dim");
-            println!("          algo-compare parallel join chaos trace-replay trace-report");
+            println!("          algo-compare parallel join explain chaos trace-replay");
+            println!("          trace-report");
             println!("          (also spelled `trace replay` / `trace report`)");
             println!("          bench-compare validate-obs all");
             println!("flags:    --scale F (default 1.0), --out DIR (default results/),");
@@ -317,6 +344,7 @@ fn main() -> ExitCode {
             println!("          and validate-obs read them back),");
             println!("          --seed S (chaos fault-plan seed, default 1998),");
             println!("          --watch (join: live progress/ETA line),");
+            println!("          --calibrate (explain: stale-catalog demo + catalog.json),");
             println!("          --current F / --baseline F (bench-compare inputs; --baseline");
             println!("          repeats, defaults to the committed ./BENCH_*.json)");
             return ExitCode::SUCCESS;

@@ -379,9 +379,13 @@ pub fn join_observed(
 /// under the same contract, the binary page-access trace
 /// (magic/version/size/tick-monotonicity via [`AccessTrace::read`],
 /// plus a truncation check on the ring-drop counter), the Perfetto
-/// export (well-formed Chrome trace-event JSON), and the progress
+/// export (well-formed Chrome trace-event JSON), the progress
 /// snapshot stream (monotone time and fraction, finishing at exactly
-/// 1.0, via [`validate_progress_jsonl`]). Returns `false` (with
+/// 1.0, via [`validate_progress_jsonl`]), the `explain` command's
+/// per-operator plan analysis (`plan_analyze.jsonl`: schema'd lines,
+/// DA ≤ NA, no gated operator breaching the envelope), and the
+/// calibrated `catalog.json` (round-trips through the optimizer's
+/// parser with at least one dataset). Returns `false` (with
 /// diagnostics on stderr) on any violation, including an obs dir with
 /// nothing to validate.
 pub fn validate_obs(dir: &Path) -> bool {
@@ -400,6 +404,8 @@ pub fn validate_obs(dir: &Path) -> bool {
     let access = present(crate::trace::ACCESS_TRACE_FILE);
     let perfetto = present(PERFETTO_FILE);
     let progress = present(PROGRESS_FILE);
+    let plan_analyze = present(crate::explain::PLAN_ANALYZE_FILE);
+    let catalog = present(crate::explain::CATALOG_FILE);
     if [
         &trace,
         &metrics,
@@ -407,16 +413,20 @@ pub fn validate_obs(dir: &Path) -> bool {
         &access,
         &perfetto,
         &progress,
+        &plan_analyze,
+        &catalog,
     ]
     .iter()
     .all(|a| a.is_none())
     {
         fail(format!(
             "no artifacts found in {}; expected any of {TRACE_FILE}, \
-             {METRICS_FILE}, {}, {}, {PERFETTO_FILE}, {PROGRESS_FILE}",
+             {METRICS_FILE}, {}, {}, {PERFETTO_FILE}, {PROGRESS_FILE}, {}, {}",
             dir.display(),
             crate::chaos::CHAOS_METRICS_FILE,
-            crate::trace::ACCESS_TRACE_FILE
+            crate::trace::ACCESS_TRACE_FILE,
+            crate::explain::PLAN_ANALYZE_FILE,
+            crate::explain::CATALOG_FILE
         ));
         return false;
     }
@@ -500,6 +510,36 @@ pub fn validate_obs(dir: &Path) -> bool {
         }
     }
 
+    // The plan-analysis stream: every line parses with the
+    // sjcm.plan_analyze.v1 schema, counters are internally consistent
+    // (DA never exceeds NA), and no gated operator's residual model
+    // error breached the envelope (`within` is true or null — staleness
+    // demos legitimately record catalog-attributed misses, but a
+    // *model* breach fails the artifact).
+    if let Some(path) = &plan_analyze {
+        check_plan_analyze_file(path, &fail);
+    }
+
+    // The calibrated catalog round-trips through the optimizer's own
+    // parser, which enforces dimensionality and entry shape.
+    if let Some(path) = &catalog {
+        match sjcm::optimizer::Catalog::<2>::load(path) {
+            Err(e) => fail(format!("{}: {e}", path.display())),
+            Ok(c) => {
+                let n = c.iter().count();
+                if n == 0 {
+                    fail(format!("{}: catalog holds no datasets", path.display()));
+                } else {
+                    println!(
+                        "validate-obs: {} catalog entries ok in {}",
+                        n,
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+
     // The progress stream's contract lives in the obs crate: every line
     // parses with the snapshot keys, time and fraction are monotone,
     // and the stream ends finished with fraction exactly 1.0.
@@ -524,6 +564,93 @@ pub fn validate_obs(dir: &Path) -> bool {
 /// contract): every line parses with the type/name/value shape, each
 /// `drift.*` gauge stays inside the published `drift.envelope`, and the
 /// `drift.breaches` counter is zero.
+/// Validates the `explain` command's `plan_analyze.jsonl`: every line
+/// parses with the `sjcm.plan_analyze.v1` schema and its required keys,
+/// per-operator DA never exceeds NA, sequence numbers are contiguous
+/// from zero, and `"within"` is never `false` — a gated operator whose
+/// residual model error breached the envelope fails the artifact
+/// (catalog-attributed misses are legal: they are what `--calibrate`
+/// exists to demonstrate).
+fn check_plan_analyze_file(path: &Path, fail: &dyn Fn(String)) {
+    let text = match std::fs::read_to_string(path) {
+        Err(e) => return fail(format!("cannot read {}: {e}", path.display())),
+        Ok(t) => t,
+    };
+    let mut lines = 0usize;
+    let mut ok = true;
+    for (lineno, line) in text.lines().enumerate() {
+        let mut line_fail = |msg: String| {
+            fail(format!("{}:{}: {msg}", path.display(), lineno + 1));
+            ok = false;
+        };
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                line_fail(e.to_string());
+                continue;
+            }
+        };
+        match v.get("schema").and_then(|s| s.as_str()) {
+            Some("sjcm.plan_analyze.v1") => {}
+            other => line_fail(format!(
+                "unexpected schema {:?} (want sjcm.plan_analyze.v1)",
+                other.unwrap_or("<missing>")
+            )),
+        }
+        for key in [
+            "seq",
+            "op",
+            "path",
+            "est_cost",
+            "reest_cost",
+            "est_rows",
+            "na",
+            "da",
+            "cost_io",
+            "rows",
+            "wall_us",
+            "err",
+            "catalog_err",
+            "model_err",
+            "attribution",
+            "gated",
+            "within",
+            "envelope",
+        ] {
+            if v.get(key).is_none() {
+                line_fail(format!("plan line missing key {key}"));
+            }
+        }
+        let num = |key: &str| v.get(key).and_then(|x| x.as_f64());
+        if let (Some(na), Some(da)) = (num("na"), num("da")) {
+            if da > na {
+                line_fail(format!("da {da} exceeds na {na}"));
+            }
+        }
+        if num("seq") != Some(lines as f64) {
+            line_fail(format!("non-contiguous seq (expected {lines})"));
+        }
+        if v.get("within").and_then(|w| w.as_bool()) == Some(false) {
+            line_fail(format!(
+                "operator {} breached the envelope (within = false)",
+                v.get("op").and_then(|o| o.as_str()).unwrap_or("?")
+            ));
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        fail(format!("{}: no plan operators recorded", path.display()));
+        ok = false;
+    }
+    if ok {
+        println!(
+            "validate-obs: {} plan operators ok in {}",
+            lines,
+            path.display()
+        );
+    }
+}
+
 fn check_metrics_file(path: &Path, fail: &dyn Fn(String)) {
     let text = match std::fs::read_to_string(path) {
         Err(e) => return fail(format!("cannot read {}: {e}", path.display())),

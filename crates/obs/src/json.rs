@@ -42,6 +42,14 @@ impl Value {
         }
     }
 
+    /// The boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string contents.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -5,9 +5,17 @@
 //! by a density surface for non-uniform data. This mirrors a real
 //! system catalog, where such statistics are maintained by `ANALYZE`-
 //! style sampling rather than read from the index.
+//!
+//! The catalog round-trips through a small JSON file ([`Catalog::save`]
+//! / [`Catalog::load`]) so measured statistics — e.g. the corrections
+//! EXPLAIN ANALYZE's `--calibrate` mode derives from actual tree walks —
+//! survive into the *next* planning run. Density surfaces are in-memory
+//! refinements and are not persisted.
 
 use sjcm_core::{DataProfile, DensitySurface};
+use sjcm_obs::json::{self, Value};
 use std::collections::BTreeMap;
+use std::path::Path;
 
 /// Statistics of one registered data set.
 #[derive(Debug, Clone)]
@@ -82,7 +90,124 @@ impl<const N: usize> Catalog<N> {
     pub fn is_empty(&self) -> bool {
         self.datasets.is_empty()
     }
+
+    /// Iterates `(name, stats)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &DatasetStats<N>)> {
+        self.datasets.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serializes the catalog to one JSON document (surfaces excluded).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"dims\":{N},\"datasets\":{{"));
+        for (i, (name, stats)) in self.datasets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"cardinality\":{},\"density\":{},\"indexed\":{}}}",
+                json::escape(name),
+                stats.profile.cardinality,
+                stats.profile.density,
+                stats.indexed
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a catalog previously produced by [`Catalog::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, CatalogError> {
+        let v = json::parse(text).map_err(CatalogError::Parse)?;
+        let dims = v
+            .get("dims")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| CatalogError::Parse("missing dims".into()))?;
+        if dims as usize != N {
+            return Err(CatalogError::DimMismatch {
+                expected: N,
+                found: dims as usize,
+            });
+        }
+        let Some(Value::Obj(entries)) = v.get("datasets") else {
+            return Err(CatalogError::Parse("missing datasets object".into()));
+        };
+        let mut catalog = Self::new();
+        for (name, entry) in entries {
+            let num = |k: &str| {
+                entry.get(k).and_then(Value::as_f64).ok_or_else(|| {
+                    CatalogError::Parse(format!("dataset {name}: missing numeric {k}"))
+                })
+            };
+            let cardinality = num("cardinality")?;
+            let density = num("density")?;
+            if !cardinality.is_finite()
+                || !density.is_finite()
+                || cardinality < 0.0
+                || density < 0.0
+            {
+                return Err(CatalogError::Parse(format!(
+                    "dataset {name}: negative cardinality/density"
+                )));
+            }
+            let indexed = match entry.get("indexed") {
+                Some(Value::Bool(b)) => *b,
+                _ => {
+                    return Err(CatalogError::Parse(format!(
+                        "dataset {name}: missing boolean indexed"
+                    )))
+                }
+            };
+            let mut stats = DatasetStats::new(cardinality.round() as u64, density);
+            stats.indexed = indexed;
+            catalog.register(name, stats);
+        }
+        Ok(catalog)
+    }
+
+    /// Writes the catalog as JSON to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), CatalogError> {
+        std::fs::write(path, self.to_json() + "\n")
+            .map_err(|e| CatalogError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Loads a catalog saved by [`Catalog::save`].
+    pub fn load(path: &Path) -> Result<Self, CatalogError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CatalogError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_json(text.trim())
+    }
 }
+
+/// Catalog persistence failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// Filesystem error (message includes the path).
+    Io(String),
+    /// Malformed catalog JSON.
+    Parse(String),
+    /// The file was saved for a different dimensionality.
+    DimMismatch {
+        /// Compile-time dimensionality of the loading catalog.
+        expected: usize,
+        /// Dimensionality recorded in the file.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Io(e) => write!(f, "catalog io error: {e}"),
+            CatalogError::Parse(e) => write!(f, "catalog parse error: {e}"),
+            CatalogError::DimMismatch { expected, found } => {
+                write!(f, "catalog dims {found} do not match expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
 
 #[cfg(test)]
 mod tests {
@@ -115,5 +240,56 @@ mod tests {
         let surface = DensitySurface::<2>::from_rects(&[], 4);
         let s = DatasetStats::new(5, 0.0).with_surface(surface);
         assert!(s.surface.is_some());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut c = Catalog::<2>::new();
+        c.register("rivers", DatasetStats::new(60_000, 0.2));
+        c.register("scratch", DatasetStats::new(10, 0.5).without_index());
+        let back = Catalog::<2>::from_json(&c.to_json()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get("rivers").unwrap().profile.cardinality, 60_000);
+        assert!((back.get("rivers").unwrap().profile.density - 0.2).abs() < 1e-12);
+        assert!(back.get("rivers").unwrap().indexed);
+        assert!(!back.get("scratch").unwrap().indexed);
+    }
+
+    #[test]
+    fn save_load_and_dim_mismatch() {
+        let dir = std::env::temp_dir().join(format!("sjcm_catalog_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        let mut c = Catalog::<2>::new();
+        c.register("roads", DatasetStats::new(36_000, 0.3));
+        c.save(&path).unwrap();
+        let back = Catalog::<2>::load(&path).unwrap();
+        assert_eq!(back.get("roads").unwrap().profile.cardinality, 36_000);
+        assert_eq!(
+            Catalog::<3>::load(&path).unwrap_err(),
+            CatalogError::DimMismatch {
+                expected: 3,
+                found: 2
+            }
+        );
+        assert!(matches!(
+            Catalog::<2>::load(&dir.join("missing.json")).unwrap_err(),
+            CatalogError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_entries() {
+        assert!(matches!(
+            Catalog::<2>::from_json("{\"datasets\":{}}").unwrap_err(),
+            CatalogError::Parse(_)
+        ));
+        assert!(matches!(
+            Catalog::<2>::from_json(
+                "{\"dims\":2,\"datasets\":{\"x\":{\"cardinality\":-1,\"density\":0.1,\"indexed\":true}}}"
+            )
+            .unwrap_err(),
+            CatalogError::Parse(_)
+        ));
     }
 }

@@ -13,6 +13,7 @@ use crate::catalog::Catalog;
 use crate::plan::{Estimate, JoinAlgorithm, PlanNode};
 use sjcm_core::selectivity::join_selectivity;
 use sjcm_core::{join, range, DataProfile, ModelConfig, SpatialOperator, TreeParams};
+use std::collections::BTreeMap;
 
 /// Estimation errors (unknown data sets are caught by the planner; this
 /// covers programmatic misuse of raw plan nodes).
@@ -41,6 +42,11 @@ impl std::error::Error for CostError {}
 pub struct CostEstimator<'a, const N: usize> {
     catalog: &'a Catalog<N>,
     config: ModelConfig,
+    /// Post-hoc measured tree parameters per base data set (from
+    /// `RTree::stats`), used instead of the Eq 2–5 analytical derivation
+    /// when present. EXPLAIN ANALYZE uses this to separate catalog error
+    /// from residual model error.
+    params_override: BTreeMap<String, TreeParams<N>>,
 }
 
 impl<'a, const N: usize> CostEstimator<'a, N> {
@@ -50,6 +56,7 @@ impl<'a, const N: usize> CostEstimator<'a, N> {
         Self {
             catalog,
             config: ModelConfig::paper(N),
+            params_override: BTreeMap::new(),
         }
     }
 
@@ -59,8 +66,40 @@ impl<'a, const N: usize> CostEstimator<'a, N> {
         self
     }
 
+    /// Supplies measured per-level tree parameters for base indexes.
+    /// Data sets present in the map are priced from their actual tree
+    /// shape (heights, node counts, extents) rather than Eqs 2–5.
+    pub fn with_measured_params(mut self, params: BTreeMap<String, TreeParams<N>>) -> Self {
+        self.params_override = params;
+        self
+    }
+
     fn profile_params(&self, profile: DataProfile) -> TreeParams<N> {
         TreeParams::from_data(profile, &self.config)
+    }
+
+    /// Tree parameters for the base index of `dataset`: the measured
+    /// override when supplied, the analytical derivation otherwise.
+    fn base_params(&self, dataset: &str, profile: DataProfile) -> TreeParams<N> {
+        self.params_override
+            .get(dataset)
+            .cloned()
+            .unwrap_or_else(|| self.profile_params(profile))
+    }
+
+    /// The base index behind an SJ input: a bare scan, or a window
+    /// selection whose residual filter rides on top of the full-tree
+    /// traversal. Returns the data set name and its catalog profile.
+    fn sj_base<'n>(&self, node: &'n PlanNode<N>) -> Option<(&'n str, DataProfile)> {
+        let dataset = match node {
+            PlanNode::IndexScan { dataset } => dataset,
+            PlanNode::IndexRangeSelect { dataset, .. } => dataset,
+            _ => return None,
+        };
+        self.catalog
+            .get(dataset)
+            .filter(|s| s.indexed)
+            .map(|s| (dataset.as_str(), s.profile))
     }
 
     fn estimate_profile(est: &Estimate) -> DataProfile {
@@ -89,6 +128,7 @@ impl<'a, const N: usize> CostEstimator<'a, N> {
                     cardinality: stats.profile.cardinality as f64,
                     density: stats.profile.density,
                     cost: 0.0,
+                    own_cost: 0.0,
                     indexed: stats.indexed,
                 })
             }
@@ -97,7 +137,7 @@ impl<'a, const N: usize> CostEstimator<'a, N> {
                     .catalog
                     .get(dataset)
                     .ok_or_else(|| CostError::UnknownDataset(dataset.clone()))?;
-                let params = self.profile_params(stats.profile);
+                let params = self.base_params(dataset, stats.profile);
                 let q = window.extents();
                 let cost = range::range_query_cost(&params, &q);
                 let card = SpatialOperator::Overlap.selectivity(
@@ -109,6 +149,7 @@ impl<'a, const N: usize> CostEstimator<'a, N> {
                     cardinality: card,
                     density: card * stats.profile.avg_measure(),
                     cost,
+                    own_cost: cost,
                     indexed: false,
                 })
             }
@@ -130,6 +171,7 @@ impl<'a, const N: usize> CostEstimator<'a, N> {
                     cardinality: inner.cardinality * fraction,
                     density: inner.density * fraction,
                     cost: inner.cost,
+                    own_cost: 0.0,
                     indexed: false,
                 })
             }
@@ -158,24 +200,35 @@ impl<'a, const N: usize> CostEstimator<'a, N> {
         let out_density = pairs * (d_prof.avg_measure() + q_prof.avg_measure());
         let own_cost = match algorithm {
             JoinAlgorithm::SynchronizedTraversal => {
-                if !d.indexed || !q.indexed {
+                // SJ traverses the *base* trees even when a window
+                // selection was pushed below it (the residual filter is
+                // free); the selection's Eq 1 probe cost already sits in
+                // the child estimate, so the traversal is priced on the
+                // full-index profiles.
+                let (Some((d_name, d_base)), Some((q_name, q_base))) =
+                    (self.sj_base(data), self.sj_base(query))
+                else {
                     return Err(CostError::UnindexedSjInput);
-                }
-                let pd = self.profile_params(d_prof);
-                let pq = self.profile_params(q_prof);
+                };
+                let pd = self.base_params(d_name, d_base);
+                let pq = self.base_params(q_name, q_base);
                 join::join_cost_da(&pd, &pq)
             }
             JoinAlgorithm::IndexNestedLoop => {
                 // The indexed side is probed once per outer object with a
-                // window the size of an average outer object.
-                let (indexed_prof, outer) = if d.indexed {
-                    (d_prof, &q)
+                // window the size of an average outer object. Only a bare
+                // IndexScan estimates as indexed, so the name is there.
+                let (indexed_node, indexed_prof, outer) = if d.indexed {
+                    (data, d_prof, &q)
                 } else if q.indexed {
-                    (q_prof, &d)
+                    (query, q_prof, &d)
                 } else {
                     return Err(CostError::UnindexedSjInput);
                 };
-                let params = self.profile_params(indexed_prof);
+                let params = match indexed_node {
+                    PlanNode::IndexScan { dataset } => self.base_params(dataset, indexed_prof),
+                    _ => self.profile_params(indexed_prof),
+                };
                 let outer_prof = Self::estimate_profile(outer);
                 let probe = [outer_prof.avg_extent(N); N];
                 outer.cardinality * range::range_query_cost(&params, &probe)
@@ -192,6 +245,7 @@ impl<'a, const N: usize> CostEstimator<'a, N> {
             cardinality: pairs,
             density: out_density,
             cost: d.cost + q.cost + own_cost,
+            own_cost,
             indexed: false,
         })
     }

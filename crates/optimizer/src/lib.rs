@@ -48,6 +48,7 @@ pub mod cost;
 pub mod plan;
 pub mod planner;
 
-pub use catalog::{Catalog, DatasetStats};
-pub use plan::{JoinAlgorithm, JoinQuery, PhysicalPlan, PlanNode};
+pub use catalog::{Catalog, CatalogError, DatasetStats};
+pub use cost::{CostError, CostEstimator};
+pub use plan::{Estimate, JoinAlgorithm, JoinQuery, PhysicalPlan, PlanNode};
 pub use planner::{Planner, PlannerError};

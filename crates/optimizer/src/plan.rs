@@ -115,8 +115,12 @@ pub struct Estimate {
     pub cardinality: f64,
     /// Expected output density (sum of MBR measures).
     pub density: f64,
-    /// I/O cost of this operator alone (page accesses).
+    /// Cumulative I/O cost of the subtree rooted here (page accesses).
     pub cost: f64,
+    /// I/O cost attributable to this operator alone, excluding its
+    /// children — what EXPLAIN ANALYZE compares against the operator's
+    /// measured accesses.
+    pub own_cost: f64,
     /// Whether the output is backed by an R-tree index.
     pub indexed: bool,
 }

@@ -162,12 +162,13 @@ impl<'a, const N: usize> Planner<'a, N> {
                 for (data, query_side) in
                     [(left.clone(), right.clone()), (right.clone(), left.clone())]
                 {
-                    let algorithm = self.pick_algorithm(&data, &query_side);
-                    next.push(PlanNode::Join {
-                        data: Box::new(data),
-                        query: Box::new(query_side),
-                        algorithm,
-                    });
+                    for algorithm in self.feasible_algorithms(&data, &query_side) {
+                        next.push(PlanNode::Join {
+                            data: Box::new(data.clone()),
+                            query: Box::new(query_side.clone()),
+                            algorithm,
+                        });
+                    }
                 }
             }
             partials = next;
@@ -195,10 +196,14 @@ impl<'a, const N: usize> Planner<'a, N> {
         }
     }
 
-    /// Algorithm choice is forced by index availability: SJ when both
-    /// sides are indexed base scans, INL when exactly one is, NL
-    /// otherwise.
-    fn pick_algorithm(&self, a: &PlanNode<N>, b: &PlanNode<N>) -> JoinAlgorithm {
+    /// Algorithm choices for one join, driven by index availability: SJ
+    /// when both sides are indexed base scans, INL when exactly one is,
+    /// NL otherwise. A window selection pushed below the join keeps its
+    /// base index on disk, so a second variant traverses the full trees
+    /// with SJ and applies the window as a residual filter — the
+    /// estimator prices it (full-tree Eq 10/12 plus the Eq 1 probe) and
+    /// enumeration lets costing decide.
+    fn feasible_algorithms(&self, a: &PlanNode<N>, b: &PlanNode<N>) -> Vec<JoinAlgorithm> {
         let indexed = |n: &PlanNode<N>| -> bool {
             match n {
                 PlanNode::IndexScan { dataset } => {
@@ -207,11 +212,24 @@ impl<'a, const N: usize> Planner<'a, N> {
                 _ => false,
             }
         };
-        match (indexed(a), indexed(b)) {
+        let index_backed = |n: &PlanNode<N>| -> bool {
+            match n {
+                PlanNode::IndexScan { dataset } | PlanNode::IndexRangeSelect { dataset, .. } => {
+                    self.catalog.get(dataset).is_some_and(|s| s.indexed)
+                }
+                _ => false,
+            }
+        };
+        let forced = match (indexed(a), indexed(b)) {
             (true, true) => JoinAlgorithm::SynchronizedTraversal,
             (true, false) | (false, true) => JoinAlgorithm::IndexNestedLoop,
             (false, false) => JoinAlgorithm::NestedLoop,
+        };
+        let mut algorithms = vec![forced];
+        if forced != JoinAlgorithm::SynchronizedTraversal && index_backed(a) && index_backed(b) {
+            algorithms.push(JoinAlgorithm::SynchronizedTraversal);
         }
+        algorithms
     }
 }
 

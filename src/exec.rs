@@ -9,18 +9,32 @@
 //! experiments use — so a plan's *estimated* cost can be checked against
 //! its *measured* cost (see `tests/plan_execution.rs`).
 //!
+//! Accounting is dimensionally explicit: every operator reports its
+//! logical node accesses (**NA**) and its buffer misses (**DA**)
+//! separately, and [`PlanExecutor::run_measured`] additionally returns a
+//! per-operator [`OpMeasurement`] stream — the raw material for the
+//! EXPLAIN ANALYZE subsystem in [`crate::explain`]. The SJ operator runs
+//! through the production [`parallel_spatial_join_observed`] entry point
+//! (one worker by default — identical counters to the sequential
+//! executor), so whatever instrumentation production carries, plan
+//! execution carries too.
+//!
 //! Supported plan shapes: everything the planner emits for one- and
 //! two-dataset queries (scans, index range selects, one join of any
-//! algorithm, and filters above them). Deeper join chains return
+//! algorithm — including SJ with a window selection pushed below it,
+//! executed as a full-tree traversal plus a residual filter on the
+//! selected side — and filters above them). Deeper join chains return
 //! [`ExecError::UnsupportedShape`] — the estimator prices them, but
 //! executing them would need multi-column intermediate semantics this
 //! reproduction does not model.
 
 use crate::join::baselines::index_nested_loop_join;
+use crate::join::{parallel_spatial_join_observed, JoinObs, ScheduleMode};
 use crate::optimizer::{JoinAlgorithm, PhysicalPlan, PlanNode};
 use crate::prelude::*;
 use sjcm_geom::Rect;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// One base data set bound for execution: its index and its object
 /// table, indexed by dense `ObjectId` (as produced by
@@ -59,21 +73,65 @@ pub struct ExecOutput<const N: usize> {
     pub columns: Vec<String>,
     /// Result rows; each row has one `(rect, id)` per column.
     pub rows: Vec<Vec<(Rect<N>, ObjectId)>>,
-    /// Page accesses actually performed (DA for SJ joins under path
-    /// buffers, node accesses for index probes).
-    pub io_cost: u64,
+    /// Logical node accesses (NA) summed over the subtree's operators.
+    pub na: u64,
+    /// Buffer misses (DA) summed over the subtree's operators. Equals
+    /// `na` for unbuffered probes; strictly smaller for SJ runs under
+    /// the path buffer.
+    pub da: u64,
+    /// Model-comparable I/O summed over the subtree: per operator, DA
+    /// for SJ under the path buffer (what Eq 10/12 predicts), NA for
+    /// index probes (what Eq 1 predicts), simulated page reads for NL —
+    /// the measured counterpart of `Estimate::cost`.
+    pub cost_io: u64,
+}
+
+/// Measured counters of one operator alone (children excluded) — the
+/// measured counterpart of `Estimate::own_cost`, tagged with the
+/// operator's position in the plan tree.
+#[derive(Debug, Clone)]
+pub struct OpMeasurement {
+    /// Child indices from the root (`[]` = root; for a join, `[0]` is
+    /// the data/R1 side and `[1]` the query/R2 side; a filter's input
+    /// is `[0]`).
+    pub path: Vec<usize>,
+    /// Operator label, e.g. `IndexScan(rivers)` or `Join[SJ]`.
+    pub label: String,
+    /// Logical node accesses performed by this operator.
+    pub na: u64,
+    /// Buffer misses charged to this operator.
+    pub da: u64,
+    /// Model-comparable I/O of this operator (see
+    /// [`ExecOutput::cost_io`]).
+    pub cost_io: u64,
+    /// Output rows produced.
+    pub rows: u64,
+    /// Wall-clock span of the operator, children excluded, in
+    /// microseconds.
+    pub wall_us: u64,
+}
+
+/// One executed SJ input with a pushed-down selection: the surviving
+/// ids (residual filter) and the probe's accesses.
+struct SjSide {
+    selected: HashSet<ObjectId>,
+    na: u64,
 }
 
 /// Executes physical plans against bound data sets.
 pub struct PlanExecutor<'a, const N: usize> {
     bindings: HashMap<String, BoundDataset<'a, N>>,
+    threads: usize,
 }
 
 impl<'a, const N: usize> PlanExecutor<'a, N> {
-    /// Creates an executor with no bindings.
+    /// Creates an executor with no bindings, running joins on one
+    /// worker (the sequential fallback of the parallel entry point —
+    /// counters are identical to the sequential executor).
     pub fn new() -> Self {
         Self {
             bindings: HashMap::new(),
+            threads: 1,
         }
     }
 
@@ -84,9 +142,33 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
         self
     }
 
+    /// Sets the worker count for SJ operators (clamped to ≥ 1). NA/DA
+    /// totals are thread-count-invariant by construction.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Looks up a bound data set.
+    pub fn binding(&self, name: &str) -> Option<&BoundDataset<'a, N>> {
+        self.bindings.get(name)
+    }
+
     /// Executes a costed plan.
     pub fn run(&self, plan: &PhysicalPlan<N>) -> Result<ExecOutput<N>, ExecError> {
-        self.run_node(&plan.root)
+        Ok(self.run_measured(plan)?.0)
+    }
+
+    /// Executes a costed plan, also returning one [`OpMeasurement`] per
+    /// operator (pre-order: an operator precedes its children).
+    pub fn run_measured(
+        &self,
+        plan: &PhysicalPlan<N>,
+    ) -> Result<(ExecOutput<N>, Vec<OpMeasurement>), ExecError> {
+        let mut ops = Vec::new();
+        let mut path = Vec::new();
+        let out = self.exec_node(&plan.root, &mut path, &mut ops)?;
+        Ok((out, ops))
     }
 
     fn bound(&self, name: &str) -> Result<&BoundDataset<'a, N>, ExecError> {
@@ -95,33 +177,106 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
             .ok_or_else(|| ExecError::UnboundDataset(name.to_string()))
     }
 
-    fn run_node(&self, node: &PlanNode<N>) -> Result<ExecOutput<N>, ExecError> {
+    /// Records one operator's own counters at the current path slot
+    /// (reserved before children ran, so the stream stays pre-order).
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        ops: &mut [OpMeasurement],
+        slot: usize,
+        path: &[usize],
+        label: String,
+        na: u64,
+        da: u64,
+        cost_io: u64,
+        rows: u64,
+        wall_us: u64,
+    ) {
+        ops[slot] = OpMeasurement {
+            path: path.to_vec(),
+            label,
+            na,
+            da,
+            cost_io,
+            rows,
+            wall_us,
+        };
+    }
+
+    fn exec_node(
+        &self,
+        node: &PlanNode<N>,
+        path: &mut Vec<usize>,
+        ops: &mut Vec<OpMeasurement>,
+    ) -> Result<ExecOutput<N>, ExecError> {
+        // Reserve this operator's slot before recursing so the stream
+        // is pre-order even though counters land after children run.
+        let slot = ops.len();
+        ops.push(OpMeasurement {
+            path: path.clone(),
+            label: String::new(),
+            na: 0,
+            da: 0,
+            cost_io: 0,
+            rows: 0,
+            wall_us: 0,
+        });
         match node {
             PlanNode::IndexScan { dataset } => {
+                let start = Instant::now();
                 let b = self.bound(dataset)?;
-                let rows = b
+                let rows: Vec<Vec<(Rect<N>, ObjectId)>> = b
                     .objects
                     .iter()
                     .enumerate()
                     .map(|(i, r)| vec![(*r, ObjectId(i as u32))])
                     .collect();
+                Self::record(
+                    ops,
+                    slot,
+                    path,
+                    format!("IndexScan({dataset})"),
+                    0,
+                    0,
+                    0,
+                    rows.len() as u64,
+                    start.elapsed().as_micros() as u64,
+                );
                 Ok(ExecOutput {
                     columns: vec![dataset.clone()],
                     rows,
-                    io_cost: 0,
+                    na: 0,
+                    da: 0,
+                    cost_io: 0,
                 })
             }
             PlanNode::IndexRangeSelect { dataset, window } => {
+                let start = Instant::now();
                 let b = self.bound(dataset)?;
                 let (hits, visits) = b.tree.query_window_counting(window);
-                let rows = hits
+                let rows: Vec<Vec<(Rect<N>, ObjectId)>> = hits
                     .into_iter()
                     .map(|id| vec![(b.objects[id.0 as usize], id)])
                     .collect();
+                // The probe runs unbuffered: every logical access reads
+                // a page, so NA and DA coincide; Eq 1 predicts the NA.
+                let na: u64 = visits.iter().sum();
+                Self::record(
+                    ops,
+                    slot,
+                    path,
+                    format!("IndexRangeSelect({dataset})"),
+                    na,
+                    na,
+                    na,
+                    rows.len() as u64,
+                    start.elapsed().as_micros() as u64,
+                );
                 Ok(ExecOutput {
                     columns: vec![dataset.clone()],
                     rows,
-                    io_cost: visits.iter().sum(),
+                    na,
+                    da: na,
+                    cost_io: na,
                 })
             }
             PlanNode::Filter {
@@ -129,7 +284,10 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
                 dataset,
                 window,
             } => {
-                let mut out = self.run_node(input)?;
+                path.push(0);
+                let mut out = self.exec_node(input, path, ops)?;
+                path.pop();
+                let start = Instant::now();
                 let col = out
                     .columns
                     .iter()
@@ -141,63 +299,159 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
                         ))
                     })?;
                 out.rows.retain(|row| row[col].0.intersects(window));
+                Self::record(
+                    ops,
+                    slot,
+                    path,
+                    format!("Filter({dataset})"),
+                    0,
+                    0,
+                    0,
+                    out.rows.len() as u64,
+                    start.elapsed().as_micros() as u64,
+                );
                 Ok(out)
             }
             PlanNode::Join {
                 data,
                 query,
                 algorithm,
-            } => self.run_join(data, query, *algorithm),
+            } => self.exec_join(data, query, *algorithm, slot, path, ops),
         }
     }
 
-    fn run_join(
+    /// The base index behind an SJ input: a bare scan (no residual
+    /// window) or a pushed-down range select (the window becomes a
+    /// residual filter on the traversal output).
+    fn sj_input(node: &PlanNode<N>) -> Option<(&String, Option<&Rect<N>>)> {
+        match node {
+            PlanNode::IndexScan { dataset } => Some((dataset, None)),
+            PlanNode::IndexRangeSelect { dataset, window } => Some((dataset, Some(window))),
+            _ => None,
+        }
+    }
+
+    /// Runs one SJ input. A pushed-down range select executes for real
+    /// (its accesses are the Eq 1 cost the plan carries) and returns
+    /// the ids the residual filter keeps; a bare scan records a
+    /// zero-cost measurement and imposes no filter.
+    fn sj_side(
+        &self,
+        node: &PlanNode<N>,
+        child: usize,
+        path: &mut Vec<usize>,
+        ops: &mut Vec<OpMeasurement>,
+    ) -> Result<Option<SjSide>, ExecError> {
+        match node {
+            PlanNode::IndexScan { dataset } => {
+                let b = self.bound(dataset)?;
+                path.push(child);
+                ops.push(OpMeasurement {
+                    path: path.clone(),
+                    label: format!("IndexScan({dataset})"),
+                    na: 0,
+                    da: 0,
+                    cost_io: 0,
+                    rows: b.objects.len() as u64,
+                    wall_us: 0,
+                });
+                path.pop();
+                Ok(None)
+            }
+            _ => {
+                path.push(child);
+                let out = self.exec_node(node, path, ops)?;
+                path.pop();
+                Ok(Some(SjSide {
+                    selected: out.rows.iter().map(|row| row[0].1).collect(),
+                    na: out.na,
+                }))
+            }
+        }
+    }
+
+    fn exec_join(
         &self,
         data: &PlanNode<N>,
         query: &PlanNode<N>,
         algorithm: JoinAlgorithm,
+        slot: usize,
+        path: &mut Vec<usize>,
+        ops: &mut Vec<OpMeasurement>,
     ) -> Result<ExecOutput<N>, ExecError> {
         match algorithm {
             JoinAlgorithm::SynchronizedTraversal => {
-                let (d_name, q_name) = match (data, query) {
-                    (PlanNode::IndexScan { dataset: d }, PlanNode::IndexScan { dataset: q }) => {
-                        (d, q)
-                    }
-                    _ => {
-                        return Err(ExecError::UnsupportedShape(
-                            "SJ requires two base index scans".into(),
-                        ))
-                    }
+                let (Some((d_name, _)), Some((q_name, _))) =
+                    (Self::sj_input(data), Self::sj_input(query))
+                else {
+                    return Err(ExecError::UnsupportedShape(
+                        "SJ requires two base index inputs".into(),
+                    ));
                 };
+                // Children run for real: a pushed selection probes its
+                // index (counted accesses) and yields the residual id
+                // set; a bare scan is free and yields no filter.
+                let d_side = self.sj_side(data, 0, path, ops)?;
+                let q_side = self.sj_side(query, 1, path, ops)?;
+                let start = Instant::now();
                 let db = self.bound(d_name)?;
                 let qb = self.bound(q_name)?;
-                let result = spatial_join_with(
+                // SJ traverses the *full* base trees through the
+                // production observed entry point; pushed selections
+                // then drop pairs outside their windows (a residual
+                // in-memory filter — no extra I/O beyond the probes
+                // already counted on the children).
+                let result = parallel_spatial_join_observed(
                     db.tree,
                     qb.tree,
                     JoinConfig {
                         buffer: BufferPolicy::Path,
                         ..JoinConfig::default()
                     },
+                    self.threads,
+                    ScheduleMode::default(),
+                    &JoinObs::default(),
                 );
-                let rows = result
+                let keep = |sel: &Option<SjSide>, id: ObjectId| match sel {
+                    Some(side) => side.selected.contains(&id),
+                    None => true,
+                };
+                let rows: Vec<Vec<(Rect<N>, ObjectId)>> = result
                     .pairs
                     .iter()
+                    .filter(|&&(a, b)| keep(&d_side, a) && keep(&q_side, b))
                     .map(|&(a, b)| {
                         vec![(db.objects[a.0 as usize], a), (qb.objects[b.0 as usize], b)]
                     })
                     .collect();
+                let (na, da) = (result.na_total(), result.da_total());
+                let side_io = |s: &Option<SjSide>| s.as_ref().map_or(0, |side| side.na);
+                let child_io = side_io(&d_side) + side_io(&q_side);
+                Self::record(
+                    ops,
+                    slot,
+                    path,
+                    "Join[SJ]".to_string(),
+                    na,
+                    da,
+                    da,
+                    rows.len() as u64,
+                    start.elapsed().as_micros() as u64,
+                );
                 Ok(ExecOutput {
                     columns: vec![d_name.clone(), q_name.clone()],
                     rows,
-                    io_cost: result.da_total(),
+                    na: child_io + na,
+                    da: child_io + da,
+                    cost_io: child_io + da,
                 })
             }
             JoinAlgorithm::IndexNestedLoop => {
                 // One side must be a base scan; the other is any
                 // single-column subplan.
-                let (scan_side, probe_side, scan_first) = match (data, query) {
-                    (PlanNode::IndexScan { dataset }, other) => (dataset, other, true),
-                    (other, PlanNode::IndexScan { dataset }) => (dataset, other, false),
+                let (scan_side, probe_side, probe_child, scan_first) = match (data, query) {
+                    (PlanNode::IndexScan { dataset }, other) => (dataset, other, 1, true),
+                    (other, PlanNode::IndexScan { dataset }) => (dataset, other, 0, false),
                     _ => {
                         return Err(ExecError::UnsupportedShape(
                             "INL requires one base index scan".into(),
@@ -205,7 +459,21 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
                     }
                 };
                 let sb = self.bound(scan_side)?;
-                let probe = self.run_node(probe_side)?;
+                path.push(1 - probe_child);
+                ops.push(OpMeasurement {
+                    path: path.clone(),
+                    label: format!("IndexScan({scan_side})"),
+                    na: 0,
+                    da: 0,
+                    cost_io: 0,
+                    rows: sb.objects.len() as u64,
+                    wall_us: 0,
+                });
+                path.pop();
+                path.push(probe_child);
+                let probe = self.exec_node(probe_side, path, ops)?;
+                path.pop();
+                let start = Instant::now();
                 if probe.columns.len() != 1 {
                     return Err(ExecError::UnsupportedShape(
                         "INL probe side must be single-column".into(),
@@ -216,7 +484,7 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
                 let rect_of: HashMap<ObjectId, Rect<N>> =
                     probes.iter().map(|&(r, id)| (id, r)).collect();
                 let inl = index_nested_loop_join(sb.tree, &probes);
-                let rows = inl
+                let rows: Vec<Vec<(Rect<N>, ObjectId)>> = inl
                     .pairs
                     .iter()
                     .map(|&(indexed, probe_id)| {
@@ -234,15 +502,35 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
                 } else {
                     vec![probe.columns[0].clone(), scan_side.clone()]
                 };
+                // Unbuffered probes: NA = DA; Eq 1 × outer predicts NA.
+                let na = inl.node_accesses;
+                Self::record(
+                    ops,
+                    slot,
+                    path,
+                    "Join[INL]".to_string(),
+                    na,
+                    na,
+                    na,
+                    rows.len() as u64,
+                    start.elapsed().as_micros() as u64,
+                );
                 Ok(ExecOutput {
                     columns,
                     rows,
-                    io_cost: probe.io_cost + inl.node_accesses,
+                    na: probe.na + na,
+                    da: probe.da + na,
+                    cost_io: probe.cost_io + na,
                 })
             }
             JoinAlgorithm::NestedLoop => {
-                let left = self.run_node(data)?;
-                let right = self.run_node(query)?;
+                path.push(0);
+                let left = self.exec_node(data, path, ops)?;
+                path.pop();
+                path.push(1);
+                let right = self.exec_node(query, path, ops)?;
+                path.pop();
+                let start = Instant::now();
                 if left.columns.len() != 1 || right.columns.len() != 1 {
                     return Err(ExecError::UnsupportedShape(
                         "NL inputs must be single-column".into(),
@@ -261,10 +549,23 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
                         }
                     }
                 }
+                Self::record(
+                    ops,
+                    slot,
+                    path,
+                    "Join[NL]".to_string(),
+                    io,
+                    io,
+                    io,
+                    rows.len() as u64,
+                    start.elapsed().as_micros() as u64,
+                );
                 Ok(ExecOutput {
                     columns: vec![left.columns[0].clone(), right.columns[0].clone()],
                     rows,
-                    io_cost: left.io_cost + right.io_cost + io,
+                    na: left.na + right.na + io,
+                    da: left.da + right.da + io,
+                    cost_io: left.cost_io + right.cost_io + io,
                 })
             }
         }

@@ -1,0 +1,607 @@
+//! EXPLAIN ANALYZE: per-operator predicted-vs-measured plan
+//! instrumentation with error attribution.
+//!
+//! The optimizer prices a plan from catalog statistics (Eqs 1–12); the
+//! executor runs it and counts real accesses. This module closes the
+//! loop *per operator*: [`Explainer::analyze`] executes a
+//! [`PhysicalPlan`] through [`PlanExecutor::run_measured`] and returns
+//! an [`AnalyzedPlan`] — every [`PlanNode`] annotated with its measured
+//! NA/DA, output cardinality and wall-time span, side by side with its
+//! [`Estimate`].
+//!
+//! For each operator the relative error is decomposed the way the
+//! paper's §4 validation separates its sources:
+//!
+//! * **catalog error** — re-estimate the operator with *post-hoc
+//!   measured tree parameters* ([`RTree::stats`]: actual heights, node
+//!   counts, per-level extents and densities) and measured `(N, D)`
+//!   instead of the [`DatasetStats`] priors; the difference between the
+//!   prior and this re-estimate is what stale statistics cost;
+//! * **residual model error** — the re-estimate against the measured
+//!   value; what remains is the formulas' own bias, judged against the
+//!   paper's ±15% envelope exactly like the drift monitor's verdicts.
+//!
+//! The result renders three ways: an annotated ASCII tree
+//! ([`AnalyzedPlan`]'s `Display`), a `plan_analyze.jsonl` obs artifact
+//! ([`AnalyzedPlan::to_jsonl`], validated by the experiments crate's
+//! `validate-obs`), and the `experiments explain` command, whose
+//! `--calibrate` mode feeds [`Explainer::calibrated`] back into a
+//! persisted catalog so the next planning run uses observed statistics.
+
+use crate::exec::{ExecError, ExecOutput, OpMeasurement, PlanExecutor};
+use crate::model::LevelParams;
+use crate::optimizer::cost::{CostError, CostEstimator};
+use crate::optimizer::{Catalog, DatasetStats, Estimate, PhysicalPlan, PlanNode};
+use crate::prelude::*;
+use sjcm_geom::Rect;
+use sjcm_rtree::TreeStats;
+use std::cell::OnceCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The paper's §4.1 relative-error envelope (±15%) used for the
+/// per-operator verdicts.
+pub const PAPER_ENVELOPE: f64 = 0.15;
+
+/// Operators carrying less than this share of the plan's measured
+/// model-comparable I/O are annotated but not gated — a 3-page probe
+/// that the model prices at 5 pages is a 67% "error" with no bearing on
+/// plan choice (the same floor the drift monitor applies per level).
+pub const GATE_MASS_FLOOR: f64 = 0.03;
+
+/// Analysis failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplainError {
+    /// Plan execution failed.
+    Exec(ExecError),
+    /// Cost (re-)estimation failed.
+    Cost(CostError),
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::Exec(e) => write!(f, "explain: {e}"),
+            ExplainError::Cost(e) => write!(f, "explain: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {}
+
+impl From<ExecError> for ExplainError {
+    fn from(e: ExecError) -> Self {
+        ExplainError::Exec(e)
+    }
+}
+
+impl From<CostError> for ExplainError {
+    fn from(e: CostError) -> Self {
+        ExplainError::Cost(e)
+    }
+}
+
+/// Where an operator's cost misprediction comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attribution {
+    /// The prior and the post-hoc re-estimate disagree more than the
+    /// re-estimate and the measurement: stale/analytic catalog
+    /// parameters dominate the miss.
+    Catalog,
+    /// The re-estimate still misses the measurement: the residual is
+    /// the model's own.
+    Model,
+    /// Prediction within the envelope — nothing to attribute.
+    Clean,
+    /// The operator performs no model-priced I/O (scans, filters).
+    Idle,
+}
+
+impl fmt::Display for Attribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attribution::Catalog => write!(f, "catalog"),
+            Attribution::Model => write!(f, "model"),
+            Attribution::Clean | Attribution::Idle => write!(f, "-"),
+        }
+    }
+}
+
+/// One analyzed operator: estimate, re-estimate, measurement, verdict.
+#[derive(Debug, Clone)]
+pub struct AnalyzedNode {
+    /// Operator label (as rendered by the executor, e.g. `Join[SJ]`).
+    pub label: String,
+    /// Position in the plan tree (see [`OpMeasurement::path`]).
+    pub path: Vec<usize>,
+    /// The planner's prior estimate (cumulative `cost` + `own_cost`).
+    pub estimate: Estimate,
+    /// Post-hoc re-estimate from measured tree parameters and measured
+    /// `(N, D)`.
+    pub reestimate: Estimate,
+    /// Measured counters of this operator alone.
+    pub measured: OpMeasurement,
+    /// Relative error of the prior against the measured
+    /// model-comparable I/O (`|est − meas| / meas`; infinite when the
+    /// model predicted I/O for an operator that performed none).
+    pub err: f64,
+    /// Share of the error explained by catalog/parameter staleness
+    /// (`|est − reest| / meas`).
+    pub catalog_err: f64,
+    /// Residual model error (`|reest − meas| / meas`).
+    pub model_err: f64,
+    /// Dominant error source.
+    pub attribution: Attribution,
+    /// Whether this operator carries enough I/O mass to gate.
+    pub gated: bool,
+    /// Envelope verdict on the *residual* model error, for gated
+    /// operators (`None` = ungated).
+    pub within: Option<bool>,
+    /// Child operators (join: `[data, query]`; filter: `[input]`).
+    pub children: Vec<AnalyzedNode>,
+}
+
+impl AnalyzedNode {
+    fn visit<'s>(&'s self, out: &mut Vec<&'s AnalyzedNode>) {
+        out.push(self);
+        for c in &self.children {
+            c.visit(out);
+        }
+    }
+}
+
+/// A fully analyzed plan.
+#[derive(Debug, Clone)]
+pub struct AnalyzedPlan {
+    /// Root operator annotation.
+    pub root: AnalyzedNode,
+    /// Envelope the verdicts used.
+    pub envelope: f64,
+    /// Prior total cost (the planner's ranking key).
+    pub est_cost: f64,
+    /// Post-hoc total cost.
+    pub reest_cost: f64,
+    /// Measured model-comparable I/O of the whole plan.
+    pub measured_cost_io: u64,
+    /// Total logical node accesses.
+    pub na: u64,
+    /// Total buffer misses.
+    pub da: u64,
+    /// Result rows.
+    pub rows: u64,
+    /// Total wall time across operators, microseconds.
+    pub wall_us: u64,
+}
+
+impl AnalyzedPlan {
+    /// All operators, pre-order.
+    pub fn nodes(&self) -> Vec<&AnalyzedNode> {
+        let mut out = Vec::new();
+        self.root.visit(&mut out);
+        out
+    }
+
+    /// `true` iff every gated operator's residual model error is within
+    /// the envelope.
+    pub fn all_within(&self) -> bool {
+        self.nodes().iter().all(|n| n.within.unwrap_or(true))
+    }
+
+    /// Plan-level relative error of the prior total against the
+    /// measured model-comparable I/O.
+    pub fn total_err(&self) -> f64 {
+        rel_err(self.est_cost, self.measured_cost_io as f64)
+    }
+
+    /// Serializes the analysis as JSONL: one object per operator
+    /// (pre-order), each carrying the full estimate/measure/attribution
+    /// record — the `plan_analyze.jsonl` obs artifact.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (seq, n) in self.nodes().iter().enumerate() {
+            let path = n
+                .path
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{{\"schema\":\"sjcm.plan_analyze.v1\",\"seq\":{seq},\
+                 \"op\":{op},\"path\":[{path}],\
+                 \"est_cost\":{est:.3},\"reest_cost\":{reest:.3},\
+                 \"est_rows\":{est_rows:.3},\
+                 \"na\":{na},\"da\":{da},\"cost_io\":{cost_io},\
+                 \"rows\":{rows},\"wall_us\":{wall},\
+                 \"err\":{err},\"catalog_err\":{cerr},\"model_err\":{merr},\
+                 \"attribution\":{attr},\"gated\":{gated},\
+                 \"within\":{within},\"envelope\":{env}}}\n",
+                op = crate::obs::json::escape(&n.label),
+                est = n.estimate.own_cost,
+                reest = n.reestimate.own_cost,
+                est_rows = n.estimate.cardinality,
+                na = n.measured.na,
+                da = n.measured.da,
+                cost_io = n.measured.cost_io,
+                rows = n.measured.rows,
+                wall = n.measured.wall_us,
+                err = json_err(n.err),
+                cerr = json_err(n.catalog_err),
+                merr = json_err(n.model_err),
+                attr = crate::obs::json::escape(&n.attribution.to_string()),
+                gated = n.gated,
+                within = match n.within {
+                    Some(b) => b.to_string(),
+                    None => "null".to_string(),
+                },
+                env = self.envelope,
+            ));
+        }
+        out
+    }
+}
+
+/// A relative error as a JSON number, `null` when non-finite.
+fn json_err(e: f64) -> String {
+    if e.is_finite() {
+        format!("{e:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn pct(e: f64) -> String {
+    if e.is_finite() {
+        format!("{:.1}%", e * 100.0)
+    } else {
+        "inf".to_string()
+    }
+}
+
+impl fmt::Display for AnalyzedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "EXPLAIN ANALYZE (envelope ±{:.0}%; io = model-comparable page accesses)",
+            self.envelope * 100.0
+        )?;
+        writeln!(
+            f,
+            "est. cost {:.0} | measured io {} (NA {}, DA {}) | err {} | {} rows in {:.1} ms",
+            self.est_cost,
+            self.measured_cost_io,
+            self.na,
+            self.da,
+            pct(self.total_err()),
+            self.rows,
+            self.wall_us as f64 / 1000.0
+        )?;
+        let nodes = self.nodes();
+        let label_w = nodes
+            .iter()
+            .map(|n| n.label.len() + 2 * n.path.len())
+            .max()
+            .unwrap_or(8)
+            .max("operator".len());
+        writeln!(
+            f,
+            "{:<label_w$}  {:>9}  {:>9}  {:>7}  {:>7}  {:>7}  {:>9}  {:>9}  {:<11}  verdict",
+            "operator",
+            "est.io",
+            "meas.io",
+            "err",
+            "cat.err",
+            "mod.err",
+            "est.rows",
+            "rows",
+            "attribution",
+        )?;
+        for n in nodes {
+            let indent = "  ".repeat(n.path.len());
+            let verdict = match n.within {
+                Some(true) => "ok",
+                Some(false) => "BREACH",
+                None => "-",
+            };
+            writeln!(
+                f,
+                "{:<label_w$}  {:>9.1}  {:>9}  {:>7}  {:>7}  {:>7}  {:>9.0}  {:>9}  {:<11}  {}",
+                format!("{indent}{}", n.label),
+                n.estimate.own_cost,
+                n.measured.cost_io,
+                pct(n.err),
+                pct(n.catalog_err),
+                pct(n.model_err),
+                n.estimate.cardinality,
+                n.measured.rows,
+                n.attribution.to_string(),
+                verdict,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Relative error with a zero-measurement guard.
+fn rel_err(estimate: f64, measured: f64) -> f64 {
+    if measured == 0.0 {
+        if estimate.abs() < 0.5 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - measured).abs() / measured
+    }
+}
+
+/// Converts measured per-level tree statistics into model parameters
+/// (the post-hoc arm of the attribution).
+fn measured_params<const N: usize>(stats: &TreeStats) -> TreeParams<N> {
+    let levels = stats
+        .levels
+        .iter()
+        .map(|l| {
+            let mut extents = [0.0; N];
+            extents.copy_from_slice(&l.avg_extents);
+            LevelParams {
+                nodes: l.node_count as f64,
+                extents,
+                density: l.density,
+            }
+        })
+        .collect();
+    TreeParams::from_levels(levels)
+}
+
+/// EXPLAIN ANALYZE driver: binds data sets, executes plans with full
+/// instrumentation, and attributes per-operator error.
+pub struct Explainer<'a, const N: usize> {
+    catalog: &'a Catalog<N>,
+    executor: PlanExecutor<'a, N>,
+    datasets: Vec<String>,
+    envelope: f64,
+    mass_floor: f64,
+    // One stats walk per bound tree, shared by the calibration stats
+    // and the post-hoc parameters and reused across analyses — the
+    // per-analysis overhead budget (see the bench guard) has no room
+    // for re-walking the trees every time.
+    stats_cache: OnceCell<BTreeMap<String, TreeStats>>,
+}
+
+impl<'a, const N: usize> Explainer<'a, N> {
+    /// Creates an explainer over the catalog the plans were priced
+    /// against, with the paper's envelope and the default mass floor.
+    pub fn new(catalog: &'a Catalog<N>) -> Self {
+        Self {
+            catalog,
+            executor: PlanExecutor::new(),
+            datasets: Vec::new(),
+            envelope: PAPER_ENVELOPE,
+            mass_floor: GATE_MASS_FLOOR,
+            stats_cache: OnceCell::new(),
+        }
+    }
+
+    /// Binds a base data set by name (see [`PlanExecutor::bind`]).
+    pub fn bind(mut self, name: &str, tree: &'a RTree<N>, objects: &'a [Rect<N>]) -> Self {
+        self.executor = self.executor.bind(name, tree, objects);
+        self.datasets.push(name.to_string());
+        self.stats_cache = OnceCell::new();
+        self
+    }
+
+    /// The cached per-dataset tree statistics (one walk per tree).
+    fn tree_stats(&self) -> &BTreeMap<String, TreeStats> {
+        self.stats_cache.get_or_init(|| {
+            self.datasets
+                .iter()
+                .filter_map(|name| {
+                    self.executor
+                        .binding(name)
+                        .map(|b| (name.clone(), b.tree.stats()))
+                })
+                .collect()
+        })
+    }
+
+    /// Overrides the verdict envelope (the paper's ±15% by default).
+    pub fn with_envelope(mut self, envelope: f64) -> Self {
+        self.envelope = envelope;
+        self
+    }
+
+    /// Overrides the gating mass floor.
+    pub fn with_mass_floor(mut self, floor: f64) -> Self {
+        self.mass_floor = floor;
+        self
+    }
+
+    /// Sets the SJ worker count (counters are thread-invariant).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.executor = self.executor.with_threads(threads);
+        self
+    }
+
+    /// Statistics measured from the bound trees: actual `N` (stored
+    /// objects) and `D` (data density) per data set — what `--calibrate`
+    /// writes back into the persisted catalog.
+    pub fn measured_stats(&self) -> Vec<(String, DatasetStats<N>)> {
+        self.tree_stats()
+            .iter()
+            .map(|(name, stats)| {
+                let mut ds = DatasetStats::new(stats.num_objects as u64, stats.data_density);
+                ds.indexed = self.catalog.get(name).is_none_or(|prior| prior.indexed);
+                (name.clone(), ds)
+            })
+            .collect()
+    }
+
+    /// A copy of the catalog with every bound data set's statistics
+    /// replaced by the measured ones (unbound entries untouched).
+    pub fn calibrated(&self) -> Catalog<N> {
+        let mut out = self.catalog.clone();
+        for (name, stats) in self.measured_stats() {
+            out.register(&name, stats);
+        }
+        out
+    }
+
+    /// Post-hoc measured tree parameters for every bound data set.
+    fn posthoc_params(&self) -> BTreeMap<String, TreeParams<N>> {
+        self.tree_stats()
+            .iter()
+            .map(|(name, stats)| (name.clone(), measured_params(stats)))
+            .collect()
+    }
+
+    /// Executes the plan and annotates every operator (see the module
+    /// docs for the attribution semantics).
+    pub fn analyze(&self, plan: &PhysicalPlan<N>) -> Result<AnalyzedPlan, ExplainError> {
+        let (out, ops) = self.executor.run_measured(plan)?;
+        self.annotate_run(plan, &out, &ops)
+    }
+
+    /// Annotates an already-executed plan from its output and
+    /// per-operator measurement stream — the post-processing half of
+    /// [`Self::analyze`], exposed so a recorded run can be re-annotated
+    /// (or the annotation layer timed) without re-executing the plan.
+    pub fn annotate_run(
+        &self,
+        plan: &PhysicalPlan<N>,
+        out: &ExecOutput<N>,
+        ops: &[OpMeasurement],
+    ) -> Result<AnalyzedPlan, ExplainError> {
+        let mut by_path: HashMap<Vec<usize>, OpMeasurement> = HashMap::new();
+        for m in ops {
+            by_path.insert(m.path.clone(), m.clone());
+        }
+        let prior = CostEstimator::new(self.catalog);
+        let calibrated = self.calibrated();
+        let posthoc = CostEstimator::new(&calibrated).with_measured_params(self.posthoc_params());
+        let total_io = out.cost_io;
+        let mut path = Vec::new();
+        let root = self.annotate(&plan.root, &prior, &posthoc, &by_path, total_io, &mut path)?;
+        let (est_cost, reest_cost) = (root.estimate.cost, root.reestimate.cost);
+        let wall_us = {
+            let mut all = Vec::new();
+            root.visit(&mut all);
+            all.iter().map(|n| n.measured.wall_us).sum()
+        };
+        Ok(AnalyzedPlan {
+            root,
+            envelope: self.envelope,
+            est_cost,
+            reest_cost,
+            measured_cost_io: out.cost_io,
+            na: out.na,
+            da: out.da,
+            rows: out.rows.len() as u64,
+            wall_us,
+        })
+    }
+
+    fn annotate(
+        &self,
+        node: &PlanNode<N>,
+        prior: &CostEstimator<'_, N>,
+        posthoc: &CostEstimator<'_, N>,
+        by_path: &HashMap<Vec<usize>, OpMeasurement>,
+        total_io: u64,
+        path: &mut Vec<usize>,
+    ) -> Result<AnalyzedNode, ExplainError> {
+        let estimate = prior.estimate(node)?;
+        let reestimate = posthoc.estimate(node)?;
+        let measured = by_path.get(path.as_slice()).cloned().unwrap_or_else(|| {
+            // Unreached operator (e.g. short-circuited child): zeros.
+            OpMeasurement {
+                path: path.clone(),
+                label: String::new(),
+                na: 0,
+                da: 0,
+                cost_io: 0,
+                rows: 0,
+                wall_us: 0,
+            }
+        });
+        let meas_io = measured.cost_io as f64;
+        let err = rel_err(estimate.own_cost, meas_io);
+        let catalog_err = rel_err_against(estimate.own_cost, reestimate.own_cost, meas_io);
+        let model_err = rel_err(reestimate.own_cost, meas_io);
+        let idle = measured.cost_io == 0 && estimate.own_cost.abs() < 0.5;
+        let attribution = if idle {
+            Attribution::Idle
+        } else if err <= self.envelope {
+            Attribution::Clean
+        } else if (estimate.own_cost - reestimate.own_cost).abs()
+            >= (reestimate.own_cost - meas_io).abs()
+        {
+            Attribution::Catalog
+        } else {
+            Attribution::Model
+        };
+        let gated = total_io > 0
+            && measured.cost_io as f64 >= self.mass_floor * total_io as f64
+            && measured.cost_io > 0;
+        let within = if gated {
+            Some(model_err <= self.envelope)
+        } else {
+            None
+        };
+        let label = if measured.label.is_empty() {
+            op_label(node)
+        } else {
+            measured.label.clone()
+        };
+        let mut children = Vec::new();
+        for (i, child) in node_children(node).into_iter().enumerate() {
+            path.push(i);
+            children.push(self.annotate(child, prior, posthoc, by_path, total_io, path)?);
+            path.pop();
+        }
+        Ok(AnalyzedNode {
+            label,
+            path: path.clone(),
+            estimate,
+            reestimate,
+            measured,
+            err,
+            catalog_err,
+            model_err,
+            attribution,
+            gated,
+            within,
+            children,
+        })
+    }
+}
+
+/// `|prior − posthoc| / measured` with the same zero guard as
+/// [`rel_err`].
+fn rel_err_against(prior: f64, posthoc: f64, measured: f64) -> f64 {
+    if measured == 0.0 {
+        if (prior - posthoc).abs() < 0.5 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (prior - posthoc).abs() / measured
+    }
+}
+
+fn op_label<const N: usize>(node: &PlanNode<N>) -> String {
+    match node {
+        PlanNode::IndexScan { dataset } => format!("IndexScan({dataset})"),
+        PlanNode::IndexRangeSelect { dataset, .. } => format!("IndexRangeSelect({dataset})"),
+        PlanNode::Filter { dataset, .. } => format!("Filter({dataset})"),
+        PlanNode::Join { algorithm, .. } => format!("Join[{algorithm}]"),
+    }
+}
+
+fn node_children<const N: usize>(node: &PlanNode<N>) -> Vec<&PlanNode<N>> {
+    match node {
+        PlanNode::IndexScan { .. } | PlanNode::IndexRangeSelect { .. } => Vec::new(),
+        PlanNode::Filter { input, .. } => vec![input.as_ref()],
+        PlanNode::Join { data, query, .. } => vec![data.as_ref(), query.as_ref()],
+    }
+}

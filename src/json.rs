@@ -54,6 +54,22 @@ impl Value {
         }
     }
 
+    /// The string contents.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The array elements.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod explain;
 pub mod json;
 
 pub use sjcm_core as model;

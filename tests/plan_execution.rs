@@ -1,11 +1,15 @@
 //! End-to-end optimizer → executor loop: the planner's chosen strategy
 //! is executed for real, its result checked against brute force, and
-//! its estimated cost checked against the measured page accesses.
+//! its estimated cost checked against the measured page accesses —
+//! dimensionally split into NA (logical node accesses) and DA (buffer
+//! misses) per operator.
 
 use sjcm::exec::{ExecError, PlanExecutor};
+use sjcm::explain::Explainer;
 use sjcm::geom::{density, Rect};
 use sjcm::optimizer::{Catalog, DatasetStats, JoinQuery, PhysicalPlan, Planner};
 use sjcm::prelude::*;
+use std::collections::BTreeSet;
 
 struct World {
     rivers: Vec<Rect<2>>,
@@ -53,16 +57,27 @@ fn executor(w: &World) -> PlanExecutor<'_, 2> {
         .bind("countries", &w.t_countries, &w.countries)
 }
 
-fn brute_pairs(w: &World, window: Option<&Rect<2>>) -> usize {
+fn explainer(w: &World) -> Explainer<'_, 2> {
+    Explainer::new(&w.catalog)
+        .bind("rivers", &w.t_rivers, &w.rivers)
+        .bind("countries", &w.t_countries, &w.countries)
+}
+
+/// Brute-force join count with optional windows on either side.
+fn brute_pairs(w: &World, rivers_win: Option<&Rect<2>>, countries_win: Option<&Rect<2>>) -> usize {
     let mut count = 0;
-    for (i, r) in w.rivers.iter().enumerate() {
-        if let Some(win) = window {
+    for r in &w.rivers {
+        if let Some(win) = rivers_win {
             if !r.intersects(win) {
                 continue;
             }
         }
-        let _ = i;
         for c in &w.countries {
+            if let Some(win) = countries_win {
+                if !c.intersects(win) {
+                    continue;
+                }
+            }
             if r.intersects(c) {
                 count += 1;
             }
@@ -78,10 +93,21 @@ fn executed_best_plan_matches_brute_force() {
         .best_plan(&JoinQuery::new(["rivers", "countries"]))
         .unwrap();
     let out = executor(&w).run(&plan).unwrap();
-    assert_eq!(out.rows.len(), brute_pairs(&w, None));
+    assert_eq!(out.rows.len(), brute_pairs(&w, None, None));
     assert_eq!(out.columns.len(), 2);
     assert!(out.columns.contains(&"rivers".to_string()));
-    assert!(out.io_cost > 0);
+    // Dimensionally honest counters: logical accesses bound misses.
+    assert!(out.na > 0);
+    assert!(out.da > 0);
+    assert!(
+        out.da <= out.na,
+        "DA {} cannot exceed NA {}",
+        out.da,
+        out.na
+    );
+    // The SJ operator runs under the path buffer, so the model-
+    // comparable I/O is its DA.
+    assert_eq!(out.cost_io, out.da);
 }
 
 #[test]
@@ -93,7 +119,7 @@ fn executed_plan_with_selection_matches_brute_force() {
         let out = executor(&w).run(&plan).unwrap();
         assert_eq!(
             out.rows.len(),
-            brute_pairs(&w, Some(&west)),
+            brute_pairs(&w, Some(&west), None),
             "plan disagreed with brute force:\n{plan}"
         );
     }
@@ -105,10 +131,153 @@ fn every_enumerated_plan_returns_the_same_result() {
     let q = JoinQuery::new(["rivers", "countries"]);
     let plans = Planner::new(&w.catalog).enumerate(&q).unwrap();
     assert!(plans.len() >= 2);
-    let expected = brute_pairs(&w, None);
+    let expected = brute_pairs(&w, None, None);
     for plan in &plans {
         let out = executor(&w).run(plan).unwrap();
         assert_eq!(out.rows.len(), expected, "{plan}");
+    }
+}
+
+/// Satellite coverage: every plan shape the planner enumerates for one-
+/// and two-dataset queries — both SJ role assignments, all three join
+/// algorithms, every selection placement (pushed below SJ/INL, filtered
+/// above, both sides) — executes, agrees with brute force, and its
+/// per-operator measured NA/DA stays within the envelope of the
+/// estimate for every operator carrying real I/O mass.
+#[test]
+fn every_plan_shape_executes_and_stays_in_envelope() {
+    let w = world();
+    let sel_r = Rect::new([0.0, 0.0], [0.45, 1.0]).unwrap();
+    let sel_c = Rect::new([0.1, 0.1], [0.7, 0.8]).unwrap();
+    let cases: Vec<(&str, JoinQuery<2>, Option<Rect<2>>, Option<Rect<2>>)> = vec![
+        (
+            "pure-join",
+            JoinQuery::new(["rivers", "countries"]),
+            None,
+            None,
+        ),
+        (
+            "sel-one-side",
+            JoinQuery::new(["rivers", "countries"]).with_selection("countries", sel_c),
+            None,
+            Some(sel_c),
+        ),
+        (
+            "sel-both-sides",
+            JoinQuery::new(["rivers", "countries"])
+                .with_selection("rivers", sel_r)
+                .with_selection("countries", sel_c),
+            Some(sel_r),
+            Some(sel_c),
+        ),
+    ];
+    // At this reduced scale (6K/2K vs the paper's 60K) the per-operator
+    // envelope is wider than §4.1's ±15% — small trees leave the Eq 2–5
+    // parameter derivation a coarser fit (the full-scale envelope is
+    // enforced by the CI `experiments explain` run at scale 1.0).
+    let envelope = 0.40;
+    let mut algorithms = BTreeSet::new();
+    let mut role_signatures = BTreeSet::new();
+    let mut shapes = 0usize;
+    for (tag, q, rw, cw) in &cases {
+        let plans = Planner::new(&w.catalog).enumerate(q).unwrap();
+        let expected = brute_pairs(&w, rw.as_ref(), cw.as_ref());
+        for plan in &plans {
+            shapes += 1;
+            let text = format!("{plan}");
+            for algo in ["SJ", "INL", "NL"] {
+                if text.contains(&format!("Join[{algo}]")) {
+                    algorithms.insert(algo);
+                }
+            }
+            if let Some(line) = text.lines().find(|l| l.contains("Join[SJ]")) {
+                let _ = line;
+                // Record which dataset plays R1 for role coverage.
+                let after = text.split("data(R1):").nth(1).unwrap_or("");
+                let r1 = after
+                    .lines()
+                    .find(|l| l.contains("rivers") || l.contains("countries"))
+                    .unwrap_or("")
+                    .trim()
+                    .to_string();
+                role_signatures.insert(r1);
+            }
+            let (out, ops) = executor(&w).run_measured(plan).unwrap();
+            assert_eq!(out.rows.len(), expected, "[{tag}] {plan}");
+            assert!(out.da <= out.na, "[{tag}] DA > NA:\n{plan}");
+            // Every operator of the plan tree got its own measurement.
+            let op_count = text
+                .lines()
+                .filter(|l| {
+                    let t = l.trim_start();
+                    t.starts_with("IndexScan")
+                        || t.starts_with("IndexRangeSelect")
+                        || t.starts_with("Filter")
+                        || t.starts_with("Join[")
+                })
+                .count();
+            assert_eq!(
+                ops.len(),
+                op_count,
+                "[{tag}] measurement per operator:\n{plan}"
+            );
+            assert!(ops.iter().all(|m| !m.label.is_empty()), "[{tag}]");
+            let analysis = explainer(&w).with_envelope(envelope).analyze(plan).unwrap();
+            assert!(
+                analysis.all_within(),
+                "[{tag}] operator outside ±{:.0}% envelope:\n{analysis}",
+                envelope * 100.0
+            );
+        }
+    }
+    assert!(
+        shapes >= 10,
+        "expected a rich shape inventory, got {shapes}"
+    );
+    assert_eq!(
+        algorithms.into_iter().collect::<Vec<_>>(),
+        vec!["INL", "NL", "SJ"],
+        "all three join algorithms must be exercised"
+    );
+    assert!(
+        role_signatures.len() >= 2,
+        "both SJ role assignments must be exercised: {role_signatures:?}"
+    );
+}
+
+/// The SJ-with-pushed-selection shape (satellite bugfix): the planner
+/// prices it, the executor runs it (full-tree traversal + residual
+/// filter, probe accesses counted), and estimate vs measured stays in
+/// the envelope.
+#[test]
+fn sj_with_pushed_selection_executes_in_envelope() {
+    let w = world();
+    let sel = Rect::new([0.0, 0.0], [0.6, 0.9]).unwrap();
+    let q = JoinQuery::new(["rivers", "countries"]).with_selection("countries", sel);
+    let plans = Planner::new(&w.catalog).enumerate(&q).unwrap();
+    let pushed_sj: Vec<&PhysicalPlan<2>> = plans
+        .iter()
+        .filter(|p| {
+            let t = format!("{p}");
+            t.contains("Join[SJ]") && t.contains("IndexRangeSelect") && !t.contains("Filter")
+        })
+        .collect();
+    assert!(
+        !pushed_sj.is_empty(),
+        "planner must enumerate SJ with the selection pushed below it"
+    );
+    let expected = brute_pairs(&w, None, Some(&sel));
+    for plan in pushed_sj {
+        let (out, ops) = executor(&w).run_measured(plan).unwrap();
+        assert_eq!(out.rows.len(), expected, "{plan}");
+        // The pushed probe's accesses are counted on the child.
+        let probe = ops
+            .iter()
+            .find(|m| m.label.starts_with("IndexRangeSelect"))
+            .expect("pushed selection measurement");
+        assert!(probe.na > 0, "probe accesses must be counted:\n{plan}");
+        let analysis = explainer(&w).with_envelope(0.40).analyze(plan).unwrap();
+        assert!(analysis.all_within(), "{analysis}");
     }
 }
 
@@ -125,8 +294,8 @@ fn estimated_cost_ranks_strategies_like_measured_cost() {
     let worst = plans.last().unwrap();
     assert!(best.total_cost < worst.total_cost);
     let exec = executor(&w);
-    let best_io = exec.run(best).unwrap().io_cost;
-    let worst_io = exec.run(worst).unwrap().io_cost;
+    let best_io = exec.run(best).unwrap().cost_io;
+    let worst_io = exec.run(worst).unwrap().cost_io;
     assert!(
         best_io <= worst_io,
         "estimates best {} < worst {} but measured {} > {}\nbest:\n{best}\nworst:\n{worst}",
@@ -144,12 +313,12 @@ fn estimated_io_within_factor_two_of_measured_for_sj_plan() {
         .best_plan(&JoinQuery::new(["rivers", "countries"]))
         .unwrap();
     let out = executor(&w).run(&plan).unwrap();
-    let ratio = plan.total_cost / out.io_cost as f64;
+    let ratio = plan.total_cost / out.cost_io as f64;
     assert!(
         (0.5..=2.0).contains(&ratio),
         "estimated {} vs measured {} (ratio {ratio:.2})",
         plan.total_cost,
-        out.io_cost
+        out.cost_io
     );
 }
 
