@@ -9,7 +9,8 @@ use sjcm_join::parallel::{
     parallel_spatial_join_observed, parallel_spatial_join_with, JoinObs, ScheduleMode,
 };
 use sjcm_join::{
-    spatial_join_with, try_parallel_spatial_join_with, BufferPolicy, JoinConfig, MatchOrder,
+    spatial_join_with, try_parallel_spatial_join_with, BufferPolicy, Governor, JoinConfig,
+    MatchOrder,
 };
 use sjcm_obs::{DriftMonitor, ProgressTracker, Tracer};
 use sjcm_storage::{FaultInjector, FlightRecorder};
@@ -438,6 +439,7 @@ fn bench_fault_overhead(c: &mut Criterion) {
             threads,
             ScheduleMode::CostGuided,
             &faults,
+            &Governor::unlimited(),
         ))
         .expect("a disabled injector cannot fail");
         let elapsed = start.elapsed();
@@ -464,12 +466,87 @@ fn bench_fault_overhead(c: &mut Criterion) {
     );
 }
 
+/// The governor overhead guard: the same fixed-seed cost-guided join
+/// through the infallible entry point and through the fallible twin
+/// with an *unlimited* governor (the production default — one `Option`
+/// discriminant check per call site), reported as a BENCH JSON line.
+/// The `speedup` field (infallible / governed, ≈ 1.0) rides the
+/// bench-compare `speedup >= 0.8` gate; the assert holds the measured
+/// overhead under the 2% budget the issue requires.
+fn bench_governor_overhead(c: &mut Criterion) {
+    let _ = c; // manual timing: one JSON line, not a criterion group
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (n, reps) = if smoke { (4_000, 7) } else { (12_000, 15) };
+    let t1 = uniform_tree(n, 0.5, 106);
+    let t2 = uniform_tree(n, 0.5, 107);
+    let threads = 4;
+    let warm = parallel_spatial_join_with(&t1, &t2, config(), threads, ScheduleMode::CostGuided);
+    let run_infallible = || {
+        let start = Instant::now();
+        let r = black_box(parallel_spatial_join_with(
+            &t1,
+            &t2,
+            config(),
+            threads,
+            ScheduleMode::CostGuided,
+        ));
+        assert_eq!(r.na_total(), warm.na_total());
+        start.elapsed()
+    };
+    let run_governed = || {
+        let gov = Governor::unlimited();
+        let start = Instant::now();
+        let d = black_box(try_parallel_spatial_join_with(
+            &t1,
+            &t2,
+            config(),
+            threads,
+            ScheduleMode::CostGuided,
+            &FaultInjector::disabled(),
+            &gov,
+        ))
+        .expect("an unlimited governor cannot fail");
+        let elapsed = start.elapsed();
+        assert!(d.is_exact());
+        assert_eq!(d.result.na_total(), warm.na_total());
+        assert_eq!(d.result.da_total(), warm.da_total());
+        elapsed
+    };
+    let _ = (run_infallible(), run_governed());
+    let mut infallible = std::time::Duration::MAX;
+    let mut governed = std::time::Duration::MAX;
+    for _ in 0..reps {
+        infallible = infallible.min(run_infallible());
+        governed = governed.min(run_governed());
+    }
+    let overhead =
+        (governed.as_secs_f64() - infallible.as_secs_f64()) / infallible.as_secs_f64() * 100.0;
+    let speedup = infallible.as_secs_f64() / governed.as_secs_f64();
+    println!(
+        "{{\"group\":\"join_algorithms\",\"bench\":\"governor_overhead/{n}/{threads}\",\
+         \"infallible_us\":{},\"governed_unlimited_us\":{},\"overhead_pct\":{:.2},\
+         \"speedup\":{:.4}}}",
+        infallible.as_micros(),
+        governed.as_micros(),
+        overhead,
+        speedup
+    );
+    if !smoke {
+        assert!(
+            overhead < 2.0,
+            "unlimited-governor overhead {overhead:.2}% exceeds the 2% budget \
+             (infallible {infallible:?}, governed {governed:?})"
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_algorithms,
     bench_match_order,
     bench_parallel,
     bench_obs_overhead,
-    bench_fault_overhead
+    bench_fault_overhead,
+    bench_governor_overhead
 );
 criterion_main!(benches);

@@ -77,14 +77,27 @@ impl Strategy {
             Some(p) => FaultInjector::enabled(p, RetryPolicy::default()),
             None => FaultInjector::disabled(),
         };
+        let gov = sjcm_join::Governor::unlimited();
         match *self {
-            Strategy::Seq => try_spatial_join_with(t1, t2, config, &inj),
-            Strategy::CostGuided(t) => {
-                try_parallel_spatial_join_with(t1, t2, config, t, ScheduleMode::CostGuided, &inj)
-            }
-            Strategy::RoundRobin(t) => {
-                try_parallel_spatial_join_with(t1, t2, config, t, ScheduleMode::RoundRobin, &inj)
-            }
+            Strategy::Seq => try_spatial_join_with(t1, t2, config, &inj, &gov),
+            Strategy::CostGuided(t) => try_parallel_spatial_join_with(
+                t1,
+                t2,
+                config,
+                t,
+                ScheduleMode::CostGuided,
+                &inj,
+                &gov,
+            ),
+            Strategy::RoundRobin(t) => try_parallel_spatial_join_with(
+                t1,
+                t2,
+                config,
+                t,
+                ScheduleMode::RoundRobin,
+                &inj,
+                &gov,
+            ),
         }
     }
 }

@@ -33,7 +33,17 @@
 //!                   drift, the Eq-6-seeded progress/ETA engine
 //!                   (--watch draws it live; --obs-dir persists the
 //!                   snapshot JSONL), and (with --obs-dir) the
-//!                   page-access flight recorder + Perfetto export
+//!                   page-access flight recorder + Perfetto export;
+//!                   --deadline-ms/--na-budget/--mem-budget arm the
+//!                   query governor around the run (decisions stream
+//!                   to governor_events.jsonl under --obs-dir)
+//!   governor        the governor walkthrough: measure the full
+//!                   runtime, reject an over-budget admission, truncate
+//!                   at deadline = T/2 on every scheduler (forfeit
+//!                   estimate gated against the ±15% envelope at scale
+//!                   >= 1), and show ETA-guided shedding retaining more
+//!                   pairs than naive truncation (governor_shed.csv;
+//!                   --obs-dir persists governor_events.jsonl)
 //!   bench-compare   gate a fresh BENCH JSON stream (--current)
 //!                   against committed baselines (--baseline, repeat
 //!                   to merge; defaults to ./BENCH_*.json): fails on
@@ -66,6 +76,12 @@
 //! --current F  bench-compare: the freshly grepped BENCH JSON
 //! --baseline F bench-compare: a committed baseline; repeatable,
 //!              later files override earlier per (group, bench)
+//! --deadline-ms MS  join: cooperative wall-clock deadline; on expiry
+//!              the run degrades (forfeited work priced), never aborts
+//! --na-budget F     join: admission budget in Eq-6 node accesses;
+//!              over-budget queries are rejected with exit 1
+//! --mem-budget B    join: arena memory budget in bytes; a denied
+//!              reservation is a typed error, exit 1
 //! ```
 
 mod bench_compare;
@@ -75,6 +91,7 @@ mod errors;
 mod explain;
 mod extensions;
 mod figures;
+mod governor;
 mod observability;
 mod report;
 mod trace;
@@ -93,6 +110,9 @@ struct Args {
     calibrate: bool,
     current: Option<PathBuf>,
     baselines: Vec<PathBuf>,
+    deadline_ms: Option<u64>,
+    na_budget: Option<f64>,
+    mem_budget: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -119,6 +139,9 @@ fn parse_args() -> Result<Args, String> {
     let mut calibrate = false;
     let mut current = None;
     let mut baselines = Vec::new();
+    let mut deadline_ms = None;
+    let mut na_budget = None;
+    let mut mem_budget = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -161,6 +184,33 @@ fn parse_args() -> Result<Args, String> {
                     args.next().ok_or("--baseline needs a value")?,
                 ));
             }
+            "--deadline-ms" => {
+                let v = args.next().ok_or("--deadline-ms needs a value")?;
+                let ms = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --deadline-ms {v}: {e}"))?;
+                deadline_ms = Some(ms);
+            }
+            "--na-budget" => {
+                let v = args.next().ok_or("--na-budget needs a value")?;
+                let b = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --na-budget {v}: {e}"))?;
+                if !b.is_finite() || b <= 0.0 {
+                    return Err("--na-budget must be a positive number".into());
+                }
+                na_budget = Some(b);
+            }
+            "--mem-budget" => {
+                let v = args.next().ok_or("--mem-budget needs a value")?;
+                let b = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --mem-budget {v}: {e}"))?;
+                if b == 0 {
+                    return Err("--mem-budget must be at least 1 byte".into());
+                }
+                mem_budget = Some(b);
+            }
             "--trace" | "--metrics" => {
                 return Err(format!(
                     "{flag} was replaced by --obs-dir DIR (the directory \
@@ -182,6 +232,9 @@ fn parse_args() -> Result<Args, String> {
         calibrate,
         current,
         baselines,
+        deadline_ms,
+        na_budget,
+        mem_budget,
     })
 }
 
@@ -217,14 +270,22 @@ fn main() -> ExitCode {
             "algo-compare" => extensions::algo_compare(out, scale),
             "parallel" => extensions::parallel_join(out, scale, args.threads),
             "join" => {
-                if !observability::join_observed(
+                match observability::join_observed(
                     out,
                     scale,
                     args.threads,
                     args.obs_dir.as_deref(),
                     args.watch,
+                    None,
                 ) {
-                    eprintln!("warning: drift breached the envelope (see above)");
+                    Ok(true) => {}
+                    Ok(false) => eprintln!("warning: drift breached the envelope (see above)"),
+                    // Unreachable without a governor config, but keep the
+                    // arm total rather than panicking on a user path.
+                    Err(e) => {
+                        eprintln!("join: {e}");
+                        return false;
+                    }
                 }
             }
             _ => return false,
@@ -280,6 +341,41 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "join"
+            if args.deadline_ms.is_some()
+                || args.na_budget.is_some()
+                || args.mem_budget.is_some() =>
+        {
+            let gov =
+                governor::config_from_flags(args.deadline_ms, args.na_budget, args.mem_budget);
+            match observability::join_observed(
+                out,
+                scale,
+                args.threads,
+                args.obs_dir.as_deref(),
+                args.watch,
+                gov,
+            ) {
+                Ok(true) => {}
+                Ok(false) => eprintln!("warning: drift breached the envelope (see above)"),
+                Err(e) => {
+                    eprintln!("join: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "governor" => {
+            if !governor::governor(
+                out,
+                scale,
+                args.threads,
+                args.deadline_ms,
+                args.obs_dir.as_deref(),
+            ) {
+                eprintln!("governor: at least one gate failed");
+                return ExitCode::FAILURE;
+            }
+        }
         "bench-compare" => {
             let Some(current) = args.current.as_deref() else {
                 eprintln!("error: bench-compare needs --current FILE (a grepped BENCH JSON)");
@@ -332,8 +428,8 @@ fn main() -> ExitCode {
             println!("commands: figure5a figure5b figure6 figure7 errors-uniform");
             println!("          density-sweep nonuniform real param-source params-diff");
             println!("          selectivity role-choice lru-ablation high-dim");
-            println!("          algo-compare parallel join explain chaos trace-replay");
-            println!("          trace-report");
+            println!("          algo-compare parallel join explain chaos governor");
+            println!("          trace-replay trace-report");
             println!("          (also spelled `trace replay` / `trace report`)");
             println!("          bench-compare validate-obs all");
             println!("flags:    --scale F (default 1.0), --out DIR (default results/),");
@@ -346,7 +442,10 @@ fn main() -> ExitCode {
             println!("          --watch (join: live progress/ETA line),");
             println!("          --calibrate (explain: stale-catalog demo + catalog.json),");
             println!("          --current F / --baseline F (bench-compare inputs; --baseline");
-            println!("          repeats, defaults to the committed ./BENCH_*.json)");
+            println!("          repeats, defaults to the committed ./BENCH_*.json),");
+            println!("          --deadline-ms MS / --na-budget F / --mem-budget BYTES (join:");
+            println!("          arm the query governor; governor: --deadline-ms overrides");
+            println!("          the derived half-runtime deadline)");
             return ExitCode::SUCCESS;
         }
         cmd => {

@@ -1,0 +1,117 @@
+//! End-to-end checks of the `experiments` binary's error surface.
+//!
+//! These exercise the paths a unit test can't: argument parsing, exit
+//! codes, and the stderr contract when an artifact directory is bad.
+//! Each test shells out to the compiled binary via
+//! `CARGO_BIN_EXE_experiments`, so they run against exactly what ships.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+fn tmp_out(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sjcm_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// `validate-obs` on a directory with no artifacts must fail and name
+/// the files it looked for, so a misconfigured CI step is diagnosable
+/// from the log alone.
+#[test]
+fn validate_obs_missing_dir_fails_with_message() {
+    let missing = std::env::temp_dir().join(format!("sjcm_cli_missing_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&missing);
+    let out = bin()
+        .args(["validate-obs", "--obs-dir"])
+        .arg(&missing)
+        .output()
+        .expect("spawn experiments");
+    assert!(!out.status.success(), "expected nonzero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no artifacts found"),
+        "stderr should explain what was missing, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("governor_events.jsonl"),
+        "stderr should list the governor artifact among expectations, got: {stderr}"
+    );
+}
+
+/// `join --obs-dir` pointing somewhere that cannot be created must
+/// fail up front rather than run the join and drop the artifacts.
+#[test]
+fn join_uncreatable_obs_dir_fails_fast() {
+    let out_dir = tmp_out("join_badobs");
+    let out = bin()
+        .args([
+            "join",
+            "--scale",
+            "0.05",
+            "--obs-dir",
+            "/dev/null/nope",
+            "--out",
+        ])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn experiments");
+    assert!(!out.status.success(), "expected nonzero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot create --obs-dir"),
+        "stderr should name the bad directory, got: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+/// The governed flags reject nonsense values during parsing, before
+/// any data is generated.
+#[test]
+fn join_rejects_nonpositive_na_budget() {
+    let out_dir = tmp_out("join_badbudget");
+    let out = bin()
+        .args(["join", "--scale", "0.05", "--na-budget", "-3", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn experiments");
+    assert!(!out.status.success(), "expected nonzero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--na-budget"),
+        "stderr should name the offending flag, got: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+/// An impossible NA budget with the default reject policy is a typed
+/// admission failure: exit 1 and a message naming prediction vs budget.
+#[test]
+fn join_admission_rejection_is_reported() {
+    let out_dir = tmp_out("join_reject");
+    let out = bin()
+        .args(["join", "--scale", "0.05", "--na-budget", "1", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn experiments");
+    assert!(!out.status.success(), "expected nonzero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("rejected") || stderr.contains("budget"),
+        "stderr should describe the admission rejection, got: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+/// Unknown commands exit nonzero and point at the help text.
+#[test]
+fn unknown_command_fails() {
+    let out = bin()
+        .arg("no-such-command")
+        .output()
+        .expect("spawn experiments");
+    assert!(!out.status.success(), "expected nonzero exit");
+}

@@ -40,7 +40,7 @@ use sjcm_core::join::unit_cost_na;
 use sjcm_core::TreeParams;
 use sjcm_geom::Rect;
 use sjcm_rtree::{NodeId, RTree};
-use sjcm_storage::{FaultCounters, FaultInjector, PageId, StorageError};
+use sjcm_storage::{FaultCounters, FaultInjector, MemoryBudgetExceeded, PageId, StorageError};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -49,7 +49,7 @@ use std::fmt;
 /// Forfeited subtrees do *not* raise this — containment turns them into
 /// [`SkippedSubtree`] records on an `Ok` result. An `Err` means the run
 /// itself is unusable.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JoinError {
     /// A storage-layer failure outside the containment protocol (e.g. a
     /// malformed node surfacing mid-traversal).
@@ -60,6 +60,26 @@ pub enum JoinError {
     /// A parallel join was requested with `threads = 0`. The infallible
     /// entry points clamp this to one worker instead.
     InvalidThreads,
+    /// The governor refused to admit the query: its Eq-6-predicted node
+    /// accesses exceed the configured budget and the admission policy
+    /// is [`crate::governor::AdmissionPolicy::Reject`].
+    Rejected {
+        /// Eq-6-predicted node accesses for the full join.
+        predicted_na: f64,
+        /// The configured admission budget.
+        budget: f64,
+    },
+    /// An executor arena reservation exceeded the governor's memory
+    /// budget. The query stops with a typed error instead of aborting
+    /// the process.
+    BudgetExceeded {
+        /// Bytes the denied reservation asked for.
+        requested: u64,
+        /// Bytes already reserved when the request was denied.
+        used: u64,
+        /// The configured memory budget in bytes.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for JoinError {
@@ -70,6 +90,23 @@ impl fmt::Display for JoinError {
             JoinError::InvalidThreads => {
                 write!(f, "parallel join needs at least one worker (threads = 0)")
             }
+            JoinError::Rejected {
+                predicted_na,
+                budget,
+            } => write!(
+                f,
+                "query rejected at admission: predicted {predicted_na:.1} node accesses \
+                 exceeds the budget of {budget:.1}"
+            ),
+            JoinError::BudgetExceeded {
+                requested,
+                used,
+                limit,
+            } => write!(
+                f,
+                "memory budget exceeded: executor requested {requested} bytes with \
+                 {used} of {limit} already reserved"
+            ),
         }
     }
 }
@@ -79,6 +116,16 @@ impl std::error::Error for JoinError {}
 impl From<StorageError> for JoinError {
     fn from(e: StorageError) -> Self {
         JoinError::Storage(e)
+    }
+}
+
+impl From<MemoryBudgetExceeded> for JoinError {
+    fn from(e: MemoryBudgetExceeded) -> Self {
+        JoinError::BudgetExceeded {
+            requested: e.requested,
+            used: e.used,
+            limit: e.limit,
+        }
     }
 }
 
@@ -268,12 +315,12 @@ fn price_skips<const N: usize>(
 /// and their average extent per dimension. [`sjcm_rtree::TreeStats`]
 /// exposes *node*-rectangle extents per level; the pair estimator needs
 /// the *object* rectangles, so this walks the subtree's leaves.
-struct SubtreeObjects<const N: usize> {
-    count: f64,
-    extent: [f64; N],
+pub(crate) struct SubtreeObjects<const N: usize> {
+    pub(crate) count: f64,
+    pub(crate) extent: [f64; N],
 }
 
-fn subtree_objects<const N: usize>(tree: &RTree<N>, root: NodeId) -> SubtreeObjects<N> {
+pub(crate) fn subtree_objects<const N: usize>(tree: &RTree<N>, root: NodeId) -> SubtreeObjects<N> {
     let mut count = 0f64;
     let mut sums = [0f64; N];
     let mut stack = vec![root];
@@ -299,7 +346,7 @@ fn subtree_objects<const N: usize>(tree: &RTree<N>, root: NodeId) -> SubtreeObje
 /// ≤ t_k)` with `t_k = (s₁ₖ + s₂ₖ)/2 + slack` (average object
 /// half-extents meet exactly when the centers are `t_k` apart) and the
 /// centers uniform over each MBR shrunk by the average object extent.
-fn localized_pairs<const N: usize>(
+pub(crate) fn localized_pairs<const N: usize>(
     o1: &SubtreeObjects<N>,
     m1: &Rect<N>,
     o2: &SubtreeObjects<N>,

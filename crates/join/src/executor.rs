@@ -328,9 +328,16 @@ pub fn spatial_join_recorded<const N: usize>(
     config: JoinConfig,
     recorder: &FlightRecorder,
 ) -> JoinResultSet {
-    try_spatial_join_recorded(r1, r2, config, recorder, &FaultInjector::disabled())
-        .expect("sequential join without fault injection cannot fail")
-        .result
+    try_spatial_join_recorded(
+        r1,
+        r2,
+        config,
+        recorder,
+        &FaultInjector::disabled(),
+        &crate::governor::Governor::unlimited(),
+    )
+    .expect("sequential join without fault injection or governor cannot fail")
+    .result
 }
 
 /// Fallible twin of [`spatial_join_with`]: runs the SJ join under a
@@ -349,30 +356,43 @@ pub fn try_spatial_join_with<const N: usize>(
     r2: &RTree<N>,
     config: JoinConfig,
     faults: &FaultInjector,
+    gov: &crate::governor::Governor,
 ) -> Result<DegradedJoinResult<N>, JoinError> {
-    try_spatial_join_recorded(r1, r2, config, &FlightRecorder::disabled(), faults)
+    try_spatial_join_recorded(r1, r2, config, &FlightRecorder::disabled(), faults, gov)
 }
 
 /// Fallible twin of [`spatial_join_recorded`] — see
 /// [`try_spatial_join_with`]. The sequential executor contains every
-/// injected failure, so this currently always returns `Ok`; the
-/// `Result` mirrors the parallel twin, whose workers can die.
+/// injected failure, so with an unlimited governor this always returns
+/// `Ok`; a governing [`crate::governor::Governor`] can reject the query
+/// at admission ([`JoinError::Rejected`]) and cancels cooperatively at
+/// work-unit boundaries, forfeiting unvisited subtrees onto
+/// [`DegradedJoinResult::skips`].
 pub fn try_spatial_join_recorded<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
     recorder: &FlightRecorder,
     faults: &FaultInjector,
+    gov: &crate::governor::Governor,
 ) -> Result<DegradedJoinResult<N>, JoinError> {
-    let (result, raw) = run_sequential(r1, r2, config, recorder, faults, ProgressSink::disabled());
-    Ok(crate::degraded::finish_degraded(
-        r1,
-        r2,
-        config.predicate,
-        result,
-        raw,
-        faults,
-    ))
+    gov.admit(r1, r2)?;
+    let (result, raw) = if gov.is_unit_gated() {
+        crate::governor::run_governed_sequential(
+            r1,
+            r2,
+            config,
+            recorder,
+            faults,
+            &sjcm_obs::ProgressTracker::disabled(),
+            gov,
+        )
+    } else {
+        run_sequential(r1, r2, config, recorder, faults, ProgressSink::disabled())
+    };
+    let degraded = crate::degraded::finish_degraded(r1, r2, config.predicate, result, raw, faults);
+    gov.finish();
+    Ok(degraded)
 }
 
 /// The sequential traversal shared by the fallible and infallible entry

@@ -1,0 +1,1179 @@
+//! Deadline- and budget-aware query governor.
+//!
+//! The paper's whole point is that Eqs 2–6 price a spatial join
+//! *before* it runs — which means the system can also decide, before
+//! and during execution, whether a query is allowed to run, how much it
+//! may cost, and when to cut it short. The [`Governor`] is that layer:
+//!
+//! 1. **Admission** — [`Governor::admit`] prices the full join with
+//!    Eq 6 ([`sjcm_core::join::join_cost_na`]) on the trees' measured
+//!    parameters and compares it against a configurable NA budget.
+//!    Over-budget queries are either rejected with a typed
+//!    [`JoinError::Rejected`] or down-graded to a capped degraded run
+//!    ([`AdmissionPolicy`]).
+//! 2. **Cooperative cancellation** — a deadline (or an explicit
+//!    cancel-after-`k`-units point, the deterministic test hook) is
+//!    checked at every work-unit boundary. Governed runs route *all*
+//!    schedulers through the same ordinal-tagged root work units, so on
+//!    expiry every unvisited subtree is forfeited through the same
+//!    pricing as fault containment ([`crate::DegradedJoinResult`]) and
+//!    the forfeited-subtree inventory is identical across schedulers
+//!    and thread counts for a fixed cancellation point.
+//! 3. **Predictive load shedding** — the governor keeps its own Eq-6
+//!    work ledger (the same windowed work-rate ETA the progress engine
+//!    runs on its unit ledger) and, when the projected finish time
+//!    exceeds the deadline even after the §4.1 ±15% trust band, it
+//!    preemptively sheds the *cheapest-value* pending units (lowest
+//!    predicted-pairs-per-NA) instead of truncating arbitrarily at
+//!    expiry — so the time that remains is spent where the model says
+//!    the pairs are.
+//! 4. **Memory budget** — executor arenas (the parallel schedulers'
+//!    unit arenas, PBSM's partition replicas) reserve bytes against a
+//!    shared [`sjcm_storage::MemoryMeter`] before allocating; a denied
+//!    reservation is a typed [`JoinError::BudgetExceeded`], never an
+//!    abort.
+//!
+//! Every decision is logged as one event on a
+//! [`sjcm_obs::governor::GovernorLog`] (admission, arming, shedding,
+//! expiry, memory denials, completion) so `experiments` can stream
+//! `governor_events.jsonl` and `validate-obs` can check it.
+//!
+//! [`Governor::unlimited`] follows the [`sjcm_storage::FaultInjector`]
+//! pattern: a disabled governor is one `Option` discriminant check per
+//! call site, and the ungoverned executor paths are taken unchanged —
+//! results are byte-identical, with the bench guard holding the
+//! overhead under 2%.
+
+use crate::degraded::{subtree_objects, DegradedJoinResult, JoinError, RawSkip, SubtreeObjects};
+use crate::executor::{JoinConfig, JoinResultSet, StealTally, WorkerTally};
+use crate::parallel::{
+    overlap_fraction, root_work_units, run_shard, subtree_params, JoinObs, ScheduleMode, WorkUnit,
+};
+use sjcm_core::join::{join_cost_na, unit_cost_na};
+use sjcm_core::TreeParams;
+use sjcm_geom::Rect;
+use sjcm_obs::governor::GovernorLog;
+use sjcm_obs::progress::ProgressTracker;
+use sjcm_rtree::{NodeId, RTree};
+use sjcm_storage::{FaultInjector, FlightRecorder, MemoryMeter};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// What [`Governor::admit`] does when the Eq-6 predicted cost exceeds
+/// the NA budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Refuse to run the query: [`JoinError::Rejected`].
+    #[default]
+    Reject,
+    /// Admit the query but cap its work at `budget / predicted` of the
+    /// Eq-6-priced root units (an ordinal-prefix cap, so the forfeited
+    /// inventory is deterministic); the result comes back degraded with
+    /// the forfeited work priced.
+    Degrade,
+}
+
+/// Configuration of a [`Governor`]. The default limits nothing — a
+/// `Governor::new(GovernorConfig::default())` behaves like
+/// [`Governor::unlimited`] except that it logs its lifecycle events.
+#[derive(Debug, Clone, Default)]
+pub struct GovernorConfig {
+    /// Admission budget in Eq-6 node accesses. `None` admits anything.
+    pub na_budget: Option<f64>,
+    /// What to do when the prediction exceeds `na_budget`.
+    pub admission: AdmissionPolicy,
+    /// Wall-clock deadline, checked cooperatively at every work-unit
+    /// boundary. On expiry all remaining units are forfeited (priced,
+    /// not dropped silently).
+    pub deadline: Option<Duration>,
+    /// Enable ETA-guided load shedding (only meaningful with a
+    /// deadline): when the projected finish time exceeds the deadline
+    /// beyond the ±15% band, shed lowest-value pending units early
+    /// instead of truncating arbitrarily at expiry.
+    pub shed: bool,
+    /// Memory budget in bytes for executor arenas. `None` is unmetered.
+    pub mem_budget: Option<u64>,
+    /// Deterministic cancellation point: refuse every unit with ordinal
+    /// ≥ this value. The test hook behind the cancellation-determinism
+    /// proptests; composes with (and is overridden by neither) the
+    /// deadline.
+    pub cancel_after_units: Option<u64>,
+}
+
+impl GovernorConfig {
+    /// Sets the admission NA budget.
+    pub fn with_na_budget(mut self, budget: f64) -> Self {
+        self.na_budget = Some(budget);
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Sets the cooperative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables or disables ETA-guided shedding.
+    pub fn with_shedding(mut self, shed: bool) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// Sets the arena memory budget in bytes.
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the deterministic cancel-after-`k`-units point.
+    pub fn with_cancel_after_units(mut self, units: u64) -> Self {
+        self.cancel_after_units = Some(units);
+        self
+    }
+}
+
+/// The §4.1 relative-error band the ETA is trusted to: shedding fires
+/// only when even `ETA / (1 + 0.15)` misses the deadline, and it sheds
+/// down to what `deadline × (1 + 0.15)` can afford. Both edges lean the
+/// same way — toward shedding *less*: a unit shed too eagerly is gone
+/// for good, while a unit kept too optimistically is re-examined at the
+/// very next boundary and, at worst, truncated at expiry like any
+/// ungoverned overrun.
+const SHED_BAND: f64 = 0.15;
+
+/// Fraction of the total Eq-6 price that must be retired before the
+/// observed seconds-per-price rate is trusted to shed anything. The
+/// first boundary samples fold setup time and single-unit variance into
+/// the rate; acting on them sheds work a calmer estimate would have
+/// kept, and a shed decision is irreversible.
+const SHED_WARMUP: f64 = 0.10;
+
+/// Consecutive unit boundaries that must all predict an overrun before
+/// any unit is shed. The rate is a ratio of wall time to *completed*
+/// price, so an expensive unit still in flight inflates it (its seconds
+/// count, its price doesn't yet); a real overrun keeps predicting
+/// overrun at the next boundaries, a transient spike doesn't survive a
+/// big unit completing.
+const SHED_STREAK: u32 = 3;
+
+/// At most this fraction of the pending price may be shed by one
+/// decision. The predictor runs again at the very next boundary, so a
+/// persistent overrun still converges geometrically while a single
+/// noisy verdict forfeits a bounded slice instead of the whole tail.
+const SHED_SLICE: f64 = 0.25;
+
+#[derive(Debug, Default)]
+struct GovState {
+    started: Option<Instant>,
+    /// First work-unit boundary: the seconds-per-price rate is measured
+    /// from here, not from `started`, so admission pricing and shard
+    /// setup don't inflate it (an inflated rate under-sizes the shed
+    /// budget, and a shed unit cannot be won back).
+    exec_started: Option<Instant>,
+    /// Consecutive boundaries that predicted an overrun (see
+    /// [`SHED_STREAK`]); reset by any boundary that projects on time.
+    overrun_streak: u32,
+    /// Price of units admitted but not yet completed, per ordinal.
+    /// The ETA rate credits half of it as done: an expensive unit in
+    /// flight contributes wall seconds but no completed price, and on
+    /// price-skewed workloads ignoring it inflates the rate enough to
+    /// shed work the deadline could easily have afforded.
+    in_flight: Vec<bool>,
+    in_flight_price: u64,
+    predicted_na: f64,
+    /// `budget / predicted` when a `Degrade` admission downgraded the
+    /// run; [`Governor::arm`] turns it into an ordinal-prefix cap.
+    degrade_ratio: Option<f64>,
+    prices: Vec<u64>,
+    values: Vec<f64>,
+    /// Unit will never run again: executed, forfeited, or shed.
+    retired: Vec<bool>,
+    /// Unit was preemptively shed by the ETA predictor.
+    shed: Vec<bool>,
+    total_price: u64,
+    done_price: u64,
+    /// Price of forfeited + shed units (work that will never consume
+    /// time; excluded from the ETA's remaining-work term).
+    waived_price: u64,
+    cancel_after: Option<u64>,
+    executed: u64,
+    forfeited: u64,
+    shed_count: u64,
+}
+
+#[derive(Debug)]
+struct GovernorInner {
+    config: GovernorConfig,
+    meter: MemoryMeter,
+    log: GovernorLog,
+    expired: AtomicBool,
+    finished: AtomicBool,
+    state: Mutex<GovState>,
+}
+
+impl GovernorInner {
+    fn state(&self) -> MutexGuard<'_, GovState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Counters of one governed run, for metrics publication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorSummary {
+    /// Eq-6 predicted NA computed at admission.
+    pub predicted_na: f64,
+    /// Root work units the governed plan held (0 when the run never
+    /// needed unit routing).
+    pub units_total: u64,
+    /// Units executed to completion.
+    pub units_executed: u64,
+    /// Units forfeited (deadline expiry, cancellation point, or shed).
+    pub units_forfeited: u64,
+    /// Units preemptively shed by the ETA predictor (still counted in
+    /// `units_forfeited` once an executor reaches and skips them).
+    pub units_shed: u64,
+    /// High-water mark of metered arena bytes.
+    pub mem_peak_bytes: u64,
+}
+
+/// The query governor. Cloning shares all state (one governor per
+/// query, however many executors it fans out to); the default value is
+/// [`Governor::unlimited`].
+#[derive(Debug, Clone, Default)]
+pub struct Governor {
+    inner: Option<Arc<GovernorInner>>,
+}
+
+impl Governor {
+    /// A governor that limits nothing and logs nothing — one `Option`
+    /// discriminant check per call site. The infallible executor entry
+    /// points run with exactly this.
+    pub fn unlimited() -> Self {
+        Self { inner: None }
+    }
+
+    /// A governor enforcing `config`.
+    pub fn new(config: GovernorConfig) -> Self {
+        let meter = match config.mem_budget {
+            Some(bytes) => MemoryMeter::with_limit(bytes),
+            None => MemoryMeter::unlimited(),
+        };
+        Self {
+            inner: Some(Arc::new(GovernorInner {
+                config,
+                meter,
+                log: GovernorLog::new(),
+                expired: AtomicBool::new(false),
+                finished: AtomicBool::new(false),
+                state: Mutex::new(GovState::default()),
+            })),
+        }
+    }
+
+    /// `true` when any limit (or the decision log) is armed.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The governor's decision log, when enabled.
+    pub fn log(&self) -> Option<&GovernorLog> {
+        self.inner.as_ref().map(|i| &i.log)
+    }
+
+    /// The decision log serialized as governor JSONL (`None` when the
+    /// governor is unlimited).
+    pub fn events_jsonl(&self) -> Option<String> {
+        self.inner.as_ref().map(|i| i.log.to_jsonl())
+    }
+
+    /// Counters of the governed run so far (`None` when unlimited).
+    pub fn summary(&self) -> Option<GovernorSummary> {
+        self.inner.as_ref().map(|inner| {
+            let st = inner.state();
+            GovernorSummary {
+                predicted_na: st.predicted_na,
+                units_total: st.prices.len() as u64,
+                units_executed: st.executed,
+                units_forfeited: st.forfeited,
+                units_shed: st.shed_count,
+                mem_peak_bytes: inner.meter.peak(),
+            }
+        })
+    }
+
+    /// Starts the deadline clock if it is not already running. Called
+    /// by [`Governor::admit`]; executors without a tree-based admission
+    /// step (PBSM) call it directly.
+    pub fn start_clock(&self) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.state();
+            if st.started.is_none() {
+                st.started = Some(Instant::now());
+            }
+        }
+    }
+
+    /// Admission control: prices the full join with Eq 6 on the trees'
+    /// measured parameters and compares it against the NA budget.
+    /// Starts the deadline clock either way. An unlimited governor
+    /// admits for free.
+    pub fn admit<const N: usize>(&self, r1: &RTree<N>, r2: &RTree<N>) -> Result<(), JoinError> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let p1 = subtree_params(r1, r1.root_id());
+        let p2 = subtree_params(r2, r2.root_id());
+        let predicted = join_cost_na(&p1, &p2);
+        let mut st = inner.state();
+        if st.started.is_none() {
+            st.started = Some(Instant::now());
+        }
+        st.predicted_na = predicted;
+        match inner.config.na_budget {
+            Some(budget) if predicted > budget => match inner.config.admission {
+                AdmissionPolicy::Reject => {
+                    drop(st);
+                    inner.log.record(
+                        "reject",
+                        predicted,
+                        format!("predicted NA {predicted:.1} > budget {budget:.1}"),
+                    );
+                    Err(JoinError::Rejected {
+                        predicted_na: predicted,
+                        budget,
+                    })
+                }
+                AdmissionPolicy::Degrade => {
+                    st.degrade_ratio = Some((budget / predicted).clamp(0.0, 1.0));
+                    drop(st);
+                    inner.log.record(
+                        "admit",
+                        predicted,
+                        format!(
+                            "degraded: predicted NA {predicted:.1} > budget {budget:.1}, \
+                             capping work at the budget fraction"
+                        ),
+                    );
+                    Ok(())
+                }
+            },
+            Some(budget) => {
+                drop(st);
+                inner.log.record(
+                    "admit",
+                    predicted,
+                    format!("predicted NA {predicted:.1} <= budget {budget:.1}"),
+                );
+                Ok(())
+            }
+            None => {
+                drop(st);
+                inner
+                    .log
+                    .record("admit", predicted, "no admission budget".to_string());
+                Ok(())
+            }
+        }
+    }
+
+    /// `true` when execution must route through ordinal-tagged root
+    /// units so the governor can gate each one: a deadline or an
+    /// explicit cancellation point is armed, or admission downgraded
+    /// the run to a capped prefix.
+    pub fn is_unit_gated(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| {
+            i.config.deadline.is_some()
+                || i.config.cancel_after_units.is_some()
+                || i.state().degrade_ratio.is_some()
+        })
+    }
+
+    /// `true` when an arena memory budget is armed.
+    pub fn has_mem_budget(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.meter.is_enabled())
+    }
+
+    /// Reserves `bytes` of arena memory against the budget, converting
+    /// a denial into the typed join error (and logging it).
+    pub fn reserve(&self, bytes: u64) -> Result<(), JoinError> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        inner.meter.try_reserve(bytes).map_err(|e| {
+            inner.log.record("budget", bytes as f64, format!("{e}"));
+            JoinError::from(e)
+        })
+    }
+
+    /// Releases a previous arena reservation.
+    pub fn release(&self, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            inner.meter.release(bytes);
+        }
+    }
+
+    /// Arms the per-unit ledger for a governed tree join: prices every
+    /// root unit with the same Eq-6 × overlap-fraction formula the
+    /// cost-guided scheduler uses, estimates each unit's value (pairs
+    /// per NA, the shed ranking), and freezes the cancellation prefix.
+    /// Returns the prices (the LPT deal key). Idempotent per governor.
+    pub(crate) fn arm<const N: usize>(
+        &self,
+        r1: &RTree<N>,
+        r2: &RTree<N>,
+        units: &[(usize, WorkUnit)],
+    ) -> Vec<u64> {
+        let (prices, values) = unit_prices(r1, r2, units);
+        self.arm_units(prices.clone(), values);
+        prices
+    }
+
+    /// Arms the per-unit ledger directly from prices and values (the
+    /// PBSM path, which has no R-tree priors, prices cells by entry
+    /// count and gives them uniform value).
+    pub(crate) fn arm_units(&self, prices: Vec<u64>, values: Vec<f64>) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let n = prices.len();
+        let total: u64 = prices.iter().sum();
+        let mut st = inner.state();
+        if st.started.is_none() {
+            st.started = Some(Instant::now());
+        }
+        let mut cancel_after = inner.config.cancel_after_units;
+        if let Some(ratio) = st.degrade_ratio {
+            // Largest ordinal prefix whose cumulative Eq-6 price stays
+            // within the admitted fraction of the total.
+            let afford = (total as f64 * ratio).floor() as u64;
+            let mut acc = 0u64;
+            let mut k = 0u64;
+            for &p in &prices {
+                if acc + p > afford {
+                    break;
+                }
+                acc += p;
+                k += 1;
+            }
+            cancel_after = Some(cancel_after.map_or(k, |c| c.min(k)));
+        }
+        st.total_price = total;
+        st.done_price = 0;
+        st.waived_price = 0;
+        st.prices = prices;
+        st.values = values;
+        st.retired = vec![false; n];
+        st.shed = vec![false; n];
+        st.in_flight = vec![false; n];
+        st.in_flight_price = 0;
+        st.cancel_after = cancel_after;
+        drop(st);
+        inner.log.record(
+            "arm",
+            n as f64,
+            format!(
+                "{n} units, total price {total}{}{}",
+                match cancel_after {
+                    Some(k) => format!(", cancel after unit {k}"),
+                    None => String::new(),
+                },
+                match inner.config.deadline {
+                    Some(d) => format!(", deadline {} ms", d.as_millis()),
+                    None => String::new(),
+                },
+            ),
+        );
+    }
+
+    /// Gate at a work-unit boundary: may ordinal `ordinal` still run?
+    /// `false` means the executor must forfeit the unit (it will be
+    /// priced into the degraded result, not silently dropped). An
+    /// unlimited governor always admits — one `Option` check.
+    pub fn admit_unit(&self, ordinal: usize) -> bool {
+        let Some(inner) = &self.inner else {
+            return true;
+        };
+        if inner.expired.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut st = inner.state();
+        if st.exec_started.is_none() {
+            st.exec_started = Some(Instant::now());
+        }
+        if let (Some(deadline), Some(start)) = (inner.config.deadline, st.started) {
+            if start.elapsed() >= deadline {
+                if !inner.expired.swap(true, Ordering::Relaxed) {
+                    inner.log.record(
+                        "expire",
+                        ordinal as f64,
+                        format!(
+                            "deadline {} ms reached at unit {ordinal}",
+                            deadline.as_millis()
+                        ),
+                    );
+                }
+                return false;
+            }
+        }
+        if let Some(k) = st.cancel_after {
+            if ordinal as u64 >= k {
+                return false;
+            }
+        }
+        if st.shed.get(ordinal).copied().unwrap_or(false) {
+            return false;
+        }
+        if let Some(f) = st.in_flight.get_mut(ordinal) {
+            if !*f {
+                *f = true;
+                st.in_flight_price += st.prices.get(ordinal).copied().unwrap_or(1);
+            }
+        }
+        true
+    }
+
+    /// Records a completed unit, retires its price from the ledger, and
+    /// runs the ETA overrun predictor (see the module docs).
+    pub fn note_unit_done(&self, ordinal: usize) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut st = inner.state();
+        if st.exec_started.is_none() {
+            st.exec_started = Some(Instant::now());
+        }
+        let price = st.prices.get(ordinal).copied().unwrap_or(1);
+        st.executed += 1;
+        st.done_price += price;
+        if let Some(f) = st.in_flight.get_mut(ordinal) {
+            if *f {
+                *f = false;
+                st.in_flight_price = st.in_flight_price.saturating_sub(price);
+            }
+        }
+        if st.retired.get(ordinal).copied().unwrap_or(true) {
+            // The unit was marked shed while already in flight and
+            // completed anyway: undo the waiver so the ledger balances.
+            if st.shed.get(ordinal).copied().unwrap_or(false) {
+                st.shed[ordinal] = false;
+                st.shed_count -= 1;
+                st.waived_price = st.waived_price.saturating_sub(price);
+            }
+        } else {
+            st.retired[ordinal] = true;
+        }
+        if !inner.config.shed || inner.expired.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(deadline) = inner.config.deadline else {
+            return;
+        };
+        let Some(start) = st.started else {
+            return;
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed <= 0.0 || st.done_price == 0 {
+            return;
+        }
+        let remaining = st
+            .total_price
+            .saturating_sub(st.done_price + st.waived_price);
+        if remaining == 0 {
+            return;
+        }
+        if (st.done_price as f64) < SHED_WARMUP * st.total_price as f64 {
+            return;
+        }
+        // Seconds per price unit, measured over execution time only;
+        // the projection still starts from the full wall-clock elapsed,
+        // which is what the deadline is denominated in.
+        let exec_elapsed = st
+            .exec_started
+            .map(|t| t.elapsed().as_secs_f64())
+            .unwrap_or(elapsed);
+        let half_flight = st.in_flight_price / 2;
+        let rate = exec_elapsed.max(1e-9) / (st.done_price + half_flight) as f64;
+        let projected = elapsed + rate * remaining.saturating_sub(half_flight) as f64;
+        let deadline_s = deadline.as_secs_f64();
+        if projected <= deadline_s * (1.0 + SHED_BAND) {
+            st.overrun_streak = 0;
+            return;
+        }
+        st.overrun_streak += 1;
+        if st.overrun_streak < SHED_STREAK {
+            return;
+        }
+        // Overrun predicted beyond the trust band, persistently: shed
+        // down to the price the deadline can afford, keeping the
+        // highest-value pending units, at most [`SHED_SLICE`] of the
+        // pending price per decision.
+        let afford_time = (deadline_s * (1.0 + SHED_BAND) - elapsed).max(0.0);
+        let floor = remaining - (remaining as f64 * SHED_SLICE) as u64;
+        let afford_price = ((afford_time / rate) as u64).max(floor);
+        let to_shed = shed_candidates(&st.prices, &st.values, &st.retired, afford_price);
+        if to_shed.is_empty() {
+            return;
+        }
+        for &i in &to_shed {
+            st.retired[i] = true;
+            st.shed[i] = true;
+            st.waived_price += st.prices[i];
+        }
+        st.shed_count += to_shed.len() as u64;
+        let shed_n = to_shed.len();
+        drop(st);
+        inner.log.record(
+            "shed",
+            shed_n as f64,
+            format!(
+                "eta {projected:.3}s beyond deadline {deadline_s:.3}s (+{:.0}% band): \
+                 shed {shed_n} lowest-value units, kept price {afford_price}",
+                SHED_BAND * 100.0
+            ),
+        );
+    }
+
+    /// Records a unit the executor forfeited after [`Self::admit_unit`]
+    /// refused it.
+    pub fn note_forfeit(&self, ordinal: usize) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut st = inner.state();
+        st.forfeited += 1;
+        let price = st.prices.get(ordinal).copied().unwrap_or(1);
+        if let Some(r) = st.retired.get_mut(ordinal) {
+            if !*r {
+                *r = true;
+                st.waived_price += price;
+            }
+        }
+    }
+
+    /// Closes the decision log with a terminal `finish` event (once;
+    /// later calls are no-ops). Entry points call this after assembling
+    /// the degraded result.
+    pub fn finish(&self) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if inner.finished.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let st = inner.state();
+        inner.log.record(
+            "finish",
+            st.executed as f64,
+            format!(
+                "{} executed, {} forfeited ({} shed), mem peak {} bytes",
+                st.executed,
+                st.forfeited,
+                st.shed_count,
+                inner.meter.peak()
+            ),
+        );
+    }
+}
+
+/// Greedy value-density knapsack: keeps the highest-value pending units
+/// whose prices fit `afford_price`, returns the ordinals to shed. Ties
+/// broken by ordinal so the selection is deterministic.
+fn shed_candidates(
+    prices: &[u64],
+    values: &[f64],
+    retired: &[bool],
+    afford_price: u64,
+) -> Vec<usize> {
+    let mut pending: Vec<usize> = (0..prices.len()).filter(|&i| !retired[i]).collect();
+    pending.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
+    let mut kept = 0u64;
+    let mut shed = Vec::new();
+    for i in pending {
+        if kept + prices[i] <= afford_price {
+            kept += prices[i];
+        } else {
+            shed.push(i);
+        }
+    }
+    shed.sort_unstable();
+    shed
+}
+
+/// Eq-6 × overlap-fraction price and pairs-per-price value of every
+/// root unit, with per-node caches (each subtree appears in many
+/// units). Prices use the same ×16 integer scaling as the cost-guided
+/// scheduler; values localize Eq 3 over the subtree MBRs, exactly the
+/// estimate the degraded-result pricing uses for *forfeited* work.
+fn unit_prices<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    units: &[(usize, WorkUnit)],
+) -> (Vec<u64>, Vec<f64>) {
+    struct Side<const N: usize> {
+        params: TreeParams<N>,
+        objects: SubtreeObjects<N>,
+        mbr: Rect<N>,
+    }
+    fn side<const N: usize>(tree: &RTree<N>, id: NodeId) -> Side<N> {
+        Side {
+            params: subtree_params(tree, id),
+            objects: subtree_objects(tree, id),
+            mbr: tree.node(id).mbr().unwrap_or_else(Rect::unit),
+        }
+    }
+    let mut cache1: HashMap<NodeId, Side<N>> = HashMap::new();
+    let mut cache2: HashMap<NodeId, Side<N>> = HashMap::new();
+    let mut prices = Vec::with_capacity(units.len());
+    let mut values = Vec::with_capacity(units.len());
+    for &(_, unit) in units {
+        match unit {
+            WorkUnit::Emit(..) => {
+                // Leaf-root emissions carry no I/O: minimal price, and
+                // one pair of value (they always execute anyway).
+                prices.push(1);
+                values.push(1.0);
+            }
+            WorkUnit::Pair(c1, c2) => {
+                let (a, b) = (c1.node(), c2.node());
+                let s1 = cache1.entry(a).or_insert_with(|| side(r1, a));
+                let s2 = cache2.entry(b).or_insert_with(|| side(r2, b));
+                let cost = unit_cost_na(&s1.params, &s2.params) * overlap_fraction(r1, r2, a, b);
+                let price = ((cost * 16.0).round() as u64).max(1);
+                let est_pairs = crate::degraded::localized_pairs(
+                    &s1.objects,
+                    &s1.mbr,
+                    &s2.objects,
+                    &s2.mbr,
+                    0.0,
+                );
+                prices.push(price);
+                values.push(est_pairs / price as f64);
+            }
+        }
+    }
+    (prices, values)
+}
+
+/// Governed sequential execution: the root units in natural (ordinal)
+/// order through one shard executor (correlation domain 1), each gated
+/// by the governor. NA-equivalent to the plain sequential descent — the
+/// round-robin scheduler's tests pin that equivalence — while giving
+/// the sequential path the same work-unit boundaries as the parallel
+/// schedulers, so a fixed cancellation point forfeits the same
+/// inventory everywhere.
+pub(crate) fn run_governed_sequential<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    recorder: &FlightRecorder,
+    faults: &FaultInjector,
+    progress: &ProgressTracker,
+    gov: &Governor,
+) -> (JoinResultSet, Vec<RawSkip>) {
+    let units: Vec<(usize, WorkUnit)> = root_work_units(r1, r2, &config)
+        .into_iter()
+        .enumerate()
+        .collect();
+    gov.arm(r1, r2, &units);
+    if progress.is_enabled() {
+        let n = units.len() as u64;
+        progress.set_schedule(&[(n, n)]);
+    }
+    run_shard(r1, r2, config, &units, recorder, 1, faults, progress, gov)
+}
+
+/// Governed parallel execution: the ordinal-tagged root units dealt to
+/// `threads` static shards (round-robin deal or LPT by Eq-6 price,
+/// matching the requested [`ScheduleMode`]), every unit gated by the
+/// governor at its boundary. No stealing: gating is by global ordinal,
+/// so the forfeited inventory for a fixed cancellation point is
+/// identical to the sequential governed run and to any thread count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn governed_parallel_join<const N: usize>(
+    r1: &RTree<N>,
+    r2: &RTree<N>,
+    config: JoinConfig,
+    threads: usize,
+    mode: ScheduleMode,
+    obs: &JoinObs,
+    faults: &FaultInjector,
+    gov: &Governor,
+) -> Result<(JoinResultSet, Vec<RawSkip>), JoinError> {
+    let mut join_span = obs.tracer.span("governed-join");
+    join_span.set("threads", threads);
+    let units: Vec<(usize, WorkUnit)> = root_work_units(r1, r2, &config)
+        .into_iter()
+        .enumerate()
+        .collect();
+    // The shard arenas replicate the unit list: charge them against the
+    // memory budget before dealing.
+    let arena_bytes = (units.len() * std::mem::size_of::<(usize, WorkUnit)>()) as u64;
+    gov.reserve(arena_bytes)?;
+    let prices = gov.arm(r1, r2, &units);
+    let mut shards: Vec<Vec<(usize, WorkUnit)>> = vec![Vec::new(); threads];
+    match mode {
+        ScheduleMode::RoundRobin => {
+            for &(i, u) in &units {
+                shards[i % threads].push((i, u));
+            }
+        }
+        ScheduleMode::CostGuided => {
+            // LPT by Eq-6 price, ties by ordinal — the cost-guided
+            // seeding without the steal layer (gating is by ordinal, so
+            // stealing would only blur the tallies, not the inventory).
+            let mut order: Vec<usize> = (0..units.len()).collect();
+            order.sort_unstable_by(|&a, &b| prices[b].cmp(&prices[a]).then(a.cmp(&b)));
+            let mut loads = vec![0u64; threads];
+            for i in order {
+                let w = (0..threads).min_by_key(|&w| (loads[w], w)).unwrap();
+                shards[w].push(units[i]);
+                loads[w] += prices[i];
+            }
+        }
+    }
+    let planned: Vec<(u64, u64)> = shards
+        .iter()
+        .map(|s| (s.len() as u64, s.len() as u64))
+        .collect();
+    obs.progress.set_schedule(&planned);
+
+    let join_id = join_span.id();
+    let results: Vec<Result<(JoinResultSet, Vec<RawSkip>), JoinError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(w, shard)| {
+                    let tracer = obs.tracer.clone();
+                    let recorder = obs.recorder.clone();
+                    let progress = obs.progress.clone();
+                    let gov = gov.clone();
+                    scope.spawn(move || {
+                        let mut span = tracer.span_under(join_id, "worker");
+                        span.set("worker", w);
+                        span.set("units", shard.len());
+                        run_shard(
+                            r1,
+                            r2,
+                            config,
+                            shard,
+                            &recorder,
+                            (w + 1) as u32,
+                            faults,
+                            &progress,
+                            &gov,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(JoinError::from_panic))
+                .collect()
+        });
+
+    let mut pairs = Vec::new();
+    let mut pair_count = 0;
+    let mut stats1 = sjcm_storage::AccessStats::new();
+    let mut stats2 = sjcm_storage::AccessStats::new();
+    let mut workers = Vec::with_capacity(threads);
+    let mut steals = Vec::with_capacity(threads);
+    let mut buffers1 = sjcm_storage::BufferCounters::default();
+    let mut buffers2 = sjcm_storage::BufferCounters::default();
+    let mut raw = Vec::new();
+    for (shard, result) in shards.iter().zip(results) {
+        let (r, skips) = result?;
+        workers.push(WorkerTally {
+            units: shard.len() as u64,
+            na: r.na_total(),
+            da: r.da_total(),
+            pair_count: r.pair_count,
+        });
+        steals.push(StealTally {
+            units_executed: shard.len() as u64,
+            ..StealTally::default()
+        });
+        buffers1.merge(&r.buffers1);
+        buffers2.merge(&r.buffers2);
+        pairs.extend(r.pairs);
+        pair_count += r.pair_count;
+        stats1.merge(&r.stats1);
+        stats2.merge(&r.stats2);
+        raw.extend(skips);
+    }
+    gov.release(arena_bytes);
+    join_span.set("na", stats1.na_total() + stats2.na_total());
+    join_span.set("da", stats1.da_total() + stats2.da_total());
+    join_span.set("pairs", pair_count);
+    Ok((
+        JoinResultSet {
+            pairs,
+            pair_count,
+            stats1,
+            stats2,
+            workers,
+            buffers1,
+            buffers2,
+            steals,
+        },
+        raw,
+    ))
+}
+
+/// Convenience: asserts a degraded governed result is *well-formed* —
+/// every forfeited unit is priced and the estimated forfeited fraction
+/// is a finite probability-like number. Used by tests and experiments.
+pub fn assert_well_formed<const N: usize>(d: &DegradedJoinResult<N>) {
+    for s in &d.skips {
+        assert!(s.est_na.is_finite() && s.est_na >= 0.0, "skip NA {s:?}");
+        assert!(
+            s.est_pairs.is_finite() && s.est_pairs >= 0.0,
+            "skip pairs {s:?}"
+        );
+    }
+    let f = d.forfeited_fraction();
+    assert!((0.0..=1.0).contains(&f), "forfeited fraction {f}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::spatial_join;
+    use crate::parallel::{
+        parallel_spatial_join, try_parallel_spatial_join_observed, JoinObs, ScheduleMode,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sjcm_rtree::{ObjectId, RTreeConfig};
+
+    fn build(n: usize, side: f64, seed: u64) -> RTree<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = RTree::<2>::new(RTreeConfig::with_capacity(8));
+        for i in 0..n {
+            let cx: f64 = rng.gen_range(0.0..1.0);
+            let cy: f64 = rng.gen_range(0.0..1.0);
+            tree.insert(
+                Rect::centered(sjcm_geom::Point::new([cx, cy]), [side, side]),
+                ObjectId(i as u32),
+            );
+        }
+        tree
+    }
+
+    fn governed(
+        r1: &RTree<2>,
+        r2: &RTree<2>,
+        threads: usize,
+        mode: ScheduleMode,
+        gov: &Governor,
+    ) -> Result<DegradedJoinResult<2>, JoinError> {
+        try_parallel_spatial_join_observed(
+            r1,
+            r2,
+            JoinConfig::default(),
+            threads,
+            mode,
+            &JoinObs::default(),
+            &FaultInjector::disabled(),
+            gov,
+        )
+    }
+
+    #[test]
+    fn unlimited_governor_is_inert() {
+        let gov = Governor::unlimited();
+        assert!(!gov.is_enabled());
+        assert!(!gov.is_unit_gated());
+        assert!(gov.admit_unit(0) && gov.admit_unit(usize::MAX));
+        gov.note_unit_done(3);
+        gov.note_forfeit(4);
+        gov.finish();
+        assert!(gov.reserve(u64::MAX).is_ok());
+        assert!(gov.summary().is_none());
+        assert!(gov.events_jsonl().is_none());
+    }
+
+    #[test]
+    fn rejection_is_typed_and_logged() {
+        let a = build(600, 0.02, 1);
+        let b = build(600, 0.02, 2);
+        let gov = Governor::new(GovernorConfig::default().with_na_budget(1.0));
+        let err = governed(&a, &b, 2, ScheduleMode::CostGuided, &gov).unwrap_err();
+        match err {
+            JoinError::Rejected {
+                predicted_na,
+                budget,
+            } => {
+                assert!(predicted_na > 1.0);
+                assert_eq!(budget, 1.0);
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        let text = gov.events_jsonl().unwrap();
+        assert!(sjcm_obs::validate_governor_jsonl(&text).is_ok(), "{text}");
+    }
+
+    #[test]
+    fn degrade_policy_caps_an_ordinal_prefix() {
+        let gov = Governor::new(
+            GovernorConfig::default()
+                .with_na_budget(10.0)
+                .with_admission(AdmissionPolicy::Degrade),
+        );
+        // Simulate an over-budget admission at ratio 0.5.
+        gov.inner.as_ref().unwrap().state().degrade_ratio = Some(0.5);
+        gov.arm_units(vec![1; 10], vec![1.0; 10]);
+        for i in 0..5 {
+            assert!(gov.admit_unit(i), "unit {i} is inside the cap");
+        }
+        for i in 5..10 {
+            assert!(!gov.admit_unit(i), "unit {i} is beyond the cap");
+        }
+    }
+
+    #[test]
+    fn cancellation_inventory_is_identical_across_schedulers() {
+        let a = build(1_500, 0.012, 3);
+        let b = build(1_500, 0.012, 4);
+        let full = spatial_join(&a, &b);
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+                let gov = Governor::new(GovernorConfig::default().with_cancel_after_units(3));
+                let d = governed(&a, &b, threads, mode, &gov).unwrap();
+                assert_well_formed(&d);
+                assert!(!d.is_exact(), "{threads} threads {mode:?} must forfeit");
+                assert!(d.result.pair_count < full.pair_count);
+                let summary = gov.summary().unwrap();
+                assert!(summary.units_forfeited > 0);
+                runs.push((threads, mode, d));
+            }
+        }
+        let (_, _, first) = &runs[0];
+        for (threads, mode, d) in &runs[1..] {
+            assert_eq!(
+                d.skips, first.skips,
+                "inventory diverged at {threads} threads {mode:?}"
+            );
+            assert_eq!(
+                {
+                    let mut p = d.result.pairs.clone();
+                    p.sort_unstable();
+                    p
+                },
+                {
+                    let mut p = first.result.pairs.clone();
+                    p.sort_unstable();
+                    p
+                },
+                "retained pairs diverged at {threads} threads {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_deadline_forfeits_everything_but_stays_well_formed() {
+        let a = build(1_200, 0.012, 5);
+        let b = build(1_200, 0.012, 6);
+        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+            let gov = Governor::new(GovernorConfig::default().with_deadline(Duration::ZERO));
+            let d = governed(&a, &b, 2, mode, &gov).unwrap();
+            assert_well_formed(&d);
+            assert!(!d.is_exact());
+            assert_eq!(d.result.pair_count, 0, "{mode:?}");
+            assert!(d.forfeited_pairs() > 0.0, "{mode:?}");
+            let text = gov.events_jsonl().unwrap();
+            assert!(sjcm_obs::validate_governor_jsonl(&text).is_ok(), "{text}");
+            assert!(text.contains("\"expire\""));
+        }
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing_but_the_boundaries() {
+        let a = build(1_000, 0.012, 7);
+        let b = build(1_000, 0.012, 8);
+        let plain = parallel_spatial_join(&a, &b, JoinConfig::default(), 3);
+        let gov = Governor::new(GovernorConfig::default().with_deadline(Duration::from_secs(3600)));
+        let d = governed(&a, &b, 3, ScheduleMode::CostGuided, &gov).unwrap();
+        assert!(d.is_exact());
+        assert_eq!(d.result.pairs, plain.pairs);
+        assert_eq!(d.result.na_total(), plain.na_total());
+        let summary = gov.summary().unwrap();
+        assert_eq!(summary.units_forfeited, 0);
+        assert!(summary.units_executed > 0);
+    }
+
+    #[test]
+    fn memory_budget_denial_is_typed() {
+        let a = build(1_000, 0.012, 9);
+        let b = build(1_000, 0.012, 10);
+        let gov = Governor::new(GovernorConfig::default().with_mem_budget(8));
+        let err = governed(&a, &b, 2, ScheduleMode::CostGuided, &gov).unwrap_err();
+        match err {
+            JoinError::BudgetExceeded { limit, .. } => assert_eq!(limit, 8),
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        let text = gov.events_jsonl().unwrap();
+        assert!(sjcm_obs::validate_governor_jsonl(&text).is_ok(), "{text}");
+    }
+
+    #[test]
+    fn ample_memory_budget_admits_and_tracks_peak() {
+        let a = build(1_000, 0.012, 11);
+        let b = build(1_000, 0.012, 12);
+        let gov = Governor::new(GovernorConfig::default().with_mem_budget(64 << 20));
+        let d = governed(&a, &b, 2, ScheduleMode::CostGuided, &gov).unwrap();
+        assert!(d.is_exact());
+        assert!(gov.summary().unwrap().mem_peak_bytes > 0);
+    }
+
+    #[test]
+    fn shed_candidates_keep_the_highest_value_units() {
+        let prices = vec![10, 10, 10, 10];
+        let values = vec![0.1, 5.0, 0.2, 4.0];
+        let retired = vec![false, false, false, false];
+        // Budget for two units: keep the two highest-value (1 and 3).
+        assert_eq!(shed_candidates(&prices, &values, &retired, 20), vec![0, 2]);
+        // Retired units are never shed again.
+        let retired = vec![true, false, false, false];
+        assert_eq!(shed_candidates(&prices, &values, &retired, 20), vec![2]);
+        // No budget: shed every pending unit.
+        assert_eq!(
+            shed_candidates(&prices, &values, &[false; 4], 0),
+            vec![0, 1, 2, 3]
+        );
+        // Ample budget: shed nothing.
+        assert!(shed_candidates(&prices, &values, &[false; 4], 100).is_empty());
+    }
+
+    #[test]
+    fn unlimited_twin_is_byte_identical_to_the_plain_executors() {
+        let a = build(1_500, 0.012, 13);
+        let b = build(1_500, 0.012, 14);
+        for threads in [1usize, 4] {
+            for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+                let plain = crate::parallel::parallel_spatial_join_with(
+                    &a,
+                    &b,
+                    JoinConfig::default(),
+                    threads,
+                    mode,
+                );
+                let d = governed(&a, &b, threads, mode, &Governor::unlimited()).unwrap();
+                assert!(d.is_exact());
+                assert_eq!(d.result.pairs, plain.pairs, "{threads} {mode:?}");
+                assert_eq!(d.result.na_total(), plain.na_total(), "{threads} {mode:?}");
+                assert_eq!(d.result.da_total(), plain.da_total(), "{threads} {mode:?}");
+                assert_eq!(d.result.workers, plain.workers, "{threads} {mode:?}");
+            }
+        }
+    }
+}

@@ -32,6 +32,13 @@
 //! *contained* — the affected node pair is forfeited and priced with
 //! the paper's own formulas instead of aborting the join. See
 //! [`degraded`].
+//!
+//! The `try_*` twins additionally take a [`governor::Governor`]: a
+//! deadline- and budget-aware admission/cancellation layer that prices
+//! queries with Eq 6 before running them, cancels cooperatively at
+//! work-unit boundaries, sheds low-value work when the ETA predicts an
+//! overrun, and meters executor arenas against a memory budget.
+//! [`Governor::unlimited`] is inert (one `Option` check per call site).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +46,7 @@
 pub mod baselines;
 pub mod degraded;
 pub mod executor;
+pub mod governor;
 pub mod parallel;
 pub mod pbsm;
 
@@ -48,7 +56,11 @@ pub use executor::{
     try_spatial_join_recorded, try_spatial_join_with, BufferPolicy, JoinConfig, JoinPredicate,
     JoinResultSet, MatchKernel, MatchOrder, MatchScratch, StealTally, WorkerTally,
 };
+pub use governor::{
+    assert_well_formed, AdmissionPolicy, Governor, GovernorConfig, GovernorSummary,
+};
 pub use parallel::{
     parallel_spatial_join, parallel_spatial_join_observed, parallel_spatial_join_with,
     try_parallel_spatial_join_observed, try_parallel_spatial_join_with, JoinObs, ScheduleMode,
 };
+pub use pbsm::{try_pbsm_join, DegradedPbsmResult};

@@ -73,6 +73,7 @@ use crate::executor::{
     matched_entries, pinned_children, JoinConfig, JoinResultSet, MatchScratch, StealTally,
     WorkerTally,
 };
+use crate::governor::Governor;
 use sjcm_core::join::unit_cost_na;
 use sjcm_core::{LevelParams, TreeParams};
 use sjcm_obs::perfetto::{DRIFT_BREACH_SPAN as BREACH_SPAN, PROGRESS_SPAN};
@@ -160,6 +161,11 @@ pub fn parallel_spatial_join_with<const N: usize>(
     parallel_spatial_join_observed(r1, r2, config, threads, mode, &JoinObs::default())
 }
 
+/// A join's worth of work-unit metadata held per worker arena: the
+/// bytes the parallel schedulers charge against the governor's memory
+/// budget per unit they materialize.
+const UNIT_ARENA_BYTES: usize = std::mem::size_of::<(usize, WorkUnit)>();
+
 /// Runs the spatial join with observability hooks: spans for the
 /// frontier descent, the schedule, and every executed work unit, plus
 /// in-flight drift checks against the monitor's `na.total` /
@@ -186,6 +192,7 @@ pub fn parallel_spatial_join_observed<const N: usize>(
         mode,
         obs,
         &FaultInjector::disabled(),
+        &Governor::unlimited(),
     )
     .unwrap_or_else(|e| panic!("{e}"))
     .result
@@ -211,12 +218,29 @@ pub fn try_parallel_spatial_join_with<const N: usize>(
     threads: usize,
     mode: ScheduleMode,
     faults: &FaultInjector,
+    gov: &Governor,
 ) -> Result<DegradedJoinResult<N>, JoinError> {
-    try_parallel_spatial_join_observed(r1, r2, config, threads, mode, &JoinObs::default(), faults)
+    try_parallel_spatial_join_observed(
+        r1,
+        r2,
+        config,
+        threads,
+        mode,
+        &JoinObs::default(),
+        faults,
+        gov,
+    )
 }
 
 /// Fallible twin of [`parallel_spatial_join_observed`] — see
-/// [`try_parallel_spatial_join_with`].
+/// [`try_parallel_spatial_join_with`]. The governor gates the run:
+/// admission happens before any traversal, and when a deadline,
+/// cancellation point, or degrade cap is armed, execution routes
+/// through ordinal-tagged root units so every scheduler forfeits the
+/// identical inventory at a fixed cancellation point. An unlimited
+/// governor leaves the ungoverned paths untouched (byte-identical —
+/// asserted in the governor tests).
+#[allow(clippy::too_many_arguments)]
 pub fn try_parallel_spatial_join_observed<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
@@ -225,29 +249,49 @@ pub fn try_parallel_spatial_join_observed<const N: usize>(
     mode: ScheduleMode,
     obs: &JoinObs,
     faults: &FaultInjector,
+    gov: &Governor,
 ) -> Result<DegradedJoinResult<N>, JoinError> {
     if threads == 0 {
         return Err(JoinError::InvalidThreads);
     }
+    gov.admit(r1, r2)?;
     let (mut result, raw) = if threads == 1 {
         let mut span = obs.tracer.span("sequential-join");
-        let (mut result, raw) = crate::executor::run_sequential(
-            r1,
-            r2,
-            config,
-            &obs.recorder,
-            faults,
-            obs.progress.sink(),
-        );
+        let (mut result, raw) = if gov.is_unit_gated() {
+            crate::governor::run_governed_sequential(
+                r1,
+                r2,
+                config,
+                &obs.recorder,
+                faults,
+                &obs.progress,
+                gov,
+            )
+        } else {
+            crate::executor::run_sequential(
+                r1,
+                r2,
+                config,
+                &obs.recorder,
+                faults,
+                obs.progress.sink(),
+            )
+        };
         result.pairs.sort_unstable();
         span.set("na", result.na_total());
         span.set("da", result.da_total());
         span.set("pairs", result.pair_count);
         (result, raw)
+    } else if gov.is_unit_gated() {
+        crate::governor::governed_parallel_join(r1, r2, config, threads, mode, obs, faults, gov)?
     } else {
         match mode {
-            ScheduleMode::RoundRobin => round_robin_join(r1, r2, config, threads, obs, faults)?,
-            ScheduleMode::CostGuided => cost_guided_join(r1, r2, config, threads, obs, faults)?,
+            ScheduleMode::RoundRobin => {
+                round_robin_join(r1, r2, config, threads, obs, faults, gov)?
+            }
+            ScheduleMode::CostGuided => {
+                cost_guided_join(r1, r2, config, threads, obs, faults, gov)?
+            }
         }
     };
     if threads > 1 {
@@ -255,14 +299,9 @@ pub fn try_parallel_spatial_join_observed<const N: usize>(
     }
     // The run is over: later progress samples report exactly 1.0.
     obs.progress.finish();
-    Ok(crate::degraded::finish_degraded(
-        r1,
-        r2,
-        config.predicate,
-        result,
-        raw,
-        faults,
-    ))
+    let degraded = crate::degraded::finish_degraded(r1, r2, config.predicate, result, raw, faults);
+    gov.finish();
+    Ok(degraded)
 }
 
 // ---------------------------------------------------------------------
@@ -276,6 +315,7 @@ fn cost_guided_join<const N: usize>(
     threads: usize,
     obs: &JoinObs,
     faults: &FaultInjector,
+    gov: &Governor,
 ) -> Result<(JoinResultSet, Vec<RawSkip>), JoinError> {
     let mut join_span = obs.tracer.span("cost-guided-join");
     join_span.set("threads", threads);
@@ -302,6 +342,12 @@ fn cost_guided_join<const N: usize>(
     // tallies now so they cannot be double-counted when worker stats
     // are merged back into `coord` after the scope.
     coord.flush_progress();
+
+    // The frontier units and the per-worker deques are the scheduler's
+    // arena: charge them against the governor's memory budget before
+    // committing to the parallel phase.
+    let arena_bytes = (units.len() * UNIT_ARENA_BYTES) as u64;
+    gov.reserve(arena_bytes)?;
 
     // 2. Price each unit with Eq 6 on its measured subtree parameters,
     //    then LPT-seed: hand units out in descending cost order, each to
@@ -514,6 +560,7 @@ fn cost_guided_join<const N: usize>(
         coord.stats2.merge(&r.stats2);
         raw.extend(skips);
     }
+    gov.release(arena_bytes);
     join_span.set("na", coord.stats1.na_total() + coord.stats2.na_total());
     join_span.set("da", coord.stats1.da_total() + coord.stats2.da_total());
     join_span.set("pairs", coord.pair_count);
@@ -669,15 +716,19 @@ fn round_robin_join<const N: usize>(
     threads: usize,
     obs: &JoinObs,
     faults: &FaultInjector,
+    gov: &Governor,
 ) -> Result<(JoinResultSet, Vec<RawSkip>), JoinError> {
     let mut join_span = obs.tracer.span("round-robin-join");
     join_span.set("threads", threads);
     // Root-level work units: overlapping (child1, child2) pairs, or
-    // pinned pairs when heights differ at the root.
+    // pinned pairs when heights differ at the root. Units keep their
+    // global ordinal so governed runs can gate them deterministically.
     let units = root_work_units(r1, r2, &config);
-    let mut shards: Vec<Vec<WorkUnit>> = vec![Vec::new(); threads];
+    let arena_bytes = (units.len() * UNIT_ARENA_BYTES) as u64;
+    gov.reserve(arena_bytes)?;
+    let mut shards: Vec<Vec<(usize, WorkUnit)>> = vec![Vec::new(); threads];
     for (i, u) in units.into_iter().enumerate() {
-        shards[i % threads].push(u);
+        shards[i % threads].push((i, u));
     }
     // Round-robin has no cost model: the ledger prices every root unit
     // at one, so per-worker progress is units retired over units dealt.
@@ -697,6 +748,7 @@ fn round_robin_join<const N: usize>(
                     let tracer = obs.tracer.clone();
                     let recorder = obs.recorder.clone();
                     let progress = obs.progress.clone();
+                    let gov = gov.clone();
                     scope.spawn(move || {
                         let mut span = tracer.span_under(join_id, "worker");
                         span.set("worker", w);
@@ -712,6 +764,7 @@ fn round_robin_join<const N: usize>(
                             (w + 1) as u32,
                             faults,
                             &progress,
+                            &gov,
                         )
                     })
                 })
@@ -753,6 +806,7 @@ fn round_robin_join<const N: usize>(
         stats2.merge(&r.stats2);
         raw.extend(skips);
     }
+    gov.release(arena_bytes);
     join_span.set("na", stats1.na_total() + stats2.na_total());
     join_span.set("da", stats1.da_total() + stats2.da_total());
     join_span.set("pairs", pair_count);
@@ -771,8 +825,11 @@ fn round_robin_join<const N: usize>(
     ))
 }
 
+/// One root-level work unit of the static schedulers (round-robin and
+/// the governed deal). Units carry a global ordinal when dealt, so the
+/// governor can gate them deterministically across schedulers.
 #[derive(Debug, Clone, Copy)]
-enum WorkUnit {
+pub(crate) enum WorkUnit {
     /// Both root children descend.
     Pair(Child, Child),
     /// Both roots are leaves: object-pair output at the roots (no work
@@ -780,7 +837,7 @@ enum WorkUnit {
     Emit(ObjectId, ObjectId),
 }
 
-fn root_work_units<const N: usize>(
+pub(crate) fn root_work_units<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: &JoinConfig,
@@ -826,37 +883,56 @@ fn root_work_units<const N: usize>(
     units
 }
 
-/// Runs one legacy shard: the assigned root-level pairs through a
-/// worker executor whose buffers persist across units (the legacy
-/// behaviour, kept bit-for-bit so `RoundRobin` stays an honest
-/// baseline).
+/// Runs one static shard: the assigned ordinal-tagged root-level pairs
+/// through a worker executor whose buffers persist across units (the
+/// legacy behaviour, kept bit-for-bit so `RoundRobin` stays an honest
+/// baseline). The governor gates every `Pair` unit at its boundary; a
+/// refused unit is forfeited exactly like a fault-forfeited pair —
+/// recorded as a skip, priced later, never silently dropped. An
+/// unlimited governor is one `Option` check per unit.
 #[allow(clippy::too_many_arguments)]
-fn run_shard<const N: usize>(
+pub(crate) fn run_shard<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
-    units: &[WorkUnit],
+    units: &[(usize, WorkUnit)],
     recorder: &FlightRecorder,
     corr: u32,
     faults: &FaultInjector,
     progress: &ProgressTracker,
+    gov: &Governor,
 ) -> (JoinResultSet, Vec<RawSkip>) {
     let mut shard = UnitExecutor::new(r1, r2, config, recorder, faults.clone(), progress.sink());
     // The shard index: `corr` is the shard's buffer-residency domain,
-    // assigned as worker + 1 by the round-robin deal above.
+    // assigned as worker + 1 by the static deal above.
     let worker = (corr - 1) as usize;
     shard.lane1.set_corr(corr);
     shard.lane2.set_corr(corr);
-    for unit in units {
-        match *unit {
+    for &(ordinal, unit) in units {
+        match unit {
             WorkUnit::Emit(a, b) => {
+                // Emissions carry no I/O; they always execute.
                 shard.pair_count += 1;
                 if config.collect_pairs {
                     shard.pairs.push((a, b));
                 }
+                gov.note_unit_done(ordinal);
             }
             WorkUnit::Pair(c1, c2) => {
                 let (id1, id2) = (c1.node(), c2.node());
+                // Work-unit boundary: the governor's cancellation
+                // point. A refusal forfeits the whole subtree pair,
+                // priced like a fault forfeit.
+                if !gov.admit_unit(ordinal) {
+                    shard.skips.push(RawSkip {
+                        tree: 1,
+                        n1: id1,
+                        n2: id2,
+                    });
+                    shard.progress.forfeit(r1.node(id1).level);
+                    gov.note_forfeit(ordinal);
+                    continue;
+                }
                 // The same probe the sequential executor makes before
                 // charging this pair (roots are exempt inside `probe`).
                 if shard.faults.is_enabled() && !shard.probe(id1, id2) {
@@ -871,6 +947,7 @@ fn run_shard<const N: usize>(
                     shard.access2(id2);
                 }
                 shard.visit(id1, id2);
+                gov.note_unit_done(ordinal);
             }
         }
         if progress.is_enabled() {

@@ -19,7 +19,9 @@
 //! The simulated I/O cost of PBSM is the classic two-pass accounting:
 //! both inputs are written into partitions once and read back once.
 
+use crate::degraded::JoinError;
 use crate::executor::MatchKernel;
+use crate::governor::Governor;
 use sjcm_geom::{unit_grid_cell, Rect, RectBatch};
 use sjcm_obs::progress::ProgressTracker;
 use sjcm_rtree::ObjectId;
@@ -35,6 +37,27 @@ pub struct PbsmResult {
     /// Average number of partitions each object was replicated into —
     /// PBSM's overhead knob (grows with object size relative to cells).
     pub replication_factor: f64,
+}
+
+/// Result of a governed PBSM join: the (possibly partial) result plus
+/// the forfeited-cell inventory. PBSM has no R-tree priors, so unlike
+/// [`crate::DegradedJoinResult`] the forfeited work is counted in
+/// cells and entries, not priced in Eq-6 NA.
+#[derive(Debug, Clone)]
+pub struct DegradedPbsmResult {
+    /// What the sweeps that ran produced.
+    pub result: PbsmResult,
+    /// Active cells the governor refused (deadline or cancellation).
+    pub forfeited_cells: u64,
+    /// Partition entries those forfeited cells held (both sides).
+    pub forfeited_entries: u64,
+}
+
+impl DegradedPbsmResult {
+    /// `true` when nothing was forfeited — `result` is exact.
+    pub fn is_exact(&self) -> bool {
+        self.forfeited_cells == 0
+    }
 }
 
 /// Runs a PBSM join over two object lists with a `grid × grid × …`
@@ -92,9 +115,55 @@ pub fn pbsm_join_observed<const N: usize>(
     kernel: MatchKernel,
     progress: &ProgressTracker,
 ) -> PbsmResult {
+    try_pbsm_join(
+        left,
+        right,
+        grid,
+        page_capacity,
+        kernel,
+        progress,
+        &Governor::unlimited(),
+    )
+    .expect("ungoverned PBSM cannot fail")
+    .result
+}
+
+/// Fallible, governed twin of [`pbsm_join_observed`]. The governor's
+/// memory budget meters the partition replica arena (a denied
+/// reservation is a typed [`JoinError::BudgetExceeded`] *before* the
+/// arena is built); its deadline / cancellation point gates each active
+/// cell's sweep at the cell boundary — refused cells are tallied on
+/// [`DegradedPbsmResult`], never silently dropped. With an unlimited
+/// governor this is exactly [`pbsm_join_observed`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_pbsm_join<const N: usize>(
+    left: &[(Rect<N>, ObjectId)],
+    right: &[(Rect<N>, ObjectId)],
+    grid: usize,
+    page_capacity: usize,
+    kernel: MatchKernel,
+    progress: &ProgressTracker,
+    gov: &Governor,
+) -> Result<DegradedPbsmResult, JoinError> {
     assert!(grid >= 1, "need at least one partition per dimension");
     assert!(page_capacity >= 1, "page capacity must be positive");
+    gov.start_clock();
     let cells = grid.pow(N as u32);
+    // Memory budget: the replica arena is the dominant allocation, and
+    // its size is known before building it — count replicas in a dry
+    // pass and reserve the bytes up front. Only paid when a budget is
+    // actually armed.
+    let entry_bytes = std::mem::size_of::<(Rect<N>, ObjectId)>() as u64;
+    let mut reserved = 0u64;
+    if gov.has_mem_budget() {
+        let dry: usize = left
+            .iter()
+            .chain(right)
+            .map(|(r, _)| overlapped_cells(r, grid).len())
+            .sum();
+        reserved = dry as u64 * entry_bytes;
+        gov.reserve(reserved)?;
+    }
     let mut parts_left: Vec<Vec<(Rect<N>, ObjectId)>> = vec![Vec::new(); cells];
     let mut parts_right: Vec<Vec<(Rect<N>, ObjectId)>> = vec![Vec::new(); cells];
     let mut replicas = 0usize;
@@ -127,24 +196,35 @@ pub fn pbsm_join_observed<const N: usize>(
         replicas as f64 / total_objects as f64
     };
 
-    // Progress ledger: one unit per active cell, priced by its entry
-    // count (the sweep is linear in candidates, so a cell's cost share
-    // approximates its share of the remaining work).
+    // Unit ledger: one unit per active cell, priced by its entry count
+    // (the sweep is linear in candidates, so a cell's cost share
+    // approximates its share of the remaining work). Shared between the
+    // progress tracker and the governor — PBSM has no R-tree priors, so
+    // cells get uniform value (no pairs-per-NA shed ranking).
+    let active: Vec<usize> = (0..cells)
+        .filter(|&c| !parts_left[c].is_empty() && !parts_right[c].is_empty())
+        .collect();
+    let cell_price = |c: usize| (parts_left[c].len() + parts_right[c].len()) as u64;
     if progress.is_enabled() {
-        let (mut units, mut cost) = (0u64, 0u64);
-        for cell in 0..cells {
-            if !parts_left[cell].is_empty() && !parts_right[cell].is_empty() {
-                units += 1;
-                cost += (parts_left[cell].len() + parts_right[cell].len()) as u64;
-            }
-        }
-        progress.set_schedule(&[(units, cost)]);
+        let cost: u64 = active.iter().map(|&c| cell_price(c)).sum();
+        progress.set_schedule(&[(active.len() as u64, cost)]);
+    }
+    if gov.is_enabled() {
+        let prices: Vec<u64> = active.iter().map(|&c| cell_price(c)).collect();
+        let values = vec![1.0; prices.len()];
+        gov.arm_units(prices, values);
     }
 
     let mut pairs = Vec::new();
     let mut scratch = SweepScratch::default();
-    for cell in 0..cells {
-        if parts_left[cell].is_empty() || parts_right[cell].is_empty() {
+    let mut forfeited_cells = 0u64;
+    let mut forfeited_entries = 0u64;
+    for (ordinal, &cell) in active.iter().enumerate() {
+        // Work-unit boundary: the governor's cancellation point.
+        if !gov.admit_unit(ordinal) {
+            forfeited_cells += 1;
+            forfeited_entries += cell_price(cell);
+            gov.note_forfeit(ordinal);
             continue;
         }
         let before = pairs.len();
@@ -157,8 +237,9 @@ pub fn pbsm_join_observed<const N: usize>(
             &mut scratch,
             &mut pairs,
         );
+        gov.note_unit_done(ordinal);
         if progress.is_enabled() {
-            progress.unit_done(0, (parts_left[cell].len() + parts_right[cell].len()) as u64);
+            progress.unit_done(0, cell_price(cell));
             progress.add_pairs((pairs.len() - before) as u64);
         }
     }
@@ -169,11 +250,17 @@ pub fn pbsm_join_observed<const N: usize>(
     let replica_entries: usize = parts_left.iter().chain(&parts_right).map(Vec::len).sum();
     let io_pages = 2 * pages(replica_entries);
 
-    PbsmResult {
-        pairs,
-        io_pages,
-        replication_factor,
-    }
+    gov.release(reserved);
+    gov.finish();
+    Ok(DegradedPbsmResult {
+        result: PbsmResult {
+            pairs,
+            io_pages,
+            replication_factor,
+        },
+        forfeited_cells,
+        forfeited_entries,
+    })
 }
 
 /// Row-major indices of all cells a rectangle overlaps (closed

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use sjcm_join::{
     parallel_spatial_join_with, spatial_join_with, try_parallel_spatial_join_with,
-    try_spatial_join_with, DegradedJoinResult, JoinConfig, ScheduleMode,
+    try_spatial_join_with, DegradedJoinResult, Governor, GovernorConfig, JoinConfig, ScheduleMode,
 };
 use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig};
 use sjcm_storage::{FaultInjector, FaultPlan, RetryPolicy};
@@ -44,6 +44,7 @@ fn run_all(
         t2,
         config,
         &FaultInjector::enabled(plan, RetryPolicy::default()),
+        &Governor::unlimited(),
     )
     .expect("sequential twin cannot fail");
     let cg = try_parallel_spatial_join_with(
@@ -53,6 +54,7 @@ fn run_all(
         4,
         ScheduleMode::CostGuided,
         &FaultInjector::enabled(plan, RetryPolicy::default()),
+        &Governor::unlimited(),
     )
     .expect("no worker may die");
     let rr = try_parallel_spatial_join_with(
@@ -62,6 +64,7 @@ fn run_all(
         3,
         ScheduleMode::RoundRobin,
         &FaultInjector::enabled(plan, RetryPolicy::default()),
+        &Governor::unlimited(),
     )
     .expect("no worker may die");
     [seq, cg, rr]
@@ -74,8 +77,14 @@ fn disabled_injector_matches_infallible_twins_exactly() {
     let config = JoinConfig::default();
 
     let seq = spatial_join_with(&t1, &t2, config);
-    let try_seq = try_spatial_join_with(&t1, &t2, config, &FaultInjector::disabled())
-        .expect("cannot fail without injection");
+    let try_seq = try_spatial_join_with(
+        &t1,
+        &t2,
+        config,
+        &FaultInjector::disabled(),
+        &Governor::unlimited(),
+    )
+    .expect("cannot fail without injection");
     assert!(try_seq.is_exact());
     assert_eq!(try_seq.faults.injected(), 0);
     assert_eq!(try_seq.result.pairs, seq.pairs, "same emission order too");
@@ -85,9 +94,16 @@ fn disabled_injector_matches_infallible_twins_exactly() {
 
     for mode in [ScheduleMode::CostGuided, ScheduleMode::RoundRobin] {
         let plain = parallel_spatial_join_with(&t1, &t2, config, 3, mode);
-        let twin =
-            try_parallel_spatial_join_with(&t1, &t2, config, 3, mode, &FaultInjector::disabled())
-                .expect("cannot fail without injection");
+        let twin = try_parallel_spatial_join_with(
+            &t1,
+            &t2,
+            config,
+            3,
+            mode,
+            &FaultInjector::disabled(),
+            &Governor::unlimited(),
+        )
+        .expect("cannot fail without injection");
         assert!(twin.is_exact());
         assert_eq!(twin.result.pairs, plain.pairs, "{mode:?}");
         assert_eq!(twin.result.na_total(), plain.na_total(), "{mode:?}");
@@ -242,6 +258,7 @@ proptest! {
         );
         let live = sjcm_join::try_parallel_spatial_join_observed(
             &t1, &t2, config, threads, ScheduleMode::CostGuided, &obs, &faults,
+            &Governor::unlimited(),
         ).expect("no worker may die");
         prop_assert!(live.is_exact());
         prop_assert_eq!(live.faults.recovery_rate().unwrap_or(1.0), 1.0);
@@ -252,5 +269,39 @@ proptest! {
         let out = sjcm_storage::replay(&trace.events, sjcm_storage::RecordedPolicy::Path);
         prop_assert_eq!(out.kind_mismatches, 0);
         prop_assert_eq!(out.da_total(), live.result.da_total());
+    }
+
+    // Governor satellite: cancellation determinism. A run cancelled at
+    // unit k forfeits the same subtree inventory — and retains the same
+    // pair set — on the sequential executor and on both parallel
+    // schedulers at any thread count, because governed runs gate by
+    // global unit ordinal, not by whichever thread got there first.
+    #[test]
+    fn cancellation_at_unit_k_is_scheduler_and_thread_invariant(
+        seed in 0u64..200,
+        k in 0u64..12,
+        threads in 2usize..5,
+    ) {
+        let t1 = build_uniform(1500, 0.5, seed.wrapping_mul(2).wrapping_add(11));
+        let t2 = build_uniform(1500, 0.5, seed.wrapping_mul(2).wrapping_add(12));
+        let config = JoinConfig::default();
+        let cancel_at = |k| GovernorConfig::default().with_cancel_after_units(k);
+        let baseline = try_spatial_join_with(
+            &t1, &t2, config,
+            &FaultInjector::disabled(),
+            &Governor::new(cancel_at(k)),
+        ).expect("a governed run completes degraded, it does not fail");
+        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+            let gov = Governor::new(cancel_at(k));
+            let d = try_parallel_spatial_join_with(
+                &t1, &t2, config, threads, mode, &FaultInjector::disabled(), &gov,
+            ).expect("a governed run completes degraded, it does not fail");
+            prop_assert_eq!(
+                &d.skips, &baseline.skips,
+                "inventory diverged: {} threads {:?}", threads, mode
+            );
+            prop_assert_eq!(sorted_pairs(&d.result), sorted_pairs(&baseline.result));
+            prop_assert_eq!(d.result.pair_count, baseline.result.pair_count);
+        }
     }
 }

@@ -286,6 +286,7 @@ fn zero_threads_is_a_typed_error_on_the_fallible_path() {
             0,
             mode,
             &FaultInjector::disabled(),
+            &sjcm_join::Governor::unlimited(),
         )
         .expect_err("threads = 0 must not silently run");
         assert_eq!(err, JoinError::InvalidThreads, "{mode:?}");

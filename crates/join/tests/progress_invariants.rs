@@ -177,6 +177,7 @@ proptest! {
                     FaultPlan::none(seed).with_loss_at_level(loss, 0),
                     RetryPolicy::default(),
                 ),
+                &sjcm_join::Governor::unlimited(),
             )
             .expect("no worker may die")
         });

@@ -32,6 +32,10 @@
 //!   observed branching ratios, with monotone fractions, a windowed
 //!   work-rate ETA inside the §4.1 ±15% band, and an on-demand
 //!   full-run-state snapshot ([`progress::RunState`]).
+//! * [`governor`] — the decision log of the query governor: admission,
+//!   deadline arming, load shedding, expiry and memory-budget denials
+//!   as a validated JSONL event stream ([`governor::GovernorLog`])
+//!   plus the `governor.*` metric names.
 //!
 //! The crate is std-only and dependency-free on purpose: every other
 //! crate in the workspace can afford to link it, and the execution
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod drift;
+pub mod governor;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
@@ -49,6 +54,9 @@ pub mod progress;
 pub mod span;
 
 pub use drift::{DriftMonitor, DriftSample, DA_TOTAL, NA_TOTAL, PAPER_ENVELOPE};
+pub use governor::{
+    validate_governor_jsonl, GovernorEvent, GovernorLog, GOVERNOR_EVENTS_FILE, GOVERNOR_SCHEMA,
+};
 pub use metrics::{Histogram, MetricKind, MetricsRegistry};
 pub use perfetto::{
     chrome_trace_json, validate_chrome_trace, write_chrome_trace, DRIFT_BREACH_SPAN, PROGRESS_SPAN,

@@ -278,6 +278,60 @@ mod tests {
         ));
     }
 
+    /// Corruption matrix for [`Catalog::load`]: every way a catalog
+    /// file can rot on disk must surface as a typed [`CatalogError`],
+    /// never a panic and never a silently-empty catalog.
+    #[test]
+    fn load_survives_on_disk_corruption() {
+        let dir = std::env::temp_dir().join(format!("sjcm_catalog_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, bytes: &[u8]| {
+            let p = dir.join(name);
+            std::fs::write(&p, bytes).unwrap();
+            p
+        };
+
+        // A valid document chopped mid-token (simulates a crash during
+        // `save`): the brace/string machinery is left dangling.
+        let mut c = Catalog::<2>::new();
+        c.register("roads", DatasetStats::new(36_000, 0.3));
+        let full = c.to_json();
+        let truncated = write("truncated.json", &full.as_bytes()[..full.len() / 2]);
+        assert!(matches!(
+            Catalog::<2>::load(&truncated).unwrap_err(),
+            CatalogError::Parse(_)
+        ));
+
+        // `NaN` is not a JSON literal; a hand-edited file using it must
+        // be rejected at parse, not round `NaN as u64` into 0.
+        let nan = write(
+            "nan.json",
+            b"{\"dims\":2,\"datasets\":{\"x\":{\"cardinality\":NaN,\"density\":0.1,\"indexed\":true}}}",
+        );
+        assert!(matches!(
+            Catalog::<2>::load(&nan).unwrap_err(),
+            CatalogError::Parse(_)
+        ));
+
+        // Arbitrary non-UTF-8 bytes (wrong file, disk corruption).
+        let garbage = write("garbage.json", &[0x80, 0xFF, 0x00, 0x13, 0x37, 0xC0]);
+        assert!(matches!(
+            Catalog::<2>::load(&garbage).unwrap_err(),
+            CatalogError::Io(_)
+        ));
+
+        // An empty file is not an empty catalog — loading it must fail
+        // loudly so a truncated-to-zero save is never mistaken for "no
+        // datasets registered".
+        let empty = write("empty.json", b"");
+        assert!(matches!(
+            Catalog::<2>::load(&empty).unwrap_err(),
+            CatalogError::Parse(_)
+        ));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn from_json_rejects_malformed_entries() {
         assert!(matches!(

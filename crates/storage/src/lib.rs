@@ -33,6 +33,10 @@
 //!   with bounded retry + quarantine, [`fault::FaultInjector`] as the
 //!   join executor's access oracle), tallied in
 //!   [`fault::FaultCounters`].
+//! * [`mem`] — shared byte-budget accounting ([`mem::MemoryMeter`]) for
+//!   the query governor: executor arenas (PBSM partitions, parallel
+//!   deques) reserve against a per-query budget before allocating, so
+//!   over-budget queries fail typed instead of aborting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +46,7 @@ pub mod counters;
 pub mod fault;
 pub mod file_store;
 pub mod layout;
+pub mod mem;
 pub mod page;
 pub mod recorder;
 pub mod replay;
@@ -54,6 +59,7 @@ pub use fault::{
 };
 pub use file_store::FilePageStore;
 pub use layout::{max_entries, DiskEntry, DiskNode};
+pub use mem::{MemoryBudgetExceeded, MemoryMeter};
 pub use page::{fnv1a, InMemoryPageStore, PageId, PageStore, StorageError, DEFAULT_PAGE_SIZE};
 pub use recorder::{AccessTrace, FlightRecorder, PageAccessEvent, RecordedPolicy, RecorderLane};
 pub use replay::{replay, ReplayOutcome, StackDistance};

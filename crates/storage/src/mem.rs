@@ -1,0 +1,201 @@
+//! Memory-budget accounting for the query governor.
+//!
+//! The paper prices a join's I/O before it runs; treating *memory* as a
+//! first-class budget alongside I/O (after the space–time tradeoff
+//! literature) needs the same discipline: every transient arena an
+//! executor allocates — PBSM partition replicas, the parallel
+//! scheduler's deque arena — is charged against a [`MemoryMeter`]
+//! *before* the allocation happens, so an over-budget query fails with
+//! a typed error instead of aborting the process.
+//!
+//! The meter follows the [`crate::FaultInjector`] pattern: a disabled
+//! meter is one `Option` discriminant check, so the unmetered path pays
+//! nothing, and clones share the same counters (one budget per query,
+//! however many executors it fans out to).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A reservation was denied because it would exceed the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudgetExceeded {
+    /// Bytes the denied reservation asked for.
+    pub requested: u64,
+    /// Bytes already reserved when the request was denied.
+    pub used: u64,
+    /// The configured budget.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for MemoryBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory budget exceeded: requested {} bytes with {} of {} already reserved",
+            self.requested, self.used, self.limit
+        )
+    }
+}
+
+impl std::error::Error for MemoryBudgetExceeded {}
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    limit: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// Shared byte-budget meter. `unlimited()` never denies and costs one
+/// `Option` check per call; `with_limit(bytes)` admits reservations
+/// only while the running total stays at or under the limit.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryMeter {
+    inner: Option<Arc<MeterInner>>,
+}
+
+impl MemoryMeter {
+    /// A meter that admits everything (the disabled fast path).
+    pub fn unlimited() -> Self {
+        Self { inner: None }
+    }
+
+    /// A meter with a hard byte budget.
+    pub fn with_limit(bytes: u64) -> Self {
+        Self {
+            inner: Some(Arc::new(MeterInner {
+                limit: bytes,
+                used: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// `true` when a budget is armed.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Reserves `bytes` against the budget, or reports why it cannot.
+    /// An unlimited meter always succeeds (and tracks nothing).
+    pub fn try_reserve(&self, bytes: u64) -> Result<(), MemoryBudgetExceeded> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let mut used = inner.used.load(Ordering::Relaxed);
+        loop {
+            let new = used.saturating_add(bytes);
+            if new > inner.limit {
+                return Err(MemoryBudgetExceeded {
+                    requested: bytes,
+                    used,
+                    limit: inner.limit,
+                });
+            }
+            match inner
+                .used
+                .compare_exchange(used, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    inner.peak.fetch_max(new, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => used = actual,
+            }
+        }
+    }
+
+    /// Releases a previous reservation (saturating — releasing more
+    /// than was reserved clamps to zero rather than wrapping).
+    pub fn release(&self, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            let mut used = inner.used.load(Ordering::Relaxed);
+            loop {
+                let new = used.saturating_sub(bytes);
+                match inner
+                    .used
+                    .compare_exchange(used, new, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => return,
+                    Err(actual) => used = actual,
+                }
+            }
+        }
+    }
+
+    /// Bytes currently reserved (0 for an unlimited meter).
+    pub fn used(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.used.load(Ordering::Relaxed))
+    }
+
+    /// High-water mark of reserved bytes (0 for an unlimited meter).
+    pub fn peak(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.peak.load(Ordering::Relaxed))
+    }
+
+    /// The configured budget, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_admits_everything_and_tracks_nothing() {
+        let m = MemoryMeter::unlimited();
+        assert!(!m.is_enabled());
+        assert!(m.try_reserve(u64::MAX).is_ok());
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.peak(), 0);
+        assert_eq!(m.limit(), None);
+    }
+
+    #[test]
+    fn limited_meter_admits_until_the_budget_then_denies() {
+        let m = MemoryMeter::with_limit(100);
+        assert!(m.is_enabled());
+        assert!(m.try_reserve(60).is_ok());
+        assert!(m.try_reserve(40).is_ok());
+        let err = m.try_reserve(1).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryBudgetExceeded {
+                requested: 1,
+                used: 100,
+                limit: 100
+            }
+        );
+        assert_eq!(m.used(), 100);
+        assert_eq!(m.peak(), 100);
+        m.release(50);
+        assert_eq!(m.used(), 50);
+        assert!(m.try_reserve(50).is_ok());
+        // Peak is the high-water mark, not the current level.
+        assert_eq!(m.peak(), 100);
+    }
+
+    #[test]
+    fn clones_share_one_budget() {
+        let m = MemoryMeter::with_limit(10);
+        let c = m.clone();
+        assert!(c.try_reserve(8).is_ok());
+        assert!(m.try_reserve(4).is_err());
+        c.release(8);
+        assert!(m.try_reserve(4).is_ok());
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let m = MemoryMeter::with_limit(10);
+        m.release(5);
+        assert_eq!(m.used(), 0);
+        assert!(m.try_reserve(10).is_ok());
+    }
+}

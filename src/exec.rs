@@ -29,7 +29,10 @@
 //! reproduction does not model.
 
 use crate::join::baselines::index_nested_loop_join;
-use crate::join::{parallel_spatial_join_observed, JoinObs, ScheduleMode};
+use crate::join::{
+    parallel_spatial_join_observed, try_parallel_spatial_join_observed, Governor, JoinObs,
+    ScheduleMode,
+};
 use crate::optimizer::{JoinAlgorithm, PhysicalPlan, PlanNode};
 use crate::prelude::*;
 use sjcm_geom::Rect;
@@ -53,6 +56,9 @@ pub enum ExecError {
     UnboundDataset(String),
     /// The plan shape exceeds what the executor models.
     UnsupportedShape(String),
+    /// The query governor stopped the run (admission rejection or a
+    /// memory-budget denial); the payload is the governor's message.
+    Governed(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -60,6 +66,7 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::UnboundDataset(d) => write!(f, "dataset {d} not bound"),
             ExecError::UnsupportedShape(s) => write!(f, "unsupported plan shape: {s}"),
+            ExecError::Governed(msg) => write!(f, "query governed: {msg}"),
         }
     }
 }
@@ -122,16 +129,19 @@ struct SjSide {
 pub struct PlanExecutor<'a, const N: usize> {
     bindings: HashMap<String, BoundDataset<'a, N>>,
     threads: usize,
+    governor: Governor,
 }
 
 impl<'a, const N: usize> PlanExecutor<'a, N> {
     /// Creates an executor with no bindings, running joins on one
     /// worker (the sequential fallback of the parallel entry point —
-    /// counters are identical to the sequential executor).
+    /// counters are identical to the sequential executor) under an
+    /// unlimited governor.
     pub fn new() -> Self {
         Self {
             bindings: HashMap::new(),
             threads: 1,
+            governor: Governor::unlimited(),
         }
     }
 
@@ -146,6 +156,18 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
     /// totals are thread-count-invariant by construction.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Governs the SJ operators of every subsequent run: admission
+    /// control, cooperative deadlines and memory budgets apply to the
+    /// join traversals (index probes and NL fallbacks stay ungoverned —
+    /// their cost is bounded by construction). A governor holds one
+    /// query's decision log, so hand a fresh one to each run whose
+    /// events you want to stream. The default is [`Governor::unlimited`]
+    /// — byte-identical to the ungoverned executor.
+    pub fn with_governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
         self
     }
 
@@ -400,18 +422,38 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
                 // production observed entry point; pushed selections
                 // then drop pairs outside their windows (a residual
                 // in-memory filter — no extra I/O beyond the probes
-                // already counted on the children).
-                let result = parallel_spatial_join_observed(
-                    db.tree,
-                    qb.tree,
-                    JoinConfig {
-                        buffer: BufferPolicy::Path,
-                        ..JoinConfig::default()
-                    },
-                    self.threads,
-                    ScheduleMode::default(),
-                    &JoinObs::default(),
-                );
+                // already counted on the children). With a governor
+                // armed, the run goes through the fallible twin: an
+                // admission rejection or memory-budget denial becomes
+                // `ExecError::Governed`, a deadline expiry a degraded
+                // (partial, priced) result.
+                let join_config = JoinConfig {
+                    buffer: BufferPolicy::Path,
+                    ..JoinConfig::default()
+                };
+                let result = if self.governor.is_enabled() {
+                    try_parallel_spatial_join_observed(
+                        db.tree,
+                        qb.tree,
+                        join_config,
+                        self.threads,
+                        ScheduleMode::default(),
+                        &JoinObs::default(),
+                        &sjcm_storage::FaultInjector::disabled(),
+                        &self.governor,
+                    )
+                    .map_err(|e| ExecError::Governed(e.to_string()))?
+                    .result
+                } else {
+                    parallel_spatial_join_observed(
+                        db.tree,
+                        qb.tree,
+                        join_config,
+                        self.threads,
+                        ScheduleMode::default(),
+                        &JoinObs::default(),
+                    )
+                };
                 let keep = |sel: &Option<SjSide>, id: ObjectId| match sel {
                     Some(side) => side.selected.contains(&id),
                     None => true,
