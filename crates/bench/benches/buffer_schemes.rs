@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sjcm_bench::uniform_tree;
-use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig};
+use sjcm_join::{BufferPolicy, JoinConfig, JoinSession};
 use sjcm_storage::{BufferManager, LruBuffer, NoBuffer, PageId, PathBuffer};
 use std::hint::black_box;
 
@@ -21,15 +21,17 @@ fn bench_join_under_buffers(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
             b.iter(|| {
-                black_box(spatial_join_with(
-                    &t1,
-                    &t2,
-                    JoinConfig {
-                        buffer: policy,
-                        collect_pairs: false,
-                        ..JoinConfig::default()
-                    },
-                ))
+                black_box(
+                    JoinSession::new(&t1, &t2)
+                        .config(JoinConfig {
+                            buffer: policy,
+                            collect_pairs: false,
+                            ..JoinConfig::default()
+                        })
+                        .run()
+                        .expect("ungoverned join cannot fail")
+                        .result,
+                )
             })
         });
     }

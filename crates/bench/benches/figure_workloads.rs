@@ -7,7 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sjcm_bench::uniform_tree;
 use sjcm_core::{join, DataProfile, ModelConfig, TreeParams};
-use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig};
+use sjcm_join::{BufferPolicy, JoinConfig, JoinResultSet, JoinSession};
+use sjcm_rtree::RTree;
 use std::hint::black_box;
 
 fn join_config() -> JoinConfig {
@@ -16,6 +17,14 @@ fn join_config() -> JoinConfig {
         collect_pairs: false,
         ..JoinConfig::default()
     }
+}
+
+fn session_join(t1: &RTree<2>, t2: &RTree<2>) -> JoinResultSet {
+    JoinSession::new(t1, t2)
+        .config(join_config())
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
 }
 
 /// Figure 5 rows (reduced): one small and one asymmetric combo per
@@ -30,7 +39,7 @@ fn bench_figure5_rows(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{n1}x{n2}")),
             &(n1, n2),
-            |b, _| b.iter(|| black_box(spatial_join_with(&t1, &t2, join_config()))),
+            |b, _| b.iter(|| black_box(session_join(&t1, &t2))),
         );
     }
     group.finish();
@@ -88,7 +97,7 @@ fn bench_nonuniform_row(c: &mut Criterion) {
     let t1 = build(&rects1);
     let t2 = build(&rects2);
     group.bench_function("clustered_6k_x_6k", |b| {
-        b.iter(|| black_box(spatial_join_with(&t1, &t2, join_config())))
+        b.iter(|| black_box(session_join(&t1, &t2)))
     });
     group.finish();
 }

@@ -5,14 +5,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sjcm_bench::{uniform_items, uniform_tree};
 use sjcm_join::baselines::{index_nested_loop_join, nested_loop_join};
-use sjcm_join::parallel::{
-    parallel_spatial_join_observed, parallel_spatial_join_with, JoinObs, ScheduleMode,
-};
 use sjcm_join::{
-    spatial_join_with, try_parallel_spatial_join_with, BufferPolicy, Governor, JoinConfig,
-    MatchOrder,
+    BufferPolicy, Governor, JoinConfig, JoinObs, JoinResultSet, JoinSession, MatchOrder, Scheduler,
 };
 use sjcm_obs::{DriftMonitor, ProgressTracker, Tracer};
+use sjcm_rtree::RTree;
 use sjcm_storage::{FaultInjector, FlightRecorder};
 use std::hint::black_box;
 use std::time::Instant;
@@ -25,6 +22,17 @@ fn config() -> JoinConfig {
     }
 }
 
+/// The session front door with everything defaulted — the shape every
+/// ungoverned bench arm uses.
+fn session_join(t1: &RTree<2>, t2: &RTree<2>, cfg: JoinConfig, sched: Scheduler) -> JoinResultSet {
+    JoinSession::new(t1, t2)
+        .config(cfg)
+        .scheduler(sched)
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
+}
+
 fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_algorithms");
     group.sample_size(10);
@@ -33,7 +41,7 @@ fn bench_algorithms(c: &mut Criterion) {
         let t2 = uniform_tree(n, 0.4, 101);
         let probes = uniform_items(n, 0.4, 101);
         group.bench_with_input(BenchmarkId::new("sj_synchronized", n), &n, |b, _| {
-            b.iter(|| black_box(spatial_join_with(&t1, &t2, config())))
+            b.iter(|| black_box(session_join(&t1, &t2, config(), Scheduler::Sequential)))
         });
         group.bench_with_input(BenchmarkId::new("index_nested_loop", n), &n, |b, _| {
             b.iter(|| black_box(index_nested_loop_join(&t1, &probes)))
@@ -56,25 +64,27 @@ fn bench_match_order(c: &mut Criterion) {
     let t2 = uniform_tree(n, 0.6, 103);
     group.bench_function("nested_loop_order", |b| {
         b.iter(|| {
-            black_box(spatial_join_with(
+            black_box(session_join(
                 &t1,
                 &t2,
                 JoinConfig {
                     order: MatchOrder::NestedLoop,
                     ..config()
                 },
+                Scheduler::Sequential,
             ))
         })
     });
     group.bench_function("plane_sweep_order", |b| {
         b.iter(|| {
-            black_box(spatial_join_with(
+            black_box(session_join(
                 &t1,
                 &t2,
                 JoinConfig {
                     order: MatchOrder::PlaneSweep,
                     ..config()
                 },
+                Scheduler::Sequential,
             ))
         })
     });
@@ -87,22 +97,13 @@ fn bench_parallel(c: &mut Criterion) {
     let n = 12_000;
     let t1 = uniform_tree(n, 0.5, 104);
     let t2 = uniform_tree(n, 0.5, 105);
+    type SchedulerFor = fn(usize) -> Scheduler;
+    let rr: SchedulerFor = |threads| Scheduler::RoundRobin { threads };
+    let cg: SchedulerFor = |threads| Scheduler::CostGuided { threads };
     for threads in [1usize, 2, 4, 8] {
-        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
-            let label = match mode {
-                ScheduleMode::RoundRobin => "round_robin",
-                ScheduleMode::CostGuided => "cost_guided",
-            };
+        for (label, sched_for) in [("round_robin", rr), ("cost_guided", cg)] {
             group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
-                b.iter(|| {
-                    black_box(parallel_spatial_join_with(
-                        &t1,
-                        &t2,
-                        config(),
-                        threads,
-                        mode,
-                    ))
-                })
+                b.iter(|| black_box(session_join(&t1, &t2, config(), sched_for(threads))))
             });
         }
     }
@@ -119,11 +120,7 @@ fn bench_parallel(c: &mut Criterion) {
         &[2, 4, 8]
     };
     for &threads in thread_counts {
-        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
-            let label = match mode {
-                ScheduleMode::RoundRobin => "round_robin",
-                ScheduleMode::CostGuided => "cost_guided",
-            };
+        for (label, sched_for) in [("round_robin", rr), ("cost_guided", cg)] {
             let tracer = Tracer::enabled();
             let obs = JoinObs {
                 tracer: tracer.clone(),
@@ -131,7 +128,13 @@ fn bench_parallel(c: &mut Criterion) {
                 recorder: FlightRecorder::disabled(),
                 progress: ProgressTracker::disabled(),
             };
-            let result = parallel_spatial_join_observed(&t1, &t2, config(), threads, mode, &obs);
+            let result = JoinSession::new(&t1, &t2)
+                .config(config())
+                .scheduler(sched_for(threads))
+                .observe(&obs)
+                .run()
+                .expect("ungoverned join cannot fail")
+                .result;
             let worker_na: Vec<String> = result.workers.iter().map(|w| w.na.to_string()).collect();
             let span_totals: Vec<String> = tracer
                 .totals_by_name()
@@ -177,15 +180,23 @@ fn bench_obs_overhead(c: &mut Criterion) {
     let threads = 4;
     // Prime caches and learn the exact totals so the enabled runs can
     // exercise the drift monitor with realistic registered predictions.
-    let warm = parallel_spatial_join_with(&t1, &t2, config(), threads, ScheduleMode::CostGuided);
+    let warm = session_join(&t1, &t2, config(), Scheduler::CostGuided { threads });
+    let observed = |obs: &JoinObs<'_>| {
+        JoinSession::new(&t1, &t2)
+            .config(config())
+            .scheduler(Scheduler::CostGuided { threads })
+            .observe(obs)
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result
+    };
     let run_disabled = || {
         let start = Instant::now();
-        let r = black_box(parallel_spatial_join_with(
+        let r = black_box(session_join(
             &t1,
             &t2,
             config(),
-            threads,
-            ScheduleMode::CostGuided,
+            Scheduler::CostGuided { threads },
         ));
         assert_eq!(r.na_total(), warm.na_total());
         start.elapsed()
@@ -203,14 +214,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
             progress: ProgressTracker::disabled(),
         };
         let start = Instant::now();
-        let r = black_box(parallel_spatial_join_observed(
-            &t1,
-            &t2,
-            config(),
-            threads,
-            ScheduleMode::CostGuided,
-            &obs,
-        ));
+        let r = black_box(observed(&obs));
         let elapsed = start.elapsed();
         assert_eq!(r.na_total(), warm.na_total());
         elapsed
@@ -227,14 +231,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
             progress: ProgressTracker::disabled(),
         };
         let start = Instant::now();
-        let r = black_box(parallel_spatial_join_observed(
-            &t1,
-            &t2,
-            config(),
-            threads,
-            ScheduleMode::CostGuided,
-            &obs,
-        ));
+        let r = black_box(observed(&obs));
         let elapsed = start.elapsed();
         assert_eq!(r.na_total(), warm.na_total());
         // The trace must be complete: one event per node access, no
@@ -254,14 +251,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
             progress: tracker.clone(),
         };
         let start = Instant::now();
-        let r = black_box(parallel_spatial_join_observed(
-            &t1,
-            &t2,
-            config(),
-            threads,
-            ScheduleMode::CostGuided,
-            &obs,
-        ));
+        let r = black_box(observed(&obs));
         let elapsed = start.elapsed();
         // Progress must be invisible in the answer and complete in its
         // own counters.
@@ -416,15 +406,14 @@ fn bench_fault_overhead(c: &mut Criterion) {
     let t1 = uniform_tree(n, 0.5, 104);
     let t2 = uniform_tree(n, 0.5, 105);
     let threads = 4;
-    let warm = parallel_spatial_join_with(&t1, &t2, config(), threads, ScheduleMode::CostGuided);
+    let warm = session_join(&t1, &t2, config(), Scheduler::CostGuided { threads });
     let run_infallible = || {
         let start = Instant::now();
-        let r = black_box(parallel_spatial_join_with(
+        let r = black_box(session_join(
             &t1,
             &t2,
             config(),
-            threads,
-            ScheduleMode::CostGuided,
+            Scheduler::CostGuided { threads },
         ));
         assert_eq!(r.na_total(), warm.na_total());
         start.elapsed()
@@ -432,15 +421,13 @@ fn bench_fault_overhead(c: &mut Criterion) {
     let run_fallible = || {
         let faults = FaultInjector::disabled();
         let start = Instant::now();
-        let d = black_box(try_parallel_spatial_join_with(
-            &t1,
-            &t2,
-            config(),
-            threads,
-            ScheduleMode::CostGuided,
-            &faults,
-            &Governor::unlimited(),
-        ))
+        let d = black_box(
+            JoinSession::new(&t1, &t2)
+                .config(config())
+                .scheduler(Scheduler::CostGuided { threads })
+                .faults(&faults)
+                .run(),
+        )
         .expect("a disabled injector cannot fail");
         let elapsed = start.elapsed();
         assert!(d.is_exact());
@@ -480,15 +467,14 @@ fn bench_governor_overhead(c: &mut Criterion) {
     let t1 = uniform_tree(n, 0.5, 106);
     let t2 = uniform_tree(n, 0.5, 107);
     let threads = 4;
-    let warm = parallel_spatial_join_with(&t1, &t2, config(), threads, ScheduleMode::CostGuided);
+    let warm = session_join(&t1, &t2, config(), Scheduler::CostGuided { threads });
     let run_infallible = || {
         let start = Instant::now();
-        let r = black_box(parallel_spatial_join_with(
+        let r = black_box(session_join(
             &t1,
             &t2,
             config(),
-            threads,
-            ScheduleMode::CostGuided,
+            Scheduler::CostGuided { threads },
         ));
         assert_eq!(r.na_total(), warm.na_total());
         start.elapsed()
@@ -496,15 +482,13 @@ fn bench_governor_overhead(c: &mut Criterion) {
     let run_governed = || {
         let gov = Governor::unlimited();
         let start = Instant::now();
-        let d = black_box(try_parallel_spatial_join_with(
-            &t1,
-            &t2,
-            config(),
-            threads,
-            ScheduleMode::CostGuided,
-            &FaultInjector::disabled(),
-            &gov,
-        ))
+        let d = black_box(
+            JoinSession::new(&t1, &t2)
+                .config(config())
+                .scheduler(Scheduler::CostGuided { threads })
+                .govern(&gov)
+                .run(),
+        )
         .expect("an unlimited governor cannot fail");
         let elapsed = start.elapsed();
         assert!(d.is_exact());
@@ -540,6 +524,75 @@ fn bench_governor_overhead(c: &mut Criterion) {
     }
 }
 
+/// The session-dispatch overhead guard: the same fixed-seed cost-guided
+/// join through the deprecated direct entry point
+/// (`parallel_spatial_join_with`) and through the unified
+/// `JoinSession` builder, reported as a BENCH JSON line. The builder
+/// is a compile-time-thin shim — it allocates one `ExecContext` on the
+/// stack and dispatches on the `Scheduler` enum — so the target is
+/// < 1% overhead. The `speedup` field (direct / session, ≈ 1.0) rides
+/// the bench-compare `speedup >= 0.8` gate.
+fn bench_session_overhead(c: &mut Criterion) {
+    let _ = c; // manual timing: one JSON line, not a criterion group
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (n, reps) = if smoke { (4_000, 7) } else { (12_000, 15) };
+    let t1 = uniform_tree(n, 0.5, 108);
+    let t2 = uniform_tree(n, 0.5, 109);
+    let threads = 4;
+    let warm = session_join(&t1, &t2, config(), Scheduler::CostGuided { threads });
+    let run_direct = || {
+        let start = Instant::now();
+        #[allow(deprecated)]
+        let r = black_box(sjcm_join::parallel_spatial_join_with(
+            &t1,
+            &t2,
+            config(),
+            threads,
+            sjcm_join::ScheduleMode::CostGuided,
+        ));
+        assert_eq!(r.na_total(), warm.na_total());
+        start.elapsed()
+    };
+    let run_session = || {
+        let start = Instant::now();
+        let r = black_box(session_join(
+            &t1,
+            &t2,
+            config(),
+            Scheduler::CostGuided { threads },
+        ));
+        let elapsed = start.elapsed();
+        assert_eq!(r.na_total(), warm.na_total());
+        assert_eq!(r.da_total(), warm.da_total());
+        elapsed
+    };
+    let _ = (run_direct(), run_session());
+    let mut direct = std::time::Duration::MAX;
+    let mut session = std::time::Duration::MAX;
+    for _ in 0..reps {
+        direct = direct.min(run_direct());
+        session = session.min(run_session());
+    }
+    let overhead = (session.as_secs_f64() - direct.as_secs_f64()) / direct.as_secs_f64() * 100.0;
+    let speedup = direct.as_secs_f64() / session.as_secs_f64();
+    println!(
+        "{{\"group\":\"join_algorithms\",\"bench\":\"session_overhead/{n}/{threads}\",\
+         \"direct_us\":{},\"session_us\":{},\"overhead_pct\":{:.2},\
+         \"speedup\":{:.4}}}",
+        direct.as_micros(),
+        session.as_micros(),
+        overhead,
+        speedup
+    );
+    if !smoke {
+        assert!(
+            overhead < 1.0,
+            "session-dispatch overhead {overhead:.2}% exceeds the 1% budget \
+             (direct {direct:?}, session {session:?})"
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_algorithms,
@@ -547,6 +600,7 @@ criterion_group!(
     bench_parallel,
     bench_obs_overhead,
     bench_fault_overhead,
-    bench_governor_overhead
+    bench_governor_overhead,
+    bench_session_overhead
 );
 criterion_main!(benches);

@@ -22,8 +22,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sjcm_bench::uniform_items;
 use sjcm_geom::{OverlapMask, Rect, RectBatch};
-use sjcm_join::pbsm::pbsm_join_with;
-use sjcm_join::{matched_entries, JoinConfig, MatchKernel, MatchOrder, MatchScratch};
+use sjcm_join::{matched_entries, JoinConfig, MatchKernel, MatchOrder, MatchScratch, PbsmSession};
 use sjcm_rtree::{BulkLoad, NodeId, ObjectId, RTree, RTreeConfig};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -209,7 +208,11 @@ fn bench_pbsm_sweep(c: &mut Criterion) {
     for &grid in grids {
         let run = |kernel: MatchKernel| {
             let start = Instant::now();
-            let r = pbsm_join_with(&items1, &items2, grid, 50, kernel);
+            let r = PbsmSession::new(&items1, &items2, grid, 50)
+                .kernel(kernel)
+                .run()
+                .expect("ungoverned PBSM cannot fail")
+                .result;
             let elapsed = start.elapsed();
             let pairs = r.pairs.len();
             black_box(r);

@@ -22,12 +22,11 @@
 //! gauges into [`CHAOS_METRICS_FILE`], which `validate-obs` checks with
 //! the same rules as the join command's metrics artifact.
 
-use crate::common::{build_tree, rel_err, DEFAULT_DENSITY};
+use crate::common::{build_tree, rel_err, RunOpts, DEFAULT_DENSITY};
 use crate::report::{int, pct, Report};
 use sjcm_datagen::uniform::{generate as uniform, UniformConfig};
 use sjcm_join::{
-    try_parallel_spatial_join_with, try_spatial_join_with, BufferPolicy, DegradedJoinResult,
-    JoinConfig, JoinResultSet, ScheduleMode,
+    BufferPolicy, DegradedJoinResult, JoinConfig, JoinResultSet, JoinSession, Scheduler,
 };
 use sjcm_obs::{DriftMonitor, MetricsRegistry, PAPER_ENVELOPE};
 use sjcm_rtree::RTree;
@@ -35,7 +34,6 @@ use sjcm_storage::{
     fnv1a, FaultInjector, FaultPlan, RetryPolicy, FAULT_INJECTED, FAULT_QUARANTINED,
     FAULT_RECOVERED, FAULT_RETRIED,
 };
-use std::path::Path;
 
 /// Metrics-JSONL artifact of the chaos campaigns inside `--obs-dir`.
 pub const CHAOS_METRICS_FILE: &str = "chaos_metrics.jsonl";
@@ -77,28 +75,16 @@ impl Strategy {
             Some(p) => FaultInjector::enabled(p, RetryPolicy::default()),
             None => FaultInjector::disabled(),
         };
-        let gov = sjcm_join::Governor::unlimited();
-        match *self {
-            Strategy::Seq => try_spatial_join_with(t1, t2, config, &inj, &gov),
-            Strategy::CostGuided(t) => try_parallel_spatial_join_with(
-                t1,
-                t2,
-                config,
-                t,
-                ScheduleMode::CostGuided,
-                &inj,
-                &gov,
-            ),
-            Strategy::RoundRobin(t) => try_parallel_spatial_join_with(
-                t1,
-                t2,
-                config,
-                t,
-                ScheduleMode::RoundRobin,
-                &inj,
-                &gov,
-            ),
-        }
+        let sched = match *self {
+            Strategy::Seq => Scheduler::Sequential,
+            Strategy::CostGuided(t) => Scheduler::CostGuided { threads: t },
+            Strategy::RoundRobin(t) => Scheduler::RoundRobin { threads: t },
+        };
+        JoinSession::new(t1, t2)
+            .config(config)
+            .scheduler(sched)
+            .faults(&inj)
+            .run()
     }
 }
 
@@ -115,7 +101,9 @@ fn pairs_fingerprint(r: &JoinResultSet) -> u64 {
 }
 
 /// The `chaos` command. Returns `true` only when every gate holds.
-pub fn chaos(out: &Path, scale: f64, threads: usize, seed: u64, obs_dir: Option<&Path>) -> bool {
+pub fn chaos(opts: &RunOpts) -> bool {
+    let (out, scale, threads, seed) = (opts.out.as_path(), opts.scale, opts.threads, opts.seed);
+    let obs_dir = opts.obs_dir();
     let n = (60_000.0 * scale).round().max(600.0) as usize;
     let paper_scale = scale >= 1.0;
     // Below paper scale the forfeit estimator's localized-uniformity

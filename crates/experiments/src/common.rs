@@ -1,10 +1,82 @@
-//! Shared machinery of the experiment harness: tree construction, model
+//! Shared machinery of the experiment harness: the validated run
+//! options every subcommand receives, tree construction, model
 //! evaluation and model-vs-measurement comparison.
 
 use sjcm_core::{join, DataProfile, LevelParams, ModelConfig, TreeParams};
 use sjcm_geom::{density, Rect};
-use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig};
+use sjcm_join::{BufferPolicy, JoinConfig, JoinResultSet, JoinSession};
 use sjcm_rtree::{ObjectId, RTree, RTreeConfig};
+use std::path::{Path, PathBuf};
+
+/// The run options shared by every experiment subcommand — output
+/// directory, workload scale, worker threads, the deterministic seed
+/// and the optional observability artifact directory. `main` parses the
+/// flags once, [`RunOpts::new`] validates them fail-fast (bad values
+/// abort before any index is built), and each command receives the one
+/// bundle instead of re-threading four loose parameters.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// CSV output directory (`--out`, default `results/`).
+    pub out: PathBuf,
+    /// Scale factor on the paper's 20K–80K cardinalities (`--scale`).
+    pub scale: f64,
+    /// Worker threads for the parallel/join/chaos commands
+    /// (`--threads`).
+    pub threads: usize,
+    /// Deterministic seed for the chaos fault plans (`--seed`).
+    pub seed: u64,
+    /// Observability artifact directory (`--obs-dir`); created eagerly
+    /// so a run whose point is its artifacts fails before the work,
+    /// not after it.
+    pub obs_dir: Option<PathBuf>,
+}
+
+impl RunOpts {
+    /// Validates and bundles the shared flags. Fails fast on a
+    /// non-positive or non-finite `--scale`, zero `--threads`, or an
+    /// uncreatable `--obs-dir`.
+    pub fn new(
+        out: PathBuf,
+        scale: f64,
+        threads: usize,
+        seed: u64,
+        obs_dir: Option<PathBuf>,
+    ) -> Result<Self, String> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err("--scale must be a positive number".into());
+        }
+        if threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        if let Some(dir) = &obs_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create --obs-dir {}: {e}", dir.display()))?;
+        }
+        Ok(RunOpts {
+            out,
+            scale,
+            threads,
+            seed,
+            obs_dir,
+        })
+    }
+
+    /// The artifact directory as a borrowed path, if one was given.
+    pub fn obs_dir(&self) -> Option<&Path> {
+        self.obs_dir.as_deref()
+    }
+
+    /// Like [`RunOpts::obs_dir`], but prints the shared "needs
+    /// --obs-dir" diagnostic for commands that cannot run without the
+    /// artifact directory (trace replay/report, validate-obs).
+    pub fn require_obs_dir(&self, cmd: &str) -> Option<&Path> {
+        let dir = self.obs_dir();
+        if dir.is_none() {
+            eprintln!("error: {cmd} needs --obs-dir DIR (from a `join --obs-dir` run)");
+        }
+        dir
+    }
+}
 
 /// The paper's default density for the cardinality-sweep figures
 /// (§4 varies D in [0.2, 0.8]; the N-sweep plots fix a mid value).
@@ -84,6 +156,21 @@ pub fn rel_err(estimate: f64, measured: f64) -> f64 {
     }
 }
 
+/// Runs the instrumented SJ join through the session front door with
+/// path buffers and pair collection off — the configuration every
+/// accuracy study uses, since one run then yields both NA and DA.
+pub fn run_counting_join<const N: usize>(t1: &RTree<N>, t2: &RTree<N>) -> JoinResultSet {
+    JoinSession::new(t1, t2)
+        .config(JoinConfig {
+            buffer: BufferPolicy::Path,
+            collect_pairs: false,
+            ..JoinConfig::default()
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
+}
+
 /// Runs the instrumented join (path buffers — one run yields both NA and
 /// DA) and evaluates the analytical model from the given profiles.
 pub fn observe_join<const N: usize>(
@@ -92,15 +179,7 @@ pub fn observe_join<const N: usize>(
     prof1: DataProfile,
     prof2: DataProfile,
 ) -> JoinObservation {
-    let result = spatial_join_with(
-        t1,
-        t2,
-        JoinConfig {
-            buffer: BufferPolicy::Path,
-            collect_pairs: false,
-            ..JoinConfig::default()
-        },
-    );
+    let result = run_counting_join(t1, t2);
     let cfg = ModelConfig::paper(N);
     let p1 = TreeParams::<N>::from_data(prof1, &cfg);
     let p2 = TreeParams::<N>::from_data(prof2, &cfg);
@@ -121,15 +200,7 @@ pub fn observe_join_with_params<const N: usize>(
     p1: &TreeParams<N>,
     p2: &TreeParams<N>,
 ) -> JoinObservation {
-    let result = spatial_join_with(
-        t1,
-        t2,
-        JoinConfig {
-            buffer: BufferPolicy::Path,
-            collect_pairs: false,
-            ..JoinConfig::default()
-        },
-    );
+    let result = run_counting_join(t1, t2);
     JoinObservation {
         exper_na: result.na_total(),
         exper_da: result.da_total(),
@@ -157,6 +228,19 @@ mod tests {
         assert_eq!(cardinality_grid(0.1), vec![2_000, 4_000, 6_000, 8_000]);
         // Floor prevents degenerate workloads.
         assert_eq!(cardinality_grid(1e-9), vec![100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn run_opts_validates_fail_fast() {
+        let ok = RunOpts::new(PathBuf::from("results"), 0.5, 4, 1998, None);
+        assert!(ok.is_ok());
+        for bad_scale in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                RunOpts::new(PathBuf::from("results"), bad_scale, 4, 1998, None).is_err(),
+                "scale {bad_scale} must be rejected"
+            );
+        }
+        assert!(RunOpts::new(PathBuf::from("results"), 1.0, 0, 1998, None).is_err());
     }
 
     #[test]

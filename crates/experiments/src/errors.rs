@@ -4,7 +4,7 @@
 
 use crate::common::{
     build_tree, cardinality_grid, measured_params, observe_join, observe_join_with_params,
-    profile_of, rel_err, DEFAULT_DENSITY,
+    profile_of, rel_err, run_counting_join, DEFAULT_DENSITY,
 };
 use crate::report::{int, pct, Report};
 use sjcm_core::{join, DensitySurface, ModelConfig, TreeParams};
@@ -12,7 +12,6 @@ use sjcm_datagen::skewed::{gaussian_clusters, power_law, ClusterConfig};
 use sjcm_datagen::tiger::{generate as tiger, TigerConfig};
 use sjcm_datagen::uniform::{generate as uniform, UniformConfig};
 use sjcm_geom::Rect;
-use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig};
 use std::path::Path;
 
 /// §4.1 claims (i)–(iii): relative errors on uniform data, with the DA
@@ -57,15 +56,7 @@ fn errors_uniform_dim<const DIM: usize>(out: &Path, scale: f64, name: &str) {
         for (j, t2) in trees2.iter().enumerate() {
             let prof1 = profile_of(&datasets1[i]);
             let prof2 = profile_of(&datasets2[j]);
-            let result = spatial_join_with(
-                t1,
-                t2,
-                JoinConfig {
-                    buffer: BufferPolicy::Path,
-                    collect_pairs: false,
-                    ..JoinConfig::default()
-                },
-            );
+            let result = run_counting_join(t1, t2);
             let p1 = TreeParams::<DIM>::from_data(prof1, &cfg);
             let p2 = TreeParams::<DIM>::from_data(prof2, &cfg);
             let (anal_da1, anal_da2) = join::join_cost_da_split(&p1, &p2);
@@ -207,15 +198,7 @@ fn run_nonuniform_table(out: &Path, name: &str, workloads: &[(&str, Vec<Rect<2>>
         let t2 = build_tree(r2);
         let prof1 = profile_of(r1);
         let prof2 = profile_of(r2);
-        let result = spatial_join_with(
-            &t1,
-            &t2,
-            JoinConfig {
-                buffer: BufferPolicy::Path,
-                collect_pairs: false,
-                ..JoinConfig::default()
-            },
-        );
+        let result = run_counting_join(&t1, &t2);
         // Global-uniform estimates.
         let p1 = TreeParams::<2>::from_data(prof1, &cfg);
         let p2 = TreeParams::<2>::from_data(prof2, &cfg);

@@ -23,7 +23,7 @@
 //! `catalog.json`, reloads it from disk, and re-plans: the choice flips
 //! to the index-nested-loop plan that also measures cheapest.
 
-use crate::common::rel_err;
+use crate::common::{rel_err, RunOpts};
 use crate::report::{pct, Report};
 use sjcm::explain::{AnalyzedPlan, Explainer};
 use sjcm::optimizer::{Catalog, DatasetStats, JoinQuery, PhysicalPlan, Planner};
@@ -205,7 +205,9 @@ fn write_artifact(obs_dir: Option<&Path>, name: &str, contents: &str) {
 /// The plain `explain` command: analyze the optimizer's chosen plan
 /// under the measured catalog. Returns `true` when every gated
 /// operator's residual model error stayed inside the paper's envelope.
-pub fn explain(out: &Path, scale: f64, threads: usize, obs_dir: Option<&Path>) -> bool {
+pub fn explain(opts: &RunOpts) -> bool {
+    let (out, scale, threads) = (opts.out.as_path(), opts.scale, opts.threads);
+    let obs_dir = opts.obs_dir();
     let w = Workload::build(scale);
     let catalog = w.true_catalog();
     let query = w.query(EXPLAIN_SELECTION);
@@ -261,7 +263,9 @@ pub fn explain(out: &Path, scale: f64, threads: usize, obs_dir: Option<&Path>) -
 /// → measured stats written back and persisted → re-planning flips to
 /// the plan that also measures cheapest. Returns `true` when the flip
 /// happened and the calibrated plan measured no worse.
-pub fn calibrate(out: &Path, scale: f64, threads: usize, obs_dir: Option<&Path>) -> bool {
+pub fn calibrate(opts: &RunOpts) -> bool {
+    let (out, scale, threads) = (opts.out.as_path(), opts.scale, opts.threads);
+    let obs_dir = opts.obs_dir();
     let w = Workload::build(scale);
     let stale = w.stale_catalog();
     let query = w.query(CALIBRATE_SELECTION);

@@ -2,14 +2,16 @@
 //! future-work items (selectivity, LRU buffers, high dimensionality) and
 //! the role-choice rule of §4.1(iii).
 
-use crate::common::{build_tree, cardinality_grid, profile_of, rel_err, DEFAULT_DENSITY};
+use crate::common::{
+    build_tree, cardinality_grid, profile_of, rel_err, run_counting_join, DEFAULT_DENSITY,
+};
 use crate::report::{int, pct, Report};
 use sjcm_core::selectivity::{distance_join_selectivity, join_selectivity};
 use sjcm_core::{join, DataProfile, ModelConfig, TreeParams};
 use sjcm_datagen::skewed::{gaussian_clusters, ClusterConfig};
 use sjcm_datagen::uniform::{generate as uniform, UniformConfig};
 use sjcm_geom::Rect;
-use sjcm_join::{spatial_join_with, BufferPolicy, JoinConfig, JoinPredicate};
+use sjcm_join::{BufferPolicy, JoinConfig, JoinPredicate, JoinSession};
 use std::path::Path;
 
 /// §5 extension: join selectivity — predicted overlapping pairs vs the
@@ -65,15 +67,15 @@ pub fn selectivity(out: &Path, scale: f64) {
             None => JoinPredicate::Overlap,
             Some(e) => JoinPredicate::WithinDistance(e),
         };
-        let result = spatial_join_with(
-            &t1,
-            &t2,
-            JoinConfig {
+        let result = JoinSession::new(&t1, &t2)
+            .config(JoinConfig {
                 predicate,
                 collect_pairs: false,
                 ..JoinConfig::default()
-            },
-        );
+            })
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result;
         let predicted = match eps {
             None => join_selectivity::<2>(prof1, prof2),
             Some(e) => distance_join_selectivity::<2>(prof1, prof2, e),
@@ -136,16 +138,7 @@ pub fn role_choice(out: &Path, scale: f64) {
             let (big_t, small_t) = (&trees[i], &trees[j]);
             let (big_p, small_p) = (profile_of(&datasets[i]), profile_of(&datasets[j]));
             let run = |data: &sjcm_rtree::RTree<2>, query: &sjcm_rtree::RTree<2>| {
-                spatial_join_with(
-                    data,
-                    query,
-                    JoinConfig {
-                        buffer: BufferPolicy::Path,
-                        collect_pairs: false,
-                        ..JoinConfig::default()
-                    },
-                )
-                .da_total()
+                run_counting_join(data, query).da_total()
             };
             let exper_rule = run(big_t, small_t);
             let exper_anti = run(small_t, big_t);
@@ -186,15 +179,15 @@ pub fn lru_ablation(out: &Path, scale: f64) {
     );
     let mut report = Report::new(out, "lru_ablation", &["buffer", "exper_DA", "exper_NA"]);
     let mut run = |label: &str, policy: BufferPolicy| {
-        let r = spatial_join_with(
-            &t1,
-            &t2,
-            JoinConfig {
+        let r = JoinSession::new(&t1, &t2)
+            .config(JoinConfig {
                 buffer: policy,
                 collect_pairs: false,
                 ..JoinConfig::default()
-            },
-        );
+            })
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result;
         report.row(&[&label, &r.da_total(), &r.na_total()]);
     };
     run("none", BufferPolicy::None);
@@ -232,15 +225,7 @@ fn run_high_dim<const DIM: usize>(report: &mut Report, n: usize) {
     let cfg = ModelConfig::paper(DIM);
     let p1 = TreeParams::<DIM>::from_data(profile_of(&r1), &cfg);
     let p2 = TreeParams::<DIM>::from_data(profile_of(&r2), &cfg);
-    let result = spatial_join_with(
-        &t1,
-        &t2,
-        JoinConfig {
-            buffer: BufferPolicy::Path,
-            collect_pairs: false,
-            ..JoinConfig::default()
-        },
-    );
+    let result = run_counting_join(&t1, &t2);
     let anal_na = join::join_cost_na(&p1, &p2);
     let anal_da = join::join_cost_da(&p1, &p2);
     report.row(&[
@@ -261,7 +246,7 @@ fn run_high_dim<const DIM: usize>(report: &mut Report, n: usize) {
 /// work assumes; regenerates the "who wins and why" picture.
 pub fn algo_compare(out: &Path, scale: f64) {
     use sjcm_join::baselines::index_nested_loop_join;
-    use sjcm_join::pbsm::pbsm_join;
+    use sjcm_join::PbsmSession;
     use sjcm_rtree::ObjectId;
 
     let n = (30_000.0 * scale).round().max(300.0) as usize;
@@ -307,19 +292,14 @@ pub fn algo_compare(out: &Path, scale: f64) {
             .enumerate()
             .map(|(i, r)| (*r, ObjectId(i as u32)))
             .collect();
-        let sj = spatial_join_with(
-            &t1,
-            &t2,
-            JoinConfig {
-                buffer: BufferPolicy::Path,
-                collect_pairs: false,
-                ..JoinConfig::default()
-            },
-        );
+        let sj = run_counting_join(&t1, &t2);
         let inl = index_nested_loop_join(&t1, &items2);
         // PBSM partition grid sized so a partition of each input fits a
         // few pages, per [PD96]'s guidance.
-        let pbsm = pbsm_join(&items1, &items2, 16, 50);
+        let pbsm = PbsmSession::new(&items1, &items2, 16, 50)
+            .run()
+            .expect("ungoverned PBSM cannot fail")
+            .result;
         report.row(&[
             &label,
             &sj.da_total(),
@@ -348,7 +328,7 @@ pub fn quick_profile(n: u64, d: f64) -> DataProfile {
 /// stealing) on realized per-worker NA balance, and surfaces the
 /// per-worker tallies.
 pub fn parallel_join(out: &Path, scale: f64, threads: usize) {
-    use sjcm_join::{parallel_spatial_join_with, ScheduleMode};
+    use sjcm_join::Scheduler;
     let mut report = Report::new(
         out,
         "parallel",
@@ -388,9 +368,17 @@ pub fn parallel_join(out: &Path, scale: f64, threads: usize) {
             collect_pairs: false,
             ..JoinConfig::default()
         };
-        let seq = spatial_join_with(&t1, &t2, config);
-        let rr = parallel_spatial_join_with(&t1, &t2, config, threads, ScheduleMode::RoundRobin);
-        let cg = parallel_spatial_join_with(&t1, &t2, config, threads, ScheduleMode::CostGuided);
+        let run = |sched: Scheduler| {
+            JoinSession::new(&t1, &t2)
+                .config(config)
+                .scheduler(sched)
+                .run()
+                .expect("ungoverned join cannot fail")
+                .result
+        };
+        let seq = run(Scheduler::Sequential);
+        let rr = run(Scheduler::RoundRobin { threads });
+        let cg = run(Scheduler::CostGuided { threads });
         // The schedulers must be invisible in the aggregate measures.
         assert_eq!(rr.na_total(), seq.na_total());
         assert_eq!(cg.na_total(), seq.na_total());

@@ -34,19 +34,16 @@
 //! decision log is persisted as `governor_events.jsonl`, which
 //! `validate-obs` checks against the `sjcm.governor.v1` contract.
 
-use crate::common::{build_tree, rel_err, DEFAULT_DENSITY};
+use crate::common::{build_tree, rel_err, RunOpts, DEFAULT_DENSITY};
 use crate::report::{int, pct, Report};
 use sjcm_datagen::skewed::{gaussian_clusters, ClusterConfig};
 use sjcm_datagen::uniform::{generate as uniform, UniformConfig};
 use sjcm_join::{
-    assert_well_formed, try_parallel_spatial_join_with, try_spatial_join_with, AdmissionPolicy,
-    BufferPolicy, DegradedJoinResult, Governor, GovernorConfig, JoinConfig, JoinError,
-    ScheduleMode,
+    assert_well_formed, AdmissionPolicy, BufferPolicy, DegradedJoinResult, Governor,
+    GovernorConfig, JoinConfig, JoinError, JoinSession, Scheduler,
 };
 use sjcm_obs::PAPER_ENVELOPE;
 use sjcm_rtree::RTree;
-use sjcm_storage::FaultInjector;
-use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Builds the `join` command's governor configuration from the CLI
@@ -90,47 +87,25 @@ impl Strategy {
         config: JoinConfig,
         gov: &Governor,
     ) -> Result<DegradedJoinResult<2>, JoinError> {
-        let inj = FaultInjector::disabled();
-        match *self {
-            Strategy::Seq => try_spatial_join_with(t1, t2, config, &inj, gov),
-            Strategy::CostGuided(t) => try_parallel_spatial_join_with(
-                t1,
-                t2,
-                config,
-                t,
-                ScheduleMode::CostGuided,
-                &inj,
-                gov,
-            ),
-            Strategy::RoundRobin(t) => try_parallel_spatial_join_with(
-                t1,
-                t2,
-                config,
-                t,
-                ScheduleMode::RoundRobin,
-                &inj,
-                gov,
-            ),
-        }
+        let sched = match *self {
+            Strategy::Seq => Scheduler::Sequential,
+            Strategy::CostGuided(t) => Scheduler::CostGuided { threads: t },
+            Strategy::RoundRobin(t) => Scheduler::RoundRobin { threads: t },
+        };
+        JoinSession::new(t1, t2)
+            .config(config)
+            .scheduler(sched)
+            .govern(gov)
+            .run()
     }
 }
 
 /// The `governor` command. Returns `true` only when every gate holds.
-pub fn governor(
-    out: &Path,
-    scale: f64,
-    threads: usize,
-    deadline_override_ms: Option<u64>,
-    obs_dir: Option<&Path>,
-) -> bool {
-    // An uncreatable artifact directory is an operator error; surface
-    // it before ~10s of joins, not as a warning after them.
-    if let Some(dir) = obs_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("governor: cannot create --obs-dir {}: {e}", dir.display());
-            return false;
-        }
-    }
+pub fn governor(opts: &RunOpts, deadline_override_ms: Option<u64>) -> bool {
+    // An uncreatable --obs-dir already failed in RunOpts::new — before
+    // ~10s of joins, not as a warning after them.
+    let (out, scale, threads) = (opts.out.as_path(), opts.scale, opts.threads);
+    let obs_dir = opts.obs_dir();
     let n = (60_000.0 * scale).round().max(600.0) as usize;
     let paper_scale = scale >= 1.0;
     println!("governor: 2 x {n} objects (seeds 9600/9601), {threads} threads");

@@ -96,16 +96,13 @@ mod observability;
 mod report;
 mod trace;
 
+use common::RunOpts;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     command: String,
-    scale: f64,
-    out: PathBuf,
-    threads: usize,
-    obs_dir: Option<PathBuf>,
-    seed: u64,
+    opts: RunOpts,
     watch: bool,
     calibrate: bool,
     current: Option<PathBuf>,
@@ -149,9 +146,6 @@ fn parse_args() -> Result<Args, String> {
                 scale = v
                     .parse::<f64>()
                     .map_err(|e| format!("bad --scale {v}: {e}"))?;
-                if scale <= 0.0 || scale.is_nan() {
-                    return Err("--scale must be positive".into());
-                }
             }
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a value")?);
@@ -161,9 +155,6 @@ fn parse_args() -> Result<Args, String> {
                 threads = v
                     .parse::<usize>()
                     .map_err(|e| format!("bad --threads {v}: {e}"))?;
-                if threads == 0 {
-                    return Err("--threads must be at least 1".into());
-                }
             }
             "--obs-dir" => {
                 obs_dir = Some(PathBuf::from(args.next().ok_or("--obs-dir needs a value")?));
@@ -221,13 +212,13 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    // One validation seam for the flags every command shares: bad
+    // values (and an uncreatable --obs-dir) fail here, before any
+    // index is built.
+    let opts = RunOpts::new(out, scale, threads, seed, obs_dir)?;
     Ok(Args {
         command,
-        scale,
-        out,
-        threads,
-        obs_dir,
-        seed,
+        opts,
         watch,
         calibrate,
         current,
@@ -248,8 +239,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let out = args.out.as_path();
-    let scale = args.scale;
+    let opts = &args.opts;
+    let out = opts.out.as_path();
+    let scale = opts.scale;
     let started = std::time::Instant::now();
     let run = |cmd: &str| -> bool {
         match cmd {
@@ -268,16 +260,9 @@ fn main() -> ExitCode {
             "lru-ablation" => extensions::lru_ablation(out, scale),
             "high-dim" => extensions::high_dim(out, scale),
             "algo-compare" => extensions::algo_compare(out, scale),
-            "parallel" => extensions::parallel_join(out, scale, args.threads),
+            "parallel" => extensions::parallel_join(out, scale, opts.threads),
             "join" => {
-                match observability::join_observed(
-                    out,
-                    scale,
-                    args.threads,
-                    args.obs_dir.as_deref(),
-                    args.watch,
-                    None,
-                ) {
+                match observability::join_observed(opts, args.watch, None) {
                     Ok(true) => {}
                     Ok(false) => eprintln!("warning: drift breached the envelope (see above)"),
                     // Unreachable without a governor config, but keep the
@@ -291,13 +276,6 @@ fn main() -> ExitCode {
             _ => return false,
         }
         true
-    };
-    let obs_dir_or = |cmd: &str| -> Option<&std::path::Path> {
-        let dir = args.obs_dir.as_deref();
-        if dir.is_none() {
-            eprintln!("error: {cmd} needs --obs-dir DIR (from a `join --obs-dir` run)");
-        }
-        dir
     };
     match args.command.as_str() {
         "all" => {
@@ -326,9 +304,9 @@ fn main() -> ExitCode {
         }
         "explain" => {
             let ok = if args.calibrate {
-                explain::calibrate(out, scale, args.threads, args.obs_dir.as_deref())
+                explain::calibrate(opts)
             } else {
-                explain::explain(out, scale, args.threads, args.obs_dir.as_deref())
+                explain::explain(opts)
             };
             if !ok {
                 eprintln!("explain: gate failed");
@@ -336,7 +314,7 @@ fn main() -> ExitCode {
             }
         }
         "chaos" => {
-            if !chaos::chaos(out, scale, args.threads, args.seed, args.obs_dir.as_deref()) {
+            if !chaos::chaos(opts) {
                 eprintln!("chaos: at least one gate failed");
                 return ExitCode::FAILURE;
             }
@@ -348,14 +326,7 @@ fn main() -> ExitCode {
         {
             let gov =
                 governor::config_from_flags(args.deadline_ms, args.na_budget, args.mem_budget);
-            match observability::join_observed(
-                out,
-                scale,
-                args.threads,
-                args.obs_dir.as_deref(),
-                args.watch,
-                gov,
-            ) {
+            match observability::join_observed(opts, args.watch, gov) {
                 Ok(true) => {}
                 Ok(false) => eprintln!("warning: drift breached the envelope (see above)"),
                 Err(e) => {
@@ -365,13 +336,7 @@ fn main() -> ExitCode {
             }
         }
         "governor" => {
-            if !governor::governor(
-                out,
-                scale,
-                args.threads,
-                args.deadline_ms,
-                args.obs_dir.as_deref(),
-            ) {
+            if !governor::governor(opts, args.deadline_ms) {
                 eprintln!("governor: at least one gate failed");
                 return ExitCode::FAILURE;
             }
@@ -400,7 +365,7 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         "validate-obs" => {
-            let Some(dir) = obs_dir_or("validate-obs") else {
+            let Some(dir) = opts.require_obs_dir("validate-obs") else {
                 return ExitCode::FAILURE;
             };
             if !observability::validate_obs(dir) {
@@ -409,18 +374,12 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         "trace-replay" => {
-            let Some(dir) = obs_dir_or("trace replay") else {
-                return ExitCode::FAILURE;
-            };
-            if !trace::replay_cmd(out, dir) {
+            if !trace::replay_cmd(opts) {
                 return ExitCode::FAILURE;
             }
         }
         "trace-report" => {
-            let Some(dir) = obs_dir_or("trace report") else {
-                return ExitCode::FAILURE;
-            };
-            if !trace::report_cmd(out, dir) {
+            if !trace::report_cmd(opts) {
                 return ExitCode::FAILURE;
             }
         }

@@ -17,13 +17,12 @@
 //! draws it live, `--obs-dir` persists the snapshot JSONL, and the
 //! report prints the prior-vs-refined ETA error curve either way.
 
-use crate::common::{build_tree, measured_params, DEFAULT_DENSITY};
+use crate::common::{build_tree, measured_params, RunOpts, DEFAULT_DENSITY};
 use crate::report::{int, pct, Report};
 use sjcm_core::join;
 use sjcm_datagen::uniform::{generate as uniform, UniformConfig};
 use sjcm_join::{
-    parallel_spatial_join_observed, try_parallel_spatial_join_observed, BufferPolicy, Governor,
-    GovernorConfig, JoinConfig, JoinObs, ScheduleMode,
+    BufferPolicy, Governor, GovernorConfig, JoinConfig, JoinObs, JoinSession, Scheduler,
 };
 use sjcm_obs::{
     json, validate_progress_jsonl, DriftMonitor, LevelPrior, MetricsRegistry, ProgressEngine,
@@ -75,20 +74,14 @@ const SAMPLE_EVERY_MS: u64 = 5;
 /// Returns `Ok(true)` when every *gated* drift target landed inside the
 /// paper's envelope.
 pub fn join_observed(
-    out: &Path,
-    scale: f64,
-    threads: usize,
-    obs_dir: Option<&Path>,
+    opts: &RunOpts,
     watch: bool,
     gov_cfg: Option<GovernorConfig>,
 ) -> Result<bool, String> {
-    // Fail before any work if the artifact directory cannot exist: a
-    // run whose whole point is its artifacts should not quietly
-    // succeed while dropping them on the floor.
-    if let Some(dir) = obs_dir {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| format!("cannot create --obs-dir {}: {e}", dir.display()))?;
-    }
+    // RunOpts::new already created --obs-dir fail-fast: a run whose
+    // whole point is its artifacts aborts before any work otherwise.
+    let (out, scale, threads) = (opts.out.as_path(), opts.scale, opts.threads);
+    let obs_dir = opts.obs_dir();
     let gov = match gov_cfg.clone() {
         Some(cfg) => Governor::new(cfg),
         None => Governor::unlimited(),
@@ -175,31 +168,12 @@ pub fn join_observed(
     let degraded = std::thread::scope(|s| {
         let gov = &gov;
         let worker = s.spawn(|| {
-            if gov.is_enabled() {
-                try_parallel_spatial_join_observed(
-                    &t1,
-                    &t2,
-                    config,
-                    threads,
-                    ScheduleMode::CostGuided,
-                    &obs,
-                    &sjcm_storage::FaultInjector::disabled(),
-                    gov,
-                )
-            } else {
-                Ok(sjcm_join::DegradedJoinResult {
-                    result: parallel_spatial_join_observed(
-                        &t1,
-                        &t2,
-                        config,
-                        threads,
-                        ScheduleMode::CostGuided,
-                        &obs,
-                    ),
-                    skips: Vec::new(),
-                    faults: sjcm_storage::FaultCounters::default(),
-                })
-            }
+            JoinSession::new(&t1, &t2)
+                .config(config)
+                .scheduler(Scheduler::CostGuided { threads })
+                .observe(&obs)
+                .govern(gov)
+                .run()
         });
         while !worker.is_finished() {
             std::thread::sleep(std::time::Duration::from_millis(SAMPLE_EVERY_MS));

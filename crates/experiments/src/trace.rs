@@ -15,6 +15,7 @@
 //! `trace report` summarizes locality: per-tree per-level access
 //! histograms and the top-k hottest pages.
 
+use crate::common::RunOpts;
 use crate::report::{int, pct, Report};
 use sjcm_storage::recorder::{AccessTrace, RecordedPolicy};
 use sjcm_storage::replay::{replay, StackDistance};
@@ -81,7 +82,11 @@ fn fmt_ratio(hits: u64, misses: u64) -> String {
 /// The `trace replay` command. Returns `false` (with diagnostics on
 /// stderr) when the trace cannot be loaded or the recorded-policy
 /// replay fails to reproduce the live counters.
-pub fn replay_cmd(out: &Path, dir: &Path) -> bool {
+pub fn replay_cmd(opts: &RunOpts) -> bool {
+    let Some(dir) = opts.require_obs_dir("trace replay") else {
+        return false;
+    };
+    let out = opts.out.as_path();
     let trace = match load(dir) {
         Ok(t) => t,
         Err(e) => {
@@ -211,8 +216,12 @@ pub fn replay_cmd(out: &Path, dir: &Path) -> bool {
 
 /// The `trace report` command: per-level access histograms and the
 /// top-k hottest pages. Returns `false` when the trace cannot load.
-pub fn report_cmd(out: &Path, dir: &Path) -> bool {
+pub fn report_cmd(opts: &RunOpts) -> bool {
     const TOP_K: usize = 20;
+    let Some(dir) = opts.require_obs_dir("trace report") else {
+        return false;
+    };
+    let out = opts.out.as_path();
     let trace = match load(dir) {
         Ok(t) => t,
         Err(e) => {
@@ -294,6 +303,12 @@ mod tests {
         trace.write(&dir.join(ACCESS_TRACE_FILE)).unwrap();
     }
 
+    /// RunOpts with `dir` as both the CSV output and the obs dir, the
+    /// way the CLI wires `trace replay --out D --obs-dir D`.
+    fn opts_for(dir: &Path) -> RunOpts {
+        RunOpts::new(dir.to_path_buf(), 1.0, 1, 1998, Some(dir.to_path_buf())).unwrap()
+    }
+
     #[test]
     fn replay_cmd_accepts_faithful_trace() {
         let dir = std::env::temp_dir().join(format!("sjcm_trace_ok_{}", std::process::id()));
@@ -312,8 +327,9 @@ mod tests {
             events,
         };
         write_trace(&dir, &trace);
-        assert!(replay_cmd(&dir, &dir));
-        assert!(report_cmd(&dir, &dir));
+        let opts = opts_for(&dir);
+        assert!(replay_cmd(&opts));
+        assert!(report_cmd(&opts));
         assert!(dir.join("trace_replay.csv").exists());
         assert!(dir.join("trace_levels.csv").exists());
         assert!(dir.join("trace_pages.csv").exists());
@@ -334,7 +350,7 @@ mod tests {
             events,
         };
         write_trace(&dir, &trace);
-        assert!(!replay_cmd(&dir, &dir));
+        assert!(!replay_cmd(&opts_for(&dir)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -349,8 +365,9 @@ mod tests {
             events: vec![event(0, 1, AccessKind::Miss)],
         };
         write_trace(&dir, &trace);
-        assert!(!replay_cmd(&dir, &dir));
-        assert!(!report_cmd(&dir, &dir));
+        let opts = opts_for(&dir);
+        assert!(!replay_cmd(&opts));
+        assert!(!report_cmd(&opts));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

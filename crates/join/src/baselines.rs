@@ -64,6 +64,10 @@ pub fn index_nested_loop_join<const N: usize>(
 
 #[cfg(test)]
 mod tests {
+    // `spatial_join` is the deprecated wrapper over `JoinSession`;
+    // exercising it here doubles as wrapper coverage.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::executor::spatial_join;
     use rand::rngs::StdRng;

@@ -1,13 +1,16 @@
-//! The instrumented SJ executor.
+//! The SJ join configuration, result types, and entry matching — plus
+//! the legacy sequential entry points, kept as thin deprecated wrappers
+//! over [`crate::session::JoinSession`]. The traversal itself lives in
+//! the shared `engine` module; the session module is the front door.
 
 use crate::degraded::{DegradedJoinResult, JoinError, RawSkip};
+use crate::session::{CorrDomain, ExecContext, JoinSession};
 use sjcm_geom::{OverlapMask, Rect, RectBatch};
-use sjcm_obs::progress::ProgressSink;
 use sjcm_rtree::{Child, Entry, Node, NodeId, ObjectId, RTree};
 use sjcm_storage::recorder::RecordedPolicy;
 use sjcm_storage::{
     AccessStats, BufferCounters, BufferManager, FaultInjector, FlightRecorder, LruBuffer, NoBuffer,
-    PageId, PathBuffer, RecorderLane,
+    PathBuffer,
 };
 
 /// Join predicate between two object MBRs (and, during traversal,
@@ -295,26 +298,37 @@ impl JoinResultSet {
 /// ```
 /// use sjcm_rtree::{RTree, RTreeConfig, ObjectId};
 /// use sjcm_geom::Rect;
+/// # #[allow(deprecated)]
 /// use sjcm_join::spatial_join;
 ///
 /// let mut a = RTree::<2>::new(RTreeConfig::with_capacity(8));
 /// let mut b = RTree::<2>::new(RTreeConfig::with_capacity(8));
 /// a.insert(Rect::new([0.1, 0.1], [0.3, 0.3]).unwrap(), ObjectId(1));
 /// b.insert(Rect::new([0.2, 0.2], [0.4, 0.4]).unwrap(), ObjectId(2));
+/// # #[allow(deprecated)]
 /// let result = spatial_join(&a, &b);
 /// assert_eq!(result.pairs, vec![(ObjectId(1), ObjectId(2))]);
 /// ```
+#[deprecated(note = "use `session::JoinSession::new(r1, r2).run()`")]
 pub fn spatial_join<const N: usize>(r1: &RTree<N>, r2: &RTree<N>) -> JoinResultSet {
-    spatial_join_with(r1, r2, JoinConfig::default())
+    JoinSession::new(r1, r2)
+        .run()
+        .expect("sequential join without fault injection or governor cannot fail")
+        .result
 }
 
 /// Runs the SJ spatial join with an explicit configuration.
+#[deprecated(note = "use `session::JoinSession::new(r1, r2).config(config).run()`")]
 pub fn spatial_join_with<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
 ) -> JoinResultSet {
-    spatial_join_recorded(r1, r2, config, &FlightRecorder::disabled())
+    JoinSession::new(r1, r2)
+        .config(config)
+        .run()
+        .expect("sequential join without fault injection or governor cannot fail")
+        .result
 }
 
 /// Runs the SJ spatial join with a page-access flight recorder: every
@@ -322,22 +336,19 @@ pub fn spatial_join_with<const N: usize>(
 /// (correlation domain 0 — the sequential executor is a single
 /// buffer-residency domain). With a disabled recorder this is exactly
 /// [`spatial_join_with`] — one `Option` check per access.
+#[deprecated(note = "use `session::JoinSession` with `.record(recorder)`")]
 pub fn spatial_join_recorded<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
     recorder: &FlightRecorder,
 ) -> JoinResultSet {
-    try_spatial_join_recorded(
-        r1,
-        r2,
-        config,
-        recorder,
-        &FaultInjector::disabled(),
-        &crate::governor::Governor::unlimited(),
-    )
-    .expect("sequential join without fault injection or governor cannot fail")
-    .result
+    JoinSession::new(r1, r2)
+        .config(config)
+        .record(recorder)
+        .run()
+        .expect("sequential join without fault injection or governor cannot fail")
+        .result
 }
 
 /// Fallible twin of [`spatial_join_with`]: runs the SJ join under a
@@ -351,6 +362,7 @@ pub fn spatial_join_recorded<const N: usize>(
 /// With a disabled injector this is [`spatial_join_with`] plus a
 /// `Result` wrapper: one `Option` discriminant check per node pair, and
 /// `skips` is empty.
+#[deprecated(note = "use `session::JoinSession` with `.faults(..)` / `.govern(..)`")]
 pub fn try_spatial_join_with<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
@@ -358,7 +370,11 @@ pub fn try_spatial_join_with<const N: usize>(
     faults: &FaultInjector,
     gov: &crate::governor::Governor,
 ) -> Result<DegradedJoinResult<N>, JoinError> {
-    try_spatial_join_recorded(r1, r2, config, &FlightRecorder::disabled(), faults, gov)
+    JoinSession::new(r1, r2)
+        .config(config)
+        .faults(faults)
+        .govern(gov)
+        .run()
 }
 
 /// Fallible twin of [`spatial_join_recorded`] — see
@@ -368,6 +384,7 @@ pub fn try_spatial_join_with<const N: usize>(
 /// at admission ([`JoinError::Rejected`]) and cancels cooperatively at
 /// work-unit boundaries, forfeiting unvisited subtrees onto
 /// [`DegradedJoinResult::skips`].
+#[deprecated(note = "use `session::JoinSession` with `.record(..)`, `.faults(..)`, `.govern(..)`")]
 pub fn try_spatial_join_recorded<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
@@ -376,243 +393,28 @@ pub fn try_spatial_join_recorded<const N: usize>(
     faults: &FaultInjector,
     gov: &crate::governor::Governor,
 ) -> Result<DegradedJoinResult<N>, JoinError> {
-    gov.admit(r1, r2)?;
-    let (result, raw) = if gov.is_unit_gated() {
-        crate::governor::run_governed_sequential(
-            r1,
-            r2,
-            config,
-            recorder,
-            faults,
-            &sjcm_obs::ProgressTracker::disabled(),
-            gov,
-        )
-    } else {
-        run_sequential(r1, r2, config, recorder, faults, ProgressSink::disabled())
-    };
-    let degraded = crate::degraded::finish_degraded(r1, r2, config.predicate, result, raw, faults);
-    gov.finish();
-    Ok(degraded)
+    JoinSession::new(r1, r2)
+        .config(config)
+        .record(recorder)
+        .faults(faults)
+        .govern(gov)
+        .run()
 }
 
-/// The sequential traversal shared by the fallible and infallible entry
-/// points (and the parallel module's `threads = 1` fallback). Returns
-/// the result set plus the raw (unpriced) skip records.
+/// The sequential traversal shared by the session's `Sequential`
+/// scheduler and the parallel `threads = 1` fallback. Returns the
+/// result set plus the raw (unpriced) skip records.
 pub(crate) fn run_sequential<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
-    recorder: &FlightRecorder,
-    faults: &FaultInjector,
-    progress: ProgressSink,
+    ctx: &ExecContext<'_>,
 ) -> (JoinResultSet, Vec<RawSkip>) {
-    let mut exec = Executor {
-        r1,
-        r2,
-        buf1: config.buffer.build(),
-        buf2: config.buffer.build(),
-        stats1: AccessStats::new(),
-        stats2: AccessStats::new(),
-        lane1: recorder.lane(1),
-        lane2: recorder.lane(2),
-        pairs: Vec::new(),
-        pair_count: 0,
-        config,
-        scratch: MatchScratch::new(),
-        faults: faults.clone(),
-        skips: Vec::new(),
-        progress,
-    };
+    let mut exec = crate::engine::Engine::new(r1, r2, config, ctx, CorrDomain::Coordinator);
     // The roots are assumed memory-resident (§3.1) and are not counted.
     exec.visit(r1.root_id(), r2.root_id());
     exec.flush_progress();
-    (
-        JoinResultSet {
-            pairs: exec.pairs,
-            pair_count: exec.pair_count,
-            stats1: exec.stats1,
-            stats2: exec.stats2,
-            buffers1: exec.buf1.counters(),
-            buffers2: exec.buf2.counters(),
-            ..JoinResultSet::default()
-        },
-        exec.skips,
-    )
-}
-
-struct Executor<'a, const N: usize> {
-    r1: &'a RTree<N>,
-    r2: &'a RTree<N>,
-    buf1: Box<dyn BufferManager>,
-    buf2: Box<dyn BufferManager>,
-    stats1: AccessStats,
-    stats2: AccessStats,
-    lane1: RecorderLane,
-    lane2: RecorderLane,
-    pairs: Vec<(ObjectId, ObjectId)>,
-    pair_count: u64,
-    config: JoinConfig,
-    // Reused matching buffers (sweep sort vectors, SoA batches, bitmask).
-    scratch: MatchScratch<N>,
-    // Fault-injection oracle (disabled = one `Option` check per pair)
-    // and the node pairs forfeited to permanent read failures.
-    faults: FaultInjector,
-    skips: Vec<RawSkip>,
-    // Live progress feed — disabled is one `Option` check per access;
-    // enabled adds a counter increment, with the per-level tallies
-    // published in batches (see `sjcm_obs::progress`).
-    progress: ProgressSink,
-}
-
-impl<const N: usize> Executor<'_, N> {
-    /// Probes the injector for the pair's two page reads before they
-    /// are charged (root pages are memory-resident per §3.1 and never
-    /// probed). Returns `false` — recording the forfeited pair — if
-    /// either read fails permanently; a skipped pair charges nothing.
-    fn probe(&mut self, n1: NodeId, n2: NodeId) -> bool {
-        if n1 != self.r1.root_id() {
-            let level = self.r1.node(n1).level;
-            if self.faults.access(1, PageId(n1.0), level).is_err() {
-                self.skips.push(RawSkip { tree: 1, n1, n2 });
-                self.progress.forfeit(level);
-                return false;
-            }
-        }
-        if n2 != self.r2.root_id() {
-            let level = self.r2.node(n2).level;
-            if self.faults.access(2, PageId(n2.0), level).is_err() {
-                self.skips.push(RawSkip { tree: 2, n1, n2 });
-                self.progress.forfeit(level);
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Publishes the executor's cumulative per-level tallies into the
-    /// progress hub (no-op when progress is disabled).
-    fn flush_progress(&mut self) {
-        if self.progress.is_enabled() {
-            self.progress.flush(
-                self.stats1.per_level(),
-                self.stats2.per_level(),
-                self.pair_count,
-            );
-        }
-    }
-
-    fn access1(&mut self, id: NodeId) {
-        let level = self.r1.node(id).level;
-        let kind = self.buf1.access(PageId(id.0), level);
-        self.stats1.record(level, kind);
-        self.lane1.record(PageId(id.0), level, kind);
-        if self.progress.tick() {
-            self.flush_progress();
-        }
-    }
-
-    fn access2(&mut self, id: NodeId) {
-        let level = self.r2.node(id).level;
-        let kind = self.buf2.access(PageId(id.0), level);
-        self.stats2.record(level, kind);
-        self.lane2.record(PageId(id.0), level, kind);
-        if self.progress.tick() {
-            self.flush_progress();
-        }
-    }
-
-    fn emit(&mut self, o1: ObjectId, o2: ObjectId) {
-        self.pair_count += 1;
-        if self.config.collect_pairs {
-            self.pairs.push((o1, o2));
-        }
-    }
-
-    fn visit(&mut self, n1_id: NodeId, n2_id: NodeId) {
-        let n1 = self.r1.node(n1_id);
-        let n2 = self.r2.node(n2_id);
-        match (n1.is_leaf(), n2.is_leaf()) {
-            (true, true) => self.match_leaves(n1_id, n2_id),
-            (false, false) => self.match_internal(n1_id, n2_id),
-            // Height mismatch: pin the leaf side, keep descending the
-            // other tree. The pinned node is re-accessed per step (its
-            // contents are consulted again), which is what Eq 11 counts.
-            (false, true) => {
-                let n2_mbr = match n2.mbr() {
-                    Some(m) => m,
-                    None => return,
-                };
-                let children = pinned_children(
-                    &n1.entries,
-                    &n2_mbr,
-                    self.config.predicate,
-                    self.config.kernel,
-                    &mut self.scratch,
-                );
-                for c1 in children {
-                    if self.faults.is_enabled() && !self.probe(c1, n2_id) {
-                        continue;
-                    }
-                    self.access1(c1);
-                    self.access2(n2_id);
-                    self.visit(c1, n2_id);
-                }
-            }
-            (true, false) => {
-                let n1_mbr = match n1.mbr() {
-                    Some(m) => m,
-                    None => return,
-                };
-                let children = pinned_children(
-                    &n2.entries,
-                    &n1_mbr,
-                    self.config.predicate,
-                    self.config.kernel,
-                    &mut self.scratch,
-                );
-                for c2 in children {
-                    if self.faults.is_enabled() && !self.probe(n1_id, c2) {
-                        continue;
-                    }
-                    self.access1(n1_id);
-                    self.access2(c2);
-                    self.visit(n1_id, c2);
-                }
-            }
-        }
-    }
-
-    fn match_internal(&mut self, n1_id: NodeId, n2_id: NodeId) {
-        let matched = self.matched_pairs(n1_id, n2_id);
-        for (c1, c2) in matched {
-            let (c1, c2) = (c1.node(), c2.node());
-            if self.faults.is_enabled() && !self.probe(c1, c2) {
-                continue;
-            }
-            self.access1(c1);
-            self.access2(c2);
-            self.visit(c1, c2);
-        }
-    }
-
-    fn match_leaves(&mut self, n1_id: NodeId, n2_id: NodeId) {
-        let matched = self.matched_pairs(n1_id, n2_id);
-        for (c1, c2) in matched {
-            self.emit(c1.object(), c2.object());
-        }
-    }
-
-    /// Entry pairs of the two nodes satisfying the predicate, in the
-    /// configured match order. Pairs are materialized (rather than
-    /// processed in-loop) because the recursion needs `&mut self`.
-    fn matched_pairs(&mut self, n1_id: NodeId, n2_id: NodeId) -> Vec<(Child, Child)> {
-        matched_entries(
-            self.r1.node(n1_id),
-            self.r2.node(n2_id),
-            &self.config,
-            &mut self.scratch,
-        )
-    }
+    exec.into_parts()
 }
 
 /// Children of `entries` whose rectangles satisfy `predicate` against a
@@ -812,6 +614,11 @@ fn sweep_pairs<const N: usize>(
 
 #[cfg(test)]
 mod tests {
+    // The legacy entry points exercised here are deprecated wrappers
+    // over the session builder; keeping the tests on them doubles as
+    // wrapper coverage.
+    #![allow(deprecated)]
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

@@ -47,15 +47,15 @@
 use crate::degraded::{subtree_objects, DegradedJoinResult, JoinError, RawSkip, SubtreeObjects};
 use crate::executor::{JoinConfig, JoinResultSet, StealTally, WorkerTally};
 use crate::parallel::{
-    overlap_fraction, root_work_units, run_shard, subtree_params, JoinObs, ScheduleMode, WorkUnit,
+    overlap_fraction, root_work_units, run_shard, subtree_params, ScheduleMode, WorkUnit,
 };
+use crate::session::{CorrDomain, ExecContext};
 use sjcm_core::join::{join_cost_na, unit_cost_na};
 use sjcm_core::TreeParams;
 use sjcm_geom::Rect;
 use sjcm_obs::governor::GovernorLog;
-use sjcm_obs::progress::ProgressTracker;
 use sjcm_rtree::{NodeId, RTree};
-use sjcm_storage::{FaultInjector, FlightRecorder, MemoryMeter};
+use sjcm_storage::MemoryMeter;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -773,21 +773,18 @@ pub(crate) fn run_governed_sequential<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
-    recorder: &FlightRecorder,
-    faults: &FaultInjector,
-    progress: &ProgressTracker,
-    gov: &Governor,
+    ctx: &ExecContext<'_>,
 ) -> (JoinResultSet, Vec<RawSkip>) {
     let units: Vec<(usize, WorkUnit)> = root_work_units(r1, r2, &config)
         .into_iter()
         .enumerate()
         .collect();
-    gov.arm(r1, r2, &units);
-    if progress.is_enabled() {
+    ctx.gov.arm(r1, r2, &units);
+    if ctx.progress.is_enabled() {
         let n = units.len() as u64;
-        progress.set_schedule(&[(n, n)]);
+        ctx.progress.set_schedule(&[(n, n)]);
     }
-    run_shard(r1, r2, config, &units, recorder, 1, faults, progress, gov)
+    run_shard(r1, r2, config, &units, ctx, CorrDomain::Shard(0))
 }
 
 /// Governed parallel execution: the ordinal-tagged root units dealt to
@@ -796,18 +793,16 @@ pub(crate) fn run_governed_sequential<const N: usize>(
 /// governor at its boundary. No stealing: gating is by global ordinal,
 /// so the forfeited inventory for a fixed cancellation point is
 /// identical to the sequential governed run and to any thread count.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn governed_parallel_join<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
     threads: usize,
     mode: ScheduleMode,
-    obs: &JoinObs,
-    faults: &FaultInjector,
-    gov: &Governor,
+    ctx: &ExecContext<'_>,
 ) -> Result<(JoinResultSet, Vec<RawSkip>), JoinError> {
-    let mut join_span = obs.tracer.span("governed-join");
+    let gov = ctx.gov;
+    let mut join_span = ctx.tracer.span("governed-join");
     join_span.set("threads", threads);
     let units: Vec<(usize, WorkUnit)> = root_work_units(r1, r2, &config)
         .into_iter()
@@ -843,7 +838,7 @@ pub(crate) fn governed_parallel_join<const N: usize>(
         .iter()
         .map(|s| (s.len() as u64, s.len() as u64))
         .collect();
-    obs.progress.set_schedule(&planned);
+    ctx.progress.set_schedule(&planned);
 
     let join_id = join_span.id();
     let results: Vec<Result<(JoinResultSet, Vec<RawSkip>), JoinError>> =
@@ -852,25 +847,12 @@ pub(crate) fn governed_parallel_join<const N: usize>(
                 .iter()
                 .enumerate()
                 .map(|(w, shard)| {
-                    let tracer = obs.tracer.clone();
-                    let recorder = obs.recorder.clone();
-                    let progress = obs.progress.clone();
-                    let gov = gov.clone();
+                    let wctx = ctx.clone();
                     scope.spawn(move || {
-                        let mut span = tracer.span_under(join_id, "worker");
+                        let mut span = wctx.tracer.span_under(join_id, "worker");
                         span.set("worker", w);
                         span.set("units", shard.len());
-                        run_shard(
-                            r1,
-                            r2,
-                            config,
-                            shard,
-                            &recorder,
-                            (w + 1) as u32,
-                            faults,
-                            &progress,
-                            &gov,
-                        )
+                        run_shard(r1, r2, config, shard, &wctx, CorrDomain::Shard(w))
                     })
                 })
                 .collect();
@@ -945,6 +927,11 @@ pub fn assert_well_formed<const N: usize>(d: &DegradedJoinResult<N>) {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free-function entry points are exercised on purpose:
+    // they are thin wrappers over `JoinSession` and these tests double as
+    // wrapper coverage.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::executor::spatial_join;
     use crate::parallel::{
@@ -953,6 +940,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use sjcm_rtree::{ObjectId, RTreeConfig};
+    use sjcm_storage::FaultInjector;
 
     fn build(n: usize, side: f64, seed: u64) -> RTree<2> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -27,40 +27,62 @@
 //! §2.1 "no index" camp), and [`parallel`] a multi-threaded SJ per the
 //! paper's §5 outlook.
 //!
-//! Every executor also has a fallible `try_*` twin that runs under a
-//! [`sjcm_storage::FaultInjector`]: permanent page-read failures are
-//! *contained* — the affected node pair is forfeited and priced with
-//! the paper's own formulas instead of aborting the join. See
-//! [`degraded`].
+//! **Entry point:** every executor runs through the
+//! [`session::JoinSession`] builder (PBSM through
+//! [`session::PbsmSession`]), which owns a single
+//! [`session::ExecContext`] bundling all cross-cutting concerns —
+//! tracing, drift monitoring, flight recording (with the
+//! [`session::CorrDomain`] correlation-id allocator), live progress,
+//! fault injection, and the governor. The historical free-function
+//! entry points (`spatial_join*`, `parallel_spatial_join*`,
+//! `pbsm_join*` and their `try_*` twins) remain as thin deprecated
+//! wrappers over the session builder, byte-identical to the builder
+//! calls they forward to.
 //!
-//! The `try_*` twins additionally take a [`governor::Governor`]: a
-//! deadline- and budget-aware admission/cancellation layer that prices
-//! queries with Eq 6 before running them, cancels cooperatively at
-//! work-unit boundaries, sheds low-value work when the ETA predicts an
-//! overrun, and meters executor arenas against a memory budget.
-//! [`Governor::unlimited`] is inert (one `Option` check per call site).
+//! Fault containment: permanent page-read failures under a
+//! [`sjcm_storage::FaultInjector`] are *contained* — the affected node
+//! pair is forfeited and priced with the paper's own formulas instead
+//! of aborting the join. See [`degraded`].
+//!
+//! The [`governor::Governor`] is a deadline- and budget-aware
+//! admission/cancellation layer that prices queries with Eq 6 before
+//! running them, cancels cooperatively at work-unit boundaries, sheds
+//! low-value work when the ETA predicts an overrun, and meters executor
+//! arenas against a memory budget. [`Governor::unlimited`] is inert
+//! (one `Option` check per call site).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;
 pub mod degraded;
+mod engine;
 pub mod executor;
 pub mod governor;
 pub mod parallel;
 pub mod pbsm;
+pub mod session;
 
 pub use degraded::{DegradedJoinResult, JoinError, SkippedSubtree};
 pub use executor::{
-    matched_entries, spatial_join, spatial_join_recorded, spatial_join_with,
-    try_spatial_join_recorded, try_spatial_join_with, BufferPolicy, JoinConfig, JoinPredicate,
-    JoinResultSet, MatchKernel, MatchOrder, MatchScratch, StealTally, WorkerTally,
+    matched_entries, BufferPolicy, JoinConfig, JoinPredicate, JoinResultSet, MatchKernel,
+    MatchOrder, MatchScratch, StealTally, WorkerTally,
+};
+#[allow(deprecated)]
+pub use executor::{
+    spatial_join, spatial_join_recorded, spatial_join_with, try_spatial_join_recorded,
+    try_spatial_join_with,
 };
 pub use governor::{
     assert_well_formed, AdmissionPolicy, Governor, GovernorConfig, GovernorSummary,
 };
+#[allow(deprecated)]
 pub use parallel::{
     parallel_spatial_join, parallel_spatial_join_observed, parallel_spatial_join_with,
-    try_parallel_spatial_join_observed, try_parallel_spatial_join_with, JoinObs, ScheduleMode,
+    try_parallel_spatial_join_observed, try_parallel_spatial_join_with,
 };
-pub use pbsm::{try_pbsm_join, DegradedPbsmResult};
+pub use parallel::{JoinObs, ScheduleMode};
+#[allow(deprecated)]
+pub use pbsm::try_pbsm_join;
+pub use pbsm::DegradedPbsmResult;
+pub use session::{CorrDomain, ExecContext, JoinSession, PbsmSession, Scheduler};

@@ -69,18 +69,20 @@
 //! order no parallel schedule can reproduce cheaply.
 
 use crate::degraded::{DegradedJoinResult, JoinError, RawSkip};
+use crate::engine::Engine;
 use crate::executor::{
     matched_entries, pinned_children, JoinConfig, JoinResultSet, MatchScratch, StealTally,
     WorkerTally,
 };
 use crate::governor::Governor;
+use crate::session::{CorrDomain, ExecContext, JoinSession, Scheduler};
 use sjcm_core::join::unit_cost_na;
 use sjcm_core::{LevelParams, TreeParams};
 use sjcm_obs::perfetto::{DRIFT_BREACH_SPAN as BREACH_SPAN, PROGRESS_SPAN};
-use sjcm_obs::progress::{ProgressSink, ProgressTracker};
+use sjcm_obs::progress::ProgressTracker;
 use sjcm_obs::{DriftMonitor, Tracer, DA_TOTAL, NA_TOTAL};
 use sjcm_rtree::{Child, NodeId, ObjectId, RTree};
-use sjcm_storage::{AccessStats, BufferManager, FaultInjector, FlightRecorder, PageId};
+use sjcm_storage::{AccessStats, FaultInjector, FlightRecorder};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -137,20 +139,40 @@ pub enum ScheduleMode {
 /// expansion done serially by the coordinator.
 const UNITS_PER_WORKER: usize = 4;
 
+/// The session-builder [`Scheduler`] for a legacy `(mode, threads)`
+/// pair — the translation the deprecated wrappers route through.
+fn scheduler_for(mode: ScheduleMode, threads: usize) -> Scheduler {
+    match mode {
+        ScheduleMode::RoundRobin => Scheduler::RoundRobin { threads },
+        ScheduleMode::CostGuided => Scheduler::CostGuided { threads },
+    }
+}
+
 /// Runs the spatial join with `threads` workers under the default
 /// cost-guided scheduler. `threads = 1` falls back to the sequential
 /// executor (its `pairs` are still sorted — see the module docs).
+#[deprecated(
+    note = "use `session::JoinSession` with `.scheduler(Scheduler::CostGuided { threads })`"
+)]
 pub fn parallel_spatial_join<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
     threads: usize,
 ) -> JoinResultSet {
-    parallel_spatial_join_with(r1, r2, config, threads, ScheduleMode::default())
+    JoinSession::new(r1, r2)
+        .config(config)
+        .scheduler(Scheduler::CostGuided {
+            threads: threads.max(1),
+        })
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .result
 }
 
 /// Runs the spatial join with `threads` workers and an explicit
 /// [`ScheduleMode`].
+#[deprecated(note = "use `session::JoinSession` with `.scheduler(..)`")]
 pub fn parallel_spatial_join_with<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
@@ -158,7 +180,12 @@ pub fn parallel_spatial_join_with<const N: usize>(
     threads: usize,
     mode: ScheduleMode,
 ) -> JoinResultSet {
-    parallel_spatial_join_observed(r1, r2, config, threads, mode, &JoinObs::default())
+    JoinSession::new(r1, r2)
+        .config(config)
+        .scheduler(scheduler_for(mode, threads.max(1)))
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .result
 }
 
 /// A join's worth of work-unit metadata held per worker arena: the
@@ -176,6 +203,7 @@ const UNIT_ARENA_BYTES: usize = std::mem::size_of::<(usize, WorkUnit)>();
 /// The infallible entry points clamp `threads = 0` to one worker (the
 /// sequential fallback) instead of panicking; the `try_*` twins report
 /// it as [`JoinError::InvalidThreads`].
+#[deprecated(note = "use `session::JoinSession` with `.scheduler(..)` and `.observe(obs)`")]
 pub fn parallel_spatial_join_observed<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
@@ -184,18 +212,13 @@ pub fn parallel_spatial_join_observed<const N: usize>(
     mode: ScheduleMode,
     obs: &JoinObs,
 ) -> JoinResultSet {
-    try_parallel_spatial_join_observed(
-        r1,
-        r2,
-        config,
-        threads.max(1),
-        mode,
-        obs,
-        &FaultInjector::disabled(),
-        &Governor::unlimited(),
-    )
-    .unwrap_or_else(|e| panic!("{e}"))
-    .result
+    JoinSession::new(r1, r2)
+        .config(config)
+        .scheduler(scheduler_for(mode, threads.max(1)))
+        .observe(obs)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .result
 }
 
 /// Fallible twin of [`parallel_spatial_join_with`]: runs the parallel
@@ -211,6 +234,9 @@ pub fn parallel_spatial_join_observed<const N: usize>(
 /// worker thread panicking (the infallible twins propagate such a
 /// panic instead), or an invalid `threads = 0` (which the infallible
 /// twins clamp to one worker).
+#[deprecated(
+    note = "use `session::JoinSession` with `.scheduler(..)`, `.faults(..)`, `.govern(..)`"
+)]
 pub fn try_parallel_spatial_join_with<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
@@ -220,16 +246,12 @@ pub fn try_parallel_spatial_join_with<const N: usize>(
     faults: &FaultInjector,
     gov: &Governor,
 ) -> Result<DegradedJoinResult<N>, JoinError> {
-    try_parallel_spatial_join_observed(
-        r1,
-        r2,
-        config,
-        threads,
-        mode,
-        &JoinObs::default(),
-        faults,
-        gov,
-    )
+    JoinSession::new(r1, r2)
+        .config(config)
+        .scheduler(scheduler_for(mode, threads))
+        .faults(faults)
+        .govern(gov)
+        .run()
 }
 
 /// Fallible twin of [`parallel_spatial_join_observed`] — see
@@ -240,6 +262,9 @@ pub fn try_parallel_spatial_join_with<const N: usize>(
 /// identical inventory at a fixed cancellation point. An unlimited
 /// governor leaves the ungoverned paths untouched (byte-identical —
 /// asserted in the governor tests).
+#[deprecated(
+    note = "use `session::JoinSession` with `.scheduler(..)`, `.observe(..)`, `.faults(..)`, `.govern(..)`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn try_parallel_spatial_join_observed<const N: usize>(
     r1: &RTree<N>,
@@ -251,86 +276,34 @@ pub fn try_parallel_spatial_join_observed<const N: usize>(
     faults: &FaultInjector,
     gov: &Governor,
 ) -> Result<DegradedJoinResult<N>, JoinError> {
-    if threads == 0 {
-        return Err(JoinError::InvalidThreads);
-    }
-    gov.admit(r1, r2)?;
-    let (mut result, raw) = if threads == 1 {
-        let mut span = obs.tracer.span("sequential-join");
-        let (mut result, raw) = if gov.is_unit_gated() {
-            crate::governor::run_governed_sequential(
-                r1,
-                r2,
-                config,
-                &obs.recorder,
-                faults,
-                &obs.progress,
-                gov,
-            )
-        } else {
-            crate::executor::run_sequential(
-                r1,
-                r2,
-                config,
-                &obs.recorder,
-                faults,
-                obs.progress.sink(),
-            )
-        };
-        result.pairs.sort_unstable();
-        span.set("na", result.na_total());
-        span.set("da", result.da_total());
-        span.set("pairs", result.pair_count);
-        (result, raw)
-    } else if gov.is_unit_gated() {
-        crate::governor::governed_parallel_join(r1, r2, config, threads, mode, obs, faults, gov)?
-    } else {
-        match mode {
-            ScheduleMode::RoundRobin => {
-                round_robin_join(r1, r2, config, threads, obs, faults, gov)?
-            }
-            ScheduleMode::CostGuided => {
-                cost_guided_join(r1, r2, config, threads, obs, faults, gov)?
-            }
-        }
-    };
-    if threads > 1 {
-        result.pairs.sort_unstable();
-    }
-    // The run is over: later progress samples report exactly 1.0.
-    obs.progress.finish();
-    let degraded = crate::degraded::finish_degraded(r1, r2, config.predicate, result, raw, faults);
-    gov.finish();
-    Ok(degraded)
+    JoinSession::new(r1, r2)
+        .config(config)
+        .scheduler(scheduler_for(mode, threads))
+        .observe(obs)
+        .faults(faults)
+        .govern(gov)
+        .run()
 }
 
 // ---------------------------------------------------------------------
 // Cost-guided scheduler.
 // ---------------------------------------------------------------------
 
-fn cost_guided_join<const N: usize>(
+pub(crate) fn cost_guided_join<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
     threads: usize,
-    obs: &JoinObs,
-    faults: &FaultInjector,
-    gov: &Governor,
+    ctx: &ExecContext<'_>,
 ) -> Result<(JoinResultSet, Vec<RawSkip>), JoinError> {
-    let mut join_span = obs.tracer.span("cost-guided-join");
+    let gov = ctx.gov;
+    let mut join_span = ctx.tracer.span("cost-guided-join");
     join_span.set("threads", threads);
 
     // 1. The coordinator descends until it holds enough units, charging
     //    the intermediate accesses itself (in sequential per-level
     //    order). Its recorder lanes stay on correlation domain 0.
-    let mut coord = UnitExecutor::new(
-        r1,
-        r2,
-        config,
-        &obs.recorder,
-        faults.clone(),
-        obs.progress.sink(),
-    );
+    let mut coord = Engine::new(r1, r2, config, ctx, CorrDomain::Coordinator);
     let units = {
         let mut span = join_span.child("frontier-descent");
         let units = coord.collect_frontier(threads * UNITS_PER_WORKER, threads);
@@ -375,7 +348,7 @@ fn cost_guided_join<const N: usize>(
         .zip(&loads)
         .map(|(q, &load)| (q.len() as u64, load))
         .collect();
-    obs.progress.set_schedule(&planned);
+    ctx.progress.set_schedule(&planned);
     let deques: Vec<Deque> = queues
         .into_iter()
         .zip(loads)
@@ -417,23 +390,16 @@ fn cost_guided_join<const N: usize>(
                 let costs = &costs;
                 let plan = &plan;
                 let start = &start;
-                let tracer = obs.tracer.clone();
-                let drift = obs.drift;
-                let recorder = obs.recorder.clone();
-                let progress = obs.progress.clone();
+                // One context clone per worker (cheap `Arc` handles):
+                // the same per-worker hook cloning as before, behind
+                // the one seam.
+                let wctx = ctx.clone();
                 let na_live = &na_live;
                 let da_live = &da_live;
                 scope.spawn(move || {
-                    let mut worker_span = tracer.span_under(join_id, "worker");
+                    let mut worker_span = wctx.tracer.span_under(join_id, "worker");
                     worker_span.set("worker", w);
-                    let mut exec = UnitExecutor::new(
-                        r1,
-                        r2,
-                        config,
-                        &recorder,
-                        faults.clone(),
-                        progress.sink(),
-                    );
+                    let mut exec = Engine::new(r1, r2, config, &wctx, CorrDomain::Coordinator);
                     let mut per_unit: Vec<(usize, WorkerTally)> = Vec::new();
                     let mut steal = StealTally::default();
                     // First-breach markers, per worker (the monitor's
@@ -451,9 +417,8 @@ fn cost_guided_join<const N: usize>(
                         // so its accesses get their own correlation id.
                         exec.buf1.clear();
                         exec.buf2.clear();
-                        let corr = (i + 1) as u32;
-                        exec.lane1.set_corr(corr);
-                        exec.lane2.set_corr(corr);
+                        exec.set_domain(CorrDomain::Unit(i));
+                        let corr = CorrDomain::Unit(i).corr();
                         let na0 = exec.stats1.na_total() + exec.stats2.na_total();
                         let da0 = exec.stats1.da_total() + exec.stats2.da_total();
                         let pc0 = exec.pair_count;
@@ -476,13 +441,13 @@ fn cost_guided_join<const N: usize>(
                         unit_span.set("na", na);
                         unit_span.set("da", da);
                         unit_span.set("pairs", pair_count);
-                        if progress.is_enabled() {
+                        if wctx.progress.is_enabled() {
                             // Retire the unit's Eq-6 cost from its
                             // *planned* worker's ledger (steal-aware —
                             // the same attribution `WorkerTally` uses)
                             // and publish the tallies so samplers see
                             // the unit boundary immediately.
-                            progress.unit_done(plan[i], costs[i]);
+                            wctx.progress.unit_done(plan[i], costs[i]);
                             exec.flush_progress();
                             // Zero-duration progress instant on this
                             // worker's Perfetto lane.
@@ -490,7 +455,7 @@ fn cost_guided_join<const N: usize>(
                             p.set("unit", i);
                             p.set("cost", costs[i]);
                         }
-                        if let Some(drift) = drift {
+                        if let Some(drift) = wctx.drift {
                             let na_now = na_live.fetch_add(na, Ordering::Relaxed) + na;
                             let da_now = da_live.fetch_add(da, Ordering::Relaxed) + da;
                             let na_breach = drift.observe_in_flight(NA_TOTAL, na_now as f64);
@@ -709,16 +674,15 @@ pub(crate) fn subtree_params<const N: usize>(tree: &RTree<N>, id: NodeId) -> Tre
 // Legacy round-robin scheduler.
 // ---------------------------------------------------------------------
 
-fn round_robin_join<const N: usize>(
+pub(crate) fn round_robin_join<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
     threads: usize,
-    obs: &JoinObs,
-    faults: &FaultInjector,
-    gov: &Governor,
+    ctx: &ExecContext<'_>,
 ) -> Result<(JoinResultSet, Vec<RawSkip>), JoinError> {
-    let mut join_span = obs.tracer.span("round-robin-join");
+    let gov = ctx.gov;
+    let mut join_span = ctx.tracer.span("round-robin-join");
     join_span.set("threads", threads);
     // Root-level work units: overlapping (child1, child2) pairs, or
     // pinned pairs when heights differ at the root. Units keep their
@@ -736,7 +700,7 @@ fn round_robin_join<const N: usize>(
         .iter()
         .map(|s| (s.len() as u64, s.len() as u64))
         .collect();
-    obs.progress.set_schedule(&planned);
+    ctx.progress.set_schedule(&planned);
 
     let join_id = join_span.id();
     let results: Vec<Result<(JoinResultSet, Vec<RawSkip>), JoinError>> =
@@ -745,27 +709,14 @@ fn round_robin_join<const N: usize>(
                 .iter()
                 .enumerate()
                 .map(|(w, shard)| {
-                    let tracer = obs.tracer.clone();
-                    let recorder = obs.recorder.clone();
-                    let progress = obs.progress.clone();
-                    let gov = gov.clone();
+                    let wctx = ctx.clone();
                     scope.spawn(move || {
-                        let mut span = tracer.span_under(join_id, "worker");
+                        let mut span = wctx.tracer.span_under(join_id, "worker");
                         span.set("worker", w);
                         span.set("units", shard.len());
                         // One correlation domain per shard: its buffers
                         // persist across all of the shard's units.
-                        run_shard(
-                            r1,
-                            r2,
-                            config,
-                            shard,
-                            &recorder,
-                            (w + 1) as u32,
-                            faults,
-                            &progress,
-                            &gov,
-                        )
+                        run_shard(r1, r2, config, shard, &wctx, CorrDomain::Shard(w))
                     })
                 })
                 .collect();
@@ -886,28 +837,23 @@ pub(crate) fn root_work_units<const N: usize>(
 /// Runs one static shard: the assigned ordinal-tagged root-level pairs
 /// through a worker executor whose buffers persist across units (the
 /// legacy behaviour, kept bit-for-bit so `RoundRobin` stays an honest
-/// baseline). The governor gates every `Pair` unit at its boundary; a
-/// refused unit is forfeited exactly like a fault-forfeited pair —
-/// recorded as a skip, priced later, never silently dropped. An
-/// unlimited governor is one `Option` check per unit.
-#[allow(clippy::too_many_arguments)]
+/// baseline). The context's governor gates every `Pair` unit at its
+/// `ctx.checkpoint` boundary; a refused unit is forfeited exactly like
+/// a fault-forfeited pair — recorded as a skip, priced later, never
+/// silently dropped. An unlimited governor is one `Option` check per
+/// unit.
 pub(crate) fn run_shard<const N: usize>(
     r1: &RTree<N>,
     r2: &RTree<N>,
     config: JoinConfig,
     units: &[(usize, WorkUnit)],
-    recorder: &FlightRecorder,
-    corr: u32,
-    faults: &FaultInjector,
-    progress: &ProgressTracker,
-    gov: &Governor,
+    ctx: &ExecContext<'_>,
+    domain: CorrDomain,
 ) -> (JoinResultSet, Vec<RawSkip>) {
-    let mut shard = UnitExecutor::new(r1, r2, config, recorder, faults.clone(), progress.sink());
-    // The shard index: `corr` is the shard's buffer-residency domain,
-    // assigned as worker + 1 by the static deal above.
-    let worker = (corr - 1) as usize;
-    shard.lane1.set_corr(corr);
-    shard.lane2.set_corr(corr);
+    // The shard is one buffer-residency domain: its correlation id and
+    // the progress-ledger worker index both come from `domain`.
+    let mut shard = Engine::new(r1, r2, config, ctx, domain);
+    let worker = domain.worker_index();
     for &(ordinal, unit) in units {
         match unit {
             WorkUnit::Emit(a, b) => {
@@ -916,21 +862,21 @@ pub(crate) fn run_shard<const N: usize>(
                 if config.collect_pairs {
                     shard.pairs.push((a, b));
                 }
-                gov.note_unit_done(ordinal);
+                ctx.unit_done(ordinal);
             }
             WorkUnit::Pair(c1, c2) => {
                 let (id1, id2) = (c1.node(), c2.node());
                 // Work-unit boundary: the governor's cancellation
                 // point. A refusal forfeits the whole subtree pair,
                 // priced like a fault forfeit.
-                if !gov.admit_unit(ordinal) {
+                if !ctx.checkpoint(ordinal) {
                     shard.skips.push(RawSkip {
                         tree: 1,
                         n1: id1,
                         n2: id2,
                     });
                     shard.progress.forfeit(r1.node(id1).level);
-                    gov.note_forfeit(ordinal);
+                    ctx.forfeit_unit(ordinal);
                     continue;
                 }
                 // The same probe the sequential executor makes before
@@ -947,335 +893,24 @@ pub(crate) fn run_shard<const N: usize>(
                     shard.access2(id2);
                 }
                 shard.visit(id1, id2);
-                gov.note_unit_done(ordinal);
+                ctx.unit_done(ordinal);
             }
         }
-        if progress.is_enabled() {
-            progress.unit_done(worker, 1);
+        if ctx.progress.is_enabled() {
+            ctx.progress.unit_done(worker, 1);
             shard.flush_progress();
         }
     }
-    (
-        JoinResultSet {
-            pairs: shard.pairs,
-            pair_count: shard.pair_count,
-            stats1: shard.stats1,
-            stats2: shard.stats2,
-            buffers1: shard.buf1.counters(),
-            buffers2: shard.buf2.counters(),
-            ..JoinResultSet::default()
-        },
-        shard.skips,
-    )
-}
-
-// ---------------------------------------------------------------------
-// The traversal engine shared by the coordinator and the workers.
-// ---------------------------------------------------------------------
-
-/// A reduced copy of the sequential executor's recursion (the
-/// sequential `Executor` is private to `executor.rs` and entangled with
-/// its entry point; the traversal logic is small enough that sharing it
-/// through a trait would cost more than it saves). Entry matching goes
-/// through [`matched_entries`], so the match order — and therefore the
-/// access order the buffers see — is the sequential executor's.
-struct UnitExecutor<'a, const N: usize> {
-    r1: &'a RTree<N>,
-    r2: &'a RTree<N>,
-    buf1: Box<dyn BufferManager>,
-    buf2: Box<dyn BufferManager>,
-    stats1: AccessStats,
-    stats2: AccessStats,
-    lane1: sjcm_storage::RecorderLane,
-    lane2: sjcm_storage::RecorderLane,
-    pairs: Vec<(ObjectId, ObjectId)>,
-    pair_count: u64,
-    config: JoinConfig,
-    scratch: MatchScratch<N>,
-    // Fault-injection oracle (disabled = one `Option` check per pair)
-    // and the node pairs forfeited to permanent read failures.
-    faults: FaultInjector,
-    skips: Vec<RawSkip>,
-    // Live progress feed — disabled is one `Option` check per access
-    // (see the sequential executor's twin field).
-    progress: ProgressSink,
-}
-
-impl<'a, const N: usize> UnitExecutor<'a, N> {
-    fn new(
-        r1: &'a RTree<N>,
-        r2: &'a RTree<N>,
-        config: JoinConfig,
-        recorder: &FlightRecorder,
-        faults: FaultInjector,
-        progress: ProgressSink,
-    ) -> Self {
-        Self {
-            r1,
-            r2,
-            buf1: config.buffer.build(),
-            buf2: config.buffer.build(),
-            stats1: AccessStats::new(),
-            stats2: AccessStats::new(),
-            lane1: recorder.lane(1),
-            lane2: recorder.lane(2),
-            pairs: Vec::new(),
-            pair_count: 0,
-            config,
-            scratch: MatchScratch::new(),
-            faults,
-            skips: Vec::new(),
-            progress,
-        }
-    }
-
-    /// Publishes the executor's cumulative per-level tallies into the
-    /// progress hub (no-op when progress is disabled).
-    fn flush_progress(&mut self) {
-        if self.progress.is_enabled() {
-            self.progress.flush(
-                self.stats1.per_level(),
-                self.stats2.per_level(),
-                self.pair_count,
-            );
-        }
-    }
-
-    /// Probes the injector for the pair's two page reads before they
-    /// are charged — the same protocol as the sequential executor's
-    /// `probe` (roots are memory-resident per §3.1 and never probed),
-    /// so all schedulers forfeit exactly the same pairs under the same
-    /// fault plan.
-    fn probe(&mut self, n1: NodeId, n2: NodeId) -> bool {
-        if n1 != self.r1.root_id() {
-            let level = self.r1.node(n1).level;
-            if self.faults.access(1, PageId(n1.0), level).is_err() {
-                self.skips.push(RawSkip { tree: 1, n1, n2 });
-                self.progress.forfeit(level);
-                return false;
-            }
-        }
-        if n2 != self.r2.root_id() {
-            let level = self.r2.node(n2).level;
-            if self.faults.access(2, PageId(n2.0), level).is_err() {
-                self.skips.push(RawSkip { tree: 2, n1, n2 });
-                self.progress.forfeit(level);
-                return false;
-            }
-        }
-        true
-    }
-
-    fn access1(&mut self, id: NodeId) {
-        let level = self.r1.node(id).level;
-        let kind = self.buf1.access(PageId(id.0), level);
-        self.stats1.record(level, kind);
-        self.lane1.record(PageId(id.0), level, kind);
-        if self.progress.tick() {
-            self.flush_progress();
-        }
-    }
-
-    fn access2(&mut self, id: NodeId) {
-        let level = self.r2.node(id).level;
-        let kind = self.buf2.access(PageId(id.0), level);
-        self.stats2.record(level, kind);
-        self.lane2.record(PageId(id.0), level, kind);
-        if self.progress.tick() {
-            self.flush_progress();
-        }
-    }
-
-    fn matched(&mut self, n1_id: NodeId, n2_id: NodeId) -> Vec<(Child, Child)> {
-        matched_entries(
-            self.r1.node(n1_id),
-            self.r2.node(n2_id),
-            &self.config,
-            &mut self.scratch,
-        )
-    }
-
-    /// Expands the synchronized traversal breadth-first, one level per
-    /// round, until the frontier holds at least `target` node pairs or
-    /// nothing is expandable (every pair is leaf–leaf). Every access a
-    /// sequential join would charge *above* the returned frontier is
-    /// charged here, against this executor's buffers; every pair in the
-    /// returned frontier has already been charged (or is the uncounted
-    /// root pair), so workers must not charge unit entries again.
-    ///
-    /// One more round always expands *every* expandable pair, so on a
-    /// shallow tree a single round can overshoot `target` straight into
-    /// leaf–leaf pairs — units with no node accesses left in them, the
-    /// coordinator having absorbed the whole traversal. To keep the
-    /// units worth scheduling, expansion also stops early when the next
-    /// round would produce only leaf–leaf pairs, provided at least
-    /// `min_units` pairs are already on hand.
-    ///
-    /// Within a round, pairs expand in frontier order and children
-    /// append in match order, so the per-level access sequence is the
-    /// sequential DFS's per-level access sequence — under a path buffer
-    /// (one frame per level) the intermediate-level DA is therefore
-    /// *exactly* sequential.
-    fn collect_frontier(&mut self, target: usize, min_units: usize) -> Vec<(NodeId, NodeId)> {
-        let mut frontier = vec![(self.r1.root_id(), self.r2.root_id())];
-        loop {
-            if frontier.len() >= target {
-                return frontier;
-            }
-            // All pairs in a round sit at the same level pair, so one
-            // probe decides whether another round would only produce
-            // I/O-free leaf–leaf units.
-            if frontier.len() >= min_units
-                && frontier
-                    .iter()
-                    .all(|&(a, b)| self.r1.node(a).level <= 1 && self.r2.node(b).level <= 1)
-            {
-                return frontier;
-            }
-            let mut next = Vec::new();
-            let mut expanded = false;
-            for &(a, b) in &frontier {
-                let leaf1 = self.r1.node(a).is_leaf();
-                let leaf2 = self.r2.node(b).is_leaf();
-                match (leaf1, leaf2) {
-                    (true, true) => next.push((a, b)),
-                    (false, false) => {
-                        expanded = true;
-                        for (c1, c2) in self.matched(a, b) {
-                            let (c1, c2) = (c1.node(), c2.node());
-                            if self.faults.is_enabled() && !self.probe(c1, c2) {
-                                continue;
-                            }
-                            self.access1(c1);
-                            self.access2(c2);
-                            next.push((c1, c2));
-                        }
-                    }
-                    (false, true) => {
-                        expanded = true;
-                        let m2 = match self.r2.node(b).mbr() {
-                            Some(m) => m,
-                            None => continue,
-                        };
-                        let children = pinned_children(
-                            &self.r1.node(a).entries,
-                            &m2,
-                            self.config.predicate,
-                            self.config.kernel,
-                            &mut self.scratch,
-                        );
-                        for c1 in children {
-                            if self.faults.is_enabled() && !self.probe(c1, b) {
-                                continue;
-                            }
-                            self.access1(c1);
-                            self.access2(b);
-                            next.push((c1, b));
-                        }
-                    }
-                    (true, false) => {
-                        expanded = true;
-                        let m1 = match self.r1.node(a).mbr() {
-                            Some(m) => m,
-                            None => continue,
-                        };
-                        let children = pinned_children(
-                            &self.r2.node(b).entries,
-                            &m1,
-                            self.config.predicate,
-                            self.config.kernel,
-                            &mut self.scratch,
-                        );
-                        for c2 in children {
-                            if self.faults.is_enabled() && !self.probe(a, c2) {
-                                continue;
-                            }
-                            self.access1(a);
-                            self.access2(c2);
-                            next.push((a, c2));
-                        }
-                    }
-                }
-            }
-            frontier = next;
-            if !expanded {
-                return frontier;
-            }
-        }
-    }
-
-    fn visit(&mut self, n1_id: NodeId, n2_id: NodeId) {
-        let leaf1 = self.r1.node(n1_id).is_leaf();
-        let leaf2 = self.r2.node(n2_id).is_leaf();
-        let pred = self.config.predicate;
-        match (leaf1, leaf2) {
-            (true, true) => {
-                for (c1, c2) in self.matched(n1_id, n2_id) {
-                    self.pair_count += 1;
-                    if self.config.collect_pairs {
-                        self.pairs.push((c1.object(), c2.object()));
-                    }
-                }
-            }
-            (false, false) => {
-                for (c1, c2) in self.matched(n1_id, n2_id) {
-                    let (c1, c2) = (c1.node(), c2.node());
-                    if self.faults.is_enabled() && !self.probe(c1, c2) {
-                        continue;
-                    }
-                    self.access1(c1);
-                    self.access2(c2);
-                    self.visit(c1, c2);
-                }
-            }
-            (false, true) => {
-                let m2 = match self.r2.node(n2_id).mbr() {
-                    Some(m) => m,
-                    None => return,
-                };
-                let children = pinned_children(
-                    &self.r1.node(n1_id).entries,
-                    &m2,
-                    pred,
-                    self.config.kernel,
-                    &mut self.scratch,
-                );
-                for c1 in children {
-                    if self.faults.is_enabled() && !self.probe(c1, n2_id) {
-                        continue;
-                    }
-                    self.access1(c1);
-                    self.access2(n2_id);
-                    self.visit(c1, n2_id);
-                }
-            }
-            (true, false) => {
-                let m1 = match self.r1.node(n1_id).mbr() {
-                    Some(m) => m,
-                    None => return,
-                };
-                let children = pinned_children(
-                    &self.r2.node(n2_id).entries,
-                    &m1,
-                    pred,
-                    self.config.kernel,
-                    &mut self.scratch,
-                );
-                for c2 in children {
-                    if self.faults.is_enabled() && !self.probe(n1_id, c2) {
-                        continue;
-                    }
-                    self.access1(n1_id);
-                    self.access2(c2);
-                    self.visit(n1_id, c2);
-                }
-            }
-        }
-    }
+    shard.into_parts()
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free-function entry points are exercised on purpose:
+    // they are thin wrappers over `JoinSession` and these tests double as
+    // wrapper coverage.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::executor::spatial_join;
     use rand::rngs::StdRng;

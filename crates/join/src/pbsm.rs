@@ -22,6 +22,7 @@
 use crate::degraded::JoinError;
 use crate::executor::MatchKernel;
 use crate::governor::Governor;
+use crate::session::{ExecContext, PbsmSession};
 use sjcm_geom::{unit_grid_cell, Rect, RectBatch};
 use sjcm_obs::progress::ProgressTracker;
 use sjcm_rtree::ObjectId;
@@ -68,13 +69,17 @@ impl DegradedPbsmResult {
 /// are vectors rather than spill files, but the partitioning, the
 /// plane-sweep per partition and the duplicate-avoidance logic are the
 /// real thing.
+#[deprecated(note = "use `session::PbsmSession::new(left, right, grid, page_capacity).run()`")]
 pub fn pbsm_join<const N: usize>(
     left: &[(Rect<N>, ObjectId)],
     right: &[(Rect<N>, ObjectId)],
     grid: usize,
     page_capacity: usize,
 ) -> PbsmResult {
-    pbsm_join_with(left, right, grid, page_capacity, MatchKernel::default())
+    PbsmSession::new(left, right, grid, page_capacity)
+        .run()
+        .expect("ungoverned PBSM cannot fail")
+        .result
 }
 
 /// [`pbsm_join`] with an explicit [`MatchKernel`]. The scalar and
@@ -83,6 +88,7 @@ pub fn pbsm_join<const N: usize>(
 /// fused [`RectBatch::ref_cell_mask`] kernel (intersection test and
 /// reference-point cell in one pass) instead of per-candidate
 /// `intersects` + `intersection` double scans.
+#[deprecated(note = "use `session::PbsmSession::new(..).kernel(kernel).run()`")]
 pub fn pbsm_join_with<const N: usize>(
     left: &[(Rect<N>, ObjectId)],
     right: &[(Rect<N>, ObjectId)],
@@ -90,14 +96,11 @@ pub fn pbsm_join_with<const N: usize>(
     page_capacity: usize,
     kernel: MatchKernel,
 ) -> PbsmResult {
-    pbsm_join_observed(
-        left,
-        right,
-        grid,
-        page_capacity,
-        kernel,
-        &ProgressTracker::disabled(),
-    )
+    PbsmSession::new(left, right, grid, page_capacity)
+        .kernel(kernel)
+        .run()
+        .expect("ungoverned PBSM cannot fail")
+        .result
 }
 
 /// [`pbsm_join_with`] with a live progress feed. PBSM has no R-tree
@@ -107,6 +110,7 @@ pub fn pbsm_join_with<const N: usize>(
 /// as its sweep completes, with emitted pairs published alongside.
 /// The tracker is marked finished on return. Results are byte-identical
 /// to an untracked run.
+#[deprecated(note = "use `session::PbsmSession::new(..).progress(progress).run()`")]
 pub fn pbsm_join_observed<const N: usize>(
     left: &[(Rect<N>, ObjectId)],
     right: &[(Rect<N>, ObjectId)],
@@ -115,17 +119,12 @@ pub fn pbsm_join_observed<const N: usize>(
     kernel: MatchKernel,
     progress: &ProgressTracker,
 ) -> PbsmResult {
-    try_pbsm_join(
-        left,
-        right,
-        grid,
-        page_capacity,
-        kernel,
-        progress,
-        &Governor::unlimited(),
-    )
-    .expect("ungoverned PBSM cannot fail")
-    .result
+    PbsmSession::new(left, right, grid, page_capacity)
+        .kernel(kernel)
+        .progress(progress)
+        .run()
+        .expect("ungoverned PBSM cannot fail")
+        .result
 }
 
 /// Fallible, governed twin of [`pbsm_join_observed`]. The governor's
@@ -136,6 +135,7 @@ pub fn pbsm_join_observed<const N: usize>(
 /// [`DegradedPbsmResult`], never silently dropped. With an unlimited
 /// governor this is exactly [`pbsm_join_observed`].
 #[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use `session::PbsmSession::new(..).progress(progress).govern(gov).run()`")]
 pub fn try_pbsm_join<const N: usize>(
     left: &[(Rect<N>, ObjectId)],
     right: &[(Rect<N>, ObjectId)],
@@ -145,6 +145,28 @@ pub fn try_pbsm_join<const N: usize>(
     progress: &ProgressTracker,
     gov: &Governor,
 ) -> Result<DegradedPbsmResult, JoinError> {
+    PbsmSession::new(left, right, grid, page_capacity)
+        .kernel(kernel)
+        .progress(progress)
+        .govern(gov)
+        .run()
+}
+
+/// The PBSM executor body, cross-cutting concerns supplied through the
+/// one [`ExecContext`] seam (PBSM uses the progress hub and the
+/// governor: [`ExecContext::checkpoint`] gates each active cell,
+/// [`ExecContext::unit_done`] / [`ExecContext::forfeit_unit`] keep the
+/// shed ledger honest, and the memory budget meters the replica arena).
+pub(crate) fn run_pbsm<const N: usize>(
+    left: &[(Rect<N>, ObjectId)],
+    right: &[(Rect<N>, ObjectId)],
+    grid: usize,
+    page_capacity: usize,
+    kernel: MatchKernel,
+    ctx: &ExecContext<'_>,
+) -> Result<DegradedPbsmResult, JoinError> {
+    let progress = &ctx.progress;
+    let gov = ctx.gov;
     assert!(grid >= 1, "need at least one partition per dimension");
     assert!(page_capacity >= 1, "page capacity must be positive");
     gov.start_clock();
@@ -221,10 +243,10 @@ pub fn try_pbsm_join<const N: usize>(
     let mut forfeited_entries = 0u64;
     for (ordinal, &cell) in active.iter().enumerate() {
         // Work-unit boundary: the governor's cancellation point.
-        if !gov.admit_unit(ordinal) {
+        if !ctx.checkpoint(ordinal) {
             forfeited_cells += 1;
             forfeited_entries += cell_price(cell);
-            gov.note_forfeit(ordinal);
+            ctx.forfeit_unit(ordinal);
             continue;
         }
         let before = pairs.len();
@@ -237,7 +259,7 @@ pub fn try_pbsm_join<const N: usize>(
             &mut scratch,
             &mut pairs,
         );
-        gov.note_unit_done(ordinal);
+        ctx.unit_done(ordinal);
         if progress.is_enabled() {
             progress.unit_done(0, cell_price(cell));
             progress.add_pairs((pairs.len() - before) as u64);
@@ -417,6 +439,11 @@ fn sweep_cell<const N: usize>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free-function entry points are exercised on purpose:
+    // they are thin wrappers over `PbsmSession` and these tests double as
+    // wrapper coverage.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::baselines::nested_loop_join;
     use rand::rngs::StdRng;

@@ -1,0 +1,506 @@
+//! The one front door for every join execution: a [`JoinSession`]
+//! builder that owns a single [`ExecContext`] bundling *all*
+//! cross-cutting concerns — span tracer, drift monitor, page-access
+//! flight recorder (with its correlation-id allocator), live progress
+//! hub, fault injector, and governor (admission, deadline/cancellation,
+//! memory budget, shedding).
+//!
+//! Historically each of the four executors (sequential, cost-guided,
+//! round-robin, PBSM) hand-threaded those five concerns through its own
+//! combinatorial entry points (`spatial_join` / `_with` / `_recorded` /
+//! `try_*` / `_observed` …). Those entry points still exist as thin
+//! deprecated wrappers — byte-identical, asserted by
+//! `tests/session_equivalence.rs` — but every one of them now routes
+//! through the session, so a new cross-cutting capability lands in
+//! exactly one seam: [`ExecContext`].
+//!
+//! ```
+//! use sjcm_join::session::{JoinSession, Scheduler};
+//! use sjcm_join::JoinConfig;
+//! use sjcm_rtree::{ObjectId, RTree, RTreeConfig};
+//! use sjcm_geom::Rect;
+//!
+//! let mut a = RTree::<2>::new(RTreeConfig::with_capacity(8));
+//! let mut b = RTree::<2>::new(RTreeConfig::with_capacity(8));
+//! a.insert(Rect::new([0.1, 0.1], [0.3, 0.3]).unwrap(), ObjectId(1));
+//! b.insert(Rect::new([0.2, 0.2], [0.4, 0.4]).unwrap(), ObjectId(2));
+//! let out = JoinSession::new(&a, &b)
+//!     .config(JoinConfig::default())
+//!     .scheduler(Scheduler::CostGuided { threads: 2 })
+//!     .run()
+//!     .unwrap();
+//! assert!(out.is_exact());
+//! assert_eq!(out.result.pairs, vec![(ObjectId(1), ObjectId(2))]);
+//! ```
+
+use crate::degraded::{DegradedJoinResult, JoinError};
+use crate::executor::{JoinConfig, MatchKernel};
+use crate::governor::Governor;
+use crate::parallel::{JoinObs, ScheduleMode};
+use crate::pbsm::DegradedPbsmResult;
+use sjcm_geom::Rect;
+use sjcm_obs::progress::ProgressTracker;
+use sjcm_obs::{DriftMonitor, Tracer};
+use sjcm_rtree::{ObjectId, RTree};
+use sjcm_storage::{FaultInjector, FlightRecorder, RecorderLane};
+
+/// The recorder correlation-id allocator: one buffer-residency domain →
+/// one correlation id, with the scheme documented (and unit-tested)
+/// here instead of re-derived in each executor.
+///
+/// | domain | correlation id |
+/// |---|---|
+/// | [`CorrDomain::Coordinator`] (also the sequential join) | `0` |
+/// | [`CorrDomain::Unit`]`(i)` — cost-guided work unit `i` | `i + 1` |
+/// | [`CorrDomain::Shard`]`(w)` — static shard of worker `w` | `w + 1` |
+///
+/// A domain is a buffer-residency scope: trace replay simulates one
+/// buffer per `(tree, corr)` lane, so every scope whose buffers start
+/// cold must get its own id. The sequential join and the cost-guided
+/// coordinator share id 0 because both run one warm buffer from the
+/// root down. Unit and shard ids may collide with each other numerically
+/// — they never coexist in one run (a run is either unit-scheduled or
+/// shard-scheduled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrDomain {
+    /// The sequential executor, or the parallel coordinator above the
+    /// frontier: one warm buffer from the root down.
+    Coordinator,
+    /// One cost-guided work unit (buffers reset at every unit
+    /// boundary, so each unit is its own residency domain).
+    Unit(usize),
+    /// One static shard (round-robin or governed deal): buffers persist
+    /// across the shard's units.
+    Shard(usize),
+}
+
+impl CorrDomain {
+    /// The correlation id recorded on every page-access event charged
+    /// inside this domain.
+    pub fn corr(self) -> u32 {
+        match self {
+            CorrDomain::Coordinator => 0,
+            CorrDomain::Unit(i) => (i + 1) as u32,
+            CorrDomain::Shard(w) => (w + 1) as u32,
+        }
+    }
+
+    /// The worker index progress ledgers attribute this domain's
+    /// retired units to (the coordinator feeds worker 0's ledger — it
+    /// only ever retires units in single-domain runs).
+    pub(crate) fn worker_index(self) -> usize {
+        match self {
+            CorrDomain::Coordinator => 0,
+            CorrDomain::Unit(i) => i,
+            CorrDomain::Shard(w) => w,
+        }
+    }
+}
+
+/// Which traversal/scheduling strategy a [`JoinSession`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// The depth-first synchronized traversal of \[BKS93\], one thread,
+    /// pairs in traversal (emission) order.
+    #[default]
+    Sequential,
+    /// The cost-guided parallel scheduler: Eq-6-priced frontier units,
+    /// LPT deques, work stealing. Pairs sorted. `threads = 1` falls
+    /// back to the sequential traversal (pairs still sorted).
+    CostGuided {
+        /// Worker count; must be ≥ 1 ([`JoinError::InvalidThreads`]).
+        threads: usize,
+    },
+    /// The static round-robin baseline: root-level units dealt
+    /// `i mod threads`, no redistribution. Pairs sorted; same
+    /// `threads = 1` fallback.
+    RoundRobin {
+        /// Worker count; must be ≥ 1 ([`JoinError::InvalidThreads`]).
+        threads: usize,
+    },
+}
+
+/// Every cross-cutting concern of a join execution, bundled behind one
+/// seam. Executors receive `&ExecContext` and call its methods at their
+/// descent sites — `ctx.checkpoint(..)` at work-unit boundaries,
+/// `ctx.lanes(..)` for recorder correlation domains, `ctx.unit_done(..)`
+/// / `ctx.forfeit_unit(..)` for governor bookkeeping — instead of
+/// receiving five separately-plumbed parameters.
+///
+/// Cloning is cheap (`Arc` handles all the way down): parallel
+/// schedulers clone one context per worker thread, which is exactly the
+/// per-worker hook cloning the executors did by hand before.
+#[derive(Debug, Clone)]
+pub struct ExecContext<'a> {
+    /// Span collector (disabled = one `Option` check per span site).
+    pub tracer: Tracer,
+    /// In-flight drift monitor, if the caller registered predictions.
+    pub drift: Option<&'a DriftMonitor>,
+    /// Page-access flight recorder; correlation ids are allocated
+    /// through [`ExecContext::lanes`] — see [`CorrDomain`].
+    pub recorder: FlightRecorder,
+    /// Live progress hub (schedule ledgers, per-level NA/DA feed, ETA).
+    pub progress: ProgressTracker,
+    /// Fault-injection oracle for chaos runs (disabled = one `Option`
+    /// check per node pair).
+    pub faults: FaultInjector,
+    /// Admission control, deadline/cancellation token, memory budget,
+    /// and load shedding.
+    pub gov: &'a Governor,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A context with every concern disabled except the governor given.
+    pub(crate) fn bare(gov: &'a Governor) -> Self {
+        ExecContext {
+            tracer: Tracer::disabled(),
+            drift: None,
+            recorder: FlightRecorder::disabled(),
+            progress: ProgressTracker::disabled(),
+            faults: FaultInjector::disabled(),
+            gov,
+        }
+    }
+
+    /// Allocates the pair of recorder lanes (tree 1, tree 2) for a
+    /// buffer-residency domain, with the correlation ids of the
+    /// documented [`CorrDomain`] scheme.
+    pub fn lanes(&self, domain: CorrDomain) -> (RecorderLane, RecorderLane) {
+        let corr = domain.corr();
+        let mut lane1 = self.recorder.lane(1);
+        let mut lane2 = self.recorder.lane(2);
+        lane1.set_corr(corr);
+        lane2.set_corr(corr);
+        (lane1, lane2)
+    }
+
+    /// The governor's cancellation point at a work-unit boundary:
+    /// `true` admits the unit, `false` means it must be forfeited (the
+    /// caller records the skip and then calls
+    /// [`ExecContext::forfeit_unit`]).
+    pub fn checkpoint(&self, ordinal: usize) -> bool {
+        self.gov.admit_unit(ordinal)
+    }
+
+    /// Retires an admitted work unit from the governor's ledger.
+    pub fn unit_done(&self, ordinal: usize) {
+        self.gov.note_unit_done(ordinal);
+    }
+
+    /// Records a unit refused at a [`ExecContext::checkpoint`] as
+    /// forfeited, for the governor's degraded-result accounting.
+    pub fn forfeit_unit(&self, ordinal: usize) {
+        self.gov.note_forfeit(ordinal);
+    }
+}
+
+/// Builder for one join execution over two R-trees. See the module
+/// docs; [`JoinSession::run`] executes under the configured
+/// [`Scheduler`] with every cross-cutting concern routed through one
+/// [`ExecContext`].
+#[derive(Debug)]
+pub struct JoinSession<'a, const N: usize> {
+    r1: &'a RTree<N>,
+    r2: &'a RTree<N>,
+    config: JoinConfig,
+    scheduler: Scheduler,
+    tracer: Tracer,
+    drift: Option<&'a DriftMonitor>,
+    recorder: FlightRecorder,
+    progress: ProgressTracker,
+    faults: FaultInjector,
+    gov: Governor,
+}
+
+impl<'a, const N: usize> JoinSession<'a, N> {
+    /// A session joining `r1 × r2` with default configuration: the
+    /// sequential scheduler, default [`JoinConfig`], every
+    /// observability hook disabled, no faults, unlimited governor.
+    pub fn new(r1: &'a RTree<N>, r2: &'a RTree<N>) -> Self {
+        JoinSession {
+            r1,
+            r2,
+            config: JoinConfig::default(),
+            scheduler: Scheduler::default(),
+            tracer: Tracer::disabled(),
+            drift: None,
+            recorder: FlightRecorder::disabled(),
+            progress: ProgressTracker::disabled(),
+            faults: FaultInjector::disabled(),
+            gov: Governor::unlimited(),
+        }
+    }
+
+    /// Sets the join configuration (buffer policy, predicate, match
+    /// order, kernel, pair collection).
+    pub fn config(mut self, config: JoinConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the scheduling strategy.
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Adopts a [`JoinObs`] observability bundle: tracer, drift
+    /// monitor, flight recorder, progress hub. Handles are shared
+    /// (`Arc` clones), so the caller keeps draining the same recorder
+    /// and sampling the same progress tracker.
+    pub fn observe(mut self, obs: &JoinObs<'a>) -> Self {
+        self.tracer = obs.tracer.clone();
+        self.drift = obs.drift;
+        self.recorder = obs.recorder.clone();
+        self.progress = obs.progress.clone();
+        self
+    }
+
+    /// Arms the page-access flight recorder (shared handle — drain it
+    /// after the run).
+    pub fn record(mut self, recorder: &FlightRecorder) -> Self {
+        self.recorder = recorder.clone();
+        self
+    }
+
+    /// Arms the fault-injection oracle (chaos runs).
+    pub fn faults(mut self, faults: &FaultInjector) -> Self {
+        self.faults = faults.clone();
+        self
+    }
+
+    /// Puts the run under a governor: admission control before any
+    /// traversal, unit-boundary cancellation checkpoints, memory-budget
+    /// reservations, shedding.
+    pub fn govern(mut self, gov: &Governor) -> Self {
+        self.gov = gov.clone();
+        self
+    }
+
+    /// Executes the join.
+    ///
+    /// Result shape per scheduler (byte-compatible with the legacy
+    /// entry points — asserted in `tests/session_equivalence.rs`):
+    ///
+    /// * [`Scheduler::Sequential`]: pairs in traversal (emission)
+    ///   order, unsorted.
+    /// * [`Scheduler::CostGuided`] / [`Scheduler::RoundRobin`]: pairs
+    ///   sorted by `(R1 object, R2 object)`; `threads = 1` falls back
+    ///   to the sequential traversal under a `sequential-join` span
+    ///   (pairs still sorted); `threads = 0` is
+    ///   [`JoinError::InvalidThreads`].
+    ///
+    /// `Err` is reserved for failures that make the run unusable
+    /// (admission rejection, budget exhaustion, a worker panic,
+    /// invalid thread count); forfeited work under faults or deadlines
+    /// comes back priced on the [`DegradedJoinResult`] instead.
+    pub fn run(self) -> Result<DegradedJoinResult<N>, JoinError> {
+        let JoinSession {
+            r1,
+            r2,
+            config,
+            scheduler,
+            tracer,
+            drift,
+            recorder,
+            progress,
+            faults,
+            gov,
+        } = self;
+        let ctx = ExecContext {
+            tracer,
+            drift,
+            recorder,
+            progress,
+            faults,
+            gov: &gov,
+        };
+        match scheduler {
+            Scheduler::Sequential => {
+                ctx.gov.admit(r1, r2)?;
+                let (result, raw) = if ctx.gov.is_unit_gated() {
+                    crate::governor::run_governed_sequential(r1, r2, config, &ctx)
+                } else {
+                    crate::executor::run_sequential(r1, r2, config, &ctx)
+                };
+                // The run is over: later progress samples report 1.0.
+                ctx.progress.finish();
+                let degraded = crate::degraded::finish_degraded(
+                    r1,
+                    r2,
+                    config.predicate,
+                    result,
+                    raw,
+                    &ctx.faults,
+                );
+                ctx.gov.finish();
+                Ok(degraded)
+            }
+            Scheduler::CostGuided { threads } | Scheduler::RoundRobin { threads } => {
+                let mode = match scheduler {
+                    Scheduler::RoundRobin { .. } => ScheduleMode::RoundRobin,
+                    _ => ScheduleMode::CostGuided,
+                };
+                if threads == 0 {
+                    return Err(JoinError::InvalidThreads);
+                }
+                ctx.gov.admit(r1, r2)?;
+                let (mut result, raw) = if threads == 1 {
+                    let mut span = ctx.tracer.span("sequential-join");
+                    let (mut result, raw) = if ctx.gov.is_unit_gated() {
+                        crate::governor::run_governed_sequential(r1, r2, config, &ctx)
+                    } else {
+                        crate::executor::run_sequential(r1, r2, config, &ctx)
+                    };
+                    result.pairs.sort_unstable();
+                    span.set("na", result.na_total());
+                    span.set("da", result.da_total());
+                    span.set("pairs", result.pair_count);
+                    (result, raw)
+                } else if ctx.gov.is_unit_gated() {
+                    crate::governor::governed_parallel_join(r1, r2, config, threads, mode, &ctx)?
+                } else {
+                    match mode {
+                        ScheduleMode::RoundRobin => {
+                            crate::parallel::round_robin_join(r1, r2, config, threads, &ctx)?
+                        }
+                        ScheduleMode::CostGuided => {
+                            crate::parallel::cost_guided_join(r1, r2, config, threads, &ctx)?
+                        }
+                    }
+                };
+                if threads > 1 {
+                    result.pairs.sort_unstable();
+                }
+                // The run is over: later progress samples report 1.0.
+                ctx.progress.finish();
+                let degraded = crate::degraded::finish_degraded(
+                    r1,
+                    r2,
+                    config.predicate,
+                    result,
+                    raw,
+                    &ctx.faults,
+                );
+                ctx.gov.finish();
+                Ok(degraded)
+            }
+        }
+    }
+}
+
+/// Builder for one PBSM (Partition Based Spatial-Merge) join over two
+/// unindexed rectangle sets — the session-API front door for the fourth
+/// executor. PBSM takes raw entry slices rather than R-trees, so it
+/// gets its own builder; the cross-cutting concerns still flow through
+/// the same [`ExecContext`] seam (PBSM uses the progress hub and the
+/// governor; it has no tree pages to record or fault).
+#[derive(Debug)]
+pub struct PbsmSession<'a, const N: usize> {
+    left: &'a [(Rect<N>, ObjectId)],
+    right: &'a [(Rect<N>, ObjectId)],
+    grid: usize,
+    page_capacity: usize,
+    kernel: MatchKernel,
+    progress: ProgressTracker,
+    gov: Governor,
+}
+
+impl<'a, const N: usize> PbsmSession<'a, N> {
+    /// A session joining `left × right` on a `grid^N` partition with
+    /// `page_capacity` entries per simulated page. Defaults: batched
+    /// kernel, progress disabled, unlimited governor.
+    pub fn new(
+        left: &'a [(Rect<N>, ObjectId)],
+        right: &'a [(Rect<N>, ObjectId)],
+        grid: usize,
+        page_capacity: usize,
+    ) -> Self {
+        PbsmSession {
+            left,
+            right,
+            grid,
+            page_capacity,
+            kernel: MatchKernel::default(),
+            progress: ProgressTracker::disabled(),
+            gov: Governor::unlimited(),
+        }
+    }
+
+    /// Sets the intersection-test kernel for the plane sweep.
+    pub fn kernel(mut self, kernel: MatchKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Arms the live progress hub (per-cell unit ledger).
+    pub fn progress(mut self, progress: &ProgressTracker) -> Self {
+        self.progress = progress.clone();
+        self
+    }
+
+    /// Puts the run under a governor — see [`JoinSession::govern`].
+    pub fn govern(mut self, gov: &Governor) -> Self {
+        self.gov = gov.clone();
+        self
+    }
+
+    /// Executes the partition join. Forfeited cells under a deadline
+    /// come back counted on the [`DegradedPbsmResult`]; `Err` is
+    /// admission rejection or memory-budget exhaustion.
+    pub fn run(self) -> Result<DegradedPbsmResult, JoinError> {
+        let PbsmSession {
+            left,
+            right,
+            grid,
+            page_capacity,
+            kernel,
+            progress,
+            gov,
+        } = self;
+        let ctx = ExecContext {
+            progress,
+            ..ExecContext::bare(&gov)
+        };
+        crate::pbsm::run_pbsm(left, right, grid, page_capacity, kernel, &ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the documented correlation-id scheme: sequential /
+    /// coordinator 0, unit `i` → `i + 1`, shard `w` → `w + 1`.
+    #[test]
+    fn corr_domain_mapping_is_pinned() {
+        assert_eq!(CorrDomain::Coordinator.corr(), 0);
+        assert_eq!(CorrDomain::Unit(0).corr(), 1);
+        assert_eq!(CorrDomain::Unit(7).corr(), 8);
+        assert_eq!(CorrDomain::Shard(0).corr(), 1);
+        assert_eq!(CorrDomain::Shard(3).corr(), 4);
+        // The shard worker index round-trips through the id the static
+        // deal assigns (`worker = corr - 1`).
+        for w in 0..8 {
+            let d = CorrDomain::Shard(w);
+            assert_eq!(d.worker_index(), (d.corr() - 1) as usize);
+        }
+    }
+
+    #[test]
+    fn lanes_carry_the_domain_corr() {
+        let gov = Governor::unlimited();
+        let ctx = ExecContext {
+            recorder: sjcm_storage::FlightRecorder::enabled(),
+            ..ExecContext::bare(&gov)
+        };
+        let (mut lane1, mut lane2) = ctx.lanes(CorrDomain::Unit(4));
+        lane1.record(sjcm_storage::PageId(1), 0, sjcm_storage::AccessKind::Miss);
+        lane2.record(sjcm_storage::PageId(2), 0, sjcm_storage::AccessKind::Miss);
+        drop((lane1, lane2));
+        let (events, dropped) = ctx.recorder.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.corr == 5));
+    }
+}

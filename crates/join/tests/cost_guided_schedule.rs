@@ -5,8 +5,17 @@
 //! sharding — while remaining indistinguishable from the sequential
 //! join in its pair output and NA tally.
 
-use sjcm_join::{parallel_spatial_join_with, spatial_join_with, JoinConfig, ScheduleMode};
+use sjcm_join::{JoinConfig, JoinResultSet, JoinSession, Scheduler};
 use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig};
+
+fn join(t1: &RTree<2>, t2: &RTree<2>, config: JoinConfig, sched: Scheduler) -> JoinResultSet {
+    JoinSession::new(t1, t2)
+        .config(config)
+        .scheduler(sched)
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
+}
 
 fn build_uniform(n: usize, density: f64, seed: u64) -> RTree<2> {
     let rects = sjcm_datagen::uniform::generate::<2>(sjcm_datagen::uniform::UniformConfig::new(
@@ -30,9 +39,9 @@ fn cost_guided_beats_round_robin_at_60k() {
     };
     let threads = 4;
 
-    let seq = spatial_join_with(&t1, &t2, config);
-    let rr = parallel_spatial_join_with(&t1, &t2, config, threads, ScheduleMode::RoundRobin);
-    let cg = parallel_spatial_join_with(&t1, &t2, config, threads, ScheduleMode::CostGuided);
+    let seq = join(&t1, &t2, config, Scheduler::Sequential);
+    let rr = join(&t1, &t2, config, Scheduler::RoundRobin { threads });
+    let cg = join(&t1, &t2, config, Scheduler::CostGuided { threads });
 
     // Fidelity: both schedules visit exactly the sequential node pairs
     // and produce exactly the sequential result.

@@ -7,11 +7,39 @@
 
 use proptest::prelude::*;
 use sjcm_join::{
-    parallel_spatial_join_with, spatial_join_with, try_parallel_spatial_join_with,
-    try_spatial_join_with, DegradedJoinResult, Governor, GovernorConfig, JoinConfig, ScheduleMode,
+    DegradedJoinResult, Governor, GovernorConfig, JoinConfig, JoinResultSet, JoinSession, Scheduler,
 };
 use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig};
 use sjcm_storage::{FaultInjector, FaultPlan, RetryPolicy};
+
+/// Session-API shorthand: an ungoverned, unfaulted join.
+fn join(t1: &RTree<2>, t2: &RTree<2>, config: JoinConfig, sched: Scheduler) -> JoinResultSet {
+    JoinSession::new(t1, t2)
+        .config(config)
+        .scheduler(sched)
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
+}
+
+/// Session-API shorthand: a faulted and/or governed join (completes
+/// degraded rather than failing).
+fn try_join(
+    t1: &RTree<2>,
+    t2: &RTree<2>,
+    config: JoinConfig,
+    sched: Scheduler,
+    faults: &FaultInjector,
+    gov: &Governor,
+) -> DegradedJoinResult<2> {
+    JoinSession::new(t1, t2)
+        .config(config)
+        .scheduler(sched)
+        .faults(faults)
+        .govern(gov)
+        .run()
+        .expect("faulted/governed runs complete degraded, they do not fail")
+}
 
 fn build_uniform(n: usize, density: f64, seed: u64) -> RTree<2> {
     let rects = sjcm_datagen::uniform::generate::<2>(sjcm_datagen::uniform::UniformConfig::new(
@@ -39,34 +67,30 @@ fn run_all(
     config: JoinConfig,
     plan: FaultPlan,
 ) -> [DegradedJoinResult<2>; 3] {
-    let seq = try_spatial_join_with(
+    let seq = try_join(
         t1,
         t2,
         config,
+        Scheduler::Sequential,
         &FaultInjector::enabled(plan, RetryPolicy::default()),
         &Governor::unlimited(),
-    )
-    .expect("sequential twin cannot fail");
-    let cg = try_parallel_spatial_join_with(
+    );
+    let cg = try_join(
         t1,
         t2,
         config,
-        4,
-        ScheduleMode::CostGuided,
+        Scheduler::CostGuided { threads: 4 },
         &FaultInjector::enabled(plan, RetryPolicy::default()),
         &Governor::unlimited(),
-    )
-    .expect("no worker may die");
-    let rr = try_parallel_spatial_join_with(
+    );
+    let rr = try_join(
         t1,
         t2,
         config,
-        3,
-        ScheduleMode::RoundRobin,
+        Scheduler::RoundRobin { threads: 3 },
         &FaultInjector::enabled(plan, RetryPolicy::default()),
         &Governor::unlimited(),
-    )
-    .expect("no worker may die");
+    );
     [seq, cg, rr]
 }
 
@@ -76,15 +100,15 @@ fn disabled_injector_matches_infallible_twins_exactly() {
     let t2 = build_uniform(4000, 0.5, 72);
     let config = JoinConfig::default();
 
-    let seq = spatial_join_with(&t1, &t2, config);
-    let try_seq = try_spatial_join_with(
+    let seq = join(&t1, &t2, config, Scheduler::Sequential);
+    let try_seq = try_join(
         &t1,
         &t2,
         config,
+        Scheduler::Sequential,
         &FaultInjector::disabled(),
         &Governor::unlimited(),
-    )
-    .expect("cannot fail without injection");
+    );
     assert!(try_seq.is_exact());
     assert_eq!(try_seq.faults.injected(), 0);
     assert_eq!(try_seq.result.pairs, seq.pairs, "same emission order too");
@@ -92,22 +116,23 @@ fn disabled_injector_matches_infallible_twins_exactly() {
     assert_eq!(try_seq.result.stats1, seq.stats1);
     assert_eq!(try_seq.result.stats2, seq.stats2);
 
-    for mode in [ScheduleMode::CostGuided, ScheduleMode::RoundRobin] {
-        let plain = parallel_spatial_join_with(&t1, &t2, config, 3, mode);
-        let twin = try_parallel_spatial_join_with(
+    for sched in [
+        Scheduler::CostGuided { threads: 3 },
+        Scheduler::RoundRobin { threads: 3 },
+    ] {
+        let plain = join(&t1, &t2, config, sched);
+        let twin = try_join(
             &t1,
             &t2,
             config,
-            3,
-            mode,
+            sched,
             &FaultInjector::disabled(),
             &Governor::unlimited(),
-        )
-        .expect("cannot fail without injection");
+        );
         assert!(twin.is_exact());
-        assert_eq!(twin.result.pairs, plain.pairs, "{mode:?}");
-        assert_eq!(twin.result.na_total(), plain.na_total(), "{mode:?}");
-        assert_eq!(twin.result.da_total(), plain.da_total(), "{mode:?}");
+        assert_eq!(twin.result.pairs, plain.pairs, "{sched:?}");
+        assert_eq!(twin.result.na_total(), plain.na_total(), "{sched:?}");
+        assert_eq!(twin.result.da_total(), plain.da_total(), "{sched:?}");
         assert_eq!(twin.result.workers.len(), plain.workers.len());
     }
 }
@@ -120,7 +145,7 @@ fn transient_faults_within_budget_are_invisible() {
     // Budget 2 ≤ the default 3 retries: every fault heals under retry.
     let plan = FaultPlan::none(4242).with_transient(0.35, 2);
 
-    let clean = spatial_join_with(&t1, &t2, config);
+    let clean = join(&t1, &t2, config, Scheduler::Sequential);
     let clean_pairs = sorted_pairs(&clean);
     let [seq, cg, rr] = run_all(&t1, &t2, config, plan);
 
@@ -148,7 +173,7 @@ fn permanent_loss_is_contained_and_identical_across_schedulers() {
     // Lose ~3% of leaf pages (level 0 only), permanently.
     let plan = FaultPlan::none(777).with_loss_at_level(0.03, 0);
 
-    let clean = spatial_join_with(&t1, &t2, config);
+    let clean = join(&t1, &t2, config, Scheduler::Sequential);
     let clean_pairs = sorted_pairs(&clean);
     let [seq, cg, rr] = run_all(&t1, &t2, config, plan);
 
@@ -256,10 +281,13 @@ proptest! {
             FaultPlan::none(seed).with_transient(rate, budget),
             RetryPolicy::default(),
         );
-        let live = sjcm_join::try_parallel_spatial_join_observed(
-            &t1, &t2, config, threads, ScheduleMode::CostGuided, &obs, &faults,
-            &Governor::unlimited(),
-        ).expect("no worker may die");
+        let live = JoinSession::new(&t1, &t2)
+            .config(config)
+            .scheduler(Scheduler::CostGuided { threads })
+            .observe(&obs)
+            .faults(&faults)
+            .run()
+            .expect("no worker may die");
         prop_assert!(live.is_exact());
         prop_assert_eq!(live.faults.recovery_rate().unwrap_or(1.0), 1.0);
 
@@ -286,19 +314,22 @@ proptest! {
         let t2 = build_uniform(1500, 0.5, seed.wrapping_mul(2).wrapping_add(12));
         let config = JoinConfig::default();
         let cancel_at = |k| GovernorConfig::default().with_cancel_after_units(k);
-        let baseline = try_spatial_join_with(
-            &t1, &t2, config,
+        let baseline = try_join(
+            &t1, &t2, config, Scheduler::Sequential,
             &FaultInjector::disabled(),
             &Governor::new(cancel_at(k)),
-        ).expect("a governed run completes degraded, it does not fail");
-        for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
+        );
+        for sched in [
+            Scheduler::RoundRobin { threads },
+            Scheduler::CostGuided { threads },
+        ] {
             let gov = Governor::new(cancel_at(k));
-            let d = try_parallel_spatial_join_with(
-                &t1, &t2, config, threads, mode, &FaultInjector::disabled(), &gov,
-            ).expect("a governed run completes degraded, it does not fail");
+            let d = try_join(
+                &t1, &t2, config, sched, &FaultInjector::disabled(), &gov,
+            );
             prop_assert_eq!(
                 &d.skips, &baseline.skips,
-                "inventory diverged: {} threads {:?}", threads, mode
+                "inventory diverged: {} threads {:?}", threads, sched
             );
             prop_assert_eq!(sorted_pairs(&d.result), sorted_pairs(&baseline.result));
             prop_assert_eq!(d.result.pair_count, baseline.result.pair_count);

@@ -7,14 +7,38 @@
 
 use proptest::prelude::*;
 use sjcm_geom::{unit_grid_cell, OverlapMask, Point, Rect, RectBatch};
-use sjcm_join::pbsm::{pbsm_join, pbsm_join_with};
+use sjcm_join::pbsm::PbsmResult;
 use sjcm_join::{
-    parallel_spatial_join, parallel_spatial_join_with, spatial_join_with,
-    try_parallel_spatial_join_with, JoinConfig, JoinError, JoinPredicate, MatchKernel, MatchOrder,
-    ScheduleMode,
+    JoinConfig, JoinError, JoinPredicate, JoinResultSet, JoinSession, MatchKernel, MatchOrder,
+    PbsmSession, Scheduler,
 };
 use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig};
-use sjcm_storage::{DiskEntry, DiskNode, FaultInjector, DEFAULT_PAGE_SIZE};
+use sjcm_storage::{DiskEntry, DiskNode, DEFAULT_PAGE_SIZE};
+
+/// Session-API shorthand: an ungoverned, unfaulted join.
+fn join(r1: &RTree<2>, r2: &RTree<2>, config: JoinConfig, scheduler: Scheduler) -> JoinResultSet {
+    JoinSession::new(r1, r2)
+        .config(config)
+        .scheduler(scheduler)
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
+}
+
+/// Session-API shorthand: an ungoverned PBSM join.
+fn pbsm(
+    left: &[(Rect<2>, ObjectId)],
+    right: &[(Rect<2>, ObjectId)],
+    grid: usize,
+    page_capacity: usize,
+    kernel: MatchKernel,
+) -> PbsmResult {
+    PbsmSession::new(left, right, grid, page_capacity)
+        .kernel(kernel)
+        .run()
+        .expect("ungoverned PBSM cannot fail")
+        .result
+}
 
 // ---------------------------------------------------------------------
 // Adversarial-coordinate strategies.
@@ -153,8 +177,8 @@ proptest! {
         };
         let left = tag(left, 0);
         let right = tag(right, 10_000);
-        let scalar = pbsm_join_with(&left, &right, grid, 50, MatchKernel::Scalar);
-        let batched = pbsm_join_with(&left, &right, grid, 50, MatchKernel::Batched);
+        let scalar = pbsm(&left, &right, grid, 50, MatchKernel::Scalar);
+        let batched = pbsm(&left, &right, grid, 50, MatchKernel::Batched);
         // Identical pairs in identical order, not merely as multisets.
         prop_assert_eq!(&scalar.pairs, &batched.pairs);
         prop_assert_eq!(scalar.io_pages, batched.io_pages);
@@ -195,8 +219,18 @@ fn batched_join_is_byte_identical_on_60k_workload() {
             ..JoinConfig::default()
         };
         // Sequential: identical pairs in identical emission order.
-        let seq_s = spatial_join_with(&t1, &t2, with_kernel(config, MatchKernel::Scalar));
-        let seq_b = spatial_join_with(&t1, &t2, with_kernel(config, MatchKernel::Batched));
+        let seq_s = join(
+            &t1,
+            &t2,
+            with_kernel(config, MatchKernel::Scalar),
+            Scheduler::Sequential,
+        );
+        let seq_b = join(
+            &t1,
+            &t2,
+            with_kernel(config, MatchKernel::Batched),
+            Scheduler::Sequential,
+        );
         assert_eq!(seq_s.pairs, seq_b.pairs, "{order:?} sequential pairs");
         assert_eq!(seq_s.na_total(), seq_b.na_total(), "{order:?} NA");
         assert_eq!(seq_s.da_total(), seq_b.da_total(), "{order:?} DA");
@@ -204,24 +238,15 @@ fn batched_join_is_byte_identical_on_60k_workload() {
         assert_eq!(seq_s.stats2, seq_b.stats2, "{order:?} per-level stats R2");
 
         // Both parallel schedulers (pairs come back sorted there).
-        for mode in [ScheduleMode::CostGuided, ScheduleMode::RoundRobin] {
-            let par_s = parallel_spatial_join_with(
-                &t1,
-                &t2,
-                with_kernel(config, MatchKernel::Scalar),
-                4,
-                mode,
-            );
-            let par_b = parallel_spatial_join_with(
-                &t1,
-                &t2,
-                with_kernel(config, MatchKernel::Batched),
-                4,
-                mode,
-            );
-            assert_eq!(par_s.pairs, par_b.pairs, "{order:?} {mode:?} pairs");
-            assert_eq!(par_s.na_total(), par_b.na_total(), "{order:?} {mode:?} NA");
-            assert_eq!(par_s.da_total(), par_b.da_total(), "{order:?} {mode:?} DA");
+        for sched in [
+            Scheduler::CostGuided { threads: 4 },
+            Scheduler::RoundRobin { threads: 4 },
+        ] {
+            let par_s = join(&t1, &t2, with_kernel(config, MatchKernel::Scalar), sched);
+            let par_b = join(&t1, &t2, with_kernel(config, MatchKernel::Batched), sched);
+            assert_eq!(par_s.pairs, par_b.pairs, "{order:?} {sched:?} pairs");
+            assert_eq!(par_s.na_total(), par_b.na_total(), "{order:?} {sched:?} NA");
+            assert_eq!(par_s.da_total(), par_b.da_total(), "{order:?} {sched:?} DA");
         }
     }
 }
@@ -238,8 +263,18 @@ fn batched_distance_join_is_byte_identical() {
             order,
             ..JoinConfig::default()
         };
-        let scalar = spatial_join_with(&t1, &t2, with_kernel(config, MatchKernel::Scalar));
-        let batched = spatial_join_with(&t1, &t2, with_kernel(config, MatchKernel::Batched));
+        let scalar = join(
+            &t1,
+            &t2,
+            with_kernel(config, MatchKernel::Scalar),
+            Scheduler::Sequential,
+        );
+        let batched = join(
+            &t1,
+            &t2,
+            with_kernel(config, MatchKernel::Batched),
+            Scheduler::Sequential,
+        );
         assert_eq!(scalar.pairs, batched.pairs, "{order:?}");
         assert_eq!(scalar.na_total(), batched.na_total(), "{order:?}");
         assert_eq!(scalar.da_total(), batched.da_total(), "{order:?}");
@@ -254,15 +289,17 @@ fn batched_join_identical_with_height_mismatch() {
     let short = build_uniform(120, 0.4, 92);
     assert!(tall.height() > short.height());
     for (a, b) in [(&tall, &short), (&short, &tall)] {
-        let scalar = spatial_join_with(
+        let scalar = join(
             a,
             b,
             with_kernel(JoinConfig::default(), MatchKernel::Scalar),
+            Scheduler::Sequential,
         );
-        let batched = spatial_join_with(
+        let batched = join(
             a,
             b,
             with_kernel(JoinConfig::default(), MatchKernel::Batched),
+            Scheduler::Sequential,
         );
         assert_eq!(scalar.pairs, batched.pairs);
         assert_eq!(scalar.na_total(), batched.na_total());
@@ -278,24 +315,26 @@ fn batched_join_identical_with_height_mismatch() {
 fn zero_threads_is_a_typed_error_on_the_fallible_path() {
     let t1 = build_uniform(500, 0.3, 11);
     let t2 = build_uniform(500, 0.3, 12);
-    for mode in [ScheduleMode::CostGuided, ScheduleMode::RoundRobin] {
-        let err = try_parallel_spatial_join_with(
-            &t1,
-            &t2,
-            JoinConfig::default(),
-            0,
-            mode,
-            &FaultInjector::disabled(),
-            &sjcm_join::Governor::unlimited(),
-        )
-        .expect_err("threads = 0 must not silently run");
-        assert_eq!(err, JoinError::InvalidThreads, "{mode:?}");
+    for sched in [
+        Scheduler::CostGuided { threads: 0 },
+        Scheduler::RoundRobin { threads: 0 },
+    ] {
+        let err = JoinSession::new(&t1, &t2)
+            .scheduler(sched)
+            .run()
+            .expect_err("threads = 0 must not silently run");
+        assert_eq!(err, JoinError::InvalidThreads, "{sched:?}");
         assert!(err.to_string().contains("at least one worker"));
     }
 }
 
+/// The legacy infallible wrappers clamp `threads = 0` to 1 instead of
+/// erroring — pinned here as wrapper behavior (the session API itself
+/// surfaces [`JoinError::InvalidThreads`], see the test above).
 #[test]
+#[allow(deprecated)]
 fn zero_threads_clamps_to_sequential_on_the_infallible_path() {
+    use sjcm_join::{parallel_spatial_join, parallel_spatial_join_with, ScheduleMode};
     let t1 = build_uniform(500, 0.3, 11);
     let t2 = build_uniform(500, 0.3, 12);
     let one = parallel_spatial_join(&t1, &t2, JoinConfig::default(), 1);
@@ -329,11 +368,15 @@ fn pbsm_boundary_touching_pairs_identical_across_kernels() {
         (Rect::new([0.25, 0.5], [0.75, 0.5]).unwrap(), ObjectId(9)),
     ];
     for grid in [1, 2, 3, 4, 8] {
-        let scalar = pbsm_join_with(&a, &b, grid, 10, MatchKernel::Scalar);
-        let batched = pbsm_join_with(&a, &b, grid, 10, MatchKernel::Batched);
+        let scalar = pbsm(&a, &b, grid, 10, MatchKernel::Scalar);
+        let batched = pbsm(&a, &b, grid, 10, MatchKernel::Batched);
         assert_eq!(scalar.pairs, batched.pairs, "grid = {grid}");
-        // The default entry point uses the batched kernel.
-        assert_eq!(pbsm_join(&a, &b, grid, 10).pairs, batched.pairs);
+        // The default session kernel is the batched one.
+        let default_run = PbsmSession::new(&a, &b, grid, 10)
+            .run()
+            .expect("ungoverned PBSM cannot fail")
+            .result;
+        assert_eq!(default_run.pairs, batched.pairs);
         // And no pair is reported twice despite boundary replication.
         let mut seen = std::collections::HashSet::new();
         for &p in &batched.pairs {

@@ -11,10 +11,7 @@
 
 use proptest::prelude::*;
 use sjcm_core::{join, LevelParams, TreeParams};
-use sjcm_join::{
-    parallel_spatial_join_observed, parallel_spatial_join_with, try_parallel_spatial_join_observed,
-    JoinConfig, JoinObs, MatchOrder, ScheduleMode,
-};
+use sjcm_join::{JoinConfig, JoinObs, JoinSession, MatchOrder, Scheduler};
 use sjcm_obs::{LevelPrior, ProgressEngine, ProgressSnapshot, ProgressTracker};
 use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig};
 use sjcm_storage::{FaultInjector, FaultPlan, RetryPolicy};
@@ -130,18 +127,33 @@ proptest! {
             order: if sweep { MatchOrder::PlaneSweep } else { MatchOrder::NestedLoop },
             ..JoinConfig::default()
         };
-        let mode = if cost_guided { ScheduleMode::CostGuided } else { ScheduleMode::RoundRobin };
+        let sched = if cost_guided {
+            Scheduler::CostGuided { threads }
+        } else {
+            Scheduler::RoundRobin { threads }
+        };
 
-        let off = parallel_spatial_join_with(&t1, &t2, config, threads, mode);
+        let off = JoinSession::new(&t1, &t2)
+            .config(config)
+            .scheduler(sched)
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result;
         let pr = priors(&t1, &t2);
         let (on, snaps) = watch(&pr, |tracker| {
-            parallel_spatial_join_observed(&t1, &t2, config, threads, mode, &JoinObs {
-                progress: tracker.clone(),
-                ..JoinObs::default()
-            })
+            JoinSession::new(&t1, &t2)
+                .config(config)
+                .scheduler(sched)
+                .observe(&JoinObs {
+                    progress: tracker.clone(),
+                    ..JoinObs::default()
+                })
+                .run()
+                .expect("ungoverned join cannot fail")
+                .result
         });
 
-        assert_stream(&snaps, &format!("{mode:?}/{threads}"));
+        assert_stream(&snaps, &format!("{sched:?}"));
         prop_assert_eq!(&on.pairs, &off.pairs, "progress changed the pairs");
         prop_assert_eq!(on.pair_count, off.pair_count);
         prop_assert_eq!(on.stats1, off.stats1, "progress changed tree-1 NA/DA");
@@ -166,20 +178,16 @@ proptest! {
         let config = JoinConfig::default();
         let pr = priors(&t1, &t2);
         let (degraded, snaps) = watch(&pr, |tracker| {
-            try_parallel_spatial_join_observed(
-                &t1,
-                &t2,
-                config,
-                threads,
-                ScheduleMode::CostGuided,
-                &JoinObs { progress: tracker.clone(), ..JoinObs::default() },
-                &FaultInjector::enabled(
+            JoinSession::new(&t1, &t2)
+                .config(config)
+                .scheduler(Scheduler::CostGuided { threads })
+                .observe(&JoinObs { progress: tracker.clone(), ..JoinObs::default() })
+                .faults(&FaultInjector::enabled(
                     FaultPlan::none(seed).with_loss_at_level(loss, 0),
                     RetryPolicy::default(),
-                ),
-                &sjcm_join::Governor::unlimited(),
-            )
-            .expect("no worker may die")
+                ))
+                .run()
+                .expect("no worker may die")
         });
         assert_stream(&snaps, "leaf-loss");
         let last = snaps.last().unwrap();
@@ -205,17 +213,16 @@ fn paper_scale_eta_lands_within_twenty_percent_at_a_quarter() {
     let pr = priors(&t1, &t2);
     for (tag, threads) in [("sequential", 1usize), ("cost-guided", 4)] {
         let (result, snaps) = watch(&pr, |tracker| {
-            parallel_spatial_join_observed(
-                &t1,
-                &t2,
-                config,
-                threads,
-                ScheduleMode::CostGuided,
-                &JoinObs {
+            JoinSession::new(&t1, &t2)
+                .config(config)
+                .scheduler(Scheduler::CostGuided { threads })
+                .observe(&JoinObs {
                     progress: tracker.clone(),
                     ..JoinObs::default()
-                },
-            )
+                })
+                .run()
+                .expect("ungoverned join cannot fail")
+                .result
         });
         assert_stream(&snaps, tag);
         let true_work = snaps.last().unwrap().done_work;

@@ -1,0 +1,237 @@
+//! The session-unification acceptance suite: the [`JoinSession`] /
+//! [`PbsmSession`] builders must be **byte-identical** to the legacy
+//! free-function entry points they replace, across the full context
+//! matrix of cross-cutting concerns — every scheduler × observability
+//! {on, off} × flight recorder {on, off} × governor {unlimited,
+//! budgeted-but-unhit} × both match kernels. "Byte-identical" means the
+//! pair list in its exact order, the NA/DA per-level splits, and the
+//! recorder's event stream (count and correlation ids), not merely the
+//! same multisets.
+//!
+//! The fixed-seed 60K gates at the bottom re-run the paper-scale
+//! workload through both doors and diff the results exactly.
+
+#![allow(deprecated)] // the whole point: legacy wrappers vs. the session
+
+use proptest::prelude::*;
+use sjcm_join::{
+    parallel_spatial_join_with, pbsm::pbsm_join_with, spatial_join_with,
+    try_parallel_spatial_join_observed, try_spatial_join_recorded, Governor, GovernorConfig,
+    JoinConfig, JoinObs, JoinResultSet, JoinSession, MatchKernel, PbsmSession, ScheduleMode,
+    Scheduler,
+};
+use sjcm_obs::ProgressTracker;
+use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig};
+use sjcm_storage::{FaultInjector, FlightRecorder};
+
+fn build_uniform(n: usize, density: f64, seed: u64) -> RTree<2> {
+    let rects = sjcm_datagen::uniform::generate::<2>(sjcm_datagen::uniform::UniformConfig::new(
+        n, density, seed,
+    ));
+    let items: Vec<_> = rects
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, ObjectId(i as u32)))
+        .collect();
+    RTree::bulk_load(RTreeConfig::paper(2), items, BulkLoad::Str, 0.67)
+}
+
+/// A governor that is armed (budgeted) but generous enough that no
+/// admission rejection, cancellation, or shed ever fires — results must
+/// still be byte-identical to the unlimited run.
+fn generous_governor() -> Governor {
+    Governor::new(
+        GovernorConfig::default()
+            .with_na_budget(f64::MAX)
+            .with_mem_budget(u64::MAX),
+    )
+}
+
+/// Asserts the two results are byte-identical: same pairs in the same
+/// order, same counters, same per-level NA/DA splits.
+fn assert_identical(a: &JoinResultSet, b: &JoinResultSet, tag: &str) {
+    assert_eq!(a.pairs, b.pairs, "{tag}: pairs (order included)");
+    assert_eq!(a.pair_count, b.pair_count, "{tag}: pair_count");
+    assert_eq!(a.stats1, b.stats1, "{tag}: tree-1 per-level NA/DA");
+    assert_eq!(a.stats2, b.stats2, "{tag}: tree-2 per-level NA/DA");
+    assert_eq!(a.buffers1, b.buffers1, "{tag}: tree-1 buffer counters");
+    assert_eq!(a.buffers2, b.buffers2, "{tag}: tree-2 buffer counters");
+}
+
+/// Drains a recorder into a comparable event summary.
+fn drain(recorder: &FlightRecorder) -> Vec<(u8, u32, u32)> {
+    let (events, dropped) = recorder.drain();
+    assert_eq!(dropped, 0);
+    events.iter().map(|e| (e.tree, e.page.0, e.corr)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The context matrix: every scheduler × {obs on, off} × {recorder
+    // on, off} × {governor unlimited, budgeted-but-unhit} × both
+    // kernels, session vs. legacy, byte-identical.
+    #[test]
+    fn session_matches_legacy_across_context_matrix(
+        seed in 0u64..200,
+        threads in 1usize..4,
+        sched_pick in 0u8..3,
+        obs_on in any::<bool>(),
+        rec_on in any::<bool>(),
+        governed in any::<bool>(),
+        batched in any::<bool>(),
+    ) {
+        let t1 = build_uniform(900, 0.5, seed.wrapping_mul(2).wrapping_add(31));
+        let t2 = build_uniform(900, 0.5, seed.wrapping_mul(2).wrapping_add(32));
+        let config = JoinConfig {
+            kernel: if batched { MatchKernel::Batched } else { MatchKernel::Scalar },
+            ..JoinConfig::default()
+        };
+        let sched = match sched_pick {
+            0 => Scheduler::Sequential,
+            1 => Scheduler::CostGuided { threads },
+            _ => Scheduler::RoundRobin { threads },
+        };
+
+        // Legacy door: pick the historical entry point this context
+        // combination would have used.
+        let legacy_rec = FlightRecorder::enabled();
+        let legacy_gov = if governed { generous_governor() } else { Governor::unlimited() };
+        let legacy = match sched {
+            Scheduler::Sequential => {
+                if rec_on || governed {
+                    let rec = if rec_on { legacy_rec.clone() } else { FlightRecorder::disabled() };
+                    try_spatial_join_recorded(
+                        &t1, &t2, config, &rec,
+                        &FaultInjector::disabled(),
+                        &legacy_gov,
+                    ).expect("generous governor admits").result
+                } else {
+                    spatial_join_with(&t1, &t2, config)
+                }
+            }
+            Scheduler::CostGuided { .. } | Scheduler::RoundRobin { .. } => {
+                let mode = match sched {
+                    Scheduler::RoundRobin { .. } => ScheduleMode::RoundRobin,
+                    _ => ScheduleMode::CostGuided,
+                };
+                if obs_on || rec_on || governed {
+                    let obs = JoinObs {
+                        recorder: if rec_on { legacy_rec.clone() } else { FlightRecorder::disabled() },
+                        progress: if obs_on { ProgressTracker::enabled() } else { ProgressTracker::disabled() },
+                        ..JoinObs::default()
+                    };
+                    try_parallel_spatial_join_observed(
+                        &t1, &t2, config, threads, mode, &obs,
+                        &FaultInjector::disabled(), &legacy_gov,
+                    ).expect("generous governor admits").result
+                } else {
+                    parallel_spatial_join_with(&t1, &t2, config, threads, mode)
+                }
+            }
+        };
+        let legacy_events = drain(&legacy_rec);
+
+        // Session door: the same context, through the one builder.
+        let session_rec = FlightRecorder::enabled();
+        let session_gov = if governed { generous_governor() } else { Governor::unlimited() };
+        let mut session = JoinSession::new(&t1, &t2)
+            .config(config)
+            .scheduler(sched)
+            .govern(&session_gov);
+        if obs_on {
+            session = session.observe(&JoinObs {
+                progress: ProgressTracker::enabled(),
+                ..JoinObs::default()
+            });
+        }
+        if rec_on {
+            session = session.record(&session_rec);
+        }
+        let out = session.run().expect("generous governor admits");
+        prop_assert!(out.is_exact());
+        assert_identical(&out.result, &legacy, &format!("{sched:?}"));
+        prop_assert_eq!(
+            drain(&session_rec), legacy_events,
+            "recorder event streams diverged"
+        );
+    }
+
+    // PBSM through both doors, both kernels, with and without an armed
+    // (but generous) governor.
+    #[test]
+    fn pbsm_session_matches_legacy(
+        seed in 0u64..200,
+        grid in 1usize..6,
+        batched in any::<bool>(),
+        governed in any::<bool>(),
+    ) {
+        let kernel = if batched { MatchKernel::Batched } else { MatchKernel::Scalar };
+        let items = |s: u64, off: u32| -> Vec<(Rect2, ObjectId)> {
+            sjcm_datagen::uniform::generate::<2>(
+                sjcm_datagen::uniform::UniformConfig::new(400, 0.5, s),
+            )
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, ObjectId(off + i as u32)))
+            .collect()
+        };
+        let left = items(seed.wrapping_add(1), 0);
+        let right = items(seed.wrapping_add(2), 10_000);
+
+        let legacy = pbsm_join_with(&left, &right, grid, 50, kernel);
+        let gov = if governed { generous_governor() } else { Governor::unlimited() };
+        let out = PbsmSession::new(&left, &right, grid, 50)
+            .kernel(kernel)
+            .govern(&gov)
+            .run()
+            .expect("generous governor admits");
+        prop_assert!(out.is_exact());
+        prop_assert_eq!(&out.result.pairs, &legacy.pairs, "pairs (order included)");
+        prop_assert_eq!(out.result.io_pages, legacy.io_pages);
+        prop_assert_eq!(out.result.replication_factor, legacy.replication_factor);
+    }
+}
+
+type Rect2 = sjcm_geom::Rect<2>;
+
+/// The fixed-seed paper-scale gate: on the 60K × 60K workload the
+/// session door reproduces each legacy entry point exactly, for all
+/// three tree schedulers.
+#[test]
+fn session_matches_legacy_on_60k_workload() {
+    let t1 = build_uniform(60_000, 0.5, 4242);
+    let t2 = build_uniform(60_000, 0.5, 2424);
+    let config = JoinConfig {
+        collect_pairs: false,
+        ..JoinConfig::default()
+    };
+
+    let legacy_seq = spatial_join_with(&t1, &t2, config);
+    let session_seq = JoinSession::new(&t1, &t2)
+        .config(config)
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
+    assert_identical(&session_seq, &legacy_seq, "sequential");
+
+    for (mode, sched) in [
+        (
+            ScheduleMode::CostGuided,
+            Scheduler::CostGuided { threads: 4 },
+        ),
+        (
+            ScheduleMode::RoundRobin,
+            Scheduler::RoundRobin { threads: 4 },
+        ),
+    ] {
+        let legacy = parallel_spatial_join_with(&t1, &t2, config, 4, mode);
+        let session = JoinSession::new(&t1, &t2)
+            .config(config)
+            .scheduler(sched)
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result;
+        assert_identical(&session, &legacy, &format!("{mode:?}"));
+    }
+}

@@ -16,7 +16,7 @@
 //!   at the compulsory cold-miss floor;
 //! * the binary serialization round-trips the full 60K trace.
 
-use sjcm_join::{parallel_spatial_join_with, JoinConfig, JoinObs, ScheduleMode};
+use sjcm_join::{JoinConfig, JoinObs, JoinSession, Scheduler};
 use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig};
 use sjcm_storage::{AccessTrace, FlightRecorder, RecordedPolicy, StackDistance};
 
@@ -42,20 +42,24 @@ fn recorded_60k_trace_replays_exactly_and_lru_sweep_is_monotone() {
     };
     let threads = 4;
 
-    let plain = parallel_spatial_join_with(&t1, &t2, config, threads, ScheduleMode::CostGuided);
+    let plain = JoinSession::new(&t1, &t2)
+        .config(config)
+        .scheduler(Scheduler::CostGuided { threads })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     let recorder = FlightRecorder::enabled();
     let obs = JoinObs {
         recorder: recorder.clone(),
         ..JoinObs::default()
     };
-    let live = sjcm_join::parallel::parallel_spatial_join_observed(
-        &t1,
-        &t2,
-        config,
-        threads,
-        ScheduleMode::CostGuided,
-        &obs,
-    );
+    let live = JoinSession::new(&t1, &t2)
+        .config(config)
+        .scheduler(Scheduler::CostGuided { threads })
+        .observe(&obs)
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
 
     // Recording must not perturb the join.
     assert_eq!(live.pair_count, plain.pair_count);

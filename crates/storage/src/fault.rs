@@ -586,6 +586,14 @@ pub struct FaultInjector {
     inner: Option<Arc<InjectorInner>>,
 }
 
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("enabled", &self.inner.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl FaultInjector {
     /// An injector that never fires (the default).
     pub fn disabled() -> Self {

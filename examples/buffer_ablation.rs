@@ -7,7 +7,6 @@
 //! cargo run --release --example buffer_ablation
 //! ```
 
-use sjcm::join::parallel::parallel_spatial_join;
 use sjcm::model::join::{join_cost_da, join_cost_na};
 use sjcm::prelude::*;
 
@@ -35,15 +34,15 @@ fn main() {
     println!("  Eq 10 DA (path buffer) ≈ {:.0}", join_cost_da(&p1, &p2));
 
     let run = |policy: BufferPolicy| {
-        spatial_join_with(
-            &t1,
-            &t2,
-            JoinConfig {
+        JoinSession::new(&t1, &t2)
+            .config(JoinConfig {
                 buffer: policy,
                 collect_pairs: false,
                 ..JoinConfig::default()
-            },
-        )
+            })
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result
     };
 
     println!("\nmeasured disk accesses by buffer scheme:");
@@ -63,16 +62,16 @@ fn main() {
 
     println!("\nparallel SJ (per-worker path buffers):");
     for threads in [1, 2, 4, 8] {
-        let r = parallel_spatial_join(
-            &t1,
-            &t2,
-            JoinConfig {
+        let r = JoinSession::new(&t1, &t2)
+            .config(JoinConfig {
                 buffer: BufferPolicy::Path,
                 collect_pairs: false,
                 ..JoinConfig::default()
-            },
-            threads,
-        );
+            })
+            .scheduler(Scheduler::CostGuided { threads })
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result;
         println!(
             "  {threads} worker(s): NA = {} (invariant), DA = {}",
             r.na_total(),

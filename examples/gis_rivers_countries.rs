@@ -79,14 +79,14 @@ fn main() {
 
     // Strategy A (what the best plans do when the selection is wide):
     // SJ join first, filter the river side afterwards.
-    let sj = spatial_join_with(
-        &t_rivers,
-        &t_countries,
-        JoinConfig {
+    let sj = JoinSession::new(&t_rivers, &t_countries)
+        .config(JoinConfig {
             buffer: BufferPolicy::Path,
             ..JoinConfig::default()
-        },
-    );
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     let crossing_in_west: Vec<_> = sj
         .pairs
         .iter()

@@ -47,15 +47,15 @@ fn main() {
     );
 
     // ── 4. Run the instrumented SJ join and compare.
-    let result = spatial_join_with(
-        &t1,
-        &t2,
-        JoinConfig {
+    let result = JoinSession::new(&t1, &t2)
+        .config(JoinConfig {
             buffer: BufferPolicy::Path,
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    );
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     let err = |est: f64, got: u64| 100.0 * (est - got as f64).abs() / got as f64;
     println!("\nmeasured by the executor:");
     println!(

@@ -29,15 +29,15 @@ fn main() {
 
     println!("N₁ = N₂ = {n}, D = {d}  (uniform)");
     println!("\noverlap join:");
-    let exact = spatial_join_with(
-        &t1,
-        &t2,
-        JoinConfig {
+    let exact = JoinSession::new(&t1, &t2)
+        .config(JoinConfig {
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    )
-    .pair_count;
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
+        .pair_count;
     let est = join_selectivity::<2>(prof, prof);
     println!(
         "  exact pairs = {exact}, estimated = {est:.0} ({:+.1}%)",
@@ -48,16 +48,16 @@ fn main() {
     println!("  note: the estimate uses the L∞ ball, the executor the L2 ball,");
     println!("  so a slight overestimate is expected and grows with ε:");
     for eps in [0.001, 0.002, 0.005, 0.01, 0.02] {
-        let exact = spatial_join_with(
-            &t1,
-            &t2,
-            JoinConfig {
+        let exact = JoinSession::new(&t1, &t2)
+            .config(JoinConfig {
                 predicate: JoinPredicate::WithinDistance(eps),
                 collect_pairs: false,
                 ..JoinConfig::default()
-            },
-        )
-        .pair_count;
+            })
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result
+            .pair_count;
         let est = distance_join_selectivity::<2>(prof, prof, eps);
         println!(
             "  ε = {eps:<6} exact = {exact:>9}  estimated = {est:>9.0}  ({:+.1}%)",

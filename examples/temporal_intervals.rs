@@ -63,15 +63,15 @@ fn main() {
     );
 
     // …then reality.
-    let result = spatial_join_with(
-        &t_bookings,
-        &t_windows,
-        JoinConfig {
+    let result = JoinSession::new(&t_bookings, &t_windows)
+        .config(JoinConfig {
             buffer: BufferPolicy::Path,
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    );
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     let err = |est: f64, got: u64| 100.0 * (est - got as f64).abs() / got as f64;
     println!("\n                        predicted   measured   error");
     println!(
@@ -91,15 +91,15 @@ fn main() {
     );
 
     // Role choice matters even in 1-D (Eq 10 asymmetry): try both.
-    let swapped = spatial_join_with(
-        &t_windows,
-        &t_bookings,
-        JoinConfig {
+    let swapped = JoinSession::new(&t_windows, &t_bookings)
+        .config(JoinConfig {
             buffer: BufferPolicy::Path,
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    );
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     println!(
         "\nrole check (§4.1(iii)): DA(data=bookings, query=windows) = {} vs \
          swapped = {} → keep the smaller set as the query tree: {}",
@@ -110,15 +110,15 @@ fn main() {
 
     // Temporal ε-join: pairs within 1 hour of each other.
     let one_hour = 1.0 / (365.25 * 24.0);
-    let near = spatial_join_with(
-        &t_bookings,
-        &t_windows,
-        JoinConfig {
+    let near = JoinSession::new(&t_bookings, &t_windows)
+        .config(JoinConfig {
             predicate: sjcm::join::JoinPredicate::WithinDistance(one_hour),
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    );
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     println!(
         "\nwithin-1-hour join: {} pairs (overlap join had {})",
         near.pair_count, result.pair_count

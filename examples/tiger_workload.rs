@@ -42,15 +42,15 @@ fn main() {
     for (r, id) in sjcm::datagen::with_ids(hydro) {
         t_hydro.insert(r, ObjectId(id));
     }
-    let result = spatial_join_with(
-        &t_roads,
-        &t_hydro,
-        JoinConfig {
+    let result = JoinSession::new(&t_roads, &t_hydro)
+        .config(JoinConfig {
             buffer: BufferPolicy::Path,
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    );
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     println!(
         "\nmeasured: NA = {}, DA = {}, crossing pairs = {}",
         result.na_total(),

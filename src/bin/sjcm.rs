@@ -334,15 +334,15 @@ fn cmd_join(flags: &HashMap<String, String>) -> CliResult {
             }
         }
     };
-    let result = spatial_join_with(
-        &t1,
-        &t2,
-        JoinConfig {
+    let result = JoinSession::new(&t1, &t2)
+        .config(JoinConfig {
             buffer,
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    );
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     println!(
         "h1 = {}, h2 = {}, buffer = {buffer:?}",
         t1.height(),

@@ -14,10 +14,10 @@
 //! separately, and [`PlanExecutor::run_measured`] additionally returns a
 //! per-operator [`OpMeasurement`] stream — the raw material for the
 //! EXPLAIN ANALYZE subsystem in [`crate::explain`]. The SJ operator runs
-//! through the production [`parallel_spatial_join_observed`] entry point
-//! (one worker by default — identical counters to the sequential
-//! executor), so whatever instrumentation production carries, plan
-//! execution carries too.
+//! through the production [`sjcm_join::JoinSession`] engine (one worker
+//! by default — identical counters to the sequential executor), so
+//! whatever instrumentation production carries, plan execution carries
+//! too.
 //!
 //! Supported plan shapes: everything the planner emits for one- and
 //! two-dataset queries (scans, index range selects, one join of any
@@ -29,10 +29,7 @@
 //! reproduction does not model.
 
 use crate::join::baselines::index_nested_loop_join;
-use crate::join::{
-    parallel_spatial_join_observed, try_parallel_spatial_join_observed, Governor, JoinObs,
-    ScheduleMode,
-};
+use crate::join::{Governor, JoinSession, Scheduler};
 use crate::optimizer::{JoinAlgorithm, PhysicalPlan, PlanNode};
 use crate::prelude::*;
 use sjcm_geom::Rect;
@@ -419,11 +416,10 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
                 let db = self.bound(d_name)?;
                 let qb = self.bound(q_name)?;
                 // SJ traverses the *full* base trees through the
-                // production observed entry point; pushed selections
-                // then drop pairs outside their windows (a residual
-                // in-memory filter — no extra I/O beyond the probes
-                // already counted on the children). With a governor
-                // armed, the run goes through the fallible twin: an
+                // production session API; pushed selections then drop
+                // pairs outside their windows (a residual in-memory
+                // filter — no extra I/O beyond the probes already
+                // counted on the children). With a governor armed, an
                 // admission rejection or memory-budget denial becomes
                 // `ExecError::Governed`, a deadline expiry a degraded
                 // (partial, priced) result.
@@ -431,29 +427,15 @@ impl<'a, const N: usize> PlanExecutor<'a, N> {
                     buffer: BufferPolicy::Path,
                     ..JoinConfig::default()
                 };
-                let result = if self.governor.is_enabled() {
-                    try_parallel_spatial_join_observed(
-                        db.tree,
-                        qb.tree,
-                        join_config,
-                        self.threads,
-                        ScheduleMode::default(),
-                        &JoinObs::default(),
-                        &sjcm_storage::FaultInjector::disabled(),
-                        &self.governor,
-                    )
+                let result = JoinSession::new(db.tree, qb.tree)
+                    .config(join_config)
+                    .scheduler(Scheduler::CostGuided {
+                        threads: self.threads,
+                    })
+                    .govern(&self.governor)
+                    .run()
                     .map_err(|e| ExecError::Governed(e.to_string()))?
-                    .result
-                } else {
-                    parallel_spatial_join_observed(
-                        db.tree,
-                        qb.tree,
-                        join_config,
-                        self.threads,
-                        ScheduleMode::default(),
-                        &JoinObs::default(),
-                    )
-                };
+                    .result;
                 let keep = |sel: &Option<SjSide>, id: ObjectId| match sel {
                     Some(side) => side.selected.contains(&id),
                     None => true,

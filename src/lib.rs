@@ -49,7 +49,10 @@
 //! for (r, id) in sjcm::datagen::with_ids(r2) {
 //!     t2.insert(r, ObjectId(id));
 //! }
-//! let result = spatial_join(&t1, &t2);
+//! let result = JoinSession::new(&t1, &t2)
+//!     .run()
+//!     .expect("ungoverned join cannot fail")
+//!     .result;
 //! assert!(predicted_na > 0.0);
 //! assert!(result.na_total() > 0);
 //! ```
@@ -74,7 +77,11 @@ pub use sjcm_storage as storage;
 pub mod prelude {
     pub use sjcm_core::{DataProfile, DensitySurface, ModelConfig, SpatialOperator, TreeParams};
     pub use sjcm_geom::{Point, Rect};
-    pub use sjcm_join::{spatial_join, spatial_join_with, BufferPolicy, JoinConfig};
+    #[allow(deprecated)] // legacy wrappers stay importable through the prelude
+    pub use sjcm_join::{spatial_join, spatial_join_with};
+    pub use sjcm_join::{
+        BufferPolicy, JoinConfig, JoinResultSet, JoinSession, PbsmSession, Scheduler,
+    };
     pub use sjcm_rtree::{BulkLoad, ObjectId, RTree, RTreeConfig};
     pub use sjcm_storage::{AccessStats, InMemoryPageStore, PageStore};
 }

@@ -5,7 +5,7 @@
 //! come out inside the paper's ~15% envelope; a deliberately wrong
 //! parameterization must be flagged — in flight, not just post hoc.
 
-use sjcm::join::{parallel_spatial_join_observed, BufferPolicy, JoinConfig, JoinObs, ScheduleMode};
+use sjcm::join::JoinObs;
 use sjcm::model::{join, LevelParams, TreeParams};
 use sjcm::obs::{
     DriftMonitor, MetricsRegistry, ProgressTracker, Tracer, DA_TOTAL, NA_TOTAL, PAPER_ENVELOPE,
@@ -80,19 +80,18 @@ fn known_good_workload_stays_inside_the_envelope() {
     register(&drift, &measured_params(&t1), &measured_params(&t2));
     assert!(drift.target_count() >= 4, "totals + leaf levels at least");
 
-    let result = parallel_spatial_join_observed(
-        &t1,
-        &t2,
-        config(),
-        2,
-        ScheduleMode::CostGuided,
-        &JoinObs {
+    let result = JoinSession::new(&t1, &t2)
+        .config(config())
+        .scheduler(Scheduler::CostGuided { threads: 2 })
+        .observe(&JoinObs {
             tracer: Tracer::disabled(),
             drift: Some(&drift),
             recorder: FlightRecorder::disabled(),
             progress: ProgressTracker::disabled(),
-        },
-    );
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     for (name, actual) in result.drift_observations() {
         drift.observe(&name, actual);
     }
@@ -137,19 +136,18 @@ fn wrong_parameterization_is_flagged_in_flight() {
     let drift = DriftMonitor::new(PAPER_ENVELOPE);
     register(&drift, &p1, &p2);
 
-    let result = parallel_spatial_join_observed(
-        &t1,
-        &t2,
-        config(),
-        2,
-        ScheduleMode::CostGuided,
-        &JoinObs {
+    let result = JoinSession::new(&t1, &t2)
+        .config(config())
+        .scheduler(Scheduler::CostGuided { threads: 2 })
+        .observe(&JoinObs {
             tracer: Tracer::disabled(),
             drift: Some(&drift),
             recorder: FlightRecorder::disabled(),
             progress: ProgressTracker::disabled(),
-        },
-    );
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     for (name, actual) in result.drift_observations() {
         drift.observe(&name, actual);
     }

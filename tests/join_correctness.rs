@@ -3,7 +3,6 @@
 //! persistence round-trip.
 
 use sjcm::join::baselines::{index_nested_loop_join, nested_loop_join};
-use sjcm::join::parallel::parallel_spatial_join;
 use sjcm::join::{JoinPredicate, MatchOrder};
 use sjcm::prelude::*;
 
@@ -62,7 +61,13 @@ fn sj_matches_brute_force_on_every_generator() {
             let ta = build(a);
             let tb = build(b);
             let expected = sorted(nested_loop_join(a, b));
-            let got = sorted(spatial_join(&ta, &tb).pairs);
+            let got = sorted(
+                JoinSession::new(&ta, &tb)
+                    .run()
+                    .expect("ungoverned join cannot fail")
+                    .result
+                    .pairs,
+            );
             assert_eq!(got, expected, "{name1} × {name2}");
         }
     }
@@ -83,16 +88,16 @@ fn all_match_orders_and_buffers_agree() {
             BufferPolicy::Lru(32),
         ] {
             let got = sorted(
-                spatial_join_with(
-                    &ta,
-                    &tb,
-                    JoinConfig {
+                JoinSession::new(&ta, &tb)
+                    .config(JoinConfig {
                         order,
                         buffer,
                         ..JoinConfig::default()
-                    },
-                )
-                .pairs,
+                    })
+                    .run()
+                    .expect("ungoverned join cannot fail")
+                    .result
+                    .pairs,
             );
             assert_eq!(got, expected, "{order:?}/{buffer:?}");
         }
@@ -109,7 +114,15 @@ fn index_nested_loop_and_parallel_agree() {
     let expected = sorted(nested_loop_join(a, b));
     assert_eq!(sorted(index_nested_loop_join(&ta, b).pairs), expected);
     for threads in [2, 3, 8] {
-        let got = sorted(parallel_spatial_join(&ta, &tb, JoinConfig::default(), threads).pairs);
+        let got = sorted(
+            JoinSession::new(&ta, &tb)
+                .config(JoinConfig::default())
+                .scheduler(Scheduler::CostGuided { threads })
+                .run()
+                .expect("ungoverned join cannot fail")
+                .result
+                .pairs,
+        );
         assert_eq!(got, expected, "{threads} threads");
     }
 }
@@ -132,15 +145,15 @@ fn distance_join_matches_brute_force_on_skewed_data() {
         }
         expected.sort();
         let got = sorted(
-            spatial_join_with(
-                &ta,
-                &tb,
-                JoinConfig {
+            JoinSession::new(&ta, &tb)
+                .config(JoinConfig {
                     predicate: JoinPredicate::WithinDistance(eps),
                     ..JoinConfig::default()
-                },
-            )
-            .pairs,
+                })
+                .run()
+                .expect("ungoverned join cannot fail")
+                .result
+                .pairs,
         );
         assert_eq!(got, expected, "eps = {eps}");
     }
@@ -153,7 +166,13 @@ fn join_over_persisted_trees_is_identical() {
     let (_, b) = &sets[1];
     let ta = build(a);
     let tb = build(b);
-    let expected = sorted(spatial_join(&ta, &tb).pairs);
+    let expected = sorted(
+        JoinSession::new(&ta, &tb)
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result
+            .pairs,
+    );
 
     let mut store = InMemoryPageStore::with_default_page_size();
     let ha = ta.save(&mut store).unwrap();
@@ -167,7 +186,13 @@ fn join_over_persisted_trees_is_identical() {
     // lose object pairs; object rects themselves round outward too, so
     // the pair set may only grow by boundary-touching pairs. For these
     // seeds it is exactly equal.
-    let got = sorted(spatial_join(&la, &lb).pairs);
+    let got = sorted(
+        JoinSession::new(&la, &lb)
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result
+            .pairs,
+    );
     assert_eq!(got, expected);
 }
 
@@ -184,7 +209,19 @@ fn bulk_loaded_trees_join_identically_to_inserted_ones() {
         1.0,
     );
     let tb = build(b);
-    let from_inserted = sorted(spatial_join(&inserted_a, &tb).pairs);
-    let from_packed = sorted(spatial_join(&packed_a, &tb).pairs);
+    let from_inserted = sorted(
+        JoinSession::new(&inserted_a, &tb)
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result
+            .pairs,
+    );
+    let from_packed = sorted(
+        JoinSession::new(&packed_a, &tb)
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result
+            .pairs,
+    );
     assert_eq!(from_inserted, from_packed);
 }

@@ -21,15 +21,15 @@ fn uniform_tree(n: usize, d: f64, seed: u64) -> RTree<2> {
 }
 
 fn run_join(t1: &RTree<2>, t2: &RTree<2>) -> sjcm::join::JoinResultSet {
-    spatial_join_with(
-        t1,
-        t2,
-        JoinConfig {
+    JoinSession::new(t1, t2)
+        .config(JoinConfig {
             buffer: BufferPolicy::Path,
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    )
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
 }
 
 fn rel_err(est: f64, got: u64) -> f64 {

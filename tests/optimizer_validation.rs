@@ -47,16 +47,16 @@ fn build_world() -> World {
 }
 
 fn measured_da(data: &RTree<2>, query: &RTree<2>) -> u64 {
-    spatial_join_with(
-        data,
-        query,
-        JoinConfig {
+    JoinSession::new(data, query)
+        .config(JoinConfig {
             buffer: BufferPolicy::Path,
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    )
-    .da_total()
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
+        .da_total()
 }
 
 #[test]
@@ -135,7 +135,11 @@ fn plan_cardinality_estimate_is_in_the_ballpark() {
     let plan = Planner::new(&w.catalog)
         .best_plan(&JoinQuery::new(["big", "small"]))
         .unwrap();
-    let actual = spatial_join(&w.big, &w.small).pair_count;
+    let actual = JoinSession::new(&w.big, &w.small)
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
+        .pair_count;
     let ratio = plan.cardinality / actual as f64;
     assert!(
         (0.5..2.0).contains(&ratio),

@@ -14,15 +14,15 @@ fn build(rects: &[sjcm::geom::Rect<2>]) -> RTree<2> {
 }
 
 fn count_pairs(t1: &RTree<2>, t2: &RTree<2>) -> u64 {
-    spatial_join_with(
-        t1,
-        t2,
-        JoinConfig {
+    JoinSession::new(t1, t2)
+        .config(JoinConfig {
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    )
-    .pair_count
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result
+        .pair_count
 }
 
 #[test]
@@ -61,16 +61,16 @@ fn distance_join_selectivity_brackets_reality() {
     let tb = build(&b);
     let prof = DataProfile::new(n as u64, d);
     for eps in [0.002, 0.01] {
-        let exact = spatial_join_with(
-            &ta,
-            &tb,
-            JoinConfig {
+        let exact = JoinSession::new(&ta, &tb)
+            .config(JoinConfig {
                 predicate: sjcm::join::JoinPredicate::WithinDistance(eps),
                 collect_pairs: false,
                 ..JoinConfig::default()
-            },
-        )
-        .pair_count;
+            })
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result
+            .pair_count;
         let est = distance_join_selectivity::<2>(prof, prof, eps);
         assert!(
             est >= exact as f64 * 0.95,
@@ -126,15 +126,15 @@ fn local_model_beats_global_on_clustered_na() {
     );
     let ta = build(&a);
     let tb = build(&b);
-    let result = spatial_join_with(
-        &ta,
-        &tb,
-        JoinConfig {
+    let result = JoinSession::new(&ta, &tb)
+        .config(JoinConfig {
             buffer: BufferPolicy::Path,
             collect_pairs: false,
             ..JoinConfig::default()
-        },
-    );
+        })
+        .run()
+        .expect("ungoverned join cannot fail")
+        .result;
     let cfg = ModelConfig::paper(2);
     let prof_a = DataProfile::new(n as u64, sjcm::geom::density(a.iter()));
     let prof_b = DataProfile::new(n as u64, sjcm::geom::density(b.iter()));

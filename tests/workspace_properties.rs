@@ -57,10 +57,14 @@ proptest! {
         let (items2, t2) = build(w.n2, w.d2, w.seed.wrapping_add(1));
         t1.check_invariants().unwrap();
         t2.check_invariants().unwrap();
-        let result = spatial_join_with(&t1, &t2, JoinConfig {
-            buffer: BufferPolicy::Path,
-            ..JoinConfig::default()
-        });
+        let result = JoinSession::new(&t1, &t2)
+            .config(JoinConfig {
+                buffer: BufferPolicy::Path,
+                ..JoinConfig::default()
+            })
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result;
         // Exactness against brute force.
         let mut expected = nested_loop_join(&items1, &items2);
         expected.sort();
@@ -135,20 +139,26 @@ proptest! {
 
     #[test]
     fn pbsm_agrees_with_sj_on_random_workloads(w in workload()) {
-        use sjcm::join::pbsm::pbsm_join;
         let (items1, t1) = build(w.n1, w.d1, w.seed);
         let (items2, t2) = build(w.n2, w.d2, w.seed.wrapping_add(1));
-        let mut sj = spatial_join_with(&t1, &t2, JoinConfig::default()).pairs;
+        let mut sj = JoinSession::new(&t1, &t2)
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result
+            .pairs;
         sj.sort();
         let grid = 1 + (w.seed % 7) as usize;
-        let mut pbsm = pbsm_join(&items1, &items2, grid, 50).pairs;
+        let mut pbsm = PbsmSession::new(&items1, &items2, grid, 50)
+            .run()
+            .expect("ungoverned PBSM cannot fail")
+            .result
+            .pairs;
         pbsm.sort();
         prop_assert_eq!(sj, pbsm, "grid = {}", grid);
     }
 
     #[test]
     fn parallel_join_agrees_with_sequential(w in workload()) {
-        use sjcm::join::parallel::{parallel_spatial_join_with, ScheduleMode};
         let (_, t1) = build(w.n1, w.d1, w.seed);
         let (_, t2) = build(w.n2, w.d2, w.seed.wrapping_add(1));
         // Path buffers: the per-unit cold starts of the parallel
@@ -158,12 +168,24 @@ proptest! {
             buffer: BufferPolicy::Path,
             ..JoinConfig::default()
         };
-        let seq = spatial_join_with(&t1, &t2, config);
+        let seq = JoinSession::new(&t1, &t2)
+            .config(config)
+            .run()
+            .expect("ungoverned join cannot fail")
+            .result;
         let mut seq_pairs = seq.pairs.clone();
         seq_pairs.sort();
         for threads in [1usize, 2, 3, 8] {
-            for mode in [ScheduleMode::RoundRobin, ScheduleMode::CostGuided] {
-                let par = parallel_spatial_join_with(&t1, &t2, config, threads, mode);
+            for mode in [
+                Scheduler::RoundRobin { threads },
+                Scheduler::CostGuided { threads },
+            ] {
+                let par = JoinSession::new(&t1, &t2)
+                    .config(config)
+                    .scheduler(mode)
+                    .run()
+                    .expect("ungoverned join cannot fail")
+                    .result;
                 // Same pair multiset (parallel output is pre-sorted).
                 prop_assert_eq!(&par.pairs, &seq_pairs, "{:?}/{}", mode, threads);
                 prop_assert_eq!(par.pair_count, seq.pair_count, "{:?}/{}", mode, threads);
@@ -175,7 +197,7 @@ proptest! {
                 // shard's units, which can accidentally *recreate*
                 // locality the sequential order lacked, so it carries
                 // no such bound.
-                if matches!(mode, ScheduleMode::CostGuided) {
+                if matches!(mode, Scheduler::CostGuided { .. }) {
                     prop_assert!(
                         par.da_total() >= seq.da_total(),
                         "{:?}/{} threads: parallel DA {} < sequential {}",
